@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks: per-case F-tree insertion cost (§5.4).
+//!
+//! Case II (leaf) must be near-free; IIIa pays one component re-estimation;
+//! IIIb/IV additionally restructure the tree.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flowmax_core::{EstimatorConfig, FTree, SamplingProvider};
+use flowmax_datasets::{suggest_query, PartitionedConfig};
+use flowmax_graph::{EdgeId, ProbabilisticGraph};
+
+/// Builds a tree with `k` leaf attachments plus *every other* chord, so that
+/// cycle-forming candidates of every case remain available for probing.
+fn setup(graph: &ProbabilisticGraph, k: usize) -> (FTree, SamplingProvider) {
+    let q = suggest_query(graph);
+    let mut tree = FTree::new(graph, q);
+    let mut provider = SamplingProvider::new(EstimatorConfig::monte_carlo(1000), 7);
+    // Phase 1: grow a pure tree by BFS-frontier leaf attachments, so the
+    // selection forms a dense ball around Q (chords become available).
+    let mut inserted = 0;
+    let mut frontier = std::collections::VecDeque::from([q]);
+    'grow: while let Some(v) = frontier.pop_front() {
+        for (n, e) in graph.neighbors(v) {
+            if inserted >= k {
+                break 'grow;
+            }
+            if !tree.contains_vertex(n) {
+                tree.insert_edge(graph, e, &mut provider).unwrap();
+                frontier.push_back(n);
+                inserted += 1;
+            }
+        }
+    }
+    // Phase 2: close every other internal chord, keeping the rest as
+    // candidates for the cycle-case benchmarks.
+    let chords: Vec<EdgeId> = graph
+        .edge_ids()
+        .filter(|&e| {
+            if tree.selected_edges().contains(e) {
+                return false;
+            }
+            let (a, b) = graph.endpoints(e);
+            tree.contains_vertex(a) && tree.contains_vertex(b)
+        })
+        .collect();
+    for e in chords.iter().step_by(6) {
+        tree.insert_edge(graph, *e, &mut provider).unwrap();
+    }
+    (tree, provider)
+}
+
+/// First candidate edge whose insertion would take the wanted case, probed
+/// non-destructively.
+fn edge_for_case(
+    graph: &ProbabilisticGraph,
+    tree: &FTree,
+    provider: &mut SamplingProvider,
+    want: &[flowmax_core::InsertCase],
+) -> Option<EdgeId> {
+    let base = tree.expected_flow(graph, false);
+    graph.edge_ids().find(|&e| {
+        if tree.selected_edges().contains(e) {
+            return false;
+        }
+        let (a, b) = graph.endpoints(e);
+        if !tree.contains_vertex(a) && !tree.contains_vertex(b) {
+            return false;
+        }
+        tree.probe_edge(graph, e, base, false, 0.01, provider)
+            .map(|p| want.contains(&p.case))
+            .unwrap_or(false)
+    })
+}
+
+fn bench_insert_cases(c: &mut Criterion) {
+    let graph = PartitionedConfig::paper(2000, 6).generate(3);
+    let (tree, mut provider) = setup(&graph, 60);
+
+    let mut group = c.benchmark_group("ftree_insert");
+    group.sample_size(30);
+
+    use flowmax_core::InsertCase::*;
+    // Case IIIb gets a dedicated workload below (a long mono chain); the
+    // BFS-ball workload rarely leaves two same-mono-component candidates.
+    for (label, cases) in [
+        ("case_ii_leaf", &[LeafMono, LeafBi][..]),
+        ("case_iiia_cycle_in_bi", &[CycleInBi][..]),
+        ("case_iv_cross_component", &[CycleAcross][..]),
+    ] {
+        let Some(edge) = edge_for_case(&graph, &tree, &mut provider, cases) else {
+            eprintln!("warning: no candidate for {label}, skipping");
+            continue;
+        };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || tree.clone(),
+                |mut t| {
+                    t.insert_edge(&graph, edge, &mut provider).unwrap();
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Case IIIb on a dedicated long mono chain: a chord deep inside one
+    // mono component triggers the full splitTree machinery.
+    {
+        use flowmax_graph::{GraphBuilder, Probability, VertexId, Weight};
+        let mut gb = GraphBuilder::new();
+        gb.add_vertices(64, Weight::ONE);
+        for i in 0..63u32 {
+            gb.add_edge(VertexId(i), VertexId(i + 1), Probability::new(0.9).unwrap())
+                .unwrap();
+        }
+        let chord = gb.add_edge(VertexId(10), VertexId(50), Probability::new(0.5).unwrap()).unwrap();
+        let chain = gb.build();
+        let mut mono_tree = FTree::new(&chain, VertexId(0));
+        for i in 0..63u32 {
+            mono_tree.insert_edge(&chain, EdgeId(i), &mut provider).unwrap();
+        }
+        group.bench_function("case_iiib_split_tree_40_vertex_cycle", |b| {
+            b.iter_batched(
+                || mono_tree.clone(),
+                |mut t| {
+                    t.insert_edge(&chain, chord, &mut provider).unwrap();
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The structural clone that IIIb/IV probes pay.
+    group.bench_function("tree_clone", |b| b.iter(|| tree.clone()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_cases);
+criterion_main!(benches);

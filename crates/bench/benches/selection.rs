@@ -1,0 +1,45 @@
+//! Criterion: one full greedy selection per algorithm/heuristic stack
+//! (the end-to-end cost the paper's runtime plots report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowmax_core::{solve, Algorithm, SolverConfig};
+use flowmax_datasets::{suggest_query, ErdosConfig, PartitionedConfig};
+
+fn bench_selection(c: &mut Criterion) {
+    let locality = PartitionedConfig::paper(1000, 6).generate(3);
+    let no_locality = ErdosConfig::paper(1000, 10.0).generate(3);
+
+    for (tag, graph) in [("locality", &locality), ("no_locality", &no_locality)] {
+        let q = suggest_query(graph);
+        let mut group = c.benchmark_group(format!("selection_{tag}"));
+        group.sample_size(10);
+        for alg in [
+            Algorithm::Dijkstra,
+            Algorithm::Ft,
+            Algorithm::FtM,
+            Algorithm::FtMCi,
+            Algorithm::FtMDs,
+            Algorithm::FtMCiDs,
+        ] {
+            group.bench_function(alg.name(), |b| {
+                b.iter(|| {
+                    let mut cfg = SolverConfig::paper(alg, 25, 7);
+                    cfg.samples = 300;
+                    solve(graph, q, &cfg).flow
+                })
+            });
+        }
+        // Naive at a budget it can afford in a benchmark loop.
+        group.bench_function("Naive_k10", |b| {
+            b.iter(|| {
+                let mut cfg = SolverConfig::paper(Algorithm::Naive, 10, 7);
+                cfg.samples = 100;
+                solve(graph, q, &cfg).flow
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

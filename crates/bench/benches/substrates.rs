@@ -1,0 +1,67 @@
+//! Criterion: the graph substrates the F-tree is built on — static
+//! biconnected decomposition, union-find, spanning trees, and BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowmax_datasets::{suggest_query, ErdosConfig};
+use flowmax_graph::{
+    biconnected_components, max_probability_spanning_tree_full, Bfs, EdgeSubset, UnionFind,
+    VertexId,
+};
+use rand::Rng;
+
+fn bench_substrates(c: &mut Criterion) {
+    let graph = ErdosConfig::paper(10_000, 8.0).generate(5);
+    let q = suggest_query(&graph);
+    let full = EdgeSubset::full(&graph);
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    group.bench_function("biconnected_components_10k", |b| {
+        b.iter(|| biconnected_components(&graph, &full).blocks.len())
+    });
+
+    group.bench_function("spanning_tree_10k", |b| {
+        b.iter(|| max_probability_spanning_tree_full(&graph, q).order.len())
+    });
+
+    group.bench_function("bfs_full_10k", |b| {
+        let mut bfs = Bfs::new(graph.vertex_count());
+        b.iter(|| bfs.run(&graph, q, |e| full.contains(e), |_| {}))
+    });
+
+    group.bench_function("union_find_10k_edges", |b| {
+        let edges: Vec<(VertexId, VertexId)> =
+            graph.edges().map(|(_, e)| e.endpoints()).collect();
+        b.iter(|| {
+            let mut uf = UnionFind::new(graph.vertex_count());
+            for &(u, v) in &edges {
+                uf.union(u, v);
+            }
+            uf.component_count()
+        })
+    });
+
+    group.bench_function("world_sampling_10k", |b| {
+        let mut rng = flowmax_sampling::SeedSequence::new(1).rng(0);
+        let mut out = EdgeSubset::for_graph(&graph);
+        b.iter(|| {
+            flowmax_sampling::sample_world(&graph, &full, &mut rng, &mut out);
+            out.len()
+        })
+    });
+
+    group.bench_function("exact_enumeration_16_edges", |b| {
+        let small = ErdosConfig::paper(10, 3.2).generate(9);
+        let domain = EdgeSubset::full(&small);
+        b.iter(|| {
+            flowmax_graph::exact_reachability(&small, &domain, VertexId(0), 24).unwrap()
+        })
+    });
+
+    let _ = rand::thread_rng().gen::<u8>(); // keep rand linked for Criterion
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 5 — expected flow and runtime while scaling the graph size, with
+//! (a, partitioned) and without (b, Erdős–Rényi) the locality assumption.
+
+use flowmax_datasets::{ErdosConfig, PartitionedConfig};
+
+use crate::report::{Report, Row};
+use crate::runner::{names, roster, run_workload, RunConfig, Scale};
+
+/// Fig. 5(a): graph size sweep under locality.
+pub fn fig5a(scale: &Scale, seed: u64) -> Report {
+    let sizes: Vec<usize> = scale.pick(vec![2_500, 5_000, 10_000, 20_000], vec![500, 1_000, 2_000, 4_000]);
+    let cfg = RunConfig {
+        budget: scale.pick(200, 50),
+        samples: scale.pick(1000, 500),
+        naive_samples: scale.pick(1000, 200),
+        seed,
+    };
+    let algorithms = roster();
+    let rows = sizes
+        .iter()
+        .map(|&n| {
+            let g = PartitionedConfig::paper(n, 6).generate(seed ^ n as u64);
+            Row { x: n.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig5a".into(),
+        title: "Changing graph size (locality assumption)".into(),
+        x_label: "|V|".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("partitioned generator, degree 6, k={}, {} samples", cfg.budget, cfg.samples),
+            "paper expectation: all algorithms oblivious to |V|; Dijkstra lowest flow".into(),
+        ],
+    }
+}
+
+/// Fig. 5(b): graph size sweep without locality.
+pub fn fig5b(scale: &Scale, seed: u64) -> Report {
+    let sizes: Vec<usize> = scale.pick(vec![2_500, 5_000, 10_000, 20_000], vec![500, 1_000, 2_000, 4_000]);
+    let cfg = RunConfig {
+        budget: scale.pick(200, 50),
+        samples: scale.pick(1000, 500),
+        naive_samples: scale.pick(1000, 200),
+        seed,
+    };
+    let algorithms = roster();
+    let rows = sizes
+        .iter()
+        .map(|&n| {
+            let g = ErdosConfig::paper(n, 10.0).generate(seed ^ n as u64);
+            Row { x: n.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig5b".into(),
+        title: "Changing graph size (no locality assumption)".into(),
+        x_label: "|V|".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("Erdős–Rényi, degree ≈10, k={}, {} samples", cfg.budget, cfg.samples),
+            "paper expectation: Naive and Dijkstra clearly below the FT variants in flow".into(),
+        ],
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 6 — expected flow and runtime while scaling the vertex degree, with
+//! (a) and without (b) the locality assumption.
+
+use flowmax_datasets::{ErdosConfig, PartitionedConfig};
+
+use crate::report::{Report, Row};
+use crate::runner::{names, roster, run_workload, RunConfig, Scale};
+
+/// Fig. 6(a): density sweep under locality.
+pub fn fig6a(scale: &Scale, seed: u64) -> Report {
+    let degrees = [4usize, 6, 8, 12, 16];
+    let n = scale.pick(10_000, 2_000);
+    let cfg = RunConfig {
+        budget: scale.pick(200, 50),
+        samples: scale.pick(1000, 500),
+        naive_samples: scale.pick(1000, 200),
+        seed,
+    };
+    let algorithms = roster();
+    let rows = degrees
+        .iter()
+        .map(|&d| {
+            let g = PartitionedConfig::paper(n, d).generate(seed ^ d as u64);
+            Row { x: d.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig6a".into(),
+        title: "Changing graph density (locality assumption)".into(),
+        x_label: "degree".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("partitioned generator, |V|={n}, k={}", cfg.budget),
+            "paper expectation: FT flow gain over Dijkstra largest at low degree".into(),
+        ],
+    }
+}
+
+/// Fig. 6(b): density sweep without locality.
+pub fn fig6b(scale: &Scale, seed: u64) -> Report {
+    let degrees = [4usize, 6, 8, 12, 16];
+    let n = scale.pick(10_000, 2_000);
+    let cfg = RunConfig {
+        budget: scale.pick(200, 50),
+        samples: scale.pick(1000, 500),
+        naive_samples: scale.pick(1000, 200),
+        seed,
+    };
+    let algorithms = roster();
+    let rows = degrees
+        .iter()
+        .map(|&d| {
+            let g = ErdosConfig::paper(n, d as f64).generate(seed ^ d as u64);
+            Row { x: d.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig6b".into(),
+        title: "Changing graph density (no locality assumption)".into(),
+        x_label: "degree".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("Erdős–Rényi, |V|={n}, k={}", cfg.budget),
+            "paper expectation: Dijkstra competitive only at very low degree".into(),
+        ],
+    }
+}

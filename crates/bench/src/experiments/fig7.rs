@@ -1,0 +1,71 @@
+//! Fig. 7 — expected flow and runtime while scaling the edge budget `k`,
+//! with (a) and without (b) the locality assumption.
+
+use flowmax_datasets::{ErdosConfig, PartitionedConfig};
+
+use crate::report::{Report, Row};
+use crate::runner::{names, roster, run_workload, RunConfig, Scale};
+
+/// Fig. 7(a): budget sweep under locality.
+pub fn fig7a(scale: &Scale, seed: u64) -> Report {
+    let budgets: Vec<usize> =
+        scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
+    let n = scale.pick(10_000, 2_000);
+    let algorithms = roster();
+    let g = PartitionedConfig::paper(n, 6).generate(seed);
+    let rows = budgets
+        .iter()
+        .map(|&k| {
+            let cfg = RunConfig {
+                budget: k,
+                samples: scale.pick(1000, 500),
+                naive_samples: scale.pick(1000, 200),
+                seed,
+            };
+            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig7a".into(),
+        title: "Changing budget k (locality assumption)".into(),
+        x_label: "k".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("partitioned generator, |V|={n}, degree 6"),
+            "paper expectation: per-edge gain decreases; Dijkstra deteriorates with k".into(),
+        ],
+    }
+}
+
+/// Fig. 7(b): budget sweep without locality.
+pub fn fig7b(scale: &Scale, seed: u64) -> Report {
+    let budgets: Vec<usize> =
+        scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
+    let n = scale.pick(10_000, 2_000);
+    let algorithms = roster();
+    let g = ErdosConfig::paper(n, 10.0).generate(seed);
+    let rows = budgets
+        .iter()
+        .map(|&k| {
+            let cfg = RunConfig {
+                budget: k,
+                samples: scale.pick(1000, 500),
+                naive_samples: scale.pick(1000, 200),
+                seed,
+            };
+            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: "fig7b".into(),
+        title: "Changing budget k (no locality assumption)".into(),
+        x_label: "k".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            format!("Erdős–Rényi, |V|={n}, degree ≈10"),
+            "paper expectation: Naive and Dijkstra flow fall behind at large k".into(),
+        ],
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 8 — synthetic wireless sensor networks at two densities
+//! (ε = 0.05 and ε = 0.07, |V| = 1000), swept over the budget `k`.
+
+use flowmax_datasets::WsnConfig;
+
+use crate::report::{Report, Row};
+use crate::runner::{names, roster, run_workload, RunConfig, Scale};
+
+fn wsn_sweep(id: &str, epsilon: f64, scale: &Scale, seed: u64) -> Report {
+    let budgets: Vec<usize> =
+        scale.pick(vec![25, 50, 100, 150, 200], vec![10, 25, 50, 75]);
+    let algorithms = roster();
+    let g = WsnConfig::paper(1000, epsilon).generate(seed).graph;
+    let rows = budgets
+        .iter()
+        .map(|&k| {
+            let cfg = RunConfig {
+                budget: k,
+                samples: scale.pick(1000, 500),
+                naive_samples: scale.pick(1000, 200),
+                seed,
+            };
+            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+        })
+        .collect();
+    Report {
+        id: id.into(),
+        title: format!("Wireless sensor network (ε = {epsilon})"),
+        x_label: "k".into(),
+        algorithms: names(&algorithms),
+        rows,
+        notes: vec![
+            "|V| = 1000 sensors uniform in [0,1]², p ~ U(0,1]".into(),
+            "paper expectation: denser ε narrows the Dijkstra↔FT flow gap".into(),
+        ],
+    }
+}
+
+/// Fig. 8(a): WSN at ε = 0.05.
+pub fn fig8a(scale: &Scale, seed: u64) -> Report {
+    wsn_sweep("fig8a", 0.05, scale, seed)
+}
+
+/// Fig. 8(b): WSN at ε = 0.07.
+pub fn fig8b(scale: &Scale, seed: u64) -> Report {
+    wsn_sweep("fig8b", 0.07, scale, seed)
+}

@@ -1,0 +1,136 @@
+//! Experiment reports: aligned console tables plus CSV artifacts, one per
+//! paper figure.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Result of one algorithm at one x-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Expected flow of the algorithm's selection (uniform evaluation).
+    pub flow: f64,
+    /// Selection wall-clock time in milliseconds.
+    pub millis: f64,
+}
+
+/// One x-value of the sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The swept value (graph size, degree, budget, ...).
+    pub x: String,
+    /// One cell per algorithm, aligned with [`Report::algorithms`].
+    pub cells: Vec<Cell>,
+}
+
+/// A full experiment report: the series behind one figure of §7.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `fig5a`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Name of the swept parameter.
+    pub x_label: String,
+    /// Algorithm display names, column order.
+    pub algorithms: Vec<String>,
+    /// One row per x-value.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scale reductions, paper expectations).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Renders the aligned console table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "#   {n}");
+        }
+        let _ = write!(out, "{:<12}", self.x_label);
+        for a in &self.algorithms {
+            let _ = write!(out, " {:>14} {:>12}", format!("{a}.flow"), format!("{a}.ms"));
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<12}", row.x);
+            for c in &row.cells {
+                let _ = write!(out, " {:>14.3} {:>12.2}", c.flow, c.millis);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        write!(f, "{}", self.x_label)?;
+        for a in &self.algorithms {
+            write!(f, ",{a}_flow,{a}_ms")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{}", row.x)?;
+            for c in &row.cells {
+                write!(f, ",{},{}", c.flow, c.millis)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "|V|".into(),
+            algorithms: vec!["FT".into(), "Dijkstra".into()],
+            rows: vec![
+                Row {
+                    x: "100".into(),
+                    cells: vec![Cell { flow: 1.5, millis: 2.0 }, Cell { flow: 1.0, millis: 0.1 }],
+                },
+                Row {
+                    x: "200".into(),
+                    cells: vec![Cell { flow: 3.0, millis: 4.0 }, Cell { flow: 2.0, millis: 0.2 }],
+                },
+            ],
+            notes: vec!["reduced scale".into()],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_series() {
+        let r = sample_report().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("FT.flow"));
+        assert!(r.contains("Dijkstra.ms"));
+        assert!(r.contains("reduced scale"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("flowmax-report-test");
+        sample_report().write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "|V|,FT_flow,FT_ms,Dijkstra_flow,Dijkstra_ms");
+        assert_eq!(lines.clone().count(), 2);
+        assert!(lines.next().unwrap().starts_with("100,1.5,2"));
+    }
+}

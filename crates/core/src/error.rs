@@ -1,0 +1,62 @@
+//! Error types for F-tree maintenance and edge selection.
+
+use std::fmt;
+
+use flowmax_graph::{EdgeId, VertexId};
+
+/// Errors raised by F-tree operations and the selection algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The edge was already inserted into the F-tree.
+    EdgeAlreadySelected(EdgeId),
+    /// Neither endpoint of the edge is connected to the query vertex —
+    /// the paper's Case I, which its candidate generation rules out (§5.4).
+    DisconnectedEdge {
+        /// The rejected edge.
+        edge: EdgeId,
+        /// Its endpoints, both outside the F-tree.
+        endpoints: (VertexId, VertexId),
+    },
+    /// The requested budget is zero.
+    EmptyBudget,
+    /// The query vertex has no incident edges; no flow can ever be gained.
+    IsolatedQuery(VertexId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EdgeAlreadySelected(e) => {
+                write!(f, "edge {e:?} is already part of the F-tree")
+            }
+            CoreError::DisconnectedEdge { edge, endpoints: (a, b) } => write!(
+                f,
+                "edge {edge:?} = ({a:?}, {b:?}) has no endpoint connected to the query \
+                 vertex (Case I is excluded by candidate generation)"
+            ),
+            CoreError::EmptyBudget => write!(f, "edge budget k must be positive"),
+            CoreError::IsolatedQuery(q) => {
+                write!(f, "query vertex {q:?} has no incident edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_ids() {
+        let e = CoreError::EdgeAlreadySelected(EdgeId(3));
+        assert!(e.to_string().contains("e3"));
+        let e = CoreError::DisconnectedEdge {
+            edge: EdgeId(1),
+            endpoints: (VertexId(4), VertexId(5)),
+        };
+        assert!(e.to_string().contains("v4"));
+        assert!(CoreError::EmptyBudget.to_string().contains("budget"));
+    }
+}

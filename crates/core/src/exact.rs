@@ -1,0 +1,144 @@
+//! Brute-force optimal edge selection for tiny instances.
+//!
+//! `MaxFlow(G, Q, k)` is NP-hard (Theorem 1); on graphs with a handful of
+//! edges the optimum can still be found by enumerating all edge subsets of
+//! size at most `k` and computing each subset's exact expected flow by
+//! possible-world enumeration. This is the quality oracle used by tests to
+//! quantify how close the greedy heuristics come to optimal.
+
+use flowmax_graph::{
+    exact_expected_flow, EdgeId, EdgeSubset, GraphError, ProbabilisticGraph, VertexId,
+};
+
+/// Cap on the edge count of brute-forced graphs (`C(m, ≤k) · 2^k` worlds).
+pub const MAX_BRUTE_FORCE_EDGES: usize = 20;
+
+/// The optimal subset found by brute force.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// The flow-maximizing edge subset (sorted by edge id).
+    pub edges: Vec<EdgeId>,
+    /// Its exact expected flow.
+    pub flow: f64,
+    /// Number of subsets evaluated.
+    pub subsets_evaluated: u64,
+}
+
+/// Finds the exact optimum `MaxFlow(G, Q, k)` by exhaustive subset search.
+///
+/// # Errors
+///
+/// [`GraphError::TooManyEdgesForEnumeration`] if the graph has more than
+/// [`MAX_BRUTE_FORCE_EDGES`] edges.
+pub fn exact_max_flow(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    k: usize,
+    include_query: bool,
+) -> Result<ExactSolution, GraphError> {
+    let m = graph.edge_count();
+    if m > MAX_BRUTE_FORCE_EDGES {
+        return Err(GraphError::TooManyEdgesForEnumeration {
+            edges: m,
+            max: MAX_BRUTE_FORCE_EDGES,
+        });
+    }
+    let mut best_edges: Vec<EdgeId> = Vec::new();
+    let mut best_flow = 0.0;
+    let mut evaluated = 0u64;
+    let mut subset = EdgeSubset::for_graph(graph);
+    for mask in 0u64..(1u64 << m) {
+        if (mask.count_ones() as usize) > k {
+            continue;
+        }
+        subset.clear();
+        for bit in 0..m {
+            if mask >> bit & 1 == 1 {
+                subset.insert(EdgeId(bit as u32));
+            }
+        }
+        evaluated += 1;
+        let flow = exact_expected_flow(graph, &subset, query, include_query, m)?;
+        if flow > best_flow {
+            best_flow = flow;
+            best_edges = subset.iter().collect();
+        }
+    }
+    Ok(ExactSolution { edges: best_edges, flow: best_flow, subsets_evaluated: evaluated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Q(0): a strong edge to a light vertex vs a weak edge to a heavy one.
+    fn tradeoff_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ZERO);
+        b.add_vertex(Weight::ONE);
+        b.add_vertex(Weight::new(10.0).unwrap());
+        b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap(); // flow 0.9
+        b.add_edge(VertexId(0), VertexId(2), p(0.2)).unwrap(); // flow 2.0
+        b.build()
+    }
+
+    #[test]
+    fn optimum_with_budget_one() {
+        let g = tradeoff_graph();
+        let sol = exact_max_flow(&g, VertexId(0), 1, false).unwrap();
+        assert_eq!(sol.edges, vec![EdgeId(1)], "weak edge to heavy vertex wins");
+        assert!((sol.flow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_with_budget_two_takes_both() {
+        let g = tradeoff_graph();
+        let sol = exact_max_flow(&g, VertexId(0), 2, false).unwrap();
+        assert_eq!(sol.edges.len(), 2);
+        assert!((sol.flow - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_flow() {
+        let g = tradeoff_graph();
+        let sol = exact_max_flow(&g, VertexId(0), 0, false).unwrap();
+        assert!(sol.edges.is_empty());
+        assert_eq!(sol.flow, 0.0);
+        assert_eq!(sol.subsets_evaluated, 1);
+    }
+
+    #[test]
+    fn cycles_can_beat_trees() {
+        // Triangle with high weight opposite Q: backup path worth a budget.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ZERO);
+        b.add_vertex(Weight::ZERO);
+        b.add_vertex(Weight::new(100.0).unwrap());
+        b.add_vertex(Weight::ONE);
+        b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap(); // e0
+        b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap(); // e1
+        b.add_edge(VertexId(0), VertexId(2), p(0.5)).unwrap(); // e2
+        b.add_edge(VertexId(2), VertexId(3), p(0.5)).unwrap(); // e3
+        let g = b.build();
+        let sol = exact_max_flow(&g, VertexId(0), 3, false).unwrap();
+        // Best 3 edges: the triangle (reach(2) = 0.625 → flow 62.5) beats any
+        // tree using e3 (≤ 0.5·100 + extras).
+        assert_eq!(sol.edges, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn too_many_edges_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(30, Weight::ONE);
+        for i in 0..29 {
+            b.add_edge(VertexId(i), VertexId(i + 1), p(0.5)).unwrap();
+        }
+        let g = b.build();
+        assert!(exact_max_flow(&g, VertexId(0), 3, false).is_err());
+    }
+}

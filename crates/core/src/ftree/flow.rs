@@ -1,0 +1,444 @@
+//! Expected-flow evaluation over the F-tree, and non-mutating edge probes.
+//!
+//! Because an articulation vertex separates its component from the rest of
+//! the selected subgraph, `Pr[v ↔ Q] = Pr[v ↔ AV | component] · Pr[AV ↔ Q]`
+//! with independent factors; flow therefore aggregates in one top-down pass,
+//! multiplying component-local reaches along the tree (Theorem 2 + Lemma 1).
+//!
+//! Probing (`probe_edge`) evaluates the flow a candidate insertion *would*
+//! yield, at minimal cost per structural case:
+//!
+//! * **Case II** (leaf): an `O(depth)` analytic delta — no sampling, no copy;
+//! * **Case IIIa** (cycle in a bi component): only that component is
+//!   re-estimated; flow is evaluated with the fresh estimate *overriding* the
+//!   stored one — no tree mutation;
+//! * **Cases IIIb/IV** (structural): the probe clones the tree and inserts.
+
+use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
+use flowmax_sampling::{ComponentEstimate, ComponentGraph};
+
+use super::{ComponentId, FTree, InsertCase, Kind};
+use crate::error::CoreError;
+use crate::estimator::EstimateProvider;
+
+/// How per-vertex reach is read during a flow traversal.
+enum ReachView<'a> {
+    /// The tree's stored estimates.
+    Stored,
+    /// Use a replacement estimate for one component (IIIa probes).
+    Override {
+        cid: ComponentId,
+        snapshot: &'a ComponentGraph,
+        estimate: &'a ComponentEstimate,
+        /// `Some((alpha, upper))`: evaluate the override at its confidence
+        /// bound instead of the point estimate.
+        bound: Option<(f64, bool)>,
+    },
+    /// Evaluate one component at its confidence bounds (post-insert bounds
+    /// for structural probes).
+    Bound { cid: ComponentId, alpha: f64, upper: bool },
+}
+
+/// Result of probing a candidate edge without committing it (§6.1 Eq. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeOutcome {
+    /// Expected flow of the tree *with* the candidate inserted.
+    pub flow: f64,
+    /// Candidate-specific lower flow bound (`== flow` for analytic probes).
+    pub lower: f64,
+    /// Candidate-specific upper flow bound (`== flow` for analytic probes).
+    pub upper: f64,
+    /// The structural case the insertion would take.
+    pub case: InsertCase,
+    /// `cost(e)` of §6.4: edges that had to be sampled to answer the probe.
+    pub sampling_cost_edges: usize,
+}
+
+impl FTree {
+    /// The expected information flow `E(flow(Q, G_selected))` under the
+    /// tree's current component estimates (Def. 3 / Eq. 2).
+    pub fn expected_flow(&self, graph: &ProbabilisticGraph, include_query: bool) -> f64 {
+        self.flow_with(graph, include_query, &ReachView::Stored)
+    }
+
+    /// Expected flow with one component's estimate replaced (IIIa probes).
+    pub(crate) fn expected_flow_with_override(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        snapshot: &ComponentGraph,
+        estimate: &ComponentEstimate,
+    ) -> f64 {
+        self.flow_with(
+            graph,
+            include_query,
+            &ReachView::Override { cid, snapshot, estimate, bound: None },
+        )
+    }
+
+    /// Lower/upper expected-flow bounds obtained by evaluating component
+    /// `cid` at its per-vertex confidence bounds (every other component at
+    /// its point estimate) — the candidate-specific uncertainty of §6.3.
+    pub fn flow_bounds_for_component(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        alpha: f64,
+    ) -> (f64, f64) {
+        let lo = self.flow_with(graph, include_query, &ReachView::Bound { cid, alpha, upper: false });
+        let hi = self.flow_with(graph, include_query, &ReachView::Bound { cid, alpha, upper: true });
+        (lo, hi)
+    }
+
+    /// Reach of `v` inside component `cid` under a view.
+    fn reach_in_view(&self, cid: ComponentId, v: VertexId, view: &ReachView<'_>) -> f64 {
+        let comp = self.comp(cid);
+        if v == comp.articulation {
+            return 1.0;
+        }
+        match view {
+            ReachView::Override { cid: ocid, snapshot, estimate, bound } if *ocid == cid => {
+                let local = snapshot
+                    .vertices()
+                    .iter()
+                    .position(|&x| x == v)
+                    .expect("override snapshot covers the component's vertices");
+                match bound {
+                    None => estimate.reach(local),
+                    Some((alpha, upper)) => {
+                        let ci = estimate.interval(local, *alpha);
+                        if *upper {
+                            ci.upper
+                        } else {
+                            ci.lower
+                        }
+                    }
+                }
+            }
+            ReachView::Bound { cid: bcid, alpha, upper } if *bcid == cid => {
+                match &comp.kind {
+                    Kind::Mono { members } => members[&v].reach,
+                    Kind::Bi { estimate, local, .. } => {
+                        let ci = estimate.interval(local[&v] as usize, *alpha);
+                        if *upper {
+                            ci.upper
+                        } else {
+                            ci.lower
+                        }
+                    }
+                }
+            }
+            _ => self.reach_in(cid, v),
+        }
+    }
+
+    /// One top-down traversal computing total expected flow under a view.
+    fn flow_with(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        view: &ReachView<'_>,
+    ) -> f64 {
+        let mut total =
+            if include_query { graph.weight(self.query).value() } else { 0.0 };
+        let mut stack: Vec<(ComponentId, f64)> =
+            self.roots.iter().map(|&c| (c, 1.0)).collect();
+        while let Some((cid, p_av)) = stack.pop() {
+            let comp = self.comp(cid);
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        let r = self.reach_in_view(cid, v, view);
+                        total += r * p_av * graph.weight(v).value();
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        let r = self.reach_in_view(cid, v, view);
+                        total += r * p_av * graph.weight(v).value();
+                    }
+                }
+            }
+            for &child in &comp.children {
+                let cav = self.comp(child).articulation;
+                let r = self.reach_in_view(cid, cav, view);
+                stack.push((child, r * p_av));
+            }
+        }
+        total
+    }
+
+    /// Evaluates the flow the tree would have after inserting `e`, without
+    /// committing the insertion (Eq. 5's probe).
+    ///
+    /// `base_flow` must be `self.expected_flow(graph, include_query)` — the
+    /// caller computes it once per iteration and shares it across probes.
+    ///
+    /// Returns candidate-specific confidence bounds alongside the point
+    /// estimate: exact for analytic (leaf) probes, interval-derived for
+    /// probes that sampled a component.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_edge(
+        &self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+        base_flow: f64,
+        include_query: bool,
+        alpha: f64,
+        provider: &mut dyn EstimateProvider,
+    ) -> Result<ProbeOutcome, CoreError> {
+        if self.selected.contains(e) {
+            return Err(CoreError::EdgeAlreadySelected(e));
+        }
+        let (a, b) = graph.endpoints(e);
+        let (a_in, b_in) = (self.contains_vertex(a), self.contains_vertex(b));
+        match (a_in, b_in) {
+            (false, false) => {
+                Err(CoreError::DisconnectedEdge { edge: e, endpoints: (a, b) })
+            }
+            (true, false) | (false, true) => {
+                let (anchor, leaf) = if a_in { (a, b) } else { (b, a) };
+                let p = graph.probability(e).value();
+                let delta = graph.weight(leaf).value() * p * self.reach_to_query(anchor);
+                let flow = base_flow + delta;
+                let case = match self.owner(anchor) {
+                    Some(cid) if self.comp(cid).is_bi() => InsertCase::LeafBi,
+                    _ => InsertCase::LeafMono,
+                };
+                Ok(ProbeOutcome { flow, lower: flow, upper: flow, case, sampling_cost_edges: 0 })
+            }
+            (true, true) => {
+                let ca = self.owner(a);
+                let cb = self.owner(b);
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    if x == y && self.comp(x).is_bi() {
+                        // IIIa probe: re-estimate this component only.
+                        let Kind::Bi { edges, .. } = &self.comp(x).kind else { unreachable!() };
+                        let mut probe_edges = edges.clone();
+                        probe_edges.push(e);
+                        let av = self.comp(x).articulation;
+                        let snapshot = ComponentGraph::build(graph, av, &probe_edges);
+                        let estimate = provider.estimate(&snapshot);
+                        let flow = self.expected_flow_with_override(
+                            graph,
+                            include_query,
+                            x,
+                            &snapshot,
+                            &estimate,
+                        );
+                        let lower = self.flow_with(
+                            graph,
+                            include_query,
+                            &ReachView::Override {
+                                cid: x,
+                                snapshot: &snapshot,
+                                estimate: &estimate,
+                                bound: Some((alpha, false)),
+                            },
+                        );
+                        let upper = self.flow_with(
+                            graph,
+                            include_query,
+                            &ReachView::Override {
+                                cid: x,
+                                snapshot: &snapshot,
+                                estimate: &estimate,
+                                bound: Some((alpha, true)),
+                            },
+                        );
+                        return Ok(ProbeOutcome {
+                            flow,
+                            lower,
+                            upper,
+                            case: InsertCase::CycleInBi,
+                            sampling_cost_edges: probe_edges.len(),
+                        });
+                    }
+                }
+                // Structural probe: clone, insert, evaluate.
+                let mut clone = self.clone();
+                let report = clone
+                    .insert_edge(graph, e, provider)
+                    .expect("probe preconditions were just checked");
+                let flow = clone.expected_flow(graph, include_query);
+                let (lower, upper) = match report.component {
+                    Some(cid) => {
+                        clone.flow_bounds_for_component(graph, include_query, cid, alpha)
+                    }
+                    None => (flow, flow),
+                };
+                Ok(ProbeOutcome {
+                    flow,
+                    lower,
+                    upper,
+                    case: report.case,
+                    sampling_cost_edges: report.sampled_edge_count,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{EstimatorConfig, SamplingProvider};
+    use flowmax_graph::{
+        exact_expected_flow, GraphBuilder, Probability, Weight, DEFAULT_ENUMERATION_CAP,
+    };
+
+    fn exact_provider() -> SamplingProvider {
+        SamplingProvider::new(EstimatorConfig::exact(), 7)
+    }
+
+    /// Q(0)-1 (0.8), 1-2 (0.5), 2-0 (0.4), 2-3 (0.9), weights = id.
+    fn graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        for w in 0..4 {
+            b.add_vertex(Weight::new(w as f64).unwrap());
+        }
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.8).unwrap()).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(VertexId(2), VertexId(0), Probability::new(0.4).unwrap()).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), Probability::new(0.9).unwrap()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn flow_matches_exact_enumeration_with_exact_estimator() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut pr = exact_provider();
+        for e in 0..4 {
+            t.insert_edge(&g, EdgeId(e), &mut pr).unwrap();
+        }
+        let ftree_flow = t.expected_flow(&g, false);
+        let exact = exact_expected_flow(
+            &g,
+            t.selected_edges(),
+            VertexId(0),
+            false,
+            DEFAULT_ENUMERATION_CAP,
+        )
+        .unwrap();
+        assert!(
+            (ftree_flow - exact).abs() < 1e-9,
+            "decomposition must be exact: {ftree_flow} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn include_query_adds_its_weight() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(2));
+        let mut pr = exact_provider();
+        t.insert_edge(&g, EdgeId(3), &mut pr).unwrap();
+        let without = t.expected_flow(&g, false);
+        let with = t.expected_flow(&g, true);
+        assert!((with - without - 2.0).abs() < 1e-12, "W(Q)=2 must be the difference");
+    }
+
+    #[test]
+    fn leaf_probe_equals_commit() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut pr = exact_provider();
+        t.insert_edge(&g, EdgeId(0), &mut pr).unwrap();
+        t.insert_edge(&g, EdgeId(1), &mut pr).unwrap();
+        let base = t.expected_flow(&g, false);
+        let probe = t.probe_edge(&g, EdgeId(3), base, false, 0.01, &mut pr).unwrap();
+        assert_eq!(probe.case, InsertCase::LeafMono);
+        assert_eq!(probe.sampling_cost_edges, 0);
+        assert_eq!(probe.lower, probe.flow);
+        let mut t2 = t.clone();
+        t2.insert_edge(&g, EdgeId(3), &mut pr).unwrap();
+        let committed = t2.expected_flow(&g, false);
+        assert!((probe.flow - committed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_probe_equals_commit_with_exact_estimates() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut pr = exact_provider();
+        t.insert_edge(&g, EdgeId(0), &mut pr).unwrap();
+        t.insert_edge(&g, EdgeId(1), &mut pr).unwrap();
+        let base = t.expected_flow(&g, false);
+        let probe = t.probe_edge(&g, EdgeId(2), base, false, 0.01, &mut pr).unwrap();
+        assert_eq!(probe.case, InsertCase::CycleAcross);
+        assert!(probe.sampling_cost_edges > 0);
+        let mut t2 = t.clone();
+        t2.insert_edge(&g, EdgeId(2), &mut pr).unwrap();
+        let committed = t2.expected_flow(&g, false);
+        assert!((probe.flow - committed).abs() < 1e-12);
+        // Probe must not have mutated the original.
+        assert!((t.expected_flow(&g, false) - base).abs() < 1e-12);
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn iiia_probe_uses_override_without_mutation() {
+        // Square + diagonal: insert square, probe diagonal.
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::ONE);
+        let p = Probability::new(0.5).unwrap();
+        b.add_edge(VertexId(0), VertexId(1), p).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), p).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), p).unwrap();
+        b.add_edge(VertexId(3), VertexId(0), p).unwrap();
+        b.add_edge(VertexId(1), VertexId(3), p).unwrap();
+        let g = b.build();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut pr = exact_provider();
+        for e in 0..4 {
+            t.insert_edge(&g, EdgeId(e), &mut pr).unwrap();
+        }
+        let base = t.expected_flow(&g, false);
+        let probe = t.probe_edge(&g, EdgeId(4), base, false, 0.01, &mut pr).unwrap();
+        assert_eq!(probe.case, InsertCase::CycleInBi);
+        assert!(probe.flow > base, "diagonal adds paths");
+        let mut t2 = t.clone();
+        t2.insert_edge(&g, EdgeId(4), &mut pr).unwrap();
+        assert!((probe.flow - t2.expected_flow(&g, false)).abs() < 1e-12);
+        assert_eq!(t.edge_count(), 4, "probe must not commit");
+    }
+
+    #[test]
+    fn bounds_bracket_point_estimate_for_sampled_probes() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut mc = SamplingProvider::new(EstimatorConfig::monte_carlo(200), 3);
+        t.insert_edge(&g, EdgeId(0), &mut mc).unwrap();
+        t.insert_edge(&g, EdgeId(1), &mut mc).unwrap();
+        let base = t.expected_flow(&g, false);
+        let probe = t.probe_edge(&g, EdgeId(2), base, false, 0.01, &mut mc).unwrap();
+        assert!(probe.lower <= probe.flow && probe.flow <= probe.upper);
+        assert!(probe.upper - probe.lower > 0.0, "sampled probe must have width");
+    }
+
+    #[test]
+    fn probe_rejects_bad_edges() {
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut pr = exact_provider();
+        t.insert_edge(&g, EdgeId(0), &mut pr).unwrap();
+        assert!(matches!(
+            t.probe_edge(&g, EdgeId(0), 0.0, false, 0.01, &mut pr),
+            Err(CoreError::EdgeAlreadySelected(_))
+        ));
+        assert!(matches!(
+            t.probe_edge(&g, EdgeId(3), 0.0, false, 0.01, &mut pr),
+            Err(CoreError::DisconnectedEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_tree_flow_is_query_weight_only() {
+        let g = graph();
+        let t = FTree::new(&g, VertexId(3));
+        assert_eq!(t.expected_flow(&g, false), 0.0);
+        assert_eq!(t.expected_flow(&g, true), 3.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! The F-tree (Flow tree) of §5.3 — the paper's central data structure.
+//!
+//! An F-tree organizes the *selected* subgraph into components, each owning a
+//! set of vertices and an **articulation vertex** (AV) that all information
+//! from the component must flow through on its way to the query vertex `Q`:
+//!
+//! * **mono-connected components** are tree-shaped: every member has a unique
+//!   path to the AV, so its reachability is an exact product of edge
+//!   probabilities (Lemma 2 / Theorem 2) — no sampling;
+//! * **bi-connected components** contain cycles: member reachability toward
+//!   the AV is estimated (Monte-Carlo per Lemma 1, or exactly for small
+//!   components via the pluggable [`EstimateProvider`]).
+//!
+//! Components form a forest rooted at `Q`: a component's AV is always owned
+//! by its parent component (or is `Q` itself for roots), so expected flow
+//! aggregates multiplicatively down the tree (independence across components
+//! is guaranteed because an articulation vertex separates edge-disjoint
+//! subgraphs).
+//!
+//! Submodules: [`insert`] implements the edge-insertion cases I–IV of §5.4,
+//! [`flow`] the expected-flow computation, and [`validate`] an invariant
+//! checker used heavily by tests.
+
+mod flow;
+mod insert;
+mod validate;
+
+pub use flow::ProbeOutcome;
+pub use insert::{InsertCase, InsertReport};
+
+use std::collections::BTreeMap;
+
+use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
+use flowmax_sampling::{ComponentEstimate, ComponentGraph};
+
+use crate::estimator::EstimateProvider;
+
+/// Identifier of a component within an [`FTree`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+/// Read-only snapshot of one component (Def. 9), as returned by
+/// [`FTree::components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentView {
+    /// Component id.
+    pub id: ComponentId,
+    /// The articulation vertex all member flow passes through.
+    pub articulation: VertexId,
+    /// Parent component (`None` iff the AV is `Q`).
+    pub parent: Option<ComponentId>,
+    /// Child components.
+    pub children: Vec<ComponentId>,
+    /// `true` for bi-connected (sampled) components.
+    pub is_bi: bool,
+    /// Member vertices, sorted (the AV is not a member).
+    pub members: Vec<VertexId>,
+    /// For bi components: the component's edges; for mono components: each
+    /// member's parent edge.
+    pub edges: Vec<EdgeId>,
+}
+
+impl ComponentId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-member bookkeeping inside a mono-connected component: the member's
+/// unique within-component path toward the AV, one hop at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MonoMember {
+    /// Next hop toward the articulation vertex (may be the AV itself).
+    pub parent: VertexId,
+    /// The edge connecting this member to `parent`.
+    pub parent_edge: EdgeId,
+    /// Probability of `parent_edge` (cached to avoid graph lookups).
+    pub edge_prob: f64,
+    /// Product of edge probabilities along the path to the AV (Lemma 2).
+    pub reach: f64,
+    /// Hop count to the AV (`1` for direct AV neighbours); used for
+    /// within-component lowest-common-ancestor computations.
+    pub depth: u32,
+}
+
+/// The two component flavours of Def. 9.
+#[allow(clippy::large_enum_variant)] // Bi is the hot, common variant; boxing
+// it would add an indirection to every flow evaluation.
+#[derive(Debug, Clone)]
+pub(crate) enum Kind {
+    /// Tree-shaped: exact analytic flow (Theorem 2).
+    Mono {
+        /// Members keyed by vertex; `BTreeMap` keeps every iteration
+        /// deterministic (sampling order, hence results, are seed-stable).
+        members: BTreeMap<VertexId, MonoMember>,
+    },
+    /// Cyclic: estimated flow (Lemma 1 or exact enumeration).
+    Bi {
+        /// The component's edge set (insertion order).
+        edges: Vec<EdgeId>,
+        /// Compact snapshot used for (re-)estimation.
+        snapshot: ComponentGraph,
+        /// `BC.P(v)`: reachability of each snapshot vertex toward the AV.
+        estimate: ComponentEstimate,
+        /// Vertex → local index into `snapshot`/`estimate`.
+        local: BTreeMap<VertexId, u32>,
+        /// Bumped on every structural change; consumed by memoization.
+        version: u64,
+    },
+}
+
+/// One component of the F-tree.
+#[derive(Debug, Clone)]
+pub(crate) struct Component {
+    /// The articulation vertex all member flow must pass through.
+    pub articulation: VertexId,
+    /// Owning component of `articulation` (`None` iff `articulation == Q`).
+    pub parent: Option<ComponentId>,
+    /// Components whose AV is owned by this component.
+    pub children: Vec<ComponentId>,
+    /// Mono or bi-connected payload.
+    pub kind: Kind,
+}
+
+impl Component {
+    /// Number of member vertices (the AV is not a member).
+    pub(crate) fn member_count(&self) -> usize {
+        match &self.kind {
+            Kind::Mono { members } => members.len(),
+            Kind::Bi { local, .. } => local.len(),
+        }
+    }
+
+    /// Whether the component is bi-connected.
+    pub(crate) fn is_bi(&self) -> bool {
+        matches!(self.kind, Kind::Bi { .. })
+    }
+}
+
+/// The F-tree over a fixed probabilistic graph (§5.3, Def. 9).
+///
+/// The tree holds only vertex/edge *ids*; every operation takes the graph it
+/// was created for. Cloning an F-tree is cheap relative to re-sampling and is
+/// how structural probes (cases IIIb/IV) are evaluated without mutation.
+#[derive(Debug, Clone)]
+pub struct FTree {
+    query: VertexId,
+    /// Component arena; `None` slots are free-listed.
+    arena: Vec<Option<Component>>,
+    free: Vec<u32>,
+    /// Per-vertex owning component (`None`: not in the tree / is `Q`).
+    assignment: Vec<Option<ComponentId>>,
+    /// Components whose AV is `Q`.
+    roots: Vec<ComponentId>,
+    /// All edges inserted so far.
+    selected: EdgeSubset,
+    /// Monotone counter feeding `Kind::Bi::version`.
+    version_counter: u64,
+}
+
+impl FTree {
+    /// Creates the trivial F-tree `(∅, Q)` for `graph`.
+    pub fn new(graph: &ProbabilisticGraph, query: VertexId) -> Self {
+        assert!(query.index() < graph.vertex_count(), "query vertex out of bounds");
+        FTree {
+            query,
+            arena: Vec::new(),
+            free: Vec::new(),
+            assignment: vec![None; graph.vertex_count()],
+            roots: Vec::new(),
+            selected: EdgeSubset::for_graph(graph),
+            version_counter: 0,
+        }
+    }
+
+    /// The query vertex `Q`.
+    pub fn query(&self) -> VertexId {
+        self.query
+    }
+
+    /// Edges inserted so far.
+    pub fn selected_edges(&self) -> &EdgeSubset {
+        &self.selected
+    }
+
+    /// Number of selected edges.
+    pub fn edge_count(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Whether `v` is connected to the query through selected edges
+    /// (i.e. is `Q` itself or a member of some component).
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v == self.query || self.assignment[v.index()].is_some()
+    }
+
+    /// Number of vertices in the tree, including `Q`.
+    pub fn vertex_count(&self) -> usize {
+        1 + self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of live components.
+    pub fn component_count(&self) -> usize {
+        self.arena.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of live bi-connected components.
+    pub fn bi_component_count(&self) -> usize {
+        self.arena.iter().flatten().filter(|c| c.is_bi()).count()
+    }
+
+    /// The component owning `v`, or `None` for `Q` and unconnected vertices.
+    pub(crate) fn owner(&self, v: VertexId) -> Option<ComponentId> {
+        self.assignment[v.index()]
+    }
+
+    pub(crate) fn comp(&self, cid: ComponentId) -> &Component {
+        self.arena[cid.index()].as_ref().expect("live component")
+    }
+
+    pub(crate) fn comp_mut(&mut self, cid: ComponentId) -> &mut Component {
+        self.arena[cid.index()].as_mut().expect("live component")
+    }
+
+    pub(crate) fn alloc(&mut self, component: Component) -> ComponentId {
+        if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = Some(component);
+            ComponentId(slot)
+        } else {
+            self.arena.push(Some(component));
+            ComponentId((self.arena.len() - 1) as u32)
+        }
+    }
+
+    /// Frees a component slot. The caller is responsible for having detached
+    /// it from parents/children/assignments.
+    pub(crate) fn dealloc(&mut self, cid: ComponentId) {
+        debug_assert!(self.arena[cid.index()].is_some());
+        self.arena[cid.index()] = None;
+        self.free.push(cid.0);
+    }
+
+    /// Detaches `cid` from its parent's child list (or from the roots).
+    pub(crate) fn detach_from_parent(&mut self, cid: ComponentId) {
+        let parent = self.comp(cid).parent;
+        let list = match parent {
+            Some(p) => &mut self.comp_mut(p).children,
+            None => &mut self.roots,
+        };
+        if let Some(pos) = list.iter().position(|&c| c == cid) {
+            list.swap_remove(pos);
+        }
+    }
+
+    /// Attaches `cid` under `parent` (`None` = root), updating both sides.
+    pub(crate) fn attach_to_parent(&mut self, cid: ComponentId, parent: Option<ComponentId>) {
+        self.comp_mut(cid).parent = parent;
+        match parent {
+            Some(p) => self.comp_mut(p).children.push(cid),
+            None => self.roots.push(cid),
+        }
+    }
+
+    pub(crate) fn next_version(&mut self) -> u64 {
+        self.version_counter += 1;
+        self.version_counter
+    }
+
+    /// Reachability of `v` toward the AV *within* component `cid`
+    /// (`1` for the AV itself).
+    pub(crate) fn reach_in(&self, cid: ComponentId, v: VertexId) -> f64 {
+        let comp = self.comp(cid);
+        if v == comp.articulation {
+            return 1.0;
+        }
+        match &comp.kind {
+            Kind::Mono { members } => members.get(&v).expect("member of mono component").reach,
+            Kind::Bi { estimate, local, .. } => {
+                estimate.reach(local[&v] as usize)
+            }
+        }
+    }
+
+    /// Probability that `v` reaches the query vertex through the selected
+    /// subgraph, under the tree's current component estimates
+    /// (`Π` of per-component reaches along the path to the root).
+    pub fn reach_to_query(&self, v: VertexId) -> f64 {
+        if v == self.query {
+            return 1.0;
+        }
+        let Some(mut cid) = self.owner(v) else { return 0.0 };
+        let mut vertex = v;
+        let mut prob = 1.0;
+        loop {
+            prob *= self.reach_in(cid, vertex);
+            let comp = self.comp(cid);
+            vertex = comp.articulation;
+            match comp.parent {
+                Some(p) => cid = p,
+                None => return prob,
+            }
+        }
+    }
+
+    /// Version of the bi-connected component owning both endpoints of a
+    /// would-be Case IIIa insertion (used by memoization to detect staleness).
+    pub fn bi_component_version(&self, v: VertexId) -> Option<(ComponentId, u64)> {
+        let cid = self.owner(v)?;
+        match &self.comp(cid).kind {
+            Kind::Bi { version, .. } => Some((cid, *version)),
+            Kind::Mono { .. } => None,
+        }
+    }
+
+    /// Iterates live component ids (deterministic order).
+    pub(crate) fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| ComponentId(i as u32))
+    }
+
+    /// Read-only snapshots of all live components, in deterministic order
+    /// (for inspection, reporting and structure tests).
+    pub fn components(&self) -> Vec<ComponentView> {
+        self.component_ids()
+            .map(|cid| {
+                let comp = self.comp(cid);
+                let (is_bi, mut members, edges) = match &comp.kind {
+                    Kind::Mono { members } => (
+                        false,
+                        members.keys().copied().collect::<Vec<_>>(),
+                        members.values().map(|m| m.parent_edge).collect::<Vec<_>>(),
+                    ),
+                    Kind::Bi { edges, local, .. } => (
+                        true,
+                        local.keys().copied().collect::<Vec<_>>(),
+                        edges.clone(),
+                    ),
+                };
+                members.sort();
+                ComponentView {
+                    id: cid,
+                    articulation: comp.articulation,
+                    parent: comp.parent,
+                    children: comp.children.clone(),
+                    is_bi,
+                    members,
+                    edges,
+                }
+            })
+            .collect()
+    }
+
+    /// The component owning `v` (`None` for `Q` and unconnected vertices).
+    pub fn component_of(&self, v: VertexId) -> Option<ComponentId> {
+        self.owner(v)
+    }
+
+    /// Rebuilds a bi component's snapshot/estimate after its edge set
+    /// changed. `provider` supplies the new reachability function.
+    pub(crate) fn refresh_bi(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        cid: ComponentId,
+        provider: &mut dyn EstimateProvider,
+    ) {
+        let version = self.next_version();
+        let comp = self.comp_mut(cid);
+        let av = comp.articulation;
+        let Kind::Bi { edges, snapshot, estimate, local, version: v } = &mut comp.kind else {
+            panic!("refresh_bi on a mono component");
+        };
+        let new_snapshot = ComponentGraph::build(graph, av, edges);
+        let new_estimate = provider.estimate(&new_snapshot);
+        let mut new_local = BTreeMap::new();
+        for (i, &vx) in new_snapshot.vertices().iter().enumerate().skip(1) {
+            new_local.insert(vx, i as u32);
+        }
+        *snapshot = new_snapshot;
+        *estimate = new_estimate;
+        *local = new_local;
+        *v = version;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    fn tiny_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(3, Weight::ONE);
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn trivial_tree_contains_only_query() {
+        let g = tiny_graph();
+        let t = FTree::new(&g, VertexId(0));
+        assert_eq!(t.query(), VertexId(0));
+        assert!(t.contains_vertex(VertexId(0)));
+        assert!(!t.contains_vertex(VertexId(1)));
+        assert_eq!(t.vertex_count(), 1);
+        assert_eq!(t.component_count(), 0);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.reach_to_query(VertexId(0)), 1.0);
+        assert_eq!(t.reach_to_query(VertexId(2)), 0.0);
+    }
+
+    #[test]
+    fn arena_alloc_dealloc_reuses_slots() {
+        let g = tiny_graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let c = Component {
+            articulation: VertexId(0),
+            parent: None,
+            children: Vec::new(),
+            kind: Kind::Mono { members: BTreeMap::new() },
+        };
+        let id1 = t.alloc(c.clone());
+        t.dealloc(id1);
+        let id2 = t.alloc(c);
+        assert_eq!(id1, id2, "free list must recycle slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "query vertex out of bounds")]
+    fn query_must_exist() {
+        let g = tiny_graph();
+        FTree::new(&g, VertexId(9));
+    }
+}

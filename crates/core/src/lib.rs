@@ -1,0 +1,42 @@
+//! # flowmax-core
+//!
+//! The paper's primary contribution: the **F-tree** decomposition (§5), the
+//! budgeted greedy edge selection with its heuristics (§6), the evaluation
+//! baselines (§7.2), and a brute-force optimum oracle for tiny instances.
+//!
+//! Quick start:
+//!
+//! ```
+//! use flowmax_core::{solve, Algorithm, SolverConfig};
+//! use flowmax_graph::{GraphBuilder, Probability, VertexId, Weight};
+//!
+//! let mut b = GraphBuilder::new();
+//! let q = b.add_vertex(Weight::ZERO);
+//! let v = b.add_vertex(Weight::new(5.0).unwrap());
+//! b.add_edge(q, v, Probability::new(0.8).unwrap()).unwrap();
+//! let graph = b.build();
+//!
+//! let result = solve(&graph, q, &SolverConfig::paper(Algorithm::FtM, 1, 42));
+//! assert!((result.flow - 4.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod error;
+pub mod estimator;
+pub mod exact;
+pub mod ftree;
+pub mod metrics;
+pub mod selection;
+pub mod solver;
+
+pub use baselines::{dijkstra_select, naive_select, NaiveConfig};
+pub use error::CoreError;
+pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
+pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
+pub use ftree::{ComponentId, ComponentView, FTree, InsertCase, InsertReport, ProbeOutcome};
+pub use metrics::SelectionMetrics;
+pub use selection::{greedy_select, CandidateSet, DelayTracker, GreedyConfig, MemoProvider, SelectionOutcome};
+pub use solver::{evaluate_selection, solve, Algorithm, SolveResult, SolverConfig};

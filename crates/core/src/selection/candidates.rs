@@ -1,0 +1,130 @@
+//! Candidate edge maintenance for the greedy loop (§6.1).
+//!
+//! `candList` contains every edge of the graph that touches the connected
+//! selection (so inserting it keeps the subgraph connected to `Q`) and has
+//! not been selected yet. It grows as new vertices join the tree.
+
+use std::collections::BTreeSet;
+
+use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
+
+/// The candidate list of §6.1, kept in deterministic (sorted) order.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    set: BTreeSet<EdgeId>,
+}
+
+impl CandidateSet {
+    /// Initializes candidates with the query vertex's incident edges.
+    pub fn new(graph: &ProbabilisticGraph, query: VertexId) -> Self {
+        let mut s = CandidateSet { set: BTreeSet::new() };
+        let selected = EdgeSubset::for_graph(graph);
+        s.vertex_joined(graph, query, &selected);
+        s
+    }
+
+    /// Number of current candidates.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no candidate remains.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Registers that `v` joined the tree: all its incident, unselected,
+    /// not-yet-listed edges become candidates.
+    pub fn vertex_joined(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        v: VertexId,
+        selected: &EdgeSubset,
+    ) {
+        for (_, e) in graph.neighbors(v) {
+            if !selected.contains(e) {
+                self.set.insert(e);
+            }
+        }
+    }
+
+    /// Removes a candidate (because it was selected).
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        self.set.remove(&e)
+    }
+
+    /// Whether `e` is currently a candidate.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.set.contains(&e)
+    }
+
+    /// Iterates candidates in ascending edge-id order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Snapshot of the candidates as a vector.
+    pub fn to_vec(&self) -> Vec<EdgeId> {
+        self.set.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    /// Star: Q(0) joined to 1, 2; 1 joined to 3.
+    fn graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::ONE);
+        let p = Probability::new(0.5).unwrap();
+        b.add_edge(VertexId(0), VertexId(1), p).unwrap(); // e0
+        b.add_edge(VertexId(0), VertexId(2), p).unwrap(); // e1
+        b.add_edge(VertexId(1), VertexId(3), p).unwrap(); // e2
+        b.build()
+    }
+
+    #[test]
+    fn starts_with_query_incident_edges() {
+        let g = graph();
+        let c = CandidateSet::new(&g, VertexId(0));
+        assert_eq!(c.to_vec(), vec![EdgeId(0), EdgeId(1)]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn grows_when_vertices_join() {
+        let g = graph();
+        let mut c = CandidateSet::new(&g, VertexId(0));
+        let mut selected = EdgeSubset::for_graph(&g);
+        selected.insert(EdgeId(0));
+        c.remove(EdgeId(0));
+        c.vertex_joined(&g, VertexId(1), &selected);
+        assert_eq!(c.to_vec(), vec![EdgeId(1), EdgeId(2)]);
+        assert!(c.contains(EdgeId(2)));
+    }
+
+    #[test]
+    fn selected_edges_never_reappear() {
+        let g = graph();
+        let mut c = CandidateSet::new(&g, VertexId(0));
+        let mut selected = EdgeSubset::for_graph(&g);
+        selected.insert(EdgeId(0));
+        selected.insert(EdgeId(2));
+        c.remove(EdgeId(0));
+        c.vertex_joined(&g, VertexId(1), &selected);
+        assert!(!c.contains(EdgeId(0)));
+        assert!(!c.contains(EdgeId(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn isolated_query_yields_empty_set() {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(2, Weight::ONE);
+        let g = b.build();
+        let c = CandidateSet::new(&g, VertexId(0));
+        assert!(c.is_empty());
+    }
+}

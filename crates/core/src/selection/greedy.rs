@@ -1,0 +1,428 @@
+//! The greedy edge-selection algorithm (§6.1) with the M / CI / DS
+//! heuristics (§6.2–6.4).
+//!
+//! Each iteration probes every candidate edge (Eq. 5), selects the flow
+//! maximizer, and inserts it into the F-tree. The heuristics modify the
+//! probing loop only:
+//!
+//! * **M** — probes and insertions share a memoizing estimate provider;
+//! * **CI** — candidates whose components must be sampled race each other in
+//!   rounds of growing sample budgets; a candidate whose upper flow bound
+//!   falls below another's lower bound is pruned (with ≥ 30 samples, §6.3);
+//! * **DS** — probed-but-not-selected candidates are suspended for
+//!   `⌊log_c(cost/pot)⌋` iterations (§6.4).
+
+use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
+use flowmax_sampling::{BatchSchedule, MIN_SAMPLES_FOR_CLT};
+
+use crate::estimator::{EstimatorConfig, SamplingProvider};
+use crate::ftree::{FTree, InsertCase, ProbeOutcome};
+use crate::metrics::SelectionMetrics;
+use crate::selection::candidates::CandidateSet;
+use crate::selection::delayed::DelayTracker;
+use crate::selection::memo::MemoProvider;
+
+/// Configuration of a greedy selection run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyConfig {
+    /// Edge budget `k` (Def. 4).
+    pub budget: usize,
+    /// Monte-Carlo samples per component estimation (paper: 1000).
+    pub samples: u32,
+    /// Components with at most this many uncertain edges are enumerated
+    /// exactly instead of sampled (0 = pure Monte-Carlo, the paper setting).
+    pub exact_edge_cap: usize,
+    /// Enable component memoization (§6.2).
+    pub memoize: bool,
+    /// Enable confidence-interval pruning (§6.3).
+    pub confidence_pruning: bool,
+    /// Enable delayed sampling (§6.4).
+    pub delayed_sampling: bool,
+    /// DS penalty parameter `c` (paper default 2).
+    pub ds_penalty_c: f64,
+    /// CI significance level `α` (paper default 0.01).
+    pub alpha: f64,
+    /// Whether `W(Q)` counts toward the flow.
+    pub include_query: bool,
+    /// Master seed for all sampling.
+    pub seed: u64,
+}
+
+impl GreedyConfig {
+    /// The plain `FT` algorithm at the paper's defaults.
+    pub fn ft(budget: usize, seed: u64) -> Self {
+        GreedyConfig {
+            budget,
+            samples: 1000,
+            exact_edge_cap: 0,
+            memoize: false,
+            confidence_pruning: false,
+            delayed_sampling: false,
+            ds_penalty_c: 2.0,
+            alpha: 0.01,
+            include_query: false,
+            seed,
+        }
+    }
+
+    /// Enables memoization (`FT+M`).
+    pub fn with_memo(mut self) -> Self {
+        self.memoize = true;
+        self
+    }
+
+    /// Enables confidence-interval pruning (`+CI`).
+    pub fn with_ci(mut self) -> Self {
+        self.confidence_pruning = true;
+        self
+    }
+
+    /// Enables delayed sampling (`+DS`).
+    pub fn with_ds(mut self) -> Self {
+        self.delayed_sampling = true;
+        self
+    }
+}
+
+/// Result of a greedy selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// Selected edges, in selection order.
+    pub selected: Vec<EdgeId>,
+    /// Expected flow after each iteration (under the run's own estimates).
+    pub flow_trace: Vec<f64>,
+    /// Final expected flow (under the run's own estimates).
+    pub final_flow: f64,
+    /// Work counters.
+    pub metrics: SelectionMetrics,
+}
+
+struct ProbeRecord {
+    edge: EdgeId,
+    outcome: ProbeOutcome,
+}
+
+/// Runs the greedy selection (§6.1) over `graph` from `query`.
+pub fn greedy_select(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    config: &GreedyConfig,
+) -> SelectionOutcome {
+    let estimator =
+        EstimatorConfig { exact_edge_cap: config.exact_edge_cap, samples: config.samples };
+    let mut provider =
+        MemoProvider::new(SamplingProvider::new(estimator, config.seed), config.memoize);
+    let mut tree = FTree::new(graph, query);
+    let mut candidates = CandidateSet::new(graph, query);
+    let mut delays = DelayTracker::new(config.ds_penalty_c);
+    let mut metrics = SelectionMetrics::default();
+    let mut flow_trace = Vec::with_capacity(config.budget);
+    let mut base_flow = 0.0;
+
+    for _iter in 0..config.budget {
+        // Gather the probe pool, honouring DS suspensions. If everything is
+        // suspended, fall back to the full pool rather than stalling.
+        let mut pool: Vec<EdgeId> = Vec::with_capacity(candidates.len());
+        let mut skipped = 0u64;
+        for e in candidates.iter() {
+            if config.delayed_sampling && delays.is_suspended(e) {
+                skipped += 1;
+            } else {
+                pool.push(e);
+            }
+        }
+        metrics.ds_skipped += skipped;
+        if pool.is_empty() {
+            if candidates.is_empty() {
+                break;
+            }
+            pool = candidates.to_vec();
+        }
+
+        let records = if config.confidence_pruning {
+            probe_with_ci_race(graph, &tree, &pool, base_flow, config, &mut provider, &mut metrics)
+        } else {
+            probe_all(graph, &tree, &pool, base_flow, config, &mut provider, &mut metrics)
+        };
+        let Some(best_idx) = best_record(&records) else { break };
+        let best_edge = records[best_idx].edge;
+        let prev_flow = base_flow;
+        let best_gain = records[best_idx].outcome.flow - prev_flow;
+
+        // Commit. With memoization the insertion reuses the winning probe's
+        // estimate; otherwise it re-samples (the paper's plain FT).
+        let report = tree
+            .insert_edge(graph, best_edge, &mut provider)
+            .expect("candidate edges are insertable");
+        match report.case {
+            InsertCase::LeafMono | InsertCase::LeafBi => metrics.insert_case_ii += 1,
+            InsertCase::CycleInBi => metrics.insert_case_iiia += 1,
+            InsertCase::CycleInMono => metrics.insert_case_iiib += 1,
+            InsertCase::CycleAcross => metrics.insert_case_iv += 1,
+        }
+        candidates.remove(best_edge);
+        delays.lift(best_edge);
+        // A leaf attachment brings one new vertex whose incident edges
+        // become candidates.
+        let (a, b) = graph.endpoints(best_edge);
+        for v in [a, b] {
+            candidates.vertex_joined(graph, v, tree.selected_edges());
+        }
+
+        base_flow = tree.expected_flow(graph, config.include_query);
+        flow_trace.push(base_flow);
+
+        if config.delayed_sampling {
+            for r in &records {
+                if r.edge != best_edge {
+                    delays.record(
+                        r.edge,
+                        r.outcome.flow - prev_flow,
+                        best_gain,
+                        r.outcome.sampling_cost_edges,
+                    );
+                }
+            }
+            delays.tick();
+        }
+    }
+
+    metrics.absorb(&provider.inner().metrics);
+    SelectionOutcome { selected: tree.selected_edges().iter().collect(), flow_trace, final_flow: base_flow, metrics }
+}
+
+/// Index of the record with maximal flow (ties: lowest edge id, for
+/// deterministic selection).
+fn best_record(records: &[ProbeRecord]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, r) in records.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(j) => {
+                let rj = &records[j];
+                if r.outcome.flow > rj.outcome.flow
+                    || (r.outcome.flow == rj.outcome.flow && r.edge < rj.edge)
+                {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Plain probing: every pool edge probed once at the full sample budget.
+fn probe_all(
+    graph: &ProbabilisticGraph,
+    tree: &FTree,
+    pool: &[EdgeId],
+    base_flow: f64,
+    config: &GreedyConfig,
+    provider: &mut MemoProvider,
+    metrics: &mut SelectionMetrics,
+) -> Vec<ProbeRecord> {
+    let mut records = Vec::with_capacity(pool.len());
+    for &e in pool {
+        let outcome = tree
+            .probe_edge(graph, e, base_flow, config.include_query, config.alpha, provider)
+            .expect("candidates are probeable");
+        metrics.probes += 1;
+        if outcome.sampling_cost_edges == 0 {
+            metrics.analytic_probes += 1;
+        }
+        records.push(ProbeRecord { edge: e, outcome });
+    }
+    records
+}
+
+/// CI racing (§6.3): sampled candidates are probed at growing sample
+/// budgets; a candidate whose upper bound is below the best lower bound is
+/// pruned before the full budget is spent.
+fn probe_with_ci_race(
+    graph: &ProbabilisticGraph,
+    tree: &FTree,
+    pool: &[EdgeId],
+    base_flow: f64,
+    config: &GreedyConfig,
+    provider: &mut MemoProvider,
+    metrics: &mut SelectionMetrics,
+) -> Vec<ProbeRecord> {
+    // Cumulative budgets: e.g. 50, 150, 350, 750, `samples`.
+    let schedule = BatchSchedule::paper_default(config.samples);
+    let mut budgets: Vec<u32> = Vec::new();
+    let mut acc = 0;
+    for b in schedule.batches() {
+        acc += b;
+        if acc >= MIN_SAMPLES_FOR_CLT {
+            budgets.push(acc);
+        }
+    }
+    if budgets.is_empty() {
+        budgets.push(config.samples);
+    }
+
+    // First pass at the smallest budget classifies candidates.
+    provider.inner_mut().set_samples(budgets[0]);
+    let mut analytic: Vec<ProbeRecord> = Vec::new();
+    let mut racing: Vec<ProbeRecord> = Vec::new();
+    for &e in pool {
+        let outcome = tree
+            .probe_edge(graph, e, base_flow, config.include_query, config.alpha, provider)
+            .expect("candidates are probeable");
+        metrics.probes += 1;
+        if outcome.sampling_cost_edges == 0 {
+            metrics.analytic_probes += 1;
+            analytic.push(ProbeRecord { edge: e, outcome });
+        } else {
+            racing.push(ProbeRecord { edge: e, outcome });
+        }
+    }
+
+    let analytic_best_lower =
+        analytic.iter().map(|r| r.outcome.lower).fold(f64::NEG_INFINITY, f64::max);
+
+    for round in 0..budgets.len() {
+        // Prune: a racer whose upper bound cannot beat the best lower bound
+        // is eliminated (1 − α confidence, Def. 10).
+        let best_lower = racing
+            .iter()
+            .map(|r| r.outcome.lower)
+            .fold(analytic_best_lower, f64::max);
+        let before = racing.len();
+        racing.retain(|r| r.outcome.upper >= best_lower);
+        metrics.ci_pruned += (before - racing.len()) as u64;
+        if racing.is_empty() {
+            break;
+        }
+        // Last round's estimates are already at full budget.
+        if round + 1 == budgets.len() {
+            break;
+        }
+        let next_budget = budgets[round + 1];
+        provider.inner_mut().set_samples(next_budget);
+        for r in &mut racing {
+            let outcome = tree
+                .probe_edge(
+                    graph,
+                    r.edge,
+                    base_flow,
+                    config.include_query,
+                    config.alpha,
+                    provider,
+                )
+                .expect("candidates are probeable");
+            metrics.probes += 1;
+            r.outcome = outcome;
+        }
+    }
+    provider.inner_mut().set_samples(config.samples);
+
+    analytic.extend(racing);
+    analytic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Q(0) with two branches: a high-value branch (weight 10 at v1) and a
+    /// low-value one (weight 1 at v2), plus a chord 1-2.
+    fn small_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ZERO); // Q
+        b.add_vertex(Weight::new(10.0).unwrap());
+        b.add_vertex(Weight::ONE);
+        b.add_vertex(Weight::new(5.0).unwrap());
+        b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap(); // e0
+        b.add_edge(VertexId(0), VertexId(2), p(0.9)).unwrap(); // e1
+        b.add_edge(VertexId(1), VertexId(2), p(0.9)).unwrap(); // e2
+        b.add_edge(VertexId(2), VertexId(3), p(0.9)).unwrap(); // e3
+        b.build()
+    }
+
+    #[test]
+    fn greedy_picks_high_value_edge_first() {
+        let g = small_graph();
+        let out = greedy_select(&g, VertexId(0), &GreedyConfig::ft(1, 1));
+        assert_eq!(out.selected, vec![EdgeId(0)], "weight-10 branch first");
+        assert!((out.final_flow - 9.0).abs() < 1e-9);
+        assert_eq!(out.flow_trace.len(), 1);
+    }
+
+    #[test]
+    fn budget_exhausts_or_candidates_do() {
+        let g = small_graph();
+        let out = greedy_select(&g, VertexId(0), &GreedyConfig::ft(10, 1));
+        assert_eq!(out.selected.len(), 4, "only 4 edges exist");
+        assert_eq!(out.metrics.insertions(), 4);
+    }
+
+    #[test]
+    fn flow_trace_is_monotone_under_exact_estimation() {
+        let g = small_graph();
+        let mut cfg = GreedyConfig::ft(4, 1);
+        cfg.exact_edge_cap = 20;
+        let out = greedy_select(&g, VertexId(0), &cfg);
+        for w in out.flow_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "adding edges never hurts: {:?}", out.flow_trace);
+        }
+    }
+
+    #[test]
+    fn memoization_reduces_sampling() {
+        let g = small_graph();
+        let base = greedy_select(&g, VertexId(0), &GreedyConfig::ft(4, 1));
+        let memo = greedy_select(&g, VertexId(0), &GreedyConfig::ft(4, 1).with_memo());
+        assert!(memo.metrics.memo_hits > 0, "commits should reuse probe estimates");
+        assert!(
+            memo.metrics.components_sampled < base.metrics.components_sampled,
+            "memoized run must sample fewer components ({} vs {})",
+            memo.metrics.components_sampled,
+            base.metrics.components_sampled
+        );
+        assert_eq!(memo.selected.len(), base.selected.len());
+    }
+
+    #[test]
+    fn heuristic_stacks_produce_connected_selections() {
+        let g = small_graph();
+        let configs = [
+            GreedyConfig::ft(4, 2),
+            GreedyConfig::ft(4, 2).with_memo(),
+            GreedyConfig::ft(4, 2).with_memo().with_ci(),
+            GreedyConfig::ft(4, 2).with_memo().with_ds(),
+            GreedyConfig::ft(4, 2).with_memo().with_ci().with_ds(),
+        ];
+        for cfg in configs {
+            let out = greedy_select(&g, VertexId(0), &cfg);
+            assert!(!out.selected.is_empty());
+            assert!(out.final_flow > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = small_graph();
+        let cfg = GreedyConfig::ft(4, 7).with_memo().with_ci().with_ds();
+        let a = greedy_select(&g, VertexId(0), &cfg);
+        let b = greedy_select(&g, VertexId(0), &cfg);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.final_flow, b.final_flow);
+    }
+
+    #[test]
+    fn isolated_query_returns_empty() {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(3, Weight::ONE);
+        b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap();
+        let g = b.build();
+        let out = greedy_select(&g, VertexId(0), &GreedyConfig::ft(3, 1));
+        assert!(out.selected.is_empty());
+        assert_eq!(out.final_flow, 0.0);
+    }
+}

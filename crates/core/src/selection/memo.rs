@@ -1,0 +1,166 @@
+//! Component memoization (§6.2, the **M** heuristic).
+//!
+//! During each greedy iteration many candidate probes (re-)estimate
+//! bi-connected components. [`MemoProvider`] caches estimates keyed by the
+//! component's identity — articulation vertex + exact edge set (+ the sample
+//! budget, so confidence-interval races at different budgets do not alias).
+//! If a component re-forms unchanged in a later probe or insertion, the
+//! cached reachability function is reused and no sampling happens. Staleness
+//! is automatic: any change to the component changes its edge set and
+//! therefore its key.
+
+use std::collections::HashMap;
+
+use flowmax_sampling::{splitmix64, ComponentEstimate, ComponentGraph};
+
+use crate::estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
+
+/// A memoizing wrapper around [`SamplingProvider`].
+#[derive(Debug)]
+pub struct MemoProvider {
+    inner: SamplingProvider,
+    cache: HashMap<u64, ComponentEstimate>,
+    enabled: bool,
+    /// Number of cache hits (estimates served without sampling).
+    pub hits: u64,
+    /// Number of cache misses (estimates computed and stored).
+    pub misses: u64,
+}
+
+impl MemoProvider {
+    /// Wraps a sampling provider; when `enabled` is false the wrapper is a
+    /// transparent pass-through (the plain `FT` algorithm).
+    pub fn new(inner: SamplingProvider, enabled: bool) -> Self {
+        MemoProvider { inner, cache: HashMap::new(), enabled, hits: 0, misses: 0 }
+    }
+
+    /// The wrapped provider (for metrics extraction).
+    pub fn inner(&self) -> &SamplingProvider {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped provider (e.g. to adjust the sample
+    /// budget during confidence-interval races).
+    pub fn inner_mut(&mut self) -> &mut SamplingProvider {
+        &mut self.inner
+    }
+
+    /// Drops all cached estimates.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of live cache entries.
+    pub fn cached_components(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn fingerprint(&self, snapshot: &ComponentGraph) -> u64 {
+        let mut h = splitmix64(snapshot.articulation().0 as u64);
+        let mut edges: Vec<u32> = snapshot.global_edges().iter().map(|e| e.0).collect();
+        edges.sort_unstable();
+        for e in edges {
+            h = splitmix64(h ^ e as u64);
+        }
+        // The sample budget is part of the key so that low-budget racing
+        // estimates are never served where a full-budget one is expected.
+        let cfg: EstimatorConfig = self.inner.config();
+        h = splitmix64(h ^ cfg.samples as u64);
+        splitmix64(h ^ cfg.exact_edge_cap as u64)
+    }
+}
+
+impl EstimateProvider for MemoProvider {
+    fn estimate(&mut self, snapshot: &ComponentGraph) -> ComponentEstimate {
+        if !self.enabled {
+            return self.inner.estimate(snapshot);
+        }
+        let key = self.fingerprint(snapshot);
+        if let Some(cached) = self.cache.get(&key) {
+            self.hits += 1;
+            self.inner.metrics.memo_hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let est = self.inner.estimate(snapshot);
+        self.cache.insert(key, est.clone());
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{EdgeId, GraphBuilder, Probability, VertexId, Weight};
+
+    fn snapshot(extra_edge: bool) -> ComponentGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::ONE);
+        let p = Probability::new(0.5).unwrap();
+        let e0 = b.add_edge(VertexId(0), VertexId(1), p).unwrap();
+        let e1 = b.add_edge(VertexId(1), VertexId(2), p).unwrap();
+        let e2 = b.add_edge(VertexId(0), VertexId(2), p).unwrap();
+        let e3 = b.add_edge(VertexId(1), VertexId(3), p).unwrap();
+        let _ = e3;
+        let g = b.build();
+        let edges: Vec<EdgeId> =
+            if extra_edge { vec![e0, e1, e2, e3] } else { vec![e0, e1, e2] };
+        ComponentGraph::build(&g, VertexId(0), &edges)
+    }
+
+    #[test]
+    fn repeat_estimates_hit_the_cache() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(200), 1);
+        let mut memo = MemoProvider::new(inner, true);
+        let s = snapshot(false);
+        let a = memo.estimate(&s);
+        let b = memo.estimate(&s);
+        assert_eq!(memo.hits, 1);
+        assert_eq!(memo.misses, 1);
+        assert_eq!(a.reach_all(), b.reach_all());
+        assert_eq!(memo.inner().metrics.components_sampled, 1, "sampled only once");
+    }
+
+    #[test]
+    fn different_edge_sets_do_not_alias() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut memo = MemoProvider::new(inner, true);
+        memo.estimate(&snapshot(false));
+        memo.estimate(&snapshot(true));
+        assert_eq!(memo.hits, 0);
+        assert_eq!(memo.misses, 2);
+        assert_eq!(memo.cached_components(), 2);
+    }
+
+    #[test]
+    fn different_sample_budgets_do_not_alias() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut memo = MemoProvider::new(inner, true);
+        memo.estimate(&snapshot(false));
+        memo.inner_mut().set_samples(400);
+        memo.estimate(&snapshot(false));
+        assert_eq!(memo.hits, 0, "different budgets must be distinct keys");
+    }
+
+    #[test]
+    fn disabled_wrapper_is_transparent() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut memo = MemoProvider::new(inner, false);
+        let s = snapshot(false);
+        memo.estimate(&s);
+        memo.estimate(&s);
+        assert_eq!(memo.hits, 0);
+        assert_eq!(memo.inner().metrics.components_sampled, 2, "resampled both times");
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut memo = MemoProvider::new(inner, true);
+        memo.estimate(&snapshot(false));
+        memo.clear();
+        assert_eq!(memo.cached_components(), 0);
+        memo.estimate(&snapshot(false));
+        assert_eq!(memo.misses, 2);
+    }
+}

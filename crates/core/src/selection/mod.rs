@@ -1,0 +1,11 @@
+//! Budgeted edge selection (§6): the greedy algorithm and its heuristics.
+
+pub mod candidates;
+pub mod delayed;
+pub mod greedy;
+pub mod memo;
+
+pub use candidates::CandidateSet;
+pub use delayed::DelayTracker;
+pub use greedy::{greedy_select, GreedyConfig, SelectionOutcome};
+pub use memo::MemoProvider;

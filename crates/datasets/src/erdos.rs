@@ -1,0 +1,136 @@
+//! Erdős–Rényi random graphs — the paper's no-locality synthetic workload
+//! (§7.1, "Erdös").
+//!
+//! Edges are distributed independently and uniformly between vertex pairs
+//! until a target edge count (derived from the requested mean degree) is
+//! reached. Probabilities and weights follow the supplied models (paper
+//! defaults: `p ~ U(0,1]`, integer weights `U[0,10]`).
+
+use std::collections::HashSet;
+
+use flowmax_graph::{GraphBuilder, ProbabilisticGraph, VertexId};
+use rand::Rng;
+
+use flowmax_sampling::SeedSequence;
+
+use crate::probabilities::ProbabilityModel;
+use crate::weights::WeightModel;
+
+/// Configuration for the Erdős–Rényi generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErdosConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target mean vertex degree; the edge count is `⌊n·d/2⌋`.
+    pub mean_degree: f64,
+    /// Edge probability model.
+    pub probabilities: ProbabilityModel,
+    /// Vertex weight model.
+    pub weights: WeightModel,
+}
+
+impl ErdosConfig {
+    /// The paper's defaults at a given size and density.
+    pub fn paper(vertices: usize, mean_degree: f64) -> Self {
+        ErdosConfig {
+            vertices,
+            mean_degree,
+            probabilities: ProbabilityModel::uniform_unit(),
+            weights: WeightModel::paper_default(),
+        }
+    }
+
+    /// Generates a graph deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> ProbabilisticGraph {
+        let n = self.vertices;
+        assert!(n >= 2, "Erdős–Rényi needs at least two vertices");
+        let max_edges = n * (n - 1) / 2;
+        let target = (((n as f64) * self.mean_degree / 2.0) as usize).min(max_edges);
+
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+        let mut b = GraphBuilder::with_capacity(n, target);
+        for _ in 0..n {
+            let w = self.weights.sample(&mut rng);
+            b.add_vertex(w);
+        }
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target);
+        while seen.len() < target {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                let p = self.probabilities.sample(&mut rng, 0.0);
+                b.add_edge(VertexId(key.0), VertexId(key.1), p)
+                    .expect("deduplicated pair cannot collide");
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::GraphStats;
+
+    #[test]
+    fn respects_size_and_density() {
+        let g = ErdosConfig::paper(500, 6.0).generate(42);
+        assert_eq!(g.vertex_count(), 500);
+        assert_eq!(g.edge_count(), 1500);
+        let s = GraphStats::compute(&g);
+        assert!((s.mean_degree - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = ErdosConfig::paper(100, 4.0);
+        let g1 = c.generate(7);
+        let g2 = c.generate(7);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for (id, e) in g1.edges() {
+            let e2 = g2.edge(id);
+            assert_eq!(e.endpoints(), e2.endpoints());
+            assert_eq!(e.probability, e2.probability);
+        }
+        let g3 = c.generate(8);
+        let same = g1
+            .edges()
+            .zip(g3.edges())
+            .all(|((_, a), (_, b))| a.endpoints() == b.endpoints());
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn probabilities_and_weights_in_range() {
+        let g = ErdosConfig::paper(200, 5.0).generate(1);
+        for (_, e) in g.edges() {
+            let p = e.probability.value();
+            assert!(p > 0.0 && p <= 1.0);
+        }
+        for v in g.vertices() {
+            let w = g.weight(v).value();
+            assert!((0.0..=10.0).contains(&w));
+            assert_eq!(w.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn dense_request_clamps_to_complete_graph() {
+        let g = ErdosConfig::paper(10, 100.0).generate(3);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn no_locality_small_diameter_spot_check() {
+        // A 1000-vertex ER graph with mean degree 10 is almost surely a
+        // small-world: the BFS ball around any vertex grows exponentially.
+        let g = ErdosConfig::paper(1000, 10.0).generate(5);
+        let s = GraphStats::compute(&g);
+        assert!(s.largest_component > 900, "giant component expected");
+    }
+}

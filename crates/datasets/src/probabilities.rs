@@ -1,0 +1,104 @@
+//! Edge-probability assignment models used by the workload generators.
+
+use flowmax_graph::Probability;
+use rand::Rng;
+
+use flowmax_sampling::FlowRng;
+
+/// How edge-existence probabilities are drawn for generated graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbabilityModel {
+    /// Uniform in `[lo, hi] ⊆ (0, 1]`. The paper's default for synthetic,
+    /// DBLP and YouTube graphs is `Uniform(0, 1]` — realized here as
+    /// `lo = f64::EPSILON` to respect the open lower bound.
+    Uniform {
+        /// Lower bound (exclusive 0 is realized as a tiny positive value).
+        lo: f64,
+        /// Upper bound (≤ 1).
+        hi: f64,
+    },
+    /// Exponential distance decay `p = exp(−lambda · distance)` — the San
+    /// Joaquin road-network model of §7.1 with `lambda = 0.001` per metre.
+    DistanceDecay {
+        /// Decay rate per unit distance.
+        lambda: f64,
+    },
+    /// Every edge gets the same probability (used by tests and the running
+    /// example's "all edges 0.5" setting).
+    Constant(f64),
+}
+
+impl ProbabilityModel {
+    /// The paper's `U(0, 1]` default.
+    pub fn uniform_unit() -> Self {
+        ProbabilityModel::Uniform { lo: f64::EPSILON, hi: 1.0 }
+    }
+
+    /// Draws a probability; `distance` feeds the decay model and is ignored
+    /// otherwise.
+    pub fn sample(&self, rng: &mut FlowRng, distance: f64) -> Probability {
+        match *self {
+            ProbabilityModel::Uniform { lo, hi } => {
+                debug_assert!(lo > 0.0 && hi <= 1.0 && lo <= hi);
+                Probability::new_unchecked(rng.gen_range(lo..=hi))
+            }
+            ProbabilityModel::DistanceDecay { lambda } => {
+                // exp(−λd) ∈ (0, 1] for d ≥ 0; clamp protects huge distances
+                // from underflowing to exactly 0.
+                Probability::new_unchecked((-lambda * distance).exp().max(1e-300))
+            }
+            ProbabilityModel::Constant(p) => Probability::new_unchecked(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_sampling::SeedSequence;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let m = ProbabilityModel::Uniform { lo: 0.5, hi: 1.0 };
+        let mut rng = SeedSequence::new(1).rng(0);
+        for _ in 0..1000 {
+            let p = m.sample(&mut rng, 0.0).value();
+            assert!((0.5..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn uniform_unit_is_valid() {
+        let m = ProbabilityModel::uniform_unit();
+        let mut rng = SeedSequence::new(2).rng(0);
+        for _ in 0..1000 {
+            let p = m.sample(&mut rng, 0.0).value();
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn decay_matches_paper_examples() {
+        // §7.1: 10m → 99%, 100m → 90%, 1km → 36%.
+        let m = ProbabilityModel::DistanceDecay { lambda: 0.001 };
+        let mut rng = SeedSequence::new(3).rng(0);
+        assert!((m.sample(&mut rng, 10.0).value() - 0.99).abs() < 0.001);
+        assert!((m.sample(&mut rng, 100.0).value() - 0.905).abs() < 0.001);
+        assert!((m.sample(&mut rng, 1000.0).value() - 0.368).abs() < 0.001);
+    }
+
+    #[test]
+    fn decay_never_reaches_zero() {
+        let m = ProbabilityModel::DistanceDecay { lambda: 1.0 };
+        let mut rng = SeedSequence::new(4).rng(0);
+        let p = m.sample(&mut rng, 1e6, );
+        assert!(p.value() > 0.0);
+    }
+
+    #[test]
+    fn constant_model() {
+        let m = ProbabilityModel::Constant(0.5);
+        let mut rng = SeedSequence::new(5).rng(0);
+        assert_eq!(m.sample(&mut rng, 123.0).value(), 0.5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic road network — substitute for the San Joaquin County dataset
+//! (§7.1, Fig. 9(a)).
+//!
+//! The real dataset (18,263 intersections, 23,874 road segments) is not
+//! redistributable here, so we synthesize a planar network with the same
+//! three properties §7 relies on: strong locality, near-planar sparsity
+//! (edge/vertex ratio ≈ 1.3), and the paper's own distance-decay probability
+//! model `p = exp(−0.001 · distance_m)`.
+//!
+//! Construction: a jittered `w × h` grid of intersections; a random spanning
+//! tree guarantees connectivity; extra grid edges are added uniformly until
+//! the target edge/vertex ratio is met.
+
+use flowmax_graph::{GraphBuilder, ProbabilisticGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use flowmax_sampling::SeedSequence;
+
+use crate::probabilities::ProbabilityModel;
+use crate::weights::WeightModel;
+
+/// Configuration for the synthetic road-network generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadConfig {
+    /// Grid width (number of intersection columns).
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Mean segment length in metres (San Joaquin scale: a few hundred).
+    pub spacing_m: f64,
+    /// Relative position jitter (fraction of spacing).
+    pub jitter: f64,
+    /// Target edge/vertex ratio (San Joaquin: 23,874 / 18,263 ≈ 1.31).
+    pub edge_vertex_ratio: f64,
+    /// Probability model (the paper's decay: `lambda = 0.001` per metre).
+    pub probabilities: ProbabilityModel,
+    /// Vertex weight model.
+    pub weights: WeightModel,
+}
+
+/// A generated road network with intersection coordinates in metres.
+#[derive(Debug, Clone)]
+pub struct RoadGraph {
+    /// The uncertain graph.
+    pub graph: ProbabilisticGraph,
+    /// `positions[v] = (x_m, y_m)`.
+    pub positions: Vec<(f64, f64)>,
+}
+
+impl RoadConfig {
+    /// San-Joaquin-shaped defaults at a given grid size.
+    pub fn paper(width: usize, height: usize) -> Self {
+        RoadConfig {
+            width,
+            height,
+            spacing_m: 500.0,
+            jitter: 0.25,
+            edge_vertex_ratio: 1.31,
+            probabilities: ProbabilityModel::DistanceDecay { lambda: 0.001 },
+            weights: WeightModel::paper_default(),
+        }
+    }
+
+    /// Generates a road network deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> RoadGraph {
+        let (w, h) = (self.width, self.height);
+        assert!(w >= 2 && h >= 2, "grid must be at least 2x2");
+        let n = w * h;
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+
+        // Jittered intersection positions.
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let gx = (i % w) as f64;
+                let gy = (i / w) as f64;
+                let jx = rng.gen_range(-self.jitter..=self.jitter);
+                let jy = rng.gen_range(-self.jitter..=self.jitter);
+                ((gx + jx) * self.spacing_m, (gy + jy) * self.spacing_m)
+            })
+            .collect();
+
+        // Candidate segments: the 4-neighbour grid edges.
+        let mut candidates: Vec<(u32, u32)> = Vec::with_capacity(2 * n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) as u32;
+                if x + 1 < w {
+                    candidates.push((i, i + 1));
+                }
+                if y + 1 < h {
+                    candidates.push((i, i + w as u32));
+                }
+            }
+        }
+        candidates.shuffle(&mut rng);
+
+        // Spanning tree first (union-find over shuffled candidates), then
+        // extra edges until the target ratio.
+        let target_edges =
+            ((n as f64 * self.edge_vertex_ratio) as usize).min(candidates.len());
+        let mut uf = flowmax_graph::UnionFind::new(n);
+        let mut chosen: Vec<(u32, u32)> = Vec::with_capacity(target_edges);
+        let mut extras: Vec<(u32, u32)> = Vec::new();
+        for &(a, b) in &candidates {
+            if uf.union(VertexId(a), VertexId(b)) {
+                chosen.push((a, b));
+            } else {
+                extras.push((a, b));
+            }
+        }
+        for &(a, b) in extras.iter() {
+            if chosen.len() >= target_edges {
+                break;
+            }
+            chosen.push((a, b));
+        }
+
+        let mut builder = GraphBuilder::with_capacity(n, chosen.len());
+        for _ in 0..n {
+            let wv = self.weights.sample(&mut rng);
+            builder.add_vertex(wv);
+        }
+        for &(a, b) in &chosen {
+            let (xa, ya) = positions[a as usize];
+            let (xb, yb) = positions[b as usize];
+            let dist = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            let p = self.probabilities.sample(&mut rng, dist);
+            builder.add_edge(VertexId(a), VertexId(b), p).expect("grid edges are unique");
+        }
+        RoadGraph { graph: builder.build(), positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::GraphStats;
+
+    #[test]
+    fn connected_and_sparse() {
+        let r = RoadConfig::paper(30, 30).generate(1);
+        let s = GraphStats::compute(&r.graph);
+        assert_eq!(s.component_count, 1, "spanning tree guarantees connectivity");
+        let ratio = s.edge_count as f64 / s.vertex_count as f64;
+        assert!((ratio - 1.31).abs() < 0.05, "edge/vertex ratio {ratio}");
+    }
+
+    #[test]
+    fn probabilities_follow_distance_decay() {
+        let r = RoadConfig::paper(10, 10).generate(2);
+        for (_, e) in r.graph.edges() {
+            let (a, b) = e.endpoints();
+            let (xa, ya) = r.positions[a.index()];
+            let (xb, yb) = r.positions[b.index()];
+            let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            let expected = (-0.001 * d).exp();
+            assert!((e.probability.value() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn locality_degree_bounded_by_four() {
+        let r = RoadConfig::paper(20, 20).generate(3);
+        for v in r.graph.vertices() {
+            assert!(r.graph.degree(v) <= 4, "grid degree bound");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = RoadConfig::paper(8, 8);
+        let a = c.generate(5);
+        let b = c.generate(5);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn san_joaquin_scale_dimensions() {
+        // 135 × 135 ≈ 18k vertices, ≈ 24k edges: the real dataset's shape.
+        let c = RoadConfig::paper(135, 135);
+        let r = c.generate(7);
+        assert_eq!(r.graph.vertex_count(), 18_225);
+        let ratio = r.graph.edge_count() as f64 / r.graph.vertex_count() as f64;
+        assert!((ratio - 1.31).abs() < 0.02);
+    }
+}

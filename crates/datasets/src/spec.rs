@@ -1,0 +1,129 @@
+//! Dataset specifications: a uniform handle over every workload so the
+//! experiment harness can enumerate, build and describe them.
+
+use flowmax_graph::{ProbabilisticGraph, VertexId};
+
+use crate::collaboration::CollaborationConfig;
+use crate::erdos::ErdosConfig;
+use crate::partitioned::PartitionedConfig;
+use crate::preferential::PreferentialConfig;
+use crate::road::RoadConfig;
+use crate::social_circle::SocialCircleConfig;
+use crate::wsn::WsnConfig;
+
+/// A self-describing workload specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetSpec {
+    /// Erdős–Rényi, no locality (§7.1 "Erdös").
+    Erdos(ErdosConfig),
+    /// Partitioned ring, locality (§7.1 "partitioned").
+    Partitioned(PartitionedConfig),
+    /// Random geometric WSN (§7.1 "WSN").
+    Wsn(WsnConfig),
+    /// Synthetic road network (San Joaquin substitute).
+    Road(RoadConfig),
+    /// Facebook-circle substitute.
+    SocialCircle(SocialCircleConfig),
+    /// DBLP substitute.
+    Collaboration(CollaborationConfig),
+    /// YouTube substitute.
+    Preferential(PreferentialConfig),
+}
+
+impl DatasetSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::Erdos(_) => "erdos",
+            DatasetSpec::Partitioned(_) => "partitioned",
+            DatasetSpec::Wsn(_) => "wsn",
+            DatasetSpec::Road(_) => "road",
+            DatasetSpec::SocialCircle(_) => "social-circle",
+            DatasetSpec::Collaboration(_) => "collaboration",
+            DatasetSpec::Preferential(_) => "preferential",
+        }
+    }
+
+    /// Whether the workload has the paper's locality assumption.
+    pub fn has_locality(&self) -> bool {
+        matches!(
+            self,
+            DatasetSpec::Partitioned(_) | DatasetSpec::Wsn(_) | DatasetSpec::Road(_)
+        )
+    }
+
+    /// Builds the graph deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> ProbabilisticGraph {
+        match self {
+            DatasetSpec::Erdos(c) => c.generate(seed),
+            DatasetSpec::Partitioned(c) => c.generate(seed),
+            DatasetSpec::Wsn(c) => c.generate(seed).graph,
+            DatasetSpec::Road(c) => c.generate(seed).graph,
+            DatasetSpec::SocialCircle(c) => c.generate(seed),
+            DatasetSpec::Collaboration(c) => c.generate(seed),
+            DatasetSpec::Preferential(c) => c.generate(seed),
+        }
+    }
+}
+
+/// Picks a sensible query vertex for experiments: the highest-degree vertex.
+/// The paper does not specify its choice of `Q`; a hub guarantees the greedy
+/// loop always has candidates and makes runs comparable across algorithms.
+pub fn suggest_query(graph: &ProbabilisticGraph) -> VertexId {
+    graph
+        .vertices()
+        .max_by_key(|&v| graph.degree(v))
+        .expect("graph must have at least one vertex")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build() {
+        let specs = [
+            DatasetSpec::Erdos(ErdosConfig::paper(200, 5.0)),
+            DatasetSpec::Partitioned(PartitionedConfig::paper(120, 6)),
+            DatasetSpec::Wsn(WsnConfig::paper(150, 0.1)),
+            DatasetSpec::Road(RoadConfig::paper(8, 8)),
+            DatasetSpec::SocialCircle(SocialCircleConfig {
+                vertices: 50,
+                edges: 300,
+                close_friends_per_user: 5,
+                weights: crate::weights::WeightModel::unit(),
+            }),
+            DatasetSpec::Collaboration(CollaborationConfig::paper_scaled(200)),
+            DatasetSpec::Preferential(PreferentialConfig::paper_scaled(200)),
+        ];
+        for spec in specs {
+            let g = spec.build(1);
+            assert!(g.vertex_count() > 0, "{} is empty", spec.name());
+            assert!(g.edge_count() > 0, "{} has no edges", spec.name());
+            let q = suggest_query(&g);
+            assert!(g.degree(q) >= 1, "{}: query must have neighbours", spec.name());
+        }
+    }
+
+    #[test]
+    fn locality_classification() {
+        assert!(DatasetSpec::Partitioned(PartitionedConfig::paper(60, 4)).has_locality());
+        assert!(DatasetSpec::Road(RoadConfig::paper(4, 4)).has_locality());
+        assert!(!DatasetSpec::Erdos(ErdosConfig::paper(10, 2.0)).has_locality());
+        assert!(!DatasetSpec::Preferential(PreferentialConfig::paper_scaled(50)).has_locality());
+    }
+
+    #[test]
+    fn suggest_query_picks_hub() {
+        let g = PreferentialConfig::paper_scaled(300).generate(1);
+        let q = suggest_query(&g);
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert_eq!(g.degree(q), max_deg);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DatasetSpec::Erdos(ErdosConfig::paper(10, 2.0)).name(), "erdos");
+        assert_eq!(DatasetSpec::Wsn(WsnConfig::paper(10, 0.5)).name(), "wsn");
+    }
+}

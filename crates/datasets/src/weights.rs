@@ -1,0 +1,74 @@
+//! Vertex-weight assignment models.
+//!
+//! The paper's synthetic experiments draw integer weights uniformly from
+//! `[0, 10]`; the running example of Fig. 1 uses unit weights.
+
+use flowmax_graph::Weight;
+use rand::Rng;
+
+use flowmax_sampling::FlowRng;
+
+/// How vertex information weights are drawn for generated graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// Every vertex carries the same weight.
+    Constant(f64),
+    /// Integer weights uniform in `[lo, hi]` (inclusive) — the paper's
+    /// synthetic default is `[0, 10]`.
+    UniformInt {
+        /// Smallest weight (inclusive).
+        lo: u32,
+        /// Largest weight (inclusive).
+        hi: u32,
+    },
+}
+
+impl WeightModel {
+    /// The paper's synthetic default: integers uniform in `[0, 10]`.
+    pub fn paper_default() -> Self {
+        WeightModel::UniformInt { lo: 0, hi: 10 }
+    }
+
+    /// Unit weights (Fig. 1: "each node has one unit of information").
+    pub fn unit() -> Self {
+        WeightModel::Constant(1.0)
+    }
+
+    /// Draws a weight.
+    pub fn sample(&self, rng: &mut FlowRng) -> Weight {
+        match *self {
+            WeightModel::Constant(w) => Weight::new_unchecked(w),
+            WeightModel::UniformInt { lo, hi } => {
+                Weight::new_unchecked(rng.gen_range(lo..=hi) as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_sampling::SeedSequence;
+
+    #[test]
+    fn constant_weights() {
+        let mut rng = SeedSequence::new(1).rng(0);
+        assert_eq!(WeightModel::unit().sample(&mut rng).value(), 1.0);
+    }
+
+    #[test]
+    fn uniform_int_range_and_integrality() {
+        let m = WeightModel::paper_default();
+        let mut rng = SeedSequence::new(2).rng(0);
+        let mut seen_zero = false;
+        let mut seen_ten = false;
+        for _ in 0..2000 {
+            let w = m.sample(&mut rng).value();
+            assert!((0.0..=10.0).contains(&w));
+            assert_eq!(w.fract(), 0.0, "weights must be integers");
+            seen_zero |= w == 0.0;
+            seen_ten |= w == 10.0;
+        }
+        assert!(seen_zero && seen_ten, "bounds should both be attainable");
+    }
+}

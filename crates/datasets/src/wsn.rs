@@ -1,0 +1,172 @@
+//! Wireless-sensor-network generator: a random geometric graph (§7.1 "WSN",
+//! Fig. 8).
+//!
+//! Vertices receive uniform coordinates in the unit square; two sensors are
+//! connected iff their Euclidean distance is at most `epsilon`. Spatial
+//! hashing keeps generation `O(n)` for the paper's densities.
+
+use flowmax_graph::{GraphBuilder, ProbabilisticGraph, VertexId};
+use rand::Rng;
+
+use flowmax_sampling::SeedSequence;
+
+use crate::probabilities::ProbabilityModel;
+use crate::weights::WeightModel;
+
+/// Configuration for the random geometric (WSN) generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsnConfig {
+    /// Number of sensors.
+    pub vertices: usize,
+    /// Connection radius ε (paper uses 0.05 and 0.07 at `n = 1000`).
+    pub epsilon: f64,
+    /// Edge probability model (paper: uniform `(0, 1]`).
+    pub probabilities: ProbabilityModel,
+    /// Vertex weight model.
+    pub weights: WeightModel,
+}
+
+/// A generated WSN: the graph plus sensor coordinates (useful for plots and
+/// for distance-based probability models).
+#[derive(Debug, Clone)]
+pub struct WsnGraph {
+    /// The uncertain graph.
+    pub graph: ProbabilisticGraph,
+    /// `positions[v] = (x, y) ∈ [0,1]²`.
+    pub positions: Vec<(f64, f64)>,
+}
+
+impl WsnConfig {
+    /// The paper's Fig. 8 settings.
+    pub fn paper(vertices: usize, epsilon: f64) -> Self {
+        WsnConfig {
+            vertices,
+            epsilon,
+            probabilities: ProbabilityModel::uniform_unit(),
+            weights: WeightModel::paper_default(),
+        }
+    }
+
+    /// Generates a WSN deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> WsnGraph {
+        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "epsilon must be in (0,1)");
+        let n = self.vertices;
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+
+        let positions: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+        // Spatial hash: cells of side epsilon; a vertex can only connect to
+        // vertices in its own or the 8 neighbouring cells.
+        let cells_per_axis = (1.0 / self.epsilon).ceil() as i64;
+        let cell_of = |x: f64, y: f64| -> (i64, i64) {
+            (
+                ((x * cells_per_axis as f64) as i64).min(cells_per_axis - 1),
+                ((y * cells_per_axis as f64) as i64).min(cells_per_axis - 1),
+            )
+        };
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            grid.entry(cell_of(x, y)).or_default().push(i as u32);
+        }
+
+        let mut b = GraphBuilder::with_capacity(n, n * 4);
+        for _ in 0..n {
+            let w = self.weights.sample(&mut rng);
+            b.add_vertex(w);
+        }
+        let eps2 = self.epsilon * self.epsilon;
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(cell) = grid.get(&(cx + dx, cy + dy)) else { continue };
+                    for &j in cell {
+                        if (j as usize) <= i {
+                            continue; // handle each pair once
+                        }
+                        let (xj, yj) = positions[j as usize];
+                        let d2 = (x - xj).powi(2) + (y - yj).powi(2);
+                        if d2 <= eps2 {
+                            let p = self.probabilities.sample(&mut rng, d2.sqrt());
+                            b.add_edge(VertexId(i as u32), VertexId(j), p)
+                                .expect("pairs are visited once");
+                        }
+                    }
+                }
+            }
+        }
+        WsnGraph { graph: b.build(), positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_respect_epsilon() {
+        let wsn = WsnConfig::paper(300, 0.08).generate(11);
+        for (_, e) in wsn.graph.edges() {
+            let (a, b) = e.endpoints();
+            let (xa, ya) = wsn.positions[a.index()];
+            let (xb, yb) = wsn.positions[b.index()];
+            let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            assert!(d <= 0.08 + 1e-12, "edge of length {d}");
+        }
+    }
+
+    #[test]
+    fn all_close_pairs_are_connected() {
+        let wsn = WsnConfig::paper(150, 0.1).generate(5);
+        let n = wsn.graph.vertex_count();
+        for i in 0..n {
+            for j in i + 1..n {
+                let (xa, ya) = wsn.positions[i];
+                let (xb, yb) = wsn.positions[j];
+                let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+                if d <= 0.1 {
+                    assert!(
+                        wsn.graph
+                            .edge_between(VertexId(i as u32), VertexId(j as u32))
+                            .is_some(),
+                        "pair at distance {d} must be connected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_grows_with_epsilon() {
+        let sparse = WsnConfig::paper(500, 0.05).generate(1).graph.edge_count();
+        let dense = WsnConfig::paper(500, 0.07).generate(1).graph.edge_count();
+        assert!(dense > sparse, "ε=0.07 must be denser than ε=0.05 ({dense} vs {sparse})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = WsnConfig::paper(100, 0.1);
+        let a = c.generate(3);
+        let b = c.generate(3);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn expected_density_ballpark() {
+        // E[deg] ≈ n·π·ε² for interior vertices; allow generous slack for
+        // boundary effects.
+        let n = 2000;
+        let eps = 0.05;
+        let g = WsnConfig::paper(n, eps).generate(7).graph;
+        let mean_deg = 2.0 * g.edge_count() as f64 / n as f64;
+        let expected = n as f64 * std::f64::consts::PI * eps * eps;
+        assert!(
+            mean_deg > expected * 0.7 && mean_deg < expected * 1.1,
+            "mean degree {mean_deg}, analytic {expected}"
+        );
+    }
+}

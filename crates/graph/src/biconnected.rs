@@ -1,0 +1,283 @@
+//! Biconnected components and articulation vertices (Hopcroft–Tarjan).
+//!
+//! The F-tree (§5.3) is "inspired by the block-cut tree"; this module
+//! provides the classical static decomposition [14], [35] used as
+//! * the reference oracle that validates the incrementally maintained F-tree
+//!   in tests, and
+//! * a substrate for the [`crate::block_cut::BlockCutTree`].
+//!
+//! The DFS is iterative, so million-vertex graphs do not overflow the call
+//! stack.
+
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::EdgeSubset;
+
+/// The biconnected decomposition of an active subgraph.
+#[derive(Debug, Clone)]
+pub struct BiconnectedDecomposition {
+    /// Maximal biconnected blocks, each given by its edge set. Bridges form
+    /// single-edge blocks.
+    pub blocks: Vec<Vec<EdgeId>>,
+    /// `articulation[v]` is `true` iff removing `v` disconnects its component.
+    pub articulation: Vec<bool>,
+}
+
+impl BiconnectedDecomposition {
+    /// Ids of all articulation vertices.
+    pub fn articulation_vertices(&self) -> Vec<VertexId> {
+        self.articulation
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| VertexId::from_index(i))
+            .collect()
+    }
+
+    /// Blocks that are cycles or larger (≥ 2 edges). Per the paper's
+    /// refinement (§2 "Bi-connected components"), single-edge blocks
+    /// (bridges) are treated as mono-connected, so only these blocks require
+    /// Monte-Carlo sampling.
+    pub fn cyclic_blocks(&self) -> impl Iterator<Item = &Vec<EdgeId>> {
+        self.blocks.iter().filter(|b| b.len() >= 2)
+    }
+
+    /// Distinct vertices of a block.
+    pub fn block_vertices(&self, graph: &ProbabilisticGraph, block: &[EdgeId]) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = block
+            .iter()
+            .flat_map(|&e| {
+                let (a, b) = graph.endpoints(e);
+                [a, b]
+            })
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+}
+
+struct Frame {
+    vertex: VertexId,
+    parent_edge: Option<EdgeId>,
+    cursor: usize,
+}
+
+/// Computes biconnected components and articulation vertices of the subgraph
+/// induced by `active` edges.
+///
+/// Isolated vertices produce no blocks. Runs in `O(|V| + |E|)`.
+pub fn biconnected_components(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+) -> BiconnectedDecomposition {
+    let n = graph.vertex_count();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut articulation = vec![false; n];
+    let mut blocks = Vec::new();
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut timer: u32 = 0;
+
+    for root in graph.vertices() {
+        if disc[root.index()] != 0 {
+            continue;
+        }
+        timer += 1;
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        stack.push(Frame { vertex: root, parent_edge: None, cursor: 0 });
+        let mut root_children = 0usize;
+
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.vertex;
+            let nbrs = graph.neighbor_slice(v);
+            if frame.cursor < nbrs.len() {
+                let (w, e) = nbrs[frame.cursor];
+                frame.cursor += 1;
+                if !active.contains(e) || frame.parent_edge == Some(e) {
+                    continue;
+                }
+                if disc[w.index()] == 0 {
+                    // Tree edge.
+                    edge_stack.push(e);
+                    timer += 1;
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push(Frame { vertex: w, parent_edge: Some(e), cursor: 0 });
+                } else if disc[w.index()] < disc[v.index()] {
+                    // Back edge to an ancestor.
+                    edge_stack.push(e);
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                // v is fully explored.
+                let parent_edge = frame.parent_edge;
+                stack.pop();
+                if let Some(parent) = stack.last() {
+                    let u = parent.vertex;
+                    low[u.index()] = low[u.index()].min(low[v.index()]);
+                    if low[v.index()] >= disc[u.index()] {
+                        // u separates the subtree of v: pop one block.
+                        let pe = parent_edge.expect("non-root frame has a parent edge");
+                        let mut block = Vec::new();
+                        while let Some(top) = edge_stack.pop() {
+                            block.push(top);
+                            if top == pe {
+                                break;
+                            }
+                        }
+                        blocks.push(block);
+                        if u != root || root_children >= 2 {
+                            articulation[u.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    BiconnectedDecomposition { blocks, articulation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    fn p5() -> Probability {
+        Probability::new(0.5).unwrap()
+    }
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(n, Weight::ONE);
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v), p5()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_edge_is_one_bridge_block() {
+        let g = build(2, &[(0, 1)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].len(), 1);
+        assert!(d.articulation_vertices().is_empty());
+    }
+
+    #[test]
+    fn path_graph_every_inner_vertex_is_articulation() {
+        let g = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 3, "each path edge is its own bridge block");
+        assert_eq!(d.articulation_vertices(), vec![VertexId(1), VertexId(2)]);
+        assert_eq!(d.cyclic_blocks().count(), 0);
+    }
+
+    #[test]
+    fn triangle_is_single_block_without_articulation() {
+        let g = build(3, &[(0, 1), (1, 2), (2, 0)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].len(), 3);
+        assert!(d.articulation_vertices().is_empty());
+        assert_eq!(d.cyclic_blocks().count(), 1);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Classic bowtie: 0-1-2-0 and 2-3-4-2; vertex 2 is the cut vertex.
+        let g = build(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 2);
+        assert!(d.blocks.iter().all(|b| b.len() == 3));
+        assert_eq!(d.articulation_vertices(), vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn square_with_tail() {
+        // 0-1-2-3-0 square, 2-4 tail: block {square}, bridge {2-4}; cut at 2.
+        let g = build(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<_> = d.blocks.iter().map(|b| b.len()).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(sizes, vec![1, 4]);
+        assert_eq!(d.articulation_vertices(), vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn respects_active_subset() {
+        // Square 0-1-2-3-0 but with edge 3-0 deactivated: becomes a path.
+        let g = build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut active = EdgeSubset::full(&g);
+        active.remove(EdgeId(3));
+        let d = biconnected_components(&g, &active);
+        assert_eq!(d.blocks.len(), 3);
+        assert_eq!(d.cyclic_blocks().count(), 0);
+        assert_eq!(d.articulation_vertices(), vec![VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn disconnected_components_processed_independently() {
+        let g = build(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), 3); // triangle + 2 bridges
+        assert_eq!(d.articulation_vertices(), vec![VertexId(4)]);
+    }
+
+    #[test]
+    fn blocks_partition_edges() {
+        let g = build(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        let mut all: Vec<u32> = d.blocks.iter().flatten().map(|e| e.0).collect();
+        all.sort();
+        let expected: Vec<u32> = (0..g.edge_count() as u32).collect();
+        assert_eq!(all, expected, "every active edge in exactly one block");
+    }
+
+    #[test]
+    fn block_vertices_helper() {
+        let g = build(3, &[(0, 1), (1, 2), (2, 0)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        let vs = d.block_vertices(&g, &d.blocks[0]);
+        assert_eq!(vs, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn root_articulation_detection() {
+        // Star centred at 0: 0 is an articulation vertex (3 children).
+        let g = build(4, &[(0, 1), (0, 2), (0, 3)]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.articulation_vertices(), vec![VertexId(0)]);
+        assert_eq!(d.blocks.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_vertices() {
+        let g = build(3, &[]);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert!(d.blocks.is_empty());
+        assert!(d.articulation_vertices().is_empty());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = build(n as usize, &edges);
+        let d = biconnected_components(&g, &EdgeSubset::full(&g));
+        assert_eq!(d.blocks.len(), (n - 1) as usize);
+    }
+}

@@ -1,0 +1,145 @@
+//! The block-cut tree [14], [35], [37]: the static structure the F-tree
+//! generalizes.
+//!
+//! Nodes are the biconnected blocks plus the articulation (cut) vertices;
+//! a block is adjacent to every cut vertex it contains. The F-tree differs by
+//! (a) rooting the structure at the query vertex `Q`, (b) merging bridge
+//! blocks into tree-like *mono-connected* components, and (c) propagating
+//! reachability probabilities through the structure (§2 "Bi-connected
+//! components" / §5.3).
+
+use crate::biconnected::{biconnected_components, BiconnectedDecomposition};
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::EdgeSubset;
+
+/// Index of a block node within a [`BlockCutTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub u32);
+
+/// A static block-cut tree of an active subgraph.
+#[derive(Debug, Clone)]
+pub struct BlockCutTree {
+    /// Edge sets of each block.
+    blocks: Vec<Vec<EdgeId>>,
+    /// Vertex sets of each block (sorted).
+    block_vertices: Vec<Vec<VertexId>>,
+    /// Cut-vertex flags, indexed by vertex id.
+    articulation: Vec<bool>,
+    /// For each cut vertex: the blocks containing it.
+    cut_blocks: Vec<Vec<BlockId>>,
+}
+
+impl BlockCutTree {
+    /// Builds the block-cut tree of the subgraph induced by `active`.
+    pub fn build(graph: &ProbabilisticGraph, active: &EdgeSubset) -> Self {
+        let deco: BiconnectedDecomposition = biconnected_components(graph, active);
+        let block_vertices: Vec<Vec<VertexId>> =
+            deco.blocks.iter().map(|b| deco.block_vertices(graph, b)).collect();
+        let mut cut_blocks = vec![Vec::new(); graph.vertex_count()];
+        for (i, vs) in block_vertices.iter().enumerate() {
+            for &v in vs {
+                if deco.articulation[v.index()] {
+                    cut_blocks[v.index()].push(BlockId(i as u32));
+                }
+            }
+        }
+        BlockCutTree {
+            blocks: deco.blocks,
+            block_vertices,
+            articulation: deco.articulation,
+            cut_blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Edge set of a block.
+    pub fn block_edges(&self, b: BlockId) -> &[EdgeId] {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Sorted vertex set of a block.
+    pub fn block_vertex_set(&self, b: BlockId) -> &[VertexId] {
+        &self.block_vertices[b.0 as usize]
+    }
+
+    /// Whether `v` is a cut (articulation) vertex.
+    pub fn is_cut_vertex(&self, v: VertexId) -> bool {
+        self.articulation[v.index()]
+    }
+
+    /// Blocks adjacent to a cut vertex (empty for non-cut vertices).
+    pub fn blocks_of_cut_vertex(&self, v: VertexId) -> &[BlockId] {
+        &self.cut_blocks[v.index()]
+    }
+
+    /// Iterates all block ids.
+    pub fn block_ids(&self) -> impl ExactSizeIterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of tree adjacencies (block, cut-vertex) — in a valid block-cut
+    /// tree this is `#blocks + #cut-vertices - #connected components` when the
+    /// structure is viewed as a bipartite tree per component.
+    pub fn adjacency_count(&self) -> usize {
+        self.cut_blocks.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    fn build_graph(n: usize, edges: &[(u32, u32)]) -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(n, Weight::ONE);
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v), Probability::new(0.5).unwrap()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bowtie_tree_shape() {
+        let g = build_graph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let t = BlockCutTree::build(&g, &EdgeSubset::full(&g));
+        assert_eq!(t.block_count(), 2);
+        assert!(t.is_cut_vertex(VertexId(2)));
+        assert!(!t.is_cut_vertex(VertexId(0)));
+        assert_eq!(t.blocks_of_cut_vertex(VertexId(2)).len(), 2);
+        assert_eq!(t.adjacency_count(), 2);
+    }
+
+    #[test]
+    fn path_tree_is_a_caterpillar() {
+        let g = build_graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = BlockCutTree::build(&g, &EdgeSubset::full(&g));
+        assert_eq!(t.block_count(), 3);
+        // Two cut vertices, each in two blocks: bipartite path B-c-B-c-B.
+        assert_eq!(t.adjacency_count(), 4);
+    }
+
+    #[test]
+    fn block_vertex_sets_are_sorted_and_complete() {
+        let g = build_graph(3, &[(2, 1), (0, 2), (1, 0)]);
+        let t = BlockCutTree::build(&g, &EdgeSubset::full(&g));
+        assert_eq!(t.block_count(), 1);
+        let b = t.block_ids().next().unwrap();
+        assert_eq!(t.block_vertex_set(b), &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(t.block_edges(b).len(), 3);
+    }
+
+    #[test]
+    fn non_cut_vertex_has_no_blocks_listed() {
+        let g = build_graph(2, &[(0, 1)]);
+        let t = BlockCutTree::build(&g, &EdgeSubset::full(&g));
+        assert!(t.blocks_of_cut_vertex(VertexId(0)).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+use crate::ids::{EdgeId, VertexId};
+
+/// Errors raised by graph construction and graph queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A probability outside `(0, 1]` (or non-finite) was supplied.
+    InvalidProbability(f64),
+    /// A negative or non-finite vertex weight was supplied.
+    InvalidWeight(f64),
+    /// A vertex id referenced a vertex that does not exist.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Number of edges in the graph.
+        edge_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the model uses simple graphs.
+    SelfLoop(VertexId),
+    /// The same undirected vertex pair was supplied twice.
+    DuplicateEdge {
+        /// First endpoint.
+        a: VertexId,
+        /// Second endpoint.
+        b: VertexId,
+    },
+    /// The graph is too large for exact possible-world enumeration.
+    TooManyEdgesForEnumeration {
+        /// Number of uncertain edges requested.
+        edges: usize,
+        /// Enumeration cap that was exceeded.
+        max: usize,
+    },
+    /// An I/O or parse problem while reading a graph from text.
+    Parse {
+        /// 1-based line number (0 when unknown, e.g. unexpected EOF).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidProbability(p) => {
+                write!(f, "invalid edge probability {p}: must be finite and in (0, 1]")
+            }
+            GraphError::InvalidWeight(w) => {
+                write!(f, "invalid vertex weight {w}: must be finite and >= 0")
+            }
+            GraphError::VertexOutOfBounds { vertex, vertex_count } => {
+                write!(f, "vertex {vertex:?} out of bounds (graph has {vertex_count} vertices)")
+            }
+            GraphError::EdgeOutOfBounds { edge, edge_count } => {
+                write!(f, "edge {edge:?} out of bounds (graph has {edge_count} edges)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v:?} is not allowed"),
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "duplicate undirected edge ({a:?}, {b:?})")
+            }
+            GraphError::TooManyEdgesForEnumeration { edges, max } => {
+                write!(
+                    f,
+                    "{edges} uncertain edges exceed the exact-enumeration cap of {max} \
+                     (2^{edges} possible worlds)"
+                )
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = GraphError::SelfLoop(VertexId(3));
+        assert!(e.to_string().contains("v3"));
+        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

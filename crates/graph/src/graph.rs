@@ -1,0 +1,322 @@
+//! The immutable probabilistic-graph representation.
+//!
+//! A [`ProbabilisticGraph`] is the `G = (V, E, W, P)` of the paper's §3:
+//! undirected, simple, with a positive information weight per vertex and an
+//! existence probability per edge. Edge existence events are assumed
+//! independent (the possible-world semantics of Eq. 1).
+//!
+//! The structure is immutable after construction (see
+//! [`GraphBuilder`](crate::builder::GraphBuilder)); all algorithms in
+//! `flowmax` operate on *subsets of edges* of a fixed graph, so adjacency is
+//! stored once in compressed-sparse-row (CSR) form for cache-friendly
+//! traversal of million-edge graphs.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, VertexId};
+use crate::probability::Probability;
+use crate::weight::Weight;
+
+/// An undirected probabilistic edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint (the lower vertex id after normalization).
+    pub source: VertexId,
+    /// Second endpoint.
+    pub target: VertexId,
+    /// Existence probability `P(e) ∈ (0, 1]`.
+    pub probability: Probability,
+}
+
+impl Edge {
+    /// Returns the endpoint opposite to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, v: VertexId) -> VertexId {
+        debug_assert!(v == self.source || v == self.target, "{v:?} is not an endpoint");
+        if v == self.source {
+            self.target
+        } else {
+            self.source
+        }
+    }
+
+    /// Returns both endpoints as a `(source, target)` pair.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.source, self.target)
+    }
+}
+
+/// An immutable uncertain graph `G = (V, E, W, P)`.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticGraph {
+    weights: Vec<Weight>,
+    edges: Vec<Edge>,
+    /// CSR offsets: `adj_offsets[v]..adj_offsets[v+1]` indexes `adj_entries`.
+    adj_offsets: Vec<u32>,
+    /// Flat adjacency entries `(neighbor, edge id)`, 2 per undirected edge.
+    adj_entries: Vec<(VertexId, EdgeId)>,
+}
+
+impl ProbabilisticGraph {
+    pub(crate) fn from_parts(weights: Vec<Weight>, edges: Vec<Edge>) -> Self {
+        let n = weights.len();
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.source.index()] += 1;
+            degree[e.target.index()] += 1;
+        }
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        adj_offsets.push(0);
+        for d in &degree {
+            acc += d;
+            adj_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_entries = vec![(VertexId(0), EdgeId(0)); 2 * edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId::from_index(i);
+            let cs = &mut cursor[e.source.index()];
+            adj_entries[*cs as usize] = (e.target, id);
+            *cs += 1;
+            let ct = &mut cursor[e.target.index()];
+            adj_entries[*ct as usize] = (e.source, id);
+            *ct += 1;
+        }
+        ProbabilisticGraph { weights, edges, adj_offsets, adj_entries }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Information weight of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn weight(&self, v: VertexId) -> Weight {
+        self.weights[v.index()]
+    }
+
+    /// The edge record for an edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Existence probability of an edge.
+    #[inline]
+    pub fn probability(&self, e: EdgeId) -> Probability {
+        self.edges[e.index()].probability
+    }
+
+    /// Both endpoints of an edge.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()].endpoints()
+    }
+
+    /// Checked vertex lookup.
+    pub fn try_weight(&self, v: VertexId) -> Result<Weight, GraphError> {
+        self.weights
+            .get(v.index())
+            .copied()
+            .ok_or(GraphError::VertexOutOfBounds { vertex: v, vertex_count: self.vertex_count() })
+    }
+
+    /// Checked edge lookup.
+    pub fn try_edge(&self, e: EdgeId) -> Result<&Edge, GraphError> {
+        self.edges
+            .get(e.index())
+            .ok_or(GraphError::EdgeOutOfBounds { edge: e, edge_count: self.edge_count() })
+    }
+
+    /// Degree of a vertex (number of incident edges in the full graph).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.adj_offsets[i + 1] - self.adj_offsets[i]) as usize
+    }
+
+    /// Iterates the neighbours of `v` as `(neighbor, connecting edge)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl ExactSizeIterator<Item = (VertexId, EdgeId)> + '_ {
+        let i = v.index();
+        let range = self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize;
+        self.adj_entries[range].iter().copied()
+    }
+
+    /// Borrowed adjacency slice of `v`: `(neighbor, connecting edge)` pairs.
+    ///
+    /// Same contents as [`Self::neighbors`], but indexable — used by
+    /// iterative DFS algorithms that need cursor-based resumption.
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        let i = v.index();
+        &self.adj_entries[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
+    }
+
+    /// Iterates all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        (0..self.vertex_count() as u32).map(VertexId)
+    }
+
+    /// Iterates all edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> {
+        (0..self.edge_count() as u32).map(EdgeId)
+    }
+
+    /// Iterates all edge records together with their ids.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::from_index(i), e))
+    }
+
+    /// Finds the edge between `a` and `b`, if present.
+    ///
+    /// Scans the adjacency list of the lower-degree endpoint, so this is
+    /// `O(min(deg(a), deg(b)))`.
+    pub fn edge_between(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        let (probe, other) =
+            if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.neighbors(probe).find(|&(n, _)| n == other).map(|(_, e)| e)
+    }
+
+    /// Sum of all vertex weights: the maximum attainable expected flow
+    /// (every vertex reached with probability one), useful for normalizing
+    /// experiment output.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().map(|w| w.value()).sum()
+    }
+
+    /// Number of edges with `P(e) < 1`, i.e. the exponent of the possible-
+    /// world count `2^|E_{<1}|` (§3).
+    pub fn uncertain_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.probability.is_certain()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::new(2.0).unwrap());
+        let v2 = b.add_vertex(Weight::new(3.0).unwrap());
+        b.add_edge(v0, v1, Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(v1, v2, Probability::new(0.25).unwrap()).unwrap();
+        b.add_edge(v2, v0, Probability::ONE).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.weight(VertexId(2)).value(), 3.0);
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.uncertain_edge_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for (id, e) in g.edges() {
+            assert!(g.neighbors(e.source).any(|(n, eid)| n == e.target && eid == id));
+            assert!(g.neighbors(e.target).any(|(n, eid)| n == e.source && eid == id));
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let g = triangle();
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+            assert_eq!(g.neighbors(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn edge_between_finds_edges_both_ways() {
+        let g = triangle();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(g.edge_between(VertexId(1), VertexId(0)), Some(e));
+        let (a, b) = g.endpoints(e);
+        assert_eq!((a.0.min(b.0), a.0.max(b.0)), (0, 1));
+    }
+
+    #[test]
+    fn edge_between_absent() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::ONE);
+        b.add_vertex(Weight::ONE);
+        b.add_edge(v0, v1, Probability::new(0.5).unwrap()).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_between(VertexId(0), VertexId(2)), None);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(e.source), e.target);
+        assert_eq!(e.other(e.target), e.source);
+    }
+
+    #[test]
+    fn checked_lookups() {
+        let g = triangle();
+        assert!(g.try_weight(VertexId(99)).is_err());
+        assert!(g.try_edge(EdgeId(99)).is_err());
+        assert!(g.try_weight(VertexId(0)).is_ok());
+        assert!(g.try_edge(EdgeId(0)).is_ok());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(g.is_empty());
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ONE);
+        b.add_vertex(Weight::ONE);
+        let g = b.build();
+        assert_eq!(g.degree(VertexId(0)), 0);
+        assert_eq!(g.neighbors(VertexId(1)).len(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly-typed identifiers for vertices and edges.
+//!
+//! Both ids are thin wrappers around `u32`: the evaluation graphs of the paper
+//! go up to ~1.1M vertices / ~3M edges (YouTube), so 32 bits keep hot
+//! structures (adjacency lists, component vertex sets) at half the size of
+//! `usize` on 64-bit targets while leaving ample headroom.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::ProbabilisticGraph`].
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge in a [`crate::ProbabilisticGraph`].
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`. An edge id
+/// identifies the *undirected* edge; both adjacency entries of an edge share
+/// one id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "vertex index out of range");
+        VertexId(index as u32)
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an edge id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "edge index out of range");
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(raw: u32) -> Self {
+        EdgeId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(format!("{e}"), "7");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(3) > EdgeId(0));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<VertexId>>(), 8);
+    }
+
+    #[test]
+    fn from_u32_conversions() {
+        assert_eq!(VertexId::from(9u32), VertexId(9));
+        assert_eq!(EdgeId::from(9u32), EdgeId(9));
+    }
+}

@@ -1,0 +1,66 @@
+//! # flowmax-graph
+//!
+//! Probabilistic (uncertain) graph substrate for the `flowmax` workspace —
+//! a from-scratch reproduction of *"Efficient Information Flow Maximization
+//! in Probabilistic Graphs"* (Frey, Züfle, Emrich, Renz — TKDE 2018).
+//!
+//! This crate provides the `G = (V, E, W, P)` model of the paper's §3 and
+//! every classical graph algorithm the F-tree builds upon:
+//!
+//! * [`ProbabilisticGraph`] / [`GraphBuilder`] — immutable CSR graphs with
+//!   validated edge probabilities ([`Probability`]) and vertex information
+//!   weights ([`Weight`]);
+//! * [`EdgeSubset`] / [`SubgraphView`] — the `E' ⊆ E` subgraphs over which
+//!   flow is maximized (Def. 4);
+//! * possible-world semantics ([`world_probability`], Eq. 1) and **exact
+//!   enumeration** ([`exact_reachability`], [`exact_expected_flow`]) — the
+//!   ground truth for all tests;
+//! * traversal ([`Bfs`], [`connected_components`]) and [`UnionFind`];
+//! * Hopcroft–Tarjan [`biconnected_components`] and the
+//!   [`BlockCutTree`] the F-tree is inspired by;
+//! * [`max_probability_spanning_tree`] — the Dijkstra baseline of §7.2;
+//! * plain-text graph [`io`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod error;
+mod graph;
+mod ids;
+mod probability;
+mod weight;
+
+pub mod biconnected;
+pub mod block_cut;
+pub mod enumerate;
+pub mod io;
+pub mod path;
+pub mod reliability;
+pub mod spanning;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+pub mod union_find;
+pub mod world;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edge, ProbabilisticGraph};
+pub use ids::{EdgeId, VertexId};
+pub use probability::Probability;
+pub use weight::Weight;
+
+pub use biconnected::{biconnected_components, BiconnectedDecomposition};
+pub use block_cut::{BlockCutTree, BlockId};
+pub use enumerate::{
+    exact_expected_flow, exact_reachability, exact_two_terminal, DEFAULT_ENUMERATION_CAP,
+};
+pub use path::{count_simple_paths, shortest_path, Path};
+pub use reliability::{flow_bounds, reliability_bounds, ReliabilityBounds};
+pub use spanning::{max_probability_spanning_tree, max_probability_spanning_tree_full, SpanningTree};
+pub use stats::GraphStats;
+pub use subgraph::{EdgeSubset, SubgraphView};
+pub use traversal::{connected_components, Bfs};
+pub use union_find::UnionFind;
+pub use world::{world_probability, PossibleWorld};

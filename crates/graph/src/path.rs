@@ -1,0 +1,212 @@
+//! Path utilities: unique paths and path probabilities.
+//!
+//! In a mono-connected (sub)graph the reachability probability between two
+//! vertices is the product of the probabilities of the edges on their unique
+//! path (Lemma 2). These helpers find such paths in an active subgraph and
+//! evaluate the product.
+
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::EdgeSubset;
+
+/// A simple path: the ordered list of traversed edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Ordered vertex sequence `v0, v1, ..., vn`.
+    pub vertices: Vec<VertexId>,
+    /// Ordered edge sequence; `edges[i]` connects `vertices[i]` and
+    /// `vertices[i + 1]`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Number of edges (hops) on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for the trivial zero-hop path.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Product of edge probabilities along the path (Lemma 2: the exact
+    /// two-terminal reliability when the path is unique).
+    pub fn probability(&self, graph: &ProbabilisticGraph) -> f64 {
+        self.edges.iter().map(|&e| graph.probability(e).value()).product()
+    }
+}
+
+/// Finds *a* shortest (fewest-hop) path from `source` to `target` through
+/// active edges, or `None` if disconnected.
+pub fn shortest_path(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+    source: VertexId,
+    target: VertexId,
+) -> Option<Path> {
+    if source == target {
+        return Some(Path { vertices: vec![source], edges: Vec::new() });
+    }
+    let n = graph.vertex_count();
+    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    'outer: while let Some(u) = queue.pop_front() {
+        for (nb, e) in graph.neighbors(u) {
+            if !visited[nb.index()] && active.contains(e) {
+                visited[nb.index()] = true;
+                parent[nb.index()] = Some((u, e));
+                if nb == target {
+                    break 'outer;
+                }
+                queue.push_back(nb);
+            }
+        }
+    }
+    if !visited[target.index()] {
+        return None;
+    }
+    let mut vertices = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while let Some((prev, e)) = parent[cur.index()] {
+        edges.push(e);
+        vertices.push(prev);
+        cur = prev;
+    }
+    vertices.reverse();
+    edges.reverse();
+    Some(Path { vertices, edges })
+}
+
+/// Counts simple paths between two vertices in the active subgraph, stopping
+/// at `limit`. `count_paths(..., 2) == 1` certifies mono-connectivity of the
+/// pair (Def. 5); `>= 2` certifies bi-connectivity (Def. 7).
+pub fn count_simple_paths(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+    source: VertexId,
+    target: VertexId,
+    limit: usize,
+) -> usize {
+    fn dfs(
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        current: VertexId,
+        target: VertexId,
+        on_path: &mut Vec<bool>,
+        found: &mut usize,
+        limit: usize,
+    ) {
+        if *found >= limit {
+            return;
+        }
+        if current == target {
+            *found += 1;
+            return;
+        }
+        on_path[current.index()] = true;
+        for (nb, e) in graph.neighbors(current) {
+            if active.contains(e) && !on_path[nb.index()] {
+                dfs(graph, active, nb, target, on_path, found, limit);
+                if *found >= limit {
+                    break;
+                }
+            }
+        }
+        on_path[current.index()] = false;
+    }
+
+    let mut on_path = vec![false; graph.vertex_count()];
+    let mut found = 0;
+    dfs(graph, active, source, target, &mut on_path, &mut found, limit);
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Square 0-1-2-3-0 plus pendant 4 hanging off 2.
+    fn square_with_tail() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex(Weight::ONE)).collect();
+        b.add_edge(vs[0], vs[1], p(0.9)).unwrap(); // e0
+        b.add_edge(vs[1], vs[2], p(0.8)).unwrap(); // e1
+        b.add_edge(vs[2], vs[3], p(0.7)).unwrap(); // e2
+        b.add_edge(vs[3], vs[0], p(0.6)).unwrap(); // e3
+        b.add_edge(vs[2], vs[4], p(0.5)).unwrap(); // e4
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let g = square_with_tail();
+        let active = EdgeSubset::full(&g);
+        let path = shortest_path(&g, &active, VertexId(0), VertexId(4)).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.vertices.first(), Some(&VertexId(0)));
+        assert_eq!(path.vertices.last(), Some(&VertexId(4)));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = square_with_tail();
+        let active = EdgeSubset::full(&g);
+        let path = shortest_path(&g, &active, VertexId(2), VertexId(2)).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(path.probability(&g), 1.0);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = square_with_tail();
+        let active = EdgeSubset::for_graph(&g);
+        assert!(shortest_path(&g, &active, VertexId(0), VertexId(4)).is_none());
+    }
+
+    #[test]
+    fn path_probability_is_product() {
+        let g = square_with_tail();
+        let mut active = EdgeSubset::for_graph(&g);
+        active.insert(EdgeId(1));
+        active.insert(EdgeId(4));
+        let path = shortest_path(&g, &active, VertexId(1), VertexId(4)).unwrap();
+        assert!((path.probability(&g) - 0.8 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_paths_detects_bi_connectivity() {
+        let g = square_with_tail();
+        let active = EdgeSubset::full(&g);
+        // 0 and 2 lie on the square: two simple paths.
+        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10), 2);
+        // 4 hangs off the square: still two (via both square sides).
+        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(4), 10), 2);
+    }
+
+    #[test]
+    fn count_paths_mono_connected_pair() {
+        let g = square_with_tail();
+        let mut active = EdgeSubset::full(&g);
+        active.remove(EdgeId(3)); // break the square
+        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10), 1);
+    }
+
+    #[test]
+    fn count_paths_limit_short_circuits() {
+        let g = square_with_tail();
+        let active = EdgeSubset::full(&g);
+        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 1), 1);
+    }
+}

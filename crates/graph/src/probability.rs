@@ -1,0 +1,176 @@
+//! Validated edge-existence probabilities.
+//!
+//! The paper's model maps every edge to a probability in the half-open
+//! interval `(0, 1]` (an edge with probability 0 would never exist and is
+//! simply absent from `E`). [`Probability`] enforces this invariant at
+//! construction so the rest of the codebase can multiply and compare raw
+//! `f64`s without re-validating.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// An edge-existence probability `p ∈ (0, 1]`.
+///
+/// The wrapper guarantees the value is finite, strictly positive and at most
+/// one, which makes products of probabilities (path probabilities, world
+/// probabilities) well behaved.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// Probability one: the edge exists in every possible world.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability, validating `0 < p <= 1`.
+    pub fn new(p: f64) -> Result<Self, GraphError> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Probability(p))
+        } else {
+            Err(GraphError::InvalidProbability(p))
+        }
+    }
+
+    /// Creates a probability without validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant is violated. Use [`Self::new`]
+    /// for untrusted input.
+    #[inline]
+    pub fn new_unchecked(p: f64) -> Self {
+        debug_assert!(p.is_finite() && p > 0.0 && p <= 1.0, "invalid probability {p}");
+        Probability(p)
+    }
+
+    /// Returns the raw probability value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the complement `1 - p` (the probability the edge is absent).
+    ///
+    /// The complement may be zero (for `p = 1`), so it is returned as a raw
+    /// `f64` rather than a `Probability`.
+    #[inline]
+    pub fn complement(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Returns `true` if the edge is certain (`p == 1`).
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// Negative log-probability, the additive weight used by the
+    /// max-probability spanning tree baseline (`w(e) = -ln p(e)`, §7.2).
+    #[inline]
+    pub fn neg_ln(self) -> f64 {
+        // p ∈ (0,1] ⇒ -ln p ∈ [0, ∞); p = 1 maps to exactly 0.
+        -self.0.ln()
+    }
+
+    /// Multiplies two probabilities (probability that two independent edges
+    /// both exist). The product stays in `(0, 1]`.
+    #[inline]
+    pub fn and(self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+}
+
+impl Eq for Probability {}
+
+impl Ord for Probability {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Valid probabilities are never NaN, so total order is safe.
+        self.0.partial_cmp(&other.0).expect("probability is never NaN")
+    }
+}
+
+impl PartialOrd for Probability {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p={}", self.0)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = GraphError;
+
+    fn try_from(p: f64) -> Result<Self, Self::Error> {
+        Probability::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        for p in [0.0001, 0.5, 0.999, 1.0] {
+            assert_eq!(Probability::new(p).unwrap().value(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        for p in [0.0, -0.3, 1.0001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Probability::new(p).is_err(), "{p} should be rejected");
+        }
+    }
+
+    #[test]
+    fn complement_and_certainty() {
+        let p = Probability::new(0.25).unwrap();
+        assert!((p.complement() - 0.75).abs() < 1e-12);
+        assert!(!p.is_certain());
+        assert!(Probability::ONE.is_certain());
+        assert_eq!(Probability::ONE.complement(), 0.0);
+    }
+
+    #[test]
+    fn neg_ln_is_zero_for_certain_edges() {
+        assert_eq!(Probability::ONE.neg_ln(), 0.0);
+        assert!(Probability::new(0.5).unwrap().neg_ln() > 0.0);
+    }
+
+    #[test]
+    fn and_multiplies() {
+        let a = Probability::new(0.5).unwrap();
+        let b = Probability::new(0.4).unwrap();
+        assert!((a.and(b).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            Probability::new(0.9).unwrap(),
+            Probability::new(0.1).unwrap(),
+            Probability::new(0.5).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].value(), 0.1);
+        assert_eq!(v[2].value(), 0.9);
+    }
+
+    #[test]
+    fn try_from_f64() {
+        assert!(Probability::try_from(0.7).is_ok());
+        assert!(Probability::try_from(0.0).is_err());
+    }
+}

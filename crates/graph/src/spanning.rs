@@ -1,0 +1,200 @@
+//! Maximum-probability spanning trees (the *Dijkstra* baseline substrate).
+//!
+//! Transforming edge probabilities to additive costs `w(e) = −ln P(e)` turns
+//! "most probable path" into "shortest path" [32], so running Dijkstra from
+//! the query vertex yields, at every iteration, a spanning tree maximizing the
+//! connection probability from `Q` to every settled vertex (§7.2 "Dijkstra").
+//! The baseline activates the first `k` tree edges in settle order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::EdgeSubset;
+
+/// A most-probable-path spanning tree rooted at a source vertex.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// The root (query) vertex.
+    pub source: VertexId,
+    /// Settled vertices in settle order (excluding the source), each with the
+    /// tree edge that connected it.
+    pub order: Vec<(VertexId, EdgeId)>,
+    /// `path_probability[v]` = probability of the most probable path from the
+    /// source to `v` (0 if unreachable, 1 for the source itself).
+    pub path_probability: Vec<f64>,
+}
+
+impl SpanningTree {
+    /// The first `k` tree edges in settle order — the Dijkstra baseline's
+    /// edge selection for budget `k`.
+    pub fn first_edges(&self, k: usize) -> Vec<EdgeId> {
+        self.order.iter().take(k).map(|&(_, e)| e).collect()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    vertex: VertexId,
+    via_edge: Option<EdgeId>,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost: reverse the comparison. Costs are finite
+        // non-negative (−ln p with p ∈ (0,1]), never NaN.
+        other.cost.partial_cmp(&self.cost).expect("costs are never NaN")
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes the maximum-probability spanning tree of the subgraph induced by
+/// `active`, rooted at `source`, via Dijkstra on `−ln P(e)` costs.
+pub fn max_probability_spanning_tree(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+    source: VertexId,
+) -> SpanningTree {
+    let n = graph.vertex_count();
+    let mut cost = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut order = Vec::new();
+    let mut heap = BinaryHeap::new();
+    cost[source.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, vertex: source, via_edge: None });
+
+    while let Some(HeapEntry { cost: c, vertex: u, via_edge }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        if let Some(e) = via_edge {
+            order.push((u, e));
+        }
+        for (v, e) in graph.neighbors(u) {
+            if settled[v.index()] || !active.contains(e) {
+                continue;
+            }
+            let nc = c + graph.probability(e).neg_ln();
+            if nc < cost[v.index()] {
+                cost[v.index()] = nc;
+                heap.push(HeapEntry { cost: nc, vertex: v, via_edge: Some(e) });
+            }
+        }
+    }
+
+    let path_probability = cost
+        .iter()
+        .map(|&c| if c.is_finite() { (-c).exp() } else { 0.0 })
+        .collect();
+    SpanningTree { source, order, path_probability }
+}
+
+/// Convenience: spanning tree over the *full* edge set.
+pub fn max_probability_spanning_tree_full(
+    graph: &ProbabilisticGraph,
+    source: VertexId,
+) -> SpanningTree {
+    let active = EdgeSubset::full(graph);
+    max_probability_spanning_tree(graph, &active, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Q connects to 2 directly (p=0.3) and via 1 (0.9 * 0.9 = 0.81).
+    fn detour_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let q = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::ONE);
+        let v2 = b.add_vertex(Weight::ONE);
+        b.add_edge(q, v2, p(0.3)).unwrap(); // e0: direct but weak
+        b.add_edge(q, v1, p(0.9)).unwrap(); // e1
+        b.add_edge(v1, v2, p(0.9)).unwrap(); // e2
+        b.build()
+    }
+
+    #[test]
+    fn prefers_more_probable_detour() {
+        let g = detour_graph();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert!((t.path_probability[2] - 0.81).abs() < 1e-12);
+        // v2 must have been settled through edge e2, not e0.
+        let (_, via) = t.order.iter().find(|&&(v, _)| v == VertexId(2)).unwrap();
+        assert_eq!(*via, EdgeId(2));
+    }
+
+    #[test]
+    fn settle_order_is_by_decreasing_probability() {
+        let g = detour_graph();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert_eq!(t.order.len(), 2);
+        assert_eq!(t.order[0].0, VertexId(1), "0.9 path settles before 0.81 path");
+        assert_eq!(t.order[1].0, VertexId(2));
+    }
+
+    #[test]
+    fn source_probability_is_one() {
+        let g = detour_graph();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert_eq!(t.path_probability[0], 1.0);
+    }
+
+    #[test]
+    fn unreachable_vertices_get_zero() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::ONE);
+        b.add_vertex(Weight::ONE); // isolated
+        b.add_edge(q, v1, p(0.5)).unwrap();
+        let g = b.build();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert_eq!(t.path_probability[2], 0.0);
+        assert_eq!(t.order.len(), 1);
+    }
+
+    #[test]
+    fn respects_active_subset() {
+        let g = detour_graph();
+        let mut active = EdgeSubset::full(&g);
+        active.remove(EdgeId(2));
+        let t = max_probability_spanning_tree(&g, &active, VertexId(0));
+        assert!((t.path_probability[2] - 0.3).abs() < 1e-12, "must use the direct edge now");
+    }
+
+    #[test]
+    fn first_edges_truncates() {
+        let g = detour_graph();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert_eq!(t.first_edges(1).len(), 1);
+        assert_eq!(t.first_edges(10).len(), 2);
+    }
+
+    #[test]
+    fn certain_edges_have_zero_cost() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::ONE);
+        b.add_edge(q, v1, Probability::ONE).unwrap();
+        let g = b.build();
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        assert_eq!(t.path_probability[1], 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Descriptive statistics of probabilistic graphs, used by dataset
+//! generators' sanity tests and the experiment reports.
+
+use crate::graph::ProbabilisticGraph;
+use crate::subgraph::EdgeSubset;
+use crate::traversal::connected_components;
+
+/// Summary statistics of an uncertain graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertex_count: usize,
+    /// `|E|`.
+    pub edge_count: usize,
+    /// Minimum vertex degree.
+    pub min_degree: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Mean vertex degree (`2|E| / |V|`).
+    pub mean_degree: f64,
+    /// Mean edge probability.
+    pub mean_probability: f64,
+    /// Sum of vertex weights.
+    pub total_weight: f64,
+    /// Number of connected components when all edges are active.
+    pub component_count: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &ProbabilisticGraph) -> Self {
+        let n = graph.vertex_count();
+        let m = graph.edge_count();
+        let (mut min_degree, mut max_degree) = (usize::MAX, 0usize);
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        let mean_probability = if m == 0 {
+            0.0
+        } else {
+            graph.edges().map(|(_, e)| e.probability.value()).sum::<f64>() / m as f64
+        };
+        let comps = connected_components(graph, &EdgeSubset::full(graph));
+        GraphStats {
+            vertex_count: n,
+            edge_count: m,
+            min_degree,
+            max_degree,
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_probability,
+            total_weight: graph.total_weight(),
+            component_count: comps.len(),
+            largest_component: comps.iter().map(|c| c.len()).max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} deg[{}..{}] mean_deg={:.2} mean_p={:.3} W={:.1} components={} (largest {})",
+            self.vertex_count,
+            self.edge_count,
+            self.min_degree,
+            self.max_degree,
+            self.mean_degree,
+            self.mean_probability,
+            self.total_weight,
+            self.component_count,
+            self.largest_component,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::VertexId;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::new(2.0).unwrap());
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.4).unwrap()).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.6).unwrap()).unwrap();
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 4);
+        assert_eq!(s.edge_count, 2);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.0).abs() < 1e-12);
+        assert!((s.mean_probability - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_weight, 8.0);
+        assert_eq!(s.component_count, 2);
+        assert_eq!(s.largest_component, 3);
+        let shown = s.to_string();
+        assert!(shown.contains("|V|=4"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.mean_probability, 0.0);
+        assert_eq!(s.component_count, 0);
+        assert_eq!(s.largest_component, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Edge subsets: the `G' = (V, E' ⊆ E)` subgraphs over which flow is
+//! maximized.
+//!
+//! The optimization problem (Def. 4) searches over subgraphs of a fixed graph
+//! that keep all vertices but activate at most `k` edges. [`EdgeSubset`] is a
+//! compact bitset over edge ids, and [`SubgraphView`] pairs it with the parent
+//! graph to offer filtered adjacency iteration.
+
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+
+/// A set of *active* edges of a parent [`ProbabilisticGraph`], stored as a
+/// bitset over dense edge ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSubset {
+    bits: Vec<u64>,
+    len: usize,
+    capacity: usize,
+}
+
+impl EdgeSubset {
+    /// Creates an empty subset able to hold edges of a graph with
+    /// `edge_capacity` edges.
+    pub fn new(edge_capacity: usize) -> Self {
+        EdgeSubset { bits: vec![0; edge_capacity.div_ceil(64)], len: 0, capacity: edge_capacity }
+    }
+
+    /// Creates an empty subset sized for `graph`.
+    pub fn for_graph(graph: &ProbabilisticGraph) -> Self {
+        Self::new(graph.edge_count())
+    }
+
+    /// Creates a subset containing every edge of `graph`.
+    pub fn full(graph: &ProbabilisticGraph) -> Self {
+        let mut s = Self::for_graph(graph);
+        for e in graph.edge_ids() {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Creates a subset from an iterator of edge ids.
+    pub fn from_edges<I: IntoIterator<Item = EdgeId>>(edge_capacity: usize, edges: I) -> Self {
+        let mut s = Self::new(edge_capacity);
+        for e in edges {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Number of active edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no edge is active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum edge id capacity this subset was sized for.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tests whether `e` is active.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let i = e.index();
+        debug_assert!(i < self.capacity, "edge id beyond subset capacity");
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Activates `e`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        let i = e.index();
+        assert!(i < self.capacity, "edge id {i} beyond subset capacity {}", self.capacity);
+        let word = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deactivates `e`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        let i = e.index();
+        assert!(i < self.capacity, "edge id {i} beyond subset capacity {}", self.capacity);
+        let word = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all edges.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates active edge ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: (wi * 64) as u32 }
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = EdgeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<EdgeId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(EdgeId(self.base + tz))
+    }
+}
+
+/// A read-only view of a graph restricted to an active edge subset.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgraphView<'g> {
+    graph: &'g ProbabilisticGraph,
+    active: &'g EdgeSubset,
+}
+
+impl<'g> SubgraphView<'g> {
+    /// Creates a view of `graph` restricted to `active` edges.
+    pub fn new(graph: &'g ProbabilisticGraph, active: &'g EdgeSubset) -> Self {
+        debug_assert_eq!(active.capacity(), graph.edge_count());
+        SubgraphView { graph, active }
+    }
+
+    /// The parent graph.
+    #[inline]
+    pub fn graph(&self) -> &'g ProbabilisticGraph {
+        self.graph
+    }
+
+    /// The active edge subset.
+    #[inline]
+    pub fn active(&self) -> &'g EdgeSubset {
+        self.active
+    }
+
+    /// Iterates the neighbours of `v` reachable through *active* edges.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + 'g {
+        let active = self.active;
+        self.graph.neighbors(v).filter(move |&(_, e)| active.contains(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    fn path_graph(n: usize) -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(n, Weight::ONE);
+        for i in 0..n - 1 {
+            b.add_edge(
+                VertexId(first.0 + i as u32),
+                VertexId(first.0 + i as u32 + 1),
+                Probability::new(0.5).unwrap(),
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let g = path_graph(5);
+        let mut s = EdgeSubset::for_graph(&g);
+        assert!(s.is_empty());
+        assert!(s.insert(EdgeId(1)));
+        assert!(!s.insert(EdgeId(1)), "double insert reports false");
+        assert!(s.contains(EdgeId(1)));
+        assert!(!s.contains(EdgeId(0)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(EdgeId(1)));
+        assert!(!s.remove(EdgeId(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_sorted_ids() {
+        let g = path_graph(200);
+        let mut s = EdgeSubset::for_graph(&g);
+        for id in [190, 3, 64, 65, 0, 127] {
+            s.insert(EdgeId(id));
+        }
+        let got: Vec<u32> = s.iter().map(|e| e.0).collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 127, 190]);
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let g = path_graph(10);
+        let s = EdgeSubset::full(&g);
+        assert_eq!(s.len(), g.edge_count());
+        for e in g.edge_ids() {
+            assert!(s.contains(e));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let g = path_graph(10);
+        let mut s = EdgeSubset::full(&g);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_edges_collects() {
+        let s = EdgeSubset::from_edges(10, [EdgeId(2), EdgeId(7)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(EdgeId(7)));
+    }
+
+    #[test]
+    fn subgraph_view_filters_adjacency() {
+        let g = path_graph(4); // edges: 0-1 (e0), 1-2 (e1), 2-3 (e2)
+        let mut s = EdgeSubset::for_graph(&g);
+        s.insert(EdgeId(0));
+        let view = SubgraphView::new(&g, &s);
+        let n1: Vec<_> = view.neighbors(VertexId(1)).collect();
+        assert_eq!(n1, vec![(VertexId(0), EdgeId(0))]);
+        assert_eq!(view.neighbors(VertexId(2)).count(), 0);
+        assert_eq!(view.graph().vertex_count(), 4);
+        assert_eq!(view.active().len(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_subset() {
+        let s = EdgeSubset::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Graph traversal over (sub)graphs and possible worlds.
+//!
+//! The hot path of every estimator in `flowmax` is a breadth-first search over
+//! a sampled world, so [`Bfs`] keeps reusable scratch buffers and uses an
+//! epoch-based visited set: resetting between runs is `O(1)` instead of
+//! `O(|V|)`.
+
+use crate::graph::ProbabilisticGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::EdgeSubset;
+
+/// Reusable breadth-first-search scratch space over a graph with a fixed
+/// number of vertices.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// `visited[v] == epoch` marks `v` visited in the current run.
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: Vec<VertexId>,
+}
+
+impl Bfs {
+    /// Creates scratch space for graphs with `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        Bfs { visited: vec![0; vertex_count], epoch: 0, queue: Vec::new() }
+    }
+
+    /// Starts a new traversal epoch, logically clearing the visited set.
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap-around: hard-reset to keep correctness.
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Returns `true` if `v` was visited during the latest traversal.
+    #[inline]
+    pub fn was_visited(&self, v: VertexId) -> bool {
+        self.visited[v.index()] == self.epoch
+    }
+
+    /// Runs a BFS from `source` following only edges for which `edge_passes`
+    /// returns `true`; invokes `on_visit` for every visited vertex (including
+    /// `source`). Returns the number of visited vertices.
+    pub fn run<F, V>(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        source: VertexId,
+        mut edge_passes: F,
+        mut on_visit: V,
+    ) -> usize
+    where
+        F: FnMut(EdgeId) -> bool,
+        V: FnMut(VertexId),
+    {
+        self.begin();
+        let epoch = self.epoch;
+        self.visited[source.index()] = epoch;
+        self.queue.push(source);
+        on_visit(source);
+        let mut count = 1;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for (n, e) in graph.neighbors(u) {
+                if self.visited[n.index()] != epoch && edge_passes(e) {
+                    self.visited[n.index()] = epoch;
+                    self.queue.push(n);
+                    on_visit(n);
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Convenience: vertices reachable from `source` using only `active`
+    /// edges.
+    pub fn reachable(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        source: VertexId,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.run(graph, source, |e| active.contains(e), |v| out.push(v));
+        out
+    }
+
+    /// Convenience: whether `target` is reachable from `source` through
+    /// `active` edges. Stops early when the target is found.
+    pub fn is_reachable(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        source: VertexId,
+        target: VertexId,
+    ) -> bool {
+        if source == target {
+            return true;
+        }
+        self.begin();
+        let epoch = self.epoch;
+        self.visited[source.index()] = epoch;
+        self.queue.push(source);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for (n, e) in graph.neighbors(u) {
+                if self.visited[n.index()] != epoch && active.contains(e) {
+                    if n == target {
+                        return true;
+                    }
+                    self.visited[n.index()] = epoch;
+                    self.queue.push(n);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Computes the connected components of the subgraph induced by `active`
+/// edges. Every vertex of the graph appears in exactly one component;
+/// isolated vertices form singleton components.
+pub fn connected_components(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+) -> Vec<Vec<VertexId>> {
+    let mut bfs = Bfs::new(graph.vertex_count());
+    let mut assigned = vec![false; graph.vertex_count()];
+    let mut components = Vec::new();
+    for v in graph.vertices() {
+        if assigned[v.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        bfs.run(graph, v, |e| active.contains(e), |u| {
+            assigned[u.index()] = true;
+            comp.push(u);
+        });
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    /// 0-1-2  3-4 (edges e0, e1, e2).
+    fn two_paths() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| b.add_vertex(Weight::ONE)).collect();
+        b.add_edge(v[0], v[1], Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(v[1], v[2], Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(v[3], v[4], Probability::new(0.5).unwrap()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn reachable_respects_active_set() {
+        let g = two_paths();
+        let mut bfs = Bfs::new(g.vertex_count());
+        let mut active = EdgeSubset::for_graph(&g);
+        active.insert(EdgeId(0));
+        let mut r = bfs.reachable(&g, &active, VertexId(0));
+        r.sort();
+        assert_eq!(r, vec![VertexId(0), VertexId(1)]);
+        assert!(bfs.was_visited(VertexId(1)));
+        assert!(!bfs.was_visited(VertexId(2)));
+    }
+
+    #[test]
+    fn reachable_full_component() {
+        let g = two_paths();
+        let mut bfs = Bfs::new(g.vertex_count());
+        let active = EdgeSubset::full(&g);
+        let mut r = bfs.reachable(&g, &active, VertexId(2));
+        r.sort();
+        assert_eq!(r, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn is_reachable_early_exit_and_identity() {
+        let g = two_paths();
+        let mut bfs = Bfs::new(g.vertex_count());
+        let active = EdgeSubset::full(&g);
+        assert!(bfs.is_reachable(&g, &active, VertexId(0), VertexId(2)));
+        assert!(!bfs.is_reachable(&g, &active, VertexId(0), VertexId(3)));
+        assert!(bfs.is_reachable(&g, &active, VertexId(4), VertexId(4)));
+    }
+
+    #[test]
+    fn epochs_isolate_runs() {
+        let g = two_paths();
+        let mut bfs = Bfs::new(g.vertex_count());
+        let active = EdgeSubset::full(&g);
+        bfs.reachable(&g, &active, VertexId(0));
+        let r = bfs.reachable(&g, &active, VertexId(3));
+        assert_eq!(r.len(), 2, "previous run must not leak visited marks");
+        assert!(!bfs.was_visited(VertexId(0)));
+    }
+
+    #[test]
+    fn components_cover_all_vertices() {
+        let g = two_paths();
+        let active = EdgeSubset::full(&g);
+        let comps = connected_components(&g, &active);
+        assert_eq!(comps.len(), 2);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.vertex_count());
+    }
+
+    #[test]
+    fn empty_active_set_gives_singletons() {
+        let g = two_paths();
+        let active = EdgeSubset::for_graph(&g);
+        let comps = connected_components(&g, &active);
+        assert_eq!(comps.len(), g.vertex_count());
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn visit_count_matches() {
+        let g = two_paths();
+        let mut bfs = Bfs::new(g.vertex_count());
+        let active = EdgeSubset::full(&g);
+        let count = bfs.run(&g, VertexId(0), |e| active.contains(e), |_| {});
+        assert_eq!(count, 3);
+    }
+}

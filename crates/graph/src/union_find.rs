@@ -1,0 +1,143 @@
+//! Disjoint-set union (union–find) with union by rank and path halving.
+//!
+//! Used for fast connectivity queries over sampled possible worlds: sampling
+//! a world and union-ing its surviving edges is often cheaper than a BFS when
+//! only a single reachability bit is needed.
+
+use crate::ids::VertexId;
+
+/// A disjoint-set forest over `n` dense vertex ids.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `v`'s set (with path halving).
+    #[inline]
+    pub fn find(&mut self, v: VertexId) -> VertexId {
+        let mut x = v.0;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return VertexId(x);
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were disjoint.
+    pub fn union(&mut self, a: VertexId, b: VertexId) -> bool {
+        let ra = self.find(a).0;
+        let rb = self.find(b).0;
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Tests whether `a` and `b` are in the same set.
+    #[inline]
+    pub fn connected(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Resets every element back to a singleton without reallocating.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.rank.fill(0);
+        self.components = self.parent.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disconnected() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(!uf.connected(VertexId(0), VertexId(1)));
+        assert!(!uf.is_empty());
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(VertexId(0), VertexId(1)));
+        assert!(uf.union(VertexId(1), VertexId(2)));
+        assert!(!uf.union(VertexId(0), VertexId(2)), "already merged");
+        assert!(uf.connected(VertexId(0), VertexId(2)));
+        assert!(!uf.connected(VertexId(0), VertexId(3)));
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(3);
+        uf.union(VertexId(0), VertexId(2));
+        uf.reset();
+        assert_eq!(uf.component_count(), 3);
+        assert!(!uf.connected(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn large_chain_has_single_component() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(VertexId(i as u32), VertexId(i as u32 + 1));
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(VertexId(0), VertexId((n - 1) as u32)));
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Vertex information weights.
+//!
+//! The paper maps each vertex to a positive information weight
+//! `W : V → R+` (Def. in §3). The weight is the amount of information a
+//! vertex contributes to the query vertex if it is reachable. Weight zero is
+//! allowed (used by the knapsack reduction in Theorem 1, where chain vertices
+//! carry no information), hence the invariant is `w >= 0` and finite.
+
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// A non-negative, finite vertex information weight.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Weight(f64);
+
+impl Weight {
+    /// Weight zero: the vertex carries no information (allowed; see the
+    /// knapsack reduction of Theorem 1).
+    pub const ZERO: Weight = Weight(0.0);
+
+    /// Weight one: the "each node has one unit of information" setting used by
+    /// the paper's running example (Fig. 1).
+    pub const ONE: Weight = Weight(1.0);
+
+    /// Creates a weight, validating `w >= 0` and finiteness.
+    pub fn new(w: f64) -> Result<Self, GraphError> {
+        if w.is_finite() && w >= 0.0 {
+            Ok(Weight(w))
+        } else {
+            Err(GraphError::InvalidWeight(w))
+        }
+    }
+
+    /// Creates a weight without validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant is violated.
+    #[inline]
+    pub fn new_unchecked(w: f64) -> Self {
+        debug_assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+        Weight(w)
+    }
+
+    /// Returns the raw weight value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Weight {}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("weight is never NaN")
+    }
+}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w={}", self.0)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Weight {
+    type Error = GraphError;
+
+    fn try_from(w: f64) -> Result<Self, Self::Error> {
+        Weight::new(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_non_negative() {
+        assert_eq!(Weight::new(0.0).unwrap().value(), 0.0);
+        assert_eq!(Weight::new(10.5).unwrap().value(), 10.5);
+    }
+
+    #[test]
+    fn rejects_negative_and_non_finite() {
+        for w in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(Weight::new(w).is_err());
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Weight::ZERO.value(), 0.0);
+        assert_eq!(Weight::ONE.value(), 1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Weight::new(2.0).unwrap() > Weight::ONE);
+    }
+}

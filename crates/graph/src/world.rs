@@ -1,0 +1,126 @@
+//! Possible-world semantics (§3, Eq. 1).
+//!
+//! A *possible world* of an uncertain graph is a deterministic graph that
+//! keeps a subset of the edges. Worlds are represented as an [`EdgeSubset`] of
+//! *existing* edges together with the *domain*: the set of edges whose
+//! existence was decided (everything outside the domain is considered absent
+//! and contributes no probability factor). For whole-graph semantics the
+//! domain is all of `E`; for the F-tree's per-component sampling the domain is
+//! the component's edge set.
+
+use crate::graph::ProbabilisticGraph;
+use crate::subgraph::EdgeSubset;
+
+/// A sampled or enumerated deterministic realization of (part of) an
+/// uncertain graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossibleWorld {
+    /// Edges that exist in this world. Always a subset of the domain it was
+    /// produced from.
+    pub existing: EdgeSubset,
+}
+
+impl PossibleWorld {
+    /// Wraps an existing-edge subset as a world.
+    pub fn new(existing: EdgeSubset) -> Self {
+        PossibleWorld { existing }
+    }
+}
+
+/// Computes the realization probability `Pr(g)` of a world relative to a
+/// domain of decided edges (Eq. 1):
+///
+/// ```text
+/// Pr(g) = Π_{e ∈ existing} P(e) · Π_{e ∈ domain \ existing} (1 − P(e))
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `existing` contains an edge outside `domain`.
+pub fn world_probability(
+    graph: &ProbabilisticGraph,
+    domain: &EdgeSubset,
+    existing: &EdgeSubset,
+) -> f64 {
+    let mut prob = 1.0;
+    for e in domain.iter() {
+        let p = graph.probability(e).value();
+        if existing.contains(e) {
+            prob *= p;
+        } else {
+            prob *= 1.0 - p;
+        }
+    }
+    debug_assert!(existing.iter().all(|e| domain.contains(e)), "world outside its domain");
+    prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::EdgeId;
+    use crate::probability::Probability;
+    use crate::weight::Weight;
+
+    /// Builds the two-edge graph used below: 0-1 (p=0.6), 1-2 (p=0.25).
+    fn two_edges() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Weight::ONE);
+        let v1 = b.add_vertex(Weight::ONE);
+        let v2 = b.add_vertex(Weight::ONE);
+        b.add_edge(v0, v1, Probability::new(0.6).unwrap()).unwrap();
+        b.add_edge(v1, v2, Probability::new(0.25).unwrap()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn full_world_probability() {
+        let g = two_edges();
+        let domain = EdgeSubset::full(&g);
+        let world = EdgeSubset::full(&g);
+        assert!((world_probability(&g, &domain, &world) - 0.6 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_world_probability() {
+        let g = two_edges();
+        let domain = EdgeSubset::full(&g);
+        let world = EdgeSubset::for_graph(&g);
+        assert!((world_probability(&g, &domain, &world) - 0.4 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_world_probability() {
+        let g = two_edges();
+        let domain = EdgeSubset::full(&g);
+        let world = EdgeSubset::from_edges(g.edge_count(), [EdgeId(0)]);
+        assert!((world_probability(&g, &domain, &world) - 0.6 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_domain_ignores_outside_edges() {
+        let g = two_edges();
+        let domain = EdgeSubset::from_edges(g.edge_count(), [EdgeId(1)]);
+        let world = EdgeSubset::for_graph(&g);
+        // Only edge 1 is decided: probability of it being absent.
+        assert!((world_probability(&g, &domain, &world) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let g = two_edges();
+        let domain = EdgeSubset::full(&g);
+        let mut total = 0.0;
+        for mask in 0u32..4 {
+            let mut w = EdgeSubset::for_graph(&g);
+            for bit in 0..2 {
+                if mask >> bit & 1 == 1 {
+                    w.insert(EdgeId(bit));
+                }
+            }
+            total += world_probability(&g, &domain, &w);
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

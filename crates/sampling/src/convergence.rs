@@ -1,0 +1,94 @@
+//! Incremental sampling schedules.
+//!
+//! The CI-pruning heuristic (§6.3) races candidate edges against each other:
+//! samples are drawn in rounds, and a candidate whose upper flow bound drops
+//! below another candidate's lower bound is eliminated before the full
+//! sample budget is spent. [`BatchSchedule`] produces the per-round batch
+//! sizes for that race.
+
+/// A geometric batching schedule: rounds of `first, first·growth, ...`
+/// capped so the cumulative total never exceeds `budget`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSchedule {
+    /// Size of the first batch.
+    pub first: u32,
+    /// Multiplicative growth factor per round (≥ 1).
+    pub growth: f64,
+    /// Total sample budget across all rounds.
+    pub budget: u32,
+}
+
+impl BatchSchedule {
+    /// The paper's setting: pruning becomes legal at 30 samples
+    /// (CLT minimum), total budget = `samplesize`.
+    pub fn paper_default(budget: u32) -> Self {
+        BatchSchedule { first: 50, growth: 2.0, budget }
+    }
+
+    /// Yields batch sizes; the sum of all yielded batches equals `budget`
+    /// (the final batch is truncated).
+    pub fn batches(&self) -> impl Iterator<Item = u32> {
+        let mut drawn = 0u32;
+        let mut next = self.first.max(1);
+        let growth = self.growth.max(1.0);
+        let budget = self.budget;
+        std::iter::from_fn(move || {
+            if drawn >= budget {
+                return None;
+            }
+            let batch = next.min(budget - drawn);
+            drawn += batch;
+            next = ((next as f64) * growth).ceil() as u32;
+            Some(batch)
+        })
+    }
+
+    /// Number of rounds the schedule produces.
+    pub fn round_count(&self) -> usize {
+        self.batches().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_sum_to_budget() {
+        let s = BatchSchedule { first: 50, growth: 2.0, budget: 1000 };
+        let total: u32 = s.batches().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn batches_grow_geometrically() {
+        let s = BatchSchedule { first: 10, growth: 2.0, budget: 1000 };
+        let b: Vec<u32> = s.batches().collect();
+        assert_eq!(&b[..4], &[10, 20, 40, 80]);
+    }
+
+    #[test]
+    fn final_batch_truncated() {
+        let s = BatchSchedule { first: 400, growth: 2.0, budget: 1000 };
+        let b: Vec<u32> = s.batches().collect();
+        assert_eq!(b, vec![400, 600]);
+    }
+
+    #[test]
+    fn degenerate_schedules() {
+        let s = BatchSchedule { first: 0, growth: 0.5, budget: 5 };
+        // first clamps to 1, growth clamps to 1.0 → five batches of 1.
+        let b: Vec<u32> = s.batches().collect();
+        assert_eq!(b, vec![1, 1, 1, 1, 1]);
+        let empty = BatchSchedule { first: 10, growth: 2.0, budget: 0 };
+        assert_eq!(empty.round_count(), 0);
+    }
+
+    #[test]
+    fn paper_default_has_sane_shape() {
+        let s = BatchSchedule::paper_default(1000);
+        let b: Vec<u32> = s.batches().collect();
+        assert!(b[0] >= 30, "first batch must satisfy the CLT minimum");
+        assert_eq!(b.iter().sum::<u32>(), 1000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Flow estimates with uncertainty accounting.
+//!
+//! [`FlowEstimate`] aggregates per-sample flow values using Welford's online
+//! algorithm, yielding the unbiased sample mean of Lemma 1 together with the
+//! variance needed to reason about estimator quality (the §7.3 variance
+//! argument for component-wise sampling).
+
+use crate::confidence::{z_for_alpha, ConfidenceInterval};
+
+/// Streaming mean/variance aggregate of sampled flow values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEstimate {
+    mean: f64,
+    m2: f64,
+    samples: u64,
+}
+
+impl FlowEstimate {
+    /// An empty estimate.
+    pub fn new() -> Self {
+        FlowEstimate { mean: 0.0, m2: 0.0, samples: 0 }
+    }
+
+    /// An exact (zero-variance) value, e.g. an analytically computed flow.
+    pub fn exact(value: f64) -> Self {
+        FlowEstimate { mean: value, m2: 0.0, samples: u64::MAX }
+    }
+
+    /// Returns `true` if the value is exact rather than sampled.
+    pub fn is_exact(&self) -> bool {
+        self.samples == u64::MAX
+    }
+
+    /// Adds one sampled observation (Welford update).
+    pub fn push(&mut self, value: f64) {
+        debug_assert!(!self.is_exact(), "cannot push samples into an exact estimate");
+        self.samples += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.samples as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// The sample mean (the Lemma 1 estimator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of observations (`u64::MAX` for exact values).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Unbiased sample variance of the observations (0 for exact values or
+    /// fewer than two samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.is_exact() || self.samples < 2 {
+            0.0
+        } else {
+            self.m2 / (self.samples - 1) as f64
+        }
+    }
+
+    /// Variance of the *mean* (sample variance / S).
+    pub fn variance_of_mean(&self) -> f64 {
+        if self.is_exact() || self.samples < 2 {
+            0.0
+        } else {
+            self.sample_variance() / self.samples as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        self.variance_of_mean().sqrt()
+    }
+
+    /// CLT-based confidence interval for the mean at significance `alpha`.
+    /// Exact values yield a degenerate interval.
+    pub fn confidence_interval(&self, alpha: f64) -> ConfidenceInterval {
+        if self.is_exact() || self.samples < 2 {
+            return ConfidenceInterval::exact(self.mean);
+        }
+        let half = z_for_alpha(alpha) * self.standard_error();
+        ConfidenceInterval { lower: self.mean - half, upper: self.mean + half }
+    }
+
+    /// Merges two independent estimates of the *same* quantity (parallel
+    /// Chan et al. combination). Exact values absorb sampled ones.
+    pub fn merge(&self, other: &FlowEstimate) -> FlowEstimate {
+        if self.is_exact() {
+            return *self;
+        }
+        if other.is_exact() {
+            return *other;
+        }
+        if self.samples == 0 {
+            return *other;
+        }
+        if other.samples == 0 {
+            return *self;
+        }
+        let n1 = self.samples as f64;
+        let n2 = other.samples as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        FlowEstimate {
+            mean: self.mean + delta * n2 / n,
+            m2: self.m2 + other.m2 + delta * delta * n1 * n2 / n,
+            samples: self.samples + other.samples,
+        }
+    }
+}
+
+impl Default for FlowEstimate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sequence() {
+        let mut e = FlowEstimate::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            e.push(v);
+        }
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 → sample variance 32/7.
+        assert!((e.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(e.samples(), 8);
+    }
+
+    #[test]
+    fn exact_estimates() {
+        let e = FlowEstimate::exact(3.5);
+        assert!(e.is_exact());
+        assert_eq!(e.mean(), 3.5);
+        assert_eq!(e.sample_variance(), 0.0);
+        assert_eq!(e.confidence_interval(0.01).width(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_bulk_computation() {
+        let values = [1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 5.0];
+        let mut whole = FlowEstimate::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut a = FlowEstimate::new();
+        let mut b = FlowEstimate::new();
+        for &v in &values[..3] {
+            a.push(v);
+        }
+        for &v in &values[3..] {
+            b.push(v);
+        }
+        let merged = a.merge(&b);
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(merged.samples(), whole.samples());
+    }
+
+    #[test]
+    fn merge_with_empty_and_exact() {
+        let mut a = FlowEstimate::new();
+        a.push(1.0);
+        a.push(3.0);
+        let empty = FlowEstimate::new();
+        assert_eq!(a.merge(&empty).mean(), a.mean());
+        assert_eq!(empty.merge(&a).samples(), 2);
+        let exact = FlowEstimate::exact(9.0);
+        assert!(a.merge(&exact).is_exact());
+        assert_eq!(a.merge(&exact).mean(), 9.0);
+    }
+
+    #[test]
+    fn confidence_interval_narrows_with_samples() {
+        let mut small = FlowEstimate::new();
+        let mut large = FlowEstimate::new();
+        // Alternating 0/1 values: variance 0.25-ish.
+        for i in 0..20 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..2000 {
+            large.push((i % 2) as f64);
+        }
+        assert!(
+            large.confidence_interval(0.05).width() < small.confidence_interval(0.05).width() / 5.0
+        );
+    }
+
+    #[test]
+    fn interval_contains_true_mean_for_bernoulli_halves() {
+        let mut e = FlowEstimate::new();
+        for i in 0..1000 {
+            e.push((i % 2) as f64);
+        }
+        let ci = e.confidence_interval(0.01);
+        assert!(ci.contains(0.5));
+    }
+}

@@ -1,0 +1,29 @@
+//! # flowmax-sampling
+//!
+//! Monte-Carlo substrate for the `flowmax` workspace: unbiased possible-world
+//! sampling (Lemma 1), whole-subgraph reachability estimation (the *Naive*
+//! baseline's estimator), component-local estimation (the F-tree's sampling
+//! kernel, §5.3), confidence intervals (§6.3 / Def. 10), and deterministic
+//! seed management for reproducible experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod component;
+pub mod confidence;
+pub mod convergence;
+pub mod estimate;
+pub mod reachability;
+pub mod rng;
+pub mod sampler;
+
+pub use component::{ComponentEstimate, ComponentGraph};
+pub use confidence::{
+    normal_quantile, wald_interval, wilson_interval, z_for_alpha, ConfidenceInterval,
+    DEFAULT_ALPHA, MIN_SAMPLES_FOR_CLT,
+};
+pub use convergence::BatchSchedule;
+pub use estimate::FlowEstimate;
+pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
+pub use rng::{splitmix64, FlowRng, SeedSequence};
+pub use sampler::{sample_world, sample_worlds};

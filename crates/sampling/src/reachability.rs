@@ -1,0 +1,245 @@
+//! Whole-subgraph Monte-Carlo reachability estimation — the *Naive*
+//! estimator of [7], [22] used as the baseline in §7.2.
+//!
+//! Each sample draws a full possible world of the active subgraph, runs a BFS
+//! from the query vertex, and records which vertices were reached. This is
+//! exactly what the F-tree avoids doing globally: it has both higher variance
+//! (§7.3's covariance argument) and higher cost than component-local
+//! sampling.
+
+use flowmax_graph::{Bfs, EdgeSubset, ProbabilisticGraph, VertexId};
+use rand::Rng;
+
+use crate::confidence::{wald_interval, ConfidenceInterval};
+use crate::estimate::FlowEstimate;
+use crate::rng::FlowRng;
+
+/// Per-vertex reachability frequencies from a whole-subgraph sampling run.
+#[derive(Debug, Clone)]
+pub struct ReachabilityEstimate {
+    /// `successes[v]` = number of sampled worlds in which `v` was reached.
+    successes: Vec<u32>,
+    samples: u32,
+}
+
+impl ReachabilityEstimate {
+    /// Number of sampled worlds.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Estimated `Pr[Q ↔ v]`.
+    pub fn probability(&self, v: VertexId) -> f64 {
+        self.successes[v.index()] as f64 / self.samples as f64
+    }
+
+    /// Raw success count for `v`.
+    pub fn successes(&self, v: VertexId) -> u32 {
+        self.successes[v.index()]
+    }
+
+    /// Confidence interval for `Pr[Q ↔ v]` (corrected Def. 10).
+    pub fn interval(&self, v: VertexId, alpha: f64) -> ConfidenceInterval {
+        wald_interval(self.successes[v.index()], self.samples, alpha)
+    }
+
+    /// Point estimate of the expected flow to `query` (Lemma 1 + Eq. 2).
+    pub fn flow(&self, graph: &ProbabilisticGraph, query: VertexId, include_query: bool) -> f64 {
+        let mut flow = 0.0;
+        for v in graph.vertices() {
+            if v == query && !include_query {
+                continue;
+            }
+            flow += self.probability(v) * graph.weight(v).value();
+        }
+        flow
+    }
+
+    /// Lower/upper bounds of the expected flow obtained by summing per-vertex
+    /// interval bounds (§6.3, `E_lb`/`E_ub`).
+    pub fn flow_bounds(
+        &self,
+        graph: &ProbabilisticGraph,
+        query: VertexId,
+        include_query: bool,
+        alpha: f64,
+    ) -> (f64, f64) {
+        let mut lb = 0.0;
+        let mut ub = 0.0;
+        for v in graph.vertices() {
+            if v == query && !include_query {
+                continue;
+            }
+            let w = graph.weight(v).value();
+            if w == 0.0 {
+                continue;
+            }
+            let ci = self.interval(v, alpha);
+            lb += ci.lower * w;
+            ub += ci.upper * w;
+        }
+        (lb, ub)
+    }
+}
+
+/// Samples `samples` worlds of the `active` subgraph and counts per-vertex
+/// reachability from `query`.
+///
+/// This is the estimator the `Naive` algorithm pays for on the *entire*
+/// selected subgraph at every probe.
+pub fn sample_reachability(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+    query: VertexId,
+    samples: u32,
+    rng: &mut FlowRng,
+) -> ReachabilityEstimate {
+    assert!(samples > 0, "need at least one sample");
+    let mut successes = vec![0u32; graph.vertex_count()];
+    let mut bfs = Bfs::new(graph.vertex_count());
+    // Pre-draw the active edge list once: iterating the bitset per sample is
+    // wasteful when the selection is sparse.
+    let active_edges: Vec<_> = active.iter().collect();
+    let mut alive = EdgeSubset::new(graph.edge_count());
+    for _ in 0..samples {
+        alive.clear();
+        for &e in &active_edges {
+            let p = graph.probability(e).value();
+            if p >= 1.0 || rng.gen::<f64>() < p {
+                alive.insert(e);
+            }
+        }
+        bfs.run(graph, query, |e| alive.contains(e), |v| {
+            successes[v.index()] += 1;
+        });
+    }
+    ReachabilityEstimate { successes, samples }
+}
+
+/// Convenience wrapper: a [`FlowEstimate`] over per-world flow values,
+/// exposing the estimator variance (used by the variance experiment).
+pub fn sample_flow(
+    graph: &ProbabilisticGraph,
+    active: &EdgeSubset,
+    query: VertexId,
+    include_query: bool,
+    samples: u32,
+    rng: &mut FlowRng,
+) -> FlowEstimate {
+    assert!(samples > 0, "need at least one sample");
+    let mut est = FlowEstimate::new();
+    let mut bfs = Bfs::new(graph.vertex_count());
+    let active_edges: Vec<_> = active.iter().collect();
+    let mut alive = EdgeSubset::new(graph.edge_count());
+    for _ in 0..samples {
+        alive.clear();
+        for &e in &active_edges {
+            let p = graph.probability(e).value();
+            if p >= 1.0 || rng.gen::<f64>() < p {
+                alive.insert(e);
+            }
+        }
+        let mut flow = 0.0;
+        bfs.run(graph, query, |e| alive.contains(e), |v| {
+            if v != query || include_query {
+                flow += graph.weight(v).value();
+            }
+        });
+        est.push(flow);
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedSequence;
+    use flowmax_graph::{
+        exact_expected_flow, exact_reachability, GraphBuilder, Probability, Weight,
+        DEFAULT_ENUMERATION_CAP,
+    };
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Small cyclic graph: Q(0)-1 (0.5), 1-2 (0.5), Q-2 (0.5), 2-3 (0.8).
+    fn cyclic() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::new(2.0).unwrap());
+        b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(0), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), p(0.8)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_values() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let exact =
+            exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
+        let mut rng = SeedSequence::new(99).rng(0);
+        let est = sample_reachability(&g, &active, VertexId(0), 20_000, &mut rng);
+        for v in g.vertices() {
+            let diff = (est.probability(v) - exact[v.index()]).abs();
+            assert!(diff < 0.02, "vertex {v:?}: {} vs {}", est.probability(v), exact[v.index()]);
+        }
+    }
+
+    #[test]
+    fn flow_estimate_converges_to_exact_flow() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let exact =
+            exact_expected_flow(&g, &active, VertexId(0), false, DEFAULT_ENUMERATION_CAP).unwrap();
+        let mut rng = SeedSequence::new(5).rng(1);
+        let est = sample_flow(&g, &active, VertexId(0), false, 20_000, &mut rng);
+        assert!((est.mean() - exact).abs() < 0.08, "{} vs {exact}", est.mean());
+        assert!(est.confidence_interval(0.01).contains(exact));
+    }
+
+    #[test]
+    fn query_always_reached() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let mut rng = SeedSequence::new(2).rng(0);
+        let est = sample_reachability(&g, &active, VertexId(0), 100, &mut rng);
+        assert_eq!(est.probability(VertexId(0)), 1.0);
+        assert_eq!(est.successes(VertexId(0)), 100);
+    }
+
+    #[test]
+    fn empty_active_set_reaches_only_query() {
+        let g = cyclic();
+        let active = EdgeSubset::for_graph(&g);
+        let mut rng = SeedSequence::new(2).rng(0);
+        let est = sample_reachability(&g, &active, VertexId(0), 100, &mut rng);
+        assert_eq!(est.flow(&g, VertexId(0), false), 0.0);
+        assert_eq!(est.flow(&g, VertexId(0), true), 2.0);
+    }
+
+    #[test]
+    fn flow_bounds_bracket_point_estimate() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let mut rng = SeedSequence::new(31).rng(0);
+        let est = sample_reachability(&g, &active, VertexId(0), 500, &mut rng);
+        let flow = est.flow(&g, VertexId(0), false);
+        let (lb, ub) = est.flow_bounds(&g, VertexId(0), false, 0.01);
+        assert!(lb <= flow && flow <= ub, "{lb} <= {flow} <= {ub}");
+        assert!(ub - lb > 0.0);
+    }
+
+    #[test]
+    fn interval_is_degenerate_for_query() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let mut rng = SeedSequence::new(4).rng(0);
+        let est = sample_reachability(&g, &active, VertexId(0), 200, &mut rng);
+        let ci = est.interval(VertexId(0), 0.01);
+        assert_eq!(ci.lower, 1.0);
+        assert_eq!(ci.upper, 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Road-network scenario (the Fig. 9(a) workload).
+//!
+//! Roadside sensors at intersections report to a control center Q over
+//! links whose reliability decays with distance (`p = exp(−0.001·d)` per the
+//! paper's San Joaquin setup). With a budget of k links, which should be
+//! activated?
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use flowmax::datasets::RoadConfig;
+use flowmax::graph::GraphStats;
+use flowmax::prelude::*;
+
+fn main() {
+    // A mid-size grid by default; --paper builds San-Joaquin scale (18k
+    // intersections).
+    let full = std::env::args().any(|a| a == "--paper");
+    let config = if full { RoadConfig::paper(135, 135) } else { RoadConfig::paper(40, 40) };
+    let road = config.generate(7);
+    let graph = &road.graph;
+    let q = suggest_query(graph);
+
+    println!("road network: {}", GraphStats::compute(graph));
+    let (qx, qy) = road.positions[q.index()];
+    println!("control center at intersection {q} ({:.0} m, {:.0} m)", qx, qy);
+    let budget = 80;
+    println!("link budget: k = {budget}\n");
+
+    println!("{:<12} {:>10} {:>10} {:>12}", "algorithm", "E[flow]", "sampled", "time");
+    for alg in [Algorithm::Dijkstra, Algorithm::FtM, Algorithm::FtMDs, Algorithm::FtMCiDs] {
+        let result = solve(graph, q, &SolverConfig::paper(alg, budget, 11));
+        println!(
+            "{:<12} {:>10.2} {:>10} {:>10.1?}",
+            alg.name(),
+            result.flow,
+            result.metrics.components_sampled,
+            result.elapsed,
+        );
+    }
+    println!(
+        "\nRoad networks have strong locality: selections stay near Q regardless of\n\
+         network size (paper Fig. 5a), and the CI/DS heuristics shine here (Fig. 9a)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Wireless sensor network scenario (the Fig. 8 workload).
+//!
+//! A WSN sink must collect readings from as many sensors as possible, but
+//! every activated radio link costs battery. Links fail probabilistically
+//! (uniform link quality). We budget `k` links and compare algorithms.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use flowmax::datasets::WsnConfig;
+use flowmax::graph::GraphStats;
+use flowmax::prelude::*;
+
+fn main() {
+    let config = WsnConfig::paper(1000, 0.07);
+    let wsn = config.generate(2024);
+    let graph = &wsn.graph;
+    let sink = suggest_query(graph);
+    let (sx, sy) = wsn.positions[sink.index()];
+
+    println!("wireless sensor network: {}", GraphStats::compute(graph));
+    println!("sink: sensor {sink} at ({sx:.3}, {sy:.3})");
+    let budget = 60;
+    println!("link budget: k = {budget}\n");
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12}",
+        "algorithm", "E[flow]", "reached*", "sampled", "time"
+    );
+    for alg in [
+        Algorithm::Dijkstra,
+        Algorithm::Ft,
+        Algorithm::FtM,
+        Algorithm::FtMCi,
+        Algorithm::FtMDs,
+        Algorithm::FtMCiDs,
+    ] {
+        let result = solve(graph, sink, &SolverConfig::paper(alg, budget, 7));
+        // "reached": number of distinct sensors touched by selected links.
+        let mut touched = std::collections::HashSet::new();
+        for &e in &result.selected {
+            let (a, b) = graph.endpoints(e);
+            touched.insert(a);
+            touched.insert(b);
+        }
+        println!(
+            "{:<12} {:>10.2} {:>10} {:>10} {:>10.1?}",
+            alg.name(),
+            result.flow,
+            touched.len() - 1,
+            result.metrics.components_sampled,
+            result.elapsed,
+        );
+    }
+    println!("\n* sensors incident to an activated link (excluding the sink)");
+    println!(
+        "Dijkstra builds a fragile tree: one failed link severs a whole branch.\n\
+         The FT variants spend part of the budget on cycles that back up weak links."
+    );
+}

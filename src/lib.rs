@@ -1,0 +1,65 @@
+//! # flowmax
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > C. Frey, A. Züfle, T. Emrich, M. Renz —
+//! > *"Efficient Information Flow Maximization in Probabilistic Graphs"*,
+//! > IEEE TKDE 30(5), 2018 (ICDE'18 extended abstract).
+//!
+//! Given an uncertain graph (independent edge-existence probabilities,
+//! per-vertex information weights), a query vertex `Q` and an edge budget
+//! `k`, `flowmax` selects the `k`-edge subgraph that (near-)maximizes the
+//! expected total weight of vertices connected to `Q` — using the paper's
+//! **F-tree** decomposition to compute flow analytically on tree-like parts
+//! and by component-local Monte-Carlo sampling on cyclic parts.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — probabilistic-graph substrate (possible worlds, exact
+//!   enumeration, biconnected components, spanning trees);
+//! * [`sampling`] — Monte-Carlo estimators and confidence intervals;
+//! * [`datasets`] — every workload of the paper's evaluation (§7.1);
+//! * [`core`] — the F-tree, the greedy selection with M/CI/DS heuristics,
+//!   and the Naive/Dijkstra baselines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use flowmax::prelude::*;
+//!
+//! // Build a small uncertain graph.
+//! let mut b = GraphBuilder::new();
+//! let q = b.add_vertex(Weight::ZERO);
+//! let a = b.add_vertex(Weight::new(5.0).unwrap());
+//! let c = b.add_vertex(Weight::new(3.0).unwrap());
+//! b.add_edge(q, a, Probability::new(0.8).unwrap()).unwrap();
+//! b.add_edge(a, c, Probability::new(0.5).unwrap()).unwrap();
+//! b.add_edge(q, c, Probability::new(0.4).unwrap()).unwrap();
+//! let graph = b.build();
+//!
+//! // Select the best 2 edges for query q with the FT+M algorithm.
+//! let result = solve(&graph, q, &SolverConfig::paper(Algorithm::FtM, 2, 42));
+//! assert_eq!(result.selected.len(), 2);
+//! assert!(result.flow > 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use flowmax_core as core;
+pub use flowmax_datasets as datasets;
+pub use flowmax_graph as graph;
+pub use flowmax_sampling as sampling;
+
+/// One-stop imports for typical users.
+pub mod prelude {
+    pub use flowmax_core::{
+        evaluate_selection, exact_max_flow, greedy_select, solve, Algorithm, EstimatorConfig,
+        FTree, GreedyConfig, SamplingProvider, SolveResult, SolverConfig,
+    };
+    pub use flowmax_datasets::{suggest_query, DatasetSpec};
+    pub use flowmax_graph::{
+        EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
+    };
+    pub use flowmax_sampling::SeedSequence;
+}

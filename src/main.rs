@@ -1,0 +1,204 @@
+//! `flowmax` command-line interface.
+//!
+//! ```text
+//! flowmax solve  --graph g.txt --query 0 --budget 20 [--algorithm FT+M]
+//!                [--samples 1000] [--seed 42] [--include-query] [--dot out.dot]
+//! flowmax stats  --graph g.txt
+//! flowmax exact  --graph g.txt --query 0 --budget 5
+//! flowmax generate --dataset erdos --vertices 1000 --degree 6 [--seed 42] > g.txt
+//! ```
+//!
+//! Graphs use the `flowmax-graph v1` text format (see `flowmax::graph::io`);
+//! `generate` writes one to stdout so the commands compose.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use flowmax::core::{exact_max_flow, solve, Algorithm, SolverConfig};
+use flowmax::datasets::{
+    CollaborationConfig, ErdosConfig, PartitionedConfig, PreferentialConfig, RoadConfig,
+    SocialCircleConfig, WsnConfig,
+};
+use flowmax::graph::{io as gio, EdgeSubset, GraphStats, ProbabilisticGraph, VertexId};
+
+struct Args {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    values.push((name.to_string(), raw[i + 1].clone()));
+                    i += 1;
+                } else {
+                    flags.push(name.to_string());
+                }
+            }
+            i += 1;
+        }
+        Args { values, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn load_graph(path: &str) -> Result<ProbabilisticGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    gio::read_text(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.require("graph")?)?;
+    println!("{}", GraphStats::compute(&graph));
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.require("graph")?)?;
+    let query = VertexId(args.parse_opt("query", 0u32)?);
+    if query.index() >= graph.vertex_count() {
+        return Err(format!("query vertex {query} out of bounds"));
+    }
+    let budget: usize = args.parse_opt("budget", 10)?;
+    let alg_name = args.get("algorithm").unwrap_or("FT+M");
+    let algorithm = Algorithm::parse(alg_name)
+        .ok_or_else(|| format!("unknown algorithm {alg_name:?} (try FT, FT+M, Naive, Dijkstra)"))?;
+    let mut config = SolverConfig::paper(algorithm, budget, args.parse_opt("seed", 42u64)?);
+    config.samples = args.parse_opt("samples", 1000u32)?;
+    config.include_query = args.has_flag("include-query");
+
+    let result = solve(&graph, query, &config);
+    println!(
+        "algorithm={} budget={} selected={} flow={:.6} time={:.3?}",
+        algorithm.name(),
+        budget,
+        result.selected.len(),
+        result.flow,
+        result.elapsed
+    );
+    for &e in &result.selected {
+        let (a, b) = graph.endpoints(e);
+        println!("  edge {e}: {a} -- {b} (p={})", graph.probability(e));
+    }
+    if let Some(dot_path) = args.get("dot") {
+        let subset = EdgeSubset::from_edges(graph.edge_count(), result.selected.iter().copied());
+        let f = File::create(dot_path).map_err(|e| format!("cannot create {dot_path}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        gio::write_dot(&graph, Some(&subset), &mut w)
+            .and_then(|_| w.flush())
+            .map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+        println!("wrote DOT with highlighted selection to {dot_path}");
+    }
+    Ok(())
+}
+
+fn cmd_exact(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.require("graph")?)?;
+    let query = VertexId(args.parse_opt("query", 0u32)?);
+    let budget: usize = args.parse_opt("budget", 5)?;
+    let sol = exact_max_flow(&graph, query, budget, args.has_flag("include-query"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "exact optimum: flow={:.6} edges={:?} ({} subsets evaluated)",
+        sol.flow,
+        sol.edges.iter().map(|e| e.0).collect::<Vec<_>>(),
+        sol.subsets_evaluated
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let dataset = args.require("dataset")?;
+    let seed: u64 = args.parse_opt("seed", 42)?;
+    let vertices: usize = args.parse_opt("vertices", 1000)?;
+    let graph = match dataset {
+        "erdos" => ErdosConfig::paper(vertices, args.parse_opt("degree", 6.0)?).generate(seed),
+        "partitioned" => {
+            PartitionedConfig::paper(vertices, args.parse_opt("degree", 6)?).generate(seed)
+        }
+        "wsn" => WsnConfig::paper(vertices, args.parse_opt("epsilon", 0.07)?).generate(seed).graph,
+        "road" => {
+            let side = (vertices as f64).sqrt().ceil() as usize;
+            RoadConfig::paper(side.max(2), side.max(2)).generate(seed).graph
+        }
+        "social-circle" => SocialCircleConfig::paper().generate(seed),
+        "collaboration" => CollaborationConfig::paper_scaled(vertices).generate(seed),
+        "preferential" => PreferentialConfig::paper_scaled(vertices).generate(seed),
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (erdos, partitioned, wsn, road, social-circle, \
+                 collaboration, preferential)"
+            ))
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    gio::write_text(&graph, &mut out).and_then(|_| out.flush()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+const USAGE: &str = "\
+flowmax — budgeted information-flow maximization in probabilistic graphs
+
+USAGE:
+  flowmax solve    --graph <file> [--query N] [--budget K] [--algorithm NAME]
+                   [--samples N] [--seed N] [--include-query] [--dot <file>]
+  flowmax exact    --graph <file> [--query N] [--budget K]
+  flowmax stats    --graph <file>
+  flowmax generate --dataset <name> [--vertices N] [--degree D] [--seed N]
+
+Algorithms: Naive, Dijkstra, FT, FT+M, FT+M+CI, FT+M+DS, FT+M+CI+DS
+Datasets:   erdos, partitioned, wsn, road, social-circle, collaboration, preferential
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match command.as_str() {
+        "solve" => cmd_solve(&args),
+        "exact" => cmd_exact(&args),
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

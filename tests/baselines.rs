@@ -1,0 +1,127 @@
+//! Cross-algorithm comparisons mirroring the paper's headline claims
+//! (§7.5): Naive is the most expensive estimator; Dijkstra is fastest but
+//! weakest on cyclic/dense graphs; all FT variants deliver comparable flow
+//! with decreasing cost as heuristics stack.
+
+use flowmax::core::{solve, Algorithm, SolverConfig};
+use flowmax::datasets::{
+    suggest_query, ErdosConfig, PartitionedConfig, SocialCircleConfig, WeightModel,
+};
+
+#[test]
+fn naive_works_orders_of_magnitude_harder_than_ft() {
+    let g = ErdosConfig::paper(300, 6.0).generate(1);
+    let q = suggest_query(&g);
+    let mut cfg = SolverConfig::paper(Algorithm::Naive, 12, 2);
+    cfg.samples = 200; // keep the naive baseline affordable in tests
+    let naive = solve(&g, q, &cfg);
+    cfg.algorithm = Algorithm::FtM;
+    let ft = solve(&g, q, &cfg);
+    assert!(
+        naive.metrics.edge_samples_drawn > 20 * ft.metrics.edge_samples_drawn.max(1),
+        "naive per-edge sampling work ({}) must dwarf FT+M ({})",
+        naive.metrics.edge_samples_drawn,
+        ft.metrics.edge_samples_drawn
+    );
+}
+
+#[test]
+fn dijkstra_never_samples_and_loses_flow_on_dense_graphs() {
+    let g = SocialCircleConfig {
+        vertices: 120,
+        edges: 900,
+        close_friends_per_user: 8,
+        weights: WeightModel::paper_default(),
+    }
+    .generate(3);
+    let q = suggest_query(&g);
+    let dj = solve(&g, q, &SolverConfig::paper(Algorithm::Dijkstra, 25, 4));
+    let ft = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 25, 4));
+    assert_eq!(dj.metrics.components_sampled, 0);
+    assert_eq!(dj.metrics.samples_drawn, 0);
+    assert!(
+        ft.flow > dj.flow,
+        "paper Fig. 9(b): FT ({}) must beat Dijkstra ({}) on dense social graphs",
+        ft.flow,
+        dj.flow
+    );
+}
+
+#[test]
+fn ft_variants_agree_on_flow_within_noise() {
+    let g = PartitionedConfig::paper(300, 6).generate(5);
+    let q = suggest_query(&g);
+    let mut flows = Vec::new();
+    for alg in [Algorithm::Ft, Algorithm::FtM, Algorithm::FtMDs] {
+        let r = solve(&g, q, &SolverConfig::paper(alg, 20, 6));
+        flows.push((alg.name(), r.flow));
+    }
+    let max = flows.iter().map(|&(_, f)| f).fold(f64::MIN, f64::max);
+    for &(name, f) in &flows {
+        assert!(
+            f > 0.85 * max,
+            "{name} flow {f} too far below the best variant ({max}); all: {flows:?}"
+        );
+    }
+}
+
+#[test]
+fn memoization_cuts_component_sampling() {
+    let g = PartitionedConfig::paper(200, 6).generate(7);
+    let q = suggest_query(&g);
+    let ft = solve(&g, q, &SolverConfig::paper(Algorithm::Ft, 25, 8));
+    let ftm = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 25, 8));
+    assert!(ftm.metrics.memo_hits > 0, "memoization must fire");
+    assert!(
+        ftm.metrics.components_sampled < ft.metrics.components_sampled,
+        "FT+M sampled {} components, plain FT {}",
+        ftm.metrics.components_sampled,
+        ft.metrics.components_sampled
+    );
+}
+
+#[test]
+fn delayed_sampling_skips_probes() {
+    let g = PartitionedConfig::paper(200, 8).generate(9);
+    let q = suggest_query(&g);
+    let ftm = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 20, 10));
+    let ftmds = solve(&g, q, &SolverConfig::paper(Algorithm::FtMDs, 20, 10));
+    assert!(ftmds.metrics.ds_skipped > 0, "DS must suspend some candidates");
+    assert!(
+        ftmds.flow > 0.8 * ftm.flow,
+        "DS flow {} must stay close to FT+M flow {}",
+        ftmds.flow,
+        ftm.flow
+    );
+}
+
+#[test]
+fn ci_prunes_candidates() {
+    let g = PartitionedConfig::paper(200, 6).generate(11);
+    let q = suggest_query(&g);
+    let r = solve(&g, q, &SolverConfig::paper(Algorithm::FtMCi, 15, 12));
+    assert!(
+        r.metrics.ci_pruned > 0,
+        "CI should eliminate at least some candidates on a cyclic workload"
+    );
+    assert!(r.flow > 0.0);
+}
+
+#[test]
+fn all_algorithms_stay_within_total_weight() {
+    let g = ErdosConfig::paper(150, 5.0).generate(13);
+    let q = suggest_query(&g);
+    let bound = g.total_weight();
+    for alg in Algorithm::all() {
+        let mut cfg = SolverConfig::paper(alg, 10, 14);
+        cfg.samples = 300;
+        let r = solve(&g, q, &cfg);
+        assert!(
+            r.flow <= bound + 1e-6,
+            "{}: flow {} exceeds total weight {bound}",
+            alg.name(),
+            r.flow
+        );
+        assert!(r.flow >= 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The central correctness property of the reproduction: with exact
+//! per-component estimation, the F-tree's expected flow equals whole-graph
+//! possible-world enumeration **bit-for-bit**, for any graph and any valid
+//! insertion order — because the decomposition at articulation vertices is
+//! exact (Theorem 2 + independence of edge-disjoint subgraphs).
+
+use flowmax::core::{EstimatorConfig, FTree, SamplingProvider};
+use flowmax::graph::{
+    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
+    Weight, DEFAULT_ENUMERATION_CAP,
+};
+use flowmax::sampling::SeedSequence;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random connected-ish graph with `n` vertices and `m` edges.
+fn random_graph(n: usize, m: usize, seed: u64) -> ProbabilisticGraph {
+    let mut rng = SeedSequence::new(seed).rng(1);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(Weight::new(rng.gen_range(0..10) as f64).unwrap());
+    }
+    // Random spanning tree first (guarantees insertability), then chords.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        let prob = Probability::new(rng.gen_range(0.05..=1.0)).unwrap();
+        b.add_edge(VertexId(order[i]), VertexId(parent), prob).unwrap();
+    }
+    let mut added = n - 1;
+    let mut guard = 0;
+    while added < m && guard < 1000 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !b.has_edge(VertexId(u), VertexId(v)) {
+            let prob = Probability::new(rng.gen_range(0.05..=1.0)).unwrap();
+            b.add_edge(VertexId(u), VertexId(v), prob).unwrap();
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Inserts all edges of `g` into an F-tree in a random *valid* order
+/// (each inserted edge touches the connected part), validating after every
+/// step, and returns the final tree.
+fn build_random_order(g: &ProbabilisticGraph, query: VertexId, seed: u64) -> FTree {
+    let mut rng = SeedSequence::new(seed).rng(2);
+    let mut tree = FTree::new(g, query);
+    let mut provider = SamplingProvider::new(EstimatorConfig::exact(), seed);
+    let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+    remaining.shuffle(&mut rng);
+    while !remaining.is_empty() {
+        let pos = remaining.iter().position(|&e| {
+            let (a, b) = g.endpoints(e);
+            tree.contains_vertex(a) || tree.contains_vertex(b)
+        });
+        let Some(pos) = pos else { break }; // disconnected leftovers
+        let e = remaining.remove(pos);
+        tree.insert_edge(g, e, &mut provider).unwrap();
+        tree.validate(g).unwrap_or_else(|err| panic!("seed {seed}, edge {e:?}: {err}"));
+    }
+    tree
+}
+
+#[test]
+fn ftree_flow_equals_enumeration_across_many_random_graphs() {
+    for seed in 0..30u64 {
+        let n = 5 + (seed as usize % 6);
+        let m = (n - 1) + (seed as usize % 7);
+        let g = random_graph(n, m, seed);
+        let query = VertexId((seed % n as u64) as u32);
+        let tree = build_random_order(&g, query, seed);
+        let ftree_flow = tree.expected_flow(&g, false);
+        let exact = exact_expected_flow(
+            &g,
+            tree.selected_edges(),
+            query,
+            false,
+            DEFAULT_ENUMERATION_CAP,
+        )
+        .unwrap();
+        assert!(
+            (ftree_flow - exact).abs() < 1e-9,
+            "seed {seed}: F-tree {ftree_flow} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn insertion_order_does_not_change_flow() {
+    let g = random_graph(8, 12, 99);
+    let query = VertexId(0);
+    let mut flows = Vec::new();
+    for order_seed in 0..10u64 {
+        let tree = build_random_order(&g, query, 1000 + order_seed);
+        if tree.edge_count() == g.edge_count() {
+            flows.push(tree.expected_flow(&g, false));
+        }
+    }
+    assert!(flows.len() >= 2, "need at least two full builds");
+    for w in flows.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 1e-9,
+            "flow must be order-independent: {flows:?}"
+        );
+    }
+}
+
+#[test]
+fn per_vertex_reach_matches_exact_reachability() {
+    for seed in [3u64, 17, 42] {
+        let g = random_graph(7, 10, seed);
+        let query = VertexId(1);
+        let tree = build_random_order(&g, query, seed);
+        let exact = flowmax::graph::exact_reachability(
+            &g,
+            tree.selected_edges(),
+            query,
+            DEFAULT_ENUMERATION_CAP,
+        )
+        .unwrap();
+        for v in g.vertices() {
+            let r = tree.reach_to_query(v);
+            assert!(
+                (r - exact[v.index()]).abs() < 1e-9,
+                "seed {seed} vertex {v:?}: {r} vs {}",
+                exact[v.index()]
+            );
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_ftree_converges_to_exact_flow() {
+    let g = random_graph(8, 12, 7);
+    let query = VertexId(0);
+    // Build with plentiful sampling instead of exact enumeration.
+    let mut tree = FTree::new(&g, query);
+    let mut provider = SamplingProvider::new(EstimatorConfig::monte_carlo(20_000), 5);
+    let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+    while !remaining.is_empty() {
+        let pos = remaining.iter().position(|&e| {
+            let (a, b) = g.endpoints(e);
+            tree.contains_vertex(a) || tree.contains_vertex(b)
+        });
+        let Some(pos) = pos else { break };
+        let e = remaining.remove(pos);
+        tree.insert_edge(&g, e, &mut provider).unwrap();
+    }
+    let sampled_flow = tree.expected_flow(&g, false);
+    let exact = exact_expected_flow(
+        &g,
+        tree.selected_edges(),
+        query,
+        false,
+        DEFAULT_ENUMERATION_CAP,
+    )
+    .unwrap();
+    let rel = (sampled_flow - exact).abs() / exact.max(1e-9);
+    assert!(rel < 0.03, "sampled {sampled_flow} vs exact {exact} (rel err {rel})");
+}
+
+#[test]
+fn weights_scale_flow_linearly() {
+    // Doubling all weights doubles the flow: linearity of expectation.
+    let mut rng = SeedSequence::new(11).rng(0);
+    let mut b1 = GraphBuilder::new();
+    let mut b2 = GraphBuilder::new();
+    for _ in 0..6 {
+        let w = rng.gen_range(1..10) as f64;
+        b1.add_vertex(Weight::new(w).unwrap());
+        b2.add_vertex(Weight::new(2.0 * w).unwrap());
+    }
+    let edges = [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)];
+    for &(u, v) in &edges {
+        let p = Probability::new(rng.gen_range(0.1..1.0)).unwrap();
+        b1.add_edge(VertexId(u), VertexId(v), p).unwrap();
+        b2.add_edge(VertexId(u), VertexId(v), p).unwrap();
+    }
+    let (g1, g2) = (b1.build(), b2.build());
+    let t1 = build_random_order(&g1, VertexId(0), 1);
+    let t2 = build_random_order(&g2, VertexId(0), 1);
+    let (f1, f2) = (t1.expected_flow(&g1, false), t2.expected_flow(&g2, false));
+    assert!((f2 - 2.0 * f1).abs() < 1e-9, "{f2} vs 2×{f1}");
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipeline smoke tests: every dataset spec through the full
+//! solver stack at test-friendly scales.
+
+use flowmax::core::{solve, Algorithm, SolverConfig};
+use flowmax::datasets::{
+    suggest_query, CollaborationConfig, DatasetSpec, ErdosConfig, PartitionedConfig,
+    PreferentialConfig, RoadConfig, SocialCircleConfig, WeightModel, WsnConfig,
+};
+
+fn specs() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::Erdos(ErdosConfig::paper(200, 5.0)),
+        DatasetSpec::Partitioned(PartitionedConfig::paper(200, 6)),
+        DatasetSpec::Wsn(WsnConfig::paper(200, 0.09)),
+        DatasetSpec::Road(RoadConfig::paper(12, 12)),
+        DatasetSpec::SocialCircle(SocialCircleConfig {
+            vertices: 80,
+            edges: 500,
+            close_friends_per_user: 6,
+            weights: WeightModel::paper_default(),
+        }),
+        DatasetSpec::Collaboration(CollaborationConfig::paper_scaled(300)),
+        DatasetSpec::Preferential(PreferentialConfig::paper_scaled(300)),
+    ]
+}
+
+#[test]
+fn every_workload_solves_with_the_full_heuristic_stack() {
+    for spec in specs() {
+        let g = spec.build(42);
+        let q = suggest_query(&g);
+        let mut cfg = SolverConfig::paper(Algorithm::FtMCiDs, 15, 7);
+        cfg.samples = 300;
+        let r = solve(&g, q, &cfg);
+        assert!(!r.selected.is_empty(), "{}: nothing selected", spec.name());
+        assert!(r.selected.len() <= 15, "{}: budget violated", spec.name());
+        assert!(r.flow > 0.0, "{}: zero flow", spec.name());
+        assert!(
+            r.flow <= g.total_weight() + 1e-6,
+            "{}: flow exceeds total weight",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn selections_are_connected_to_the_query() {
+    use flowmax::graph::{Bfs, EdgeSubset};
+    for spec in specs() {
+        let g = spec.build(43);
+        let q = suggest_query(&g);
+        let mut cfg = SolverConfig::paper(Algorithm::FtM, 12, 8);
+        cfg.samples = 200;
+        let r = solve(&g, q, &cfg);
+        let subset = EdgeSubset::from_edges(g.edge_count(), r.selected.iter().copied());
+        let mut bfs = Bfs::new(g.vertex_count());
+        let mut edge_touched = 0usize;
+        bfs.run(&g, q, |e| subset.contains(e), |_| {});
+        for &e in &r.selected {
+            let (a, b) = g.endpoints(e);
+            if bfs.was_visited(a) && bfs.was_visited(b) {
+                edge_touched += 1;
+            }
+        }
+        assert_eq!(
+            edge_touched,
+            r.selected.len(),
+            "{}: greedy must keep the selection connected",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn locality_keeps_selection_near_query() {
+    // Paper Fig. 5(a): under locality, only a local neighbourhood matters.
+    let wsn = WsnConfig::paper(500, 0.08).generate(9);
+    let g = &wsn.graph;
+    let q = suggest_query(g);
+    let (qx, qy) = wsn.positions[q.index()];
+    let mut cfg = SolverConfig::paper(Algorithm::FtM, 20, 10);
+    cfg.samples = 200;
+    let r = solve(g, q, &cfg);
+    for &e in &r.selected {
+        let (a, b) = g.endpoints(e);
+        for v in [a, b] {
+            let (x, y) = wsn.positions[v.index()];
+            let d = ((x - qx).powi(2) + (y - qy).powi(2)).sqrt();
+            assert!(
+                d < 0.5,
+                "selected vertex {v:?} at distance {d} — selection should stay local"
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluation_flow_tracks_algorithm_flow() {
+    // The solver's uniform evaluator should be within sampling noise of the
+    // algorithm's own final estimate.
+    let g = ErdosConfig::paper(200, 5.0).generate(11);
+    let q = suggest_query(&g);
+    let r = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 15, 12));
+    let rel = (r.flow - r.algorithm_flow).abs() / r.flow.max(1e-9);
+    assert!(
+        rel < 0.15,
+        "uniform evaluation {} vs algorithm estimate {} (rel {rel})",
+        r.flow,
+        r.algorithm_flow
+    );
+}

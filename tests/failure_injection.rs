@@ -1,0 +1,194 @@
+//! Failure injection: every user-facing error path across the crates, plus
+//! robustness of the pipeline under degenerate inputs.
+
+use flowmax::core::{
+    exact_max_flow, greedy_select, solve, Algorithm, CoreError, EstimatorConfig, FTree,
+    GreedyConfig, SamplingProvider, SolverConfig,
+};
+use flowmax::graph::{
+    exact_reachability, EdgeId, EdgeSubset, GraphBuilder, GraphError, Probability, VertexId,
+    Weight,
+};
+use std::io::Cursor;
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+#[test]
+fn builder_rejects_all_invalid_inputs() {
+    assert!(matches!(Probability::new(0.0), Err(GraphError::InvalidProbability(_))));
+    assert!(matches!(Probability::new(f64::NAN), Err(GraphError::InvalidProbability(_))));
+    assert!(matches!(Weight::new(-1.0), Err(GraphError::InvalidWeight(_))));
+
+    let mut b = GraphBuilder::new();
+    let v = b.add_vertex(Weight::ONE);
+    assert!(matches!(b.add_edge(v, v, p(0.5)), Err(GraphError::SelfLoop(_))));
+    assert!(matches!(
+        b.add_edge(v, VertexId(100), p(0.5)),
+        Err(GraphError::VertexOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn ftree_rejects_case_i_and_duplicates_without_corruption() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(4, Weight::ONE);
+    b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap();
+    b.add_edge(VertexId(2), VertexId(3), p(0.5)).unwrap();
+    let g = b.build();
+
+    let mut tree = FTree::new(&g, VertexId(0));
+    let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 1);
+
+    // Case I rejected, tree untouched.
+    let err = tree.insert_edge(&g, EdgeId(1), &mut provider).unwrap_err();
+    assert!(matches!(err, CoreError::DisconnectedEdge { .. }));
+    assert_eq!(tree.edge_count(), 0);
+    tree.validate(&g).unwrap();
+
+    tree.insert_edge(&g, EdgeId(0), &mut provider).unwrap();
+    let err = tree.insert_edge(&g, EdgeId(0), &mut provider).unwrap_err();
+    assert_eq!(err, CoreError::EdgeAlreadySelected(EdgeId(0)));
+    assert_eq!(tree.edge_count(), 1);
+    tree.validate(&g).unwrap();
+}
+
+#[test]
+fn solvers_handle_isolated_query_gracefully() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(3, Weight::ONE);
+    b.add_edge(VertexId(1), VertexId(2), p(0.9)).unwrap();
+    let g = b.build();
+    for alg in Algorithm::all() {
+        let r = solve(&g, VertexId(0), &SolverConfig::paper(alg, 5, 1));
+        assert!(r.selected.is_empty(), "{}: selected from nothing", alg.name());
+        assert_eq!(r.flow, 0.0, "{}", alg.name());
+    }
+}
+
+#[test]
+fn solvers_handle_single_vertex_graph() {
+    let mut b = GraphBuilder::new();
+    b.add_vertex(Weight::new(7.0).unwrap());
+    let g = b.build();
+    let r = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::FtM, 3, 1));
+    assert!(r.selected.is_empty());
+    assert_eq!(r.flow, 0.0);
+    let mut cfg = SolverConfig::paper(Algorithm::Dijkstra, 3, 1);
+    cfg.include_query = true;
+    let r = solve(&g, VertexId(0), &cfg);
+    assert_eq!(r.flow, 7.0, "query's own weight with include_query");
+}
+
+#[test]
+fn zero_budget_is_a_no_op() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(2, Weight::ONE);
+    b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap();
+    let g = b.build();
+    let out = greedy_select(&g, VertexId(0), &GreedyConfig::ft(0, 1));
+    assert!(out.selected.is_empty());
+    assert_eq!(out.metrics.probes, 0);
+}
+
+#[test]
+fn all_certain_edges_need_no_sampling_in_greedy_with_exact_cap() {
+    // p = 1 everywhere: even cycles are deterministic; exact estimation via
+    // hybrid cap must never fall back to sampling (0 uncertain edges).
+    let mut b = GraphBuilder::new();
+    b.add_vertices(4, Weight::ONE);
+    for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)] {
+        b.add_edge(VertexId(u), VertexId(v), Probability::ONE).unwrap();
+    }
+    let g = b.build();
+    let mut cfg = GreedyConfig::ft(5, 1);
+    cfg.exact_edge_cap = 4;
+    let out = greedy_select(&g, VertexId(0), &cfg);
+    assert_eq!(out.metrics.components_sampled, 0);
+    assert!((out.final_flow - 3.0).abs() < 1e-12, "all three vertices certain");
+}
+
+#[test]
+fn exact_solver_enforces_limits() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(30, Weight::ONE);
+    for i in 0..25u32 {
+        b.add_edge(VertexId(i), VertexId(i + 1), p(0.5)).unwrap();
+    }
+    let g = b.build();
+    assert!(exact_max_flow(&g, VertexId(0), 3, false).is_err());
+}
+
+#[test]
+fn enumeration_cap_propagates() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(30, Weight::ONE);
+    for i in 0..29u32 {
+        b.add_edge(VertexId(i), VertexId(i + 1), p(0.5)).unwrap();
+    }
+    let g = b.build();
+    let err = exact_reachability(&g, &EdgeSubset::full(&g), VertexId(0), 24).unwrap_err();
+    assert!(matches!(err, GraphError::TooManyEdgesForEnumeration { .. }));
+}
+
+#[test]
+fn graph_io_failures_are_typed() {
+    use flowmax::graph::io::read_text;
+    for bad in [
+        "wrong header\n",
+        "flowmax-graph v1\nnot-numbers\n",
+        "flowmax-graph v1\n2 1\n1\nnope\n0 1 0.5\n",
+        "flowmax-graph v1\n2 1\n1\n1\n0 0 0.5\n", // self loop
+        "flowmax-graph v1\n1 0\n-3\n",             // negative weight
+    ] {
+        assert!(read_text(Cursor::new(bad)).is_err(), "accepted {bad:?}");
+    }
+}
+
+#[test]
+fn loader_failures_are_typed() {
+    use flowmax::datasets::{load_edge_list, ProbabilityModel, WeightModel};
+    let err = load_edge_list(
+        Cursor::new("1 2\nthree four\n"),
+        ProbabilityModel::Constant(0.5),
+        WeightModel::unit(),
+        0,
+    )
+    .unwrap_err();
+    assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+}
+
+#[test]
+fn probe_never_mutates_even_on_error() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(4, Weight::ONE);
+    b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap();
+    b.add_edge(VertexId(2), VertexId(3), p(0.5)).unwrap();
+    let g = b.build();
+    let mut tree = FTree::new(&g, VertexId(0));
+    let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 1);
+    tree.insert_edge(&g, EdgeId(0), &mut provider).unwrap();
+    let before = tree.expected_flow(&g, false);
+    let _ = tree.probe_edge(&g, EdgeId(1), before, false, 0.01, &mut provider);
+    assert_eq!(tree.edge_count(), 1);
+    assert_eq!(tree.expected_flow(&g, false), before);
+    tree.validate(&g).unwrap();
+}
+
+#[test]
+fn extreme_probabilities_are_handled() {
+    // Mix of near-zero and certain probabilities must not under/overflow.
+    let mut b = GraphBuilder::new();
+    b.add_vertices(4, Weight::new(1000.0).unwrap());
+    b.add_edge(VertexId(0), VertexId(1), p(1e-12)).unwrap();
+    b.add_edge(VertexId(1), VertexId(2), Probability::ONE).unwrap();
+    b.add_edge(VertexId(2), VertexId(3), p(1e-12)).unwrap();
+    let g = b.build();
+    let mut cfg = GreedyConfig::ft(3, 1);
+    cfg.exact_edge_cap = 10;
+    let out = greedy_select(&g, VertexId(0), &cfg);
+    assert_eq!(out.selected.len(), 3);
+    assert!(out.final_flow.is_finite());
+    assert!(out.final_flow > 0.0 && out.final_flow < 1.0, "flow {}", out.final_flow);
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the F-tree invariants over randomly generated
+//! graphs and insertion orders (proptest).
+
+use flowmax::core::{EstimatorConfig, FTree, SamplingProvider};
+use flowmax::graph::{
+    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
+    Weight, DEFAULT_ENUMERATION_CAP,
+};
+use proptest::prelude::*;
+
+/// A random small uncertain graph: a spanning tree over `n` vertices plus
+/// `extra` chords, with arbitrary probabilities and small integer weights.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    n: usize,
+    tree_parents: Vec<usize>, // parent of vertex i+1 within 0..=i
+    chords: Vec<(usize, usize)>,
+    probs: Vec<f64>,
+    weights: Vec<u8>,
+    order_seed: Vec<usize>, // drives the insertion-order shuffle
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (3usize..9).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0usize..n, n - 1).prop_map(move |raw| {
+            // parent of vertex i (1-based) must be < i
+            raw.iter().enumerate().map(|(i, &r)| r % (i + 1)).collect::<Vec<_>>()
+        });
+        let chords = proptest::collection::vec((0usize..n, 0usize..n), 0..5);
+        let max_edges = (n - 1) + 5;
+        let probs =
+            proptest::collection::vec(0.05f64..=1.0, max_edges);
+        let weights = proptest::collection::vec(0u8..10, n);
+        let order = proptest::collection::vec(0usize..64, max_edges);
+        (Just(n), tree, chords, probs, weights, order).prop_map(
+            |(n, tree_parents, chords, probs, weights, order_seed)| GraphSpec {
+                n,
+                tree_parents,
+                chords,
+                probs,
+                weights,
+                order_seed,
+            },
+        )
+    })
+}
+
+fn build(spec: &GraphSpec) -> ProbabilisticGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..spec.n {
+        b.add_vertex(Weight::new(spec.weights[i] as f64).unwrap());
+    }
+    let mut pi = 0usize;
+    let prob = |pi: &mut usize| {
+        let p = spec.probs[*pi % spec.probs.len()];
+        *pi += 1;
+        Probability::new(p).unwrap()
+    };
+    for (i, &parent) in spec.tree_parents.iter().enumerate() {
+        let child = i + 1;
+        b.add_edge(
+            VertexId::from_index(child),
+            VertexId::from_index(parent),
+            prob(&mut pi),
+        )
+        .unwrap();
+    }
+    for &(u, v) in &spec.chords {
+        let (u, v) = (u % spec.n, v % spec.n);
+        if u != v && !b.has_edge(VertexId::from_index(u), VertexId::from_index(v)) {
+            b.add_edge(VertexId::from_index(u), VertexId::from_index(v), prob(&mut pi))
+                .unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Inserts all edges in a spec-driven valid order, validating every step.
+fn build_tree(g: &ProbabilisticGraph, query: VertexId, spec: &GraphSpec) -> FTree {
+    let mut tree = FTree::new(g, query);
+    let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 0);
+    let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+    let mut step = 0usize;
+    while !remaining.is_empty() {
+        // Deterministic pseudo-shuffle: rotate by the next order seed.
+        let insertable: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| {
+                let (a, b) = g.endpoints(e);
+                tree.contains_vertex(a) || tree.contains_vertex(b)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if insertable.is_empty() {
+            break;
+        }
+        let pick = spec.order_seed[step % spec.order_seed.len()] % insertable.len();
+        step += 1;
+        let e = remaining.remove(insertable[pick]);
+        tree.insert_edge(g, e, &mut provider).unwrap();
+        tree.validate(g).expect("invariants after every insertion");
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: the F-tree with exact component estimation
+    /// reproduces whole-graph enumeration exactly, whatever the graph and
+    /// the insertion order.
+    #[test]
+    fn ftree_flow_is_exact(spec in graph_spec()) {
+        let g = build(&spec);
+        let query = VertexId(0);
+        let tree = build_tree(&g, query, &spec);
+        let ftree_flow = tree.expected_flow(&g, false);
+        let exact = exact_expected_flow(
+            &g, tree.selected_edges(), query, false, DEFAULT_ENUMERATION_CAP,
+        ).unwrap();
+        prop_assert!((ftree_flow - exact).abs() < 1e-9,
+            "F-tree {} vs exact {}", ftree_flow, exact);
+    }
+
+    /// Per-vertex reach probabilities stay within [0, 1] and Q's is 1.
+    #[test]
+    fn reach_probabilities_are_probabilities(spec in graph_spec()) {
+        let g = build(&spec);
+        let query = VertexId(0);
+        let tree = build_tree(&g, query, &spec);
+        prop_assert_eq!(tree.reach_to_query(query), 1.0);
+        for v in g.vertices() {
+            let r = tree.reach_to_query(v);
+            prop_assert!((0.0..=1.0).contains(&r), "reach {} out of range", r);
+        }
+    }
+
+    /// Adding any edge never decreases flow (more edges = more paths), when
+    /// estimates are exact.
+    #[test]
+    fn flow_is_monotone_in_edges(spec in graph_spec()) {
+        let g = build(&spec);
+        let query = VertexId(0);
+        let mut tree = FTree::new(&g, query);
+        let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 0);
+        let mut prev = 0.0;
+        let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+        let mut step = 0usize;
+        loop {
+            let insertable: Vec<usize> = remaining.iter().enumerate()
+                .filter(|(_, &e)| {
+                    let (a, b) = g.endpoints(e);
+                    tree.contains_vertex(a) || tree.contains_vertex(b)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if insertable.is_empty() { break; }
+            let pick = spec.order_seed[step % spec.order_seed.len()] % insertable.len();
+            step += 1;
+            let e = remaining.remove(insertable[pick]);
+            tree.insert_edge(&g, e, &mut provider).unwrap();
+            let flow = tree.expected_flow(&g, false);
+            prop_assert!(flow + 1e-9 >= prev, "flow dropped from {} to {}", prev, flow);
+            prev = flow;
+        }
+    }
+
+    /// The edge partition invariant: components hold each selected edge
+    /// exactly once (already enforced by validate(), asserted explicitly
+    /// here as the property of record).
+    #[test]
+    fn components_partition_selected_edges(spec in graph_spec()) {
+        let g = build(&spec);
+        let tree = build_tree(&g, VertexId(0), &spec);
+        let mut seen = std::collections::BTreeSet::new();
+        for comp in tree.components() {
+            for e in comp.edges {
+                prop_assert!(seen.insert(e), "edge {:?} in two components", e);
+            }
+        }
+        prop_assert_eq!(seen.len(), tree.edge_count());
+    }
+
+    /// Probing an edge never mutates the tree, and committing afterwards
+    /// matches the probe under exact estimation.
+    #[test]
+    fn probe_then_commit_consistency(spec in graph_spec()) {
+        let g = build(&spec);
+        let query = VertexId(0);
+        let mut tree = FTree::new(&g, query);
+        let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 0);
+        // Insert the spanning tree part only, then probe each chord.
+        for e in g.edge_ids().take(spec.n - 1) {
+            tree.insert_edge(&g, e, &mut provider).unwrap();
+        }
+        let base = tree.expected_flow(&g, false);
+        let chords: Vec<EdgeId> = g.edge_ids().skip(spec.n - 1).collect();
+        for e in chords {
+            let before = tree.expected_flow(&g, false);
+            let probe = tree.probe_edge(&g, e, base, false, 0.01, &mut provider).unwrap();
+            prop_assert!((tree.expected_flow(&g, false) - before).abs() < 1e-12);
+            let mut committed = tree.clone();
+            committed.insert_edge(&g, e, &mut provider).unwrap();
+            let commit_flow = committed.expected_flow(&g, false);
+            prop_assert!((probe.flow - commit_flow).abs() < 1e-9,
+                "probe {} vs commit {}", probe.flow, commit_flow);
+        }
+    }
+}

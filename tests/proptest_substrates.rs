@@ -1,0 +1,154 @@
+//! Property-based tests of the graph substrates against each other and
+//! against exact enumeration.
+
+use flowmax::graph::{
+    biconnected_components, count_simple_paths, exact_reachability, exact_two_terminal,
+    max_probability_spanning_tree_full, reliability_bounds, world_probability, EdgeSubset,
+    GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SmallGraph {
+    n: usize,
+    tree_parents: Vec<usize>,
+    chords: Vec<(usize, usize)>,
+    probs: Vec<f64>,
+}
+
+fn small_graph() -> impl Strategy<Value = SmallGraph> {
+    (3usize..8).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0usize..n, n - 1)
+            .prop_map(move |raw| {
+                raw.iter().enumerate().map(|(i, &r)| r % (i + 1)).collect::<Vec<_>>()
+            });
+        let chords = proptest::collection::vec((0usize..n, 0usize..n), 0..4);
+        let probs = proptest::collection::vec(0.05f64..=1.0, (n - 1) + 4);
+        (Just(n), tree, chords, probs).prop_map(|(n, tree_parents, chords, probs)| SmallGraph {
+            n,
+            tree_parents,
+            chords,
+            probs,
+        })
+    })
+}
+
+fn build(spec: &SmallGraph) -> ProbabilisticGraph {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(spec.n, Weight::ONE);
+    let mut pi = 0;
+    let next_prob = |pi: &mut usize| {
+        let p = spec.probs[*pi % spec.probs.len()];
+        *pi += 1;
+        Probability::new(p).unwrap()
+    };
+    for (i, &parent) in spec.tree_parents.iter().enumerate() {
+        b.add_edge(
+            VertexId::from_index(i + 1),
+            VertexId::from_index(parent),
+            next_prob(&mut pi),
+        )
+        .unwrap();
+    }
+    for &(u, v) in &spec.chords {
+        let (u, v) = (u % spec.n, v % spec.n);
+        if u != v && !b.has_edge(VertexId::from_index(u), VertexId::from_index(v)) {
+            b.add_edge(VertexId::from_index(u), VertexId::from_index(v), next_prob(&mut pi))
+                .unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocks of the biconnected decomposition partition the active edges,
+    /// and cyclic blocks are exactly the pairs with ≥2 simple paths.
+    #[test]
+    fn biconnected_blocks_partition_edges(spec in small_graph()) {
+        let g = build(&spec);
+        let full = EdgeSubset::full(&g);
+        let deco = biconnected_components(&g, &full);
+        let mut all: Vec<u32> = deco.blocks.iter().flatten().map(|e| e.0).collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..g.edge_count() as u32).collect();
+        prop_assert_eq!(all, expect);
+
+        // Endpoints of an edge in a cyclic block are bi-connected.
+        for block in deco.cyclic_blocks() {
+            for &e in block {
+                let (a, b) = g.endpoints(e);
+                let paths = count_simple_paths(&g, &full, a, b, 2);
+                prop_assert!(paths >= 2, "edge {:?} in cyclic block but mono pair", e);
+            }
+        }
+    }
+
+    /// The spanning tree's path probability to each vertex is a valid lower
+    /// bound on exact two-terminal reliability, and equals the product along
+    /// an actually existing path.
+    #[test]
+    fn spanning_tree_lower_bounds_reliability(spec in small_graph()) {
+        let g = build(&spec);
+        let t = max_probability_spanning_tree_full(&g, VertexId(0));
+        let full = EdgeSubset::full(&g);
+        let exact = exact_reachability(&g, &full, VertexId(0), 24).unwrap();
+        for v in g.vertices() {
+            prop_assert!(t.path_probability[v.index()] <= exact[v.index()] + 1e-9);
+        }
+    }
+
+    /// Analytic reliability bounds always bracket exact reachability.
+    #[test]
+    fn reliability_bounds_bracket_exact(spec in small_graph()) {
+        let g = build(&spec);
+        let full = EdgeSubset::full(&g);
+        let bounds = reliability_bounds(&g, &full, VertexId(0));
+        let exact = exact_reachability(&g, &full, VertexId(0), 24).unwrap();
+        for v in g.vertices() {
+            prop_assert!(bounds.lower[v.index()] <= exact[v.index()] + 1e-9);
+            prop_assert!(bounds.upper[v.index()] + 1e-9 >= exact[v.index()]);
+        }
+    }
+
+    /// World probabilities over all worlds of a domain sum to one.
+    #[test]
+    fn world_probabilities_form_a_distribution(spec in small_graph()) {
+        let g = build(&spec);
+        // Keep the domain small: at most 10 edges.
+        let domain = EdgeSubset::from_edges(
+            g.edge_count(),
+            g.edge_ids().take(10),
+        );
+        let edges: Vec<_> = domain.iter().collect();
+        let mut total = 0.0;
+        for mask in 0u32..(1 << edges.len()) {
+            let mut world = EdgeSubset::new(g.edge_count());
+            for (bit, &e) in edges.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    world.insert(e);
+                }
+            }
+            total += world_probability(&g, &domain, &world);
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {}", total);
+    }
+
+    /// Two-terminal reliability is monotone: activating more edges never
+    /// decreases it.
+    #[test]
+    fn reliability_is_monotone_in_edges(spec in small_graph()) {
+        let g = build(&spec);
+        let full = EdgeSubset::full(&g);
+        let mut partial = EdgeSubset::for_graph(&g);
+        // Tree edges only.
+        for e in g.edge_ids().take(spec.n - 1) {
+            partial.insert(e);
+        }
+        let target = VertexId::from_index(spec.n - 1);
+        let with_partial = exact_two_terminal(&g, &partial, VertexId(0), target, 24).unwrap();
+        let with_full = exact_two_terminal(&g, &full, VertexId(0), target, 24).unwrap();
+        prop_assert!(with_full + 1e-12 >= with_partial);
+    }
+}
