@@ -27,8 +27,7 @@ fn bench_flow_estimation(c: &mut Criterion) {
         });
         group.bench_function(format!("ftree_build_and_estimate_{samples}"), |b| {
             b.iter(|| {
-                let mut provider =
-                    SamplingProvider::new(EstimatorConfig::monte_carlo(samples), 2);
+                let mut provider = SamplingProvider::new(EstimatorConfig::monte_carlo(samples), 2);
                 let mut tree = FTree::new(&graph, q);
                 let mut remaining: Vec<EdgeId> = selection.clone();
                 while !remaining.is_empty() {

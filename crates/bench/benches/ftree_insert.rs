@@ -112,11 +112,15 @@ fn bench_insert_cases(c: &mut Criterion) {
             gb.add_edge(VertexId(i), VertexId(i + 1), Probability::new(0.9).unwrap())
                 .unwrap();
         }
-        let chord = gb.add_edge(VertexId(10), VertexId(50), Probability::new(0.5).unwrap()).unwrap();
+        let chord = gb
+            .add_edge(VertexId(10), VertexId(50), Probability::new(0.5).unwrap())
+            .unwrap();
         let chain = gb.build();
         let mut mono_tree = FTree::new(&chain, VertexId(0));
         for i in 0..63u32 {
-            mono_tree.insert_edge(&chain, EdgeId(i), &mut provider).unwrap();
+            mono_tree
+                .insert_edge(&chain, EdgeId(i), &mut provider)
+                .unwrap();
         }
         group.bench_function("case_iiib_split_tree_40_vertex_cycle", |b| {
             b.iter_batched(

@@ -31,8 +31,7 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     group.bench_function("union_find_10k_edges", |b| {
-        let edges: Vec<(VertexId, VertexId)> =
-            graph.edges().map(|(_, e)| e.endpoints()).collect();
+        let edges: Vec<(VertexId, VertexId)> = graph.edges().map(|(_, e)| e.endpoints()).collect();
         b.iter(|| {
             let mut uf = UnionFind::new(graph.vertex_count());
             for &(u, v) in &edges {
@@ -54,9 +53,7 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("exact_enumeration_16_edges", |b| {
         let small = ErdosConfig::paper(10, 3.2).generate(9);
         let domain = EdgeSubset::full(&small);
-        b.iter(|| {
-            flowmax_graph::exact_reachability(&small, &domain, VertexId(0), 24).unwrap()
-        })
+        b.iter(|| flowmax_graph::exact_reachability(&small, &domain, VertexId(0), 24).unwrap())
     });
 
     let _ = rand::thread_rng().gen::<u8>(); // keep rand linked for Criterion

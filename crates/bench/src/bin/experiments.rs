@@ -55,7 +55,10 @@ fn main() {
     let selected: Vec<_> = if ids.iter().any(|s| s == "all") {
         all.iter().collect()
     } else {
-        let chosen: Vec<_> = all.iter().filter(|e| ids.contains(&e.id.to_string())).collect();
+        let chosen: Vec<_> = all
+            .iter()
+            .filter(|e| ids.contains(&e.id.to_string()))
+            .collect();
         let known: Vec<&str> = all.iter().map(|e| e.id).collect();
         for id in &ids {
             if !known.contains(&id.as_str()) {
@@ -73,6 +76,11 @@ fn main() {
         if let Err(err) = report.write_csv(&out) {
             eprintln!("warning: could not write CSV for {}: {err}", e.id);
         }
-        println!("# completed in {:.1?}; csv: {}/{}.csv\n", started.elapsed(), out.display(), e.id);
+        println!(
+            "# completed in {:.1?}; csv: {}/{}.csv\n",
+            started.elapsed(),
+            out.display(),
+            e.id
+        );
     }
 }

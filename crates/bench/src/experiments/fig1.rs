@@ -40,23 +40,31 @@ pub fn fig1(_scale: &Scale, _seed: u64) -> Report {
     let q = VertexId(0);
 
     let all = EdgeSubset::full(&g);
-    let flow_all =
-        exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
+    let flow_all = exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
     let dj = dijkstra_select(&g, q, usize::MAX, false);
     let opt5 = exact_max_flow(&g, q, 5, false).unwrap();
 
     let rows = vec![
         Row {
             x: format!("all ({} edges)", g.edge_count()),
-            cells: vec![Cell { flow: flow_all, millis: 0.0 }],
+            cells: vec![Cell {
+                flow: flow_all,
+                millis: 0.0,
+            }],
         },
         Row {
             x: format!("Dijkstra ({} edges)", dj.selected.len()),
-            cells: vec![Cell { flow: dj.final_flow, millis: 0.0 }],
+            cells: vec![Cell {
+                flow: dj.final_flow,
+                millis: 0.0,
+            }],
         },
         Row {
             x: "optimal 5 edges".into(),
-            cells: vec![Cell { flow: opt5.flow, millis: 0.0 }],
+            cells: vec![Cell {
+                flow: opt5.flow,
+                millis: 0.0,
+            }],
         },
     ];
     Report {

@@ -8,7 +8,10 @@ use crate::runner::{names, roster, run_workload, RunConfig, Scale};
 
 /// Fig. 5(a): graph size sweep under locality.
 pub fn fig5a(scale: &Scale, seed: u64) -> Report {
-    let sizes: Vec<usize> = scale.pick(vec![2_500, 5_000, 10_000, 20_000], vec![500, 1_000, 2_000, 4_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_500, 5_000, 10_000, 20_000],
+        vec![500, 1_000, 2_000, 4_000],
+    );
     let cfg = RunConfig {
         budget: scale.pick(200, 50),
         samples: scale.pick(1000, 500),
@@ -20,7 +23,10 @@ pub fn fig5a(scale: &Scale, seed: u64) -> Report {
         .iter()
         .map(|&n| {
             let g = PartitionedConfig::paper(n, 6).generate(seed ^ n as u64);
-            Row { x: n.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: n.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {
@@ -30,7 +36,10 @@ pub fn fig5a(scale: &Scale, seed: u64) -> Report {
         algorithms: names(&algorithms),
         rows,
         notes: vec![
-            format!("partitioned generator, degree 6, k={}, {} samples", cfg.budget, cfg.samples),
+            format!(
+                "partitioned generator, degree 6, k={}, {} samples",
+                cfg.budget, cfg.samples
+            ),
             "paper expectation: all algorithms oblivious to |V|; Dijkstra lowest flow".into(),
         ],
     }
@@ -38,7 +47,10 @@ pub fn fig5a(scale: &Scale, seed: u64) -> Report {
 
 /// Fig. 5(b): graph size sweep without locality.
 pub fn fig5b(scale: &Scale, seed: u64) -> Report {
-    let sizes: Vec<usize> = scale.pick(vec![2_500, 5_000, 10_000, 20_000], vec![500, 1_000, 2_000, 4_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_500, 5_000, 10_000, 20_000],
+        vec![500, 1_000, 2_000, 4_000],
+    );
     let cfg = RunConfig {
         budget: scale.pick(200, 50),
         samples: scale.pick(1000, 500),
@@ -50,7 +62,10 @@ pub fn fig5b(scale: &Scale, seed: u64) -> Report {
         .iter()
         .map(|&n| {
             let g = ErdosConfig::paper(n, 10.0).generate(seed ^ n as u64);
-            Row { x: n.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: n.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {
@@ -60,7 +75,10 @@ pub fn fig5b(scale: &Scale, seed: u64) -> Report {
         algorithms: names(&algorithms),
         rows,
         notes: vec![
-            format!("Erdős–Rényi, degree ≈10, k={}, {} samples", cfg.budget, cfg.samples),
+            format!(
+                "Erdős–Rényi, degree ≈10, k={}, {} samples",
+                cfg.budget, cfg.samples
+            ),
             "paper expectation: Naive and Dijkstra clearly below the FT variants in flow".into(),
         ],
     }

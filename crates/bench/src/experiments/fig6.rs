@@ -21,7 +21,10 @@ pub fn fig6a(scale: &Scale, seed: u64) -> Report {
         .iter()
         .map(|&d| {
             let g = PartitionedConfig::paper(n, d).generate(seed ^ d as u64);
-            Row { x: d.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: d.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {
@@ -52,7 +55,10 @@ pub fn fig6b(scale: &Scale, seed: u64) -> Report {
         .iter()
         .map(|&d| {
             let g = ErdosConfig::paper(n, d as f64).generate(seed ^ d as u64);
-            Row { x: d.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: d.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {

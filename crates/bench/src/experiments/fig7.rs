@@ -8,8 +8,7 @@ use crate::runner::{names, roster, run_workload, RunConfig, Scale};
 
 /// Fig. 7(a): budget sweep under locality.
 pub fn fig7a(scale: &Scale, seed: u64) -> Report {
-    let budgets: Vec<usize> =
-        scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
+    let budgets: Vec<usize> = scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
     let n = scale.pick(10_000, 2_000);
     let algorithms = roster();
     let g = PartitionedConfig::paper(n, 6).generate(seed);
@@ -22,7 +21,10 @@ pub fn fig7a(scale: &Scale, seed: u64) -> Report {
                 naive_samples: scale.pick(1000, 200),
                 seed,
             };
-            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: k.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {
@@ -40,8 +42,7 @@ pub fn fig7a(scale: &Scale, seed: u64) -> Report {
 
 /// Fig. 7(b): budget sweep without locality.
 pub fn fig7b(scale: &Scale, seed: u64) -> Report {
-    let budgets: Vec<usize> =
-        scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
+    let budgets: Vec<usize> = scale.pick(vec![50, 100, 200, 300, 400], vec![10, 25, 50, 75, 100]);
     let n = scale.pick(10_000, 2_000);
     let algorithms = roster();
     let g = ErdosConfig::paper(n, 10.0).generate(seed);
@@ -54,7 +55,10 @@ pub fn fig7b(scale: &Scale, seed: u64) -> Report {
                 naive_samples: scale.pick(1000, 200),
                 seed,
             };
-            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: k.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {

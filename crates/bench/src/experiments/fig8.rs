@@ -7,8 +7,7 @@ use crate::report::{Report, Row};
 use crate::runner::{names, roster, run_workload, RunConfig, Scale};
 
 fn wsn_sweep(id: &str, epsilon: f64, scale: &Scale, seed: u64) -> Report {
-    let budgets: Vec<usize> =
-        scale.pick(vec![25, 50, 100, 150, 200], vec![10, 25, 50, 75]);
+    let budgets: Vec<usize> = scale.pick(vec![25, 50, 100, 150, 200], vec![10, 25, 50, 75]);
     let algorithms = roster();
     let g = WsnConfig::paper(1000, epsilon).generate(seed).graph;
     let rows = budgets
@@ -20,7 +19,10 @@ fn wsn_sweep(id: &str, epsilon: f64, scale: &Scale, seed: u64) -> Report {
                 naive_samples: scale.pick(1000, 200),
                 seed,
             };
-            Row { x: k.to_string(), cells: run_workload(&g, &algorithms, &cfg) }
+            Row {
+                x: k.to_string(),
+                cells: run_workload(&g, &algorithms, &cfg),
+            }
         })
         .collect();
     Report {

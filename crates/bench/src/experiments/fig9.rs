@@ -3,9 +3,7 @@
 //! Facebook social circle, DBLP collaboration, YouTube friendships.
 
 use flowmax_core::Algorithm;
-use flowmax_datasets::{
-    CollaborationConfig, PreferentialConfig, RoadConfig, SocialCircleConfig,
-};
+use flowmax_datasets::{CollaborationConfig, PreferentialConfig, RoadConfig, SocialCircleConfig};
 use flowmax_graph::ProbabilisticGraph;
 
 use crate::report::{Report, Row};
@@ -31,7 +29,10 @@ fn budget_sweep(
                 naive_samples: scale.pick(1000, 100),
                 seed,
             };
-            Row { x: k.to_string(), cells: run_workload(graph, algorithms, &cfg) }
+            Row {
+                x: k.to_string(),
+                cells: run_workload(graph, algorithms, &cfg),
+            }
         })
         .collect();
     Report {
@@ -59,8 +60,7 @@ pub fn fig9a(scale: &Scale, seed: u64) -> Report {
         seed,
         vec![
             format!("{}×{} jittered grid, p = exp(−0.001·dist_m)", w, h),
-            "paper expectation: FT variants dominate; heuristics all help under locality"
-                .into(),
+            "paper expectation: FT variants dominate; heuristics all help under locality".into(),
         ],
     )
 }
@@ -92,8 +92,10 @@ pub fn fig9c(scale: &Scale, seed: u64) -> Report {
     let budgets: Vec<usize> = scale.pick(vec![50, 100, 150, 200, 250], vec![20, 40, 80]);
     // Naive is excluded at this size even in the paper-shaped run: its cost
     // is the experiment's point, measured separately at small scale.
-    let algorithms: Vec<Algorithm> =
-        roster().into_iter().filter(|a| *a != Algorithm::Naive).collect();
+    let algorithms: Vec<Algorithm> = roster()
+        .into_iter()
+        .filter(|a| *a != Algorithm::Naive)
+        .collect();
     budget_sweep(
         "fig9c",
         "DBLP collaboration network (synthetic substitute)",
@@ -115,8 +117,10 @@ pub fn fig9d(scale: &Scale, seed: u64) -> Report {
     let n = scale.pick(1_134_890, 50_000);
     let g = PreferentialConfig::paper_scaled(n).generate(seed);
     let budgets: Vec<usize> = scale.pick(vec![50, 100, 150, 200, 250], vec![20, 40, 80]);
-    let algorithms: Vec<Algorithm> =
-        roster().into_iter().filter(|a| *a != Algorithm::Naive).collect();
+    let algorithms: Vec<Algorithm> = roster()
+        .into_iter()
+        .filter(|a| *a != Algorithm::Naive)
+        .collect();
     budget_sweep(
         "fig9d",
         "YouTube friendship network (synthetic substitute)",

@@ -51,10 +51,26 @@ pub fn registry() -> Vec<Experiment> {
             description: "density sweep, no locality (Erdős–Rényi)",
             run: fig6::fig6b,
         },
-        Experiment { id: "fig7a", description: "budget sweep, locality", run: fig7::fig7a },
-        Experiment { id: "fig7b", description: "budget sweep, no locality", run: fig7::fig7b },
-        Experiment { id: "fig8a", description: "WSN ε = 0.05", run: fig8::fig8a },
-        Experiment { id: "fig8b", description: "WSN ε = 0.07", run: fig8::fig8b },
+        Experiment {
+            id: "fig7a",
+            description: "budget sweep, locality",
+            run: fig7::fig7a,
+        },
+        Experiment {
+            id: "fig7b",
+            description: "budget sweep, no locality",
+            run: fig7::fig7b,
+        },
+        Experiment {
+            id: "fig8a",
+            description: "WSN ε = 0.05",
+            run: fig8::fig8a,
+        },
+        Experiment {
+            id: "fig8b",
+            description: "WSN ε = 0.07",
+            run: fig8::fig8b,
+        },
         Experiment {
             id: "fig9a",
             description: "road network (San Joaquin substitute)",

@@ -28,17 +28,25 @@ pub fn param_c(scale: &Scale, seed: u64) -> Report {
         let r = solve(&g, q, &cfg);
         rows.push(Row {
             x: format!("c={c}"),
-            cells: vec![Cell { flow: r.flow, millis: r.elapsed.as_secs_f64() * 1e3 }],
+            cells: vec![Cell {
+                flow: r.flow,
+                millis: r.elapsed.as_secs_f64() * 1e3,
+            }],
         });
     }
-    for (label, alg) in [("FT+M (ref)", Algorithm::FtM), ("Dijkstra (ref)", Algorithm::Dijkstra)]
-    {
+    for (label, alg) in [
+        ("FT+M (ref)", Algorithm::FtM),
+        ("Dijkstra (ref)", Algorithm::Dijkstra),
+    ] {
         let mut cfg = SolverConfig::paper(alg, budget, seed);
         cfg.samples = samples;
         let r = solve(&g, q, &cfg);
         rows.push(Row {
             x: label.into(),
-            cells: vec![Cell { flow: r.flow, millis: r.elapsed.as_secs_f64() * 1e3 }],
+            cells: vec![Cell {
+                flow: r.flow,
+                millis: r.elapsed.as_secs_f64() * 1e3,
+            }],
         });
     }
 

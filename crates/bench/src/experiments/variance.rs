@@ -4,9 +4,7 @@
 //! because `Var(ΣX) = ΣVar(X) + 2ΣCov` and component independence removes
 //! the covariance terms — while mono parts are computed exactly.
 
-use flowmax_core::{
-    greedy_select, EstimatorConfig, FTree, GreedyConfig, SamplingProvider,
-};
+use flowmax_core::{greedy_select, EstimatorConfig, FTree, GreedyConfig, SamplingProvider};
 use flowmax_datasets::{suggest_query, PartitionedConfig};
 use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{sample_flow, SeedSequence};
@@ -22,8 +20,7 @@ fn ftree_estimate(
     samples: u32,
     seed: u64,
 ) -> f64 {
-    let mut provider =
-        SamplingProvider::new(EstimatorConfig::monte_carlo(samples), seed);
+    let mut provider = SamplingProvider::new(EstimatorConfig::monte_carlo(samples), seed);
     let mut tree = FTree::new(graph, query);
     let mut remaining: Vec<EdgeId> = selection.to_vec();
     while !remaining.is_empty() {
@@ -57,8 +54,7 @@ pub fn variance(scale: &Scale, seed: u64) -> Report {
 
     // Low-noise reference flow.
     let reference = {
-        let mut provider =
-            SamplingProvider::new(EstimatorConfig::hybrid(20, 50_000), seed ^ 1);
+        let mut provider = SamplingProvider::new(EstimatorConfig::hybrid(20, 50_000), seed ^ 1);
         let mut tree = FTree::new(&g, q);
         let mut remaining = selection.clone();
         while !remaining.is_empty() {
@@ -87,14 +83,18 @@ pub fn variance(scale: &Scale, seed: u64) -> Report {
         let ftree: Vec<f64> = (0..trials)
             .map(|t| ftree_estimate(&g, q, &selection, s, seq.child_seed(2_000 + t)))
             .collect();
-        let bias = |vals: &[f64]| {
-            (vals.iter().sum::<f64>() / vals.len() as f64 - reference).abs()
-        };
+        let bias = |vals: &[f64]| (vals.iter().sum::<f64>() / vals.len() as f64 - reference).abs();
         rows.push(Row {
             x: s.to_string(),
             cells: vec![
-                Cell { flow: std_dev(&naive), millis: bias(&naive) },
-                Cell { flow: std_dev(&ftree), millis: bias(&ftree) },
+                Cell {
+                    flow: std_dev(&naive),
+                    millis: bias(&naive),
+                },
+                Cell {
+                    flow: std_dev(&ftree),
+                    millis: bias(&ftree),
+                },
             ],
         });
     }

@@ -51,7 +51,12 @@ impl Report {
         }
         let _ = write!(out, "{:<12}", self.x_label);
         for a in &self.algorithms {
-            let _ = write!(out, " {:>14} {:>12}", format!("{a}.flow"), format!("{a}.ms"));
+            let _ = write!(
+                out,
+                " {:>14} {:>12}",
+                format!("{a}.flow"),
+                format!("{a}.ms")
+            );
         }
         let _ = writeln!(out);
         for row in &self.rows {
@@ -102,11 +107,29 @@ mod tests {
             rows: vec![
                 Row {
                     x: "100".into(),
-                    cells: vec![Cell { flow: 1.5, millis: 2.0 }, Cell { flow: 1.0, millis: 0.1 }],
+                    cells: vec![
+                        Cell {
+                            flow: 1.5,
+                            millis: 2.0,
+                        },
+                        Cell {
+                            flow: 1.0,
+                            millis: 0.1,
+                        },
+                    ],
                 },
                 Row {
                     x: "200".into(),
-                    cells: vec![Cell { flow: 3.0, millis: 4.0 }, Cell { flow: 2.0, millis: 0.2 }],
+                    cells: vec![
+                        Cell {
+                            flow: 3.0,
+                            millis: 4.0,
+                        },
+                        Cell {
+                            flow: 2.0,
+                            millis: 0.2,
+                        },
+                    ],
                 },
             ],
             notes: vec!["reduced scale".into()],
@@ -129,7 +152,10 @@ mod tests {
         sample_report().write_csv(&dir).unwrap();
         let text = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
         let mut lines = text.lines();
-        assert_eq!(lines.next().unwrap(), "|V|,FT_flow,FT_ms,Dijkstra_flow,Dijkstra_ms");
+        assert_eq!(
+            lines.next().unwrap(),
+            "|V|,FT_flow,FT_ms,Dijkstra_flow,Dijkstra_ms"
+        );
         assert_eq!(lines.clone().count(), 2);
         assert!(lines.next().unwrap().starts_with("100,1.5,2"));
     }

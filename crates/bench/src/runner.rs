@@ -66,9 +66,16 @@ pub fn run_workload(
         .iter()
         .map(|&alg| {
             let mut sc = SolverConfig::paper(alg, cfg.budget, cfg.seed);
-            sc.samples = if alg == Algorithm::Naive { cfg.naive_samples } else { cfg.samples };
+            sc.samples = if alg == Algorithm::Naive {
+                cfg.naive_samples
+            } else {
+                cfg.samples
+            };
             let r = solve(graph, query, &sc);
-            Cell { flow: r.flow, millis: r.elapsed.as_secs_f64() * 1e3 }
+            Cell {
+                flow: r.flow,
+                millis: r.elapsed.as_secs_f64() * 1e3,
+            }
         })
         .collect()
 }
@@ -96,7 +103,12 @@ mod tests {
         let cells = run_workload(
             &g,
             &algs,
-            &RunConfig { budget: 5, samples: 100, naive_samples: 50, seed: 3 },
+            &RunConfig {
+                budget: 5,
+                samples: 100,
+                naive_samples: 50,
+                seed: 3,
+            },
         );
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.flow >= 0.0 && c.millis >= 0.0));
@@ -107,7 +119,15 @@ mod tests {
         let names = names(&roster());
         assert_eq!(
             names,
-            vec!["Naive", "Dijkstra", "FT", "FT+M", "FT+M+CI", "FT+M+DS", "FT+M+CI+DS"]
+            vec![
+                "Naive",
+                "Dijkstra",
+                "FT",
+                "FT+M",
+                "FT+M+CI",
+                "FT+M+DS",
+                "FT+M+CI+DS"
+            ]
         );
     }
 }

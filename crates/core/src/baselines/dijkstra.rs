@@ -7,9 +7,7 @@
 //! analytically (Theorem 2) — this baseline never samples, which is why it
 //! is the fastest and least effective algorithm in the paper's evaluation.
 
-use flowmax_graph::{
-    max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, VertexId,
-};
+use flowmax_graph::{max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, VertexId};
 
 use crate::estimator::{EstimatorConfig, SamplingProvider};
 use crate::ftree::FTree;
@@ -43,15 +41,19 @@ pub fn dijkstra_select(
         insert_case_ii: selected.len() as u64,
         ..Default::default()
     };
-    SelectionOutcome { selected, flow_trace, final_flow, metrics }
+    SelectionOutcome {
+        selected,
+        flow_trace,
+        final_flow,
+        metrics,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use flowmax_graph::{
-        exact_expected_flow, EdgeSubset, GraphBuilder, Probability, Weight,
-        DEFAULT_ENUMERATION_CAP,
+        exact_expected_flow, EdgeSubset, GraphBuilder, Probability, Weight, DEFAULT_ENUMERATION_CAP,
     };
 
     fn p(v: f64) -> Probability {
@@ -82,8 +84,7 @@ mod tests {
         let out = dijkstra_select(&g, VertexId(0), 3, false);
         let subset = EdgeSubset::from_edges(g.edge_count(), out.selected.iter().copied());
         let exact =
-            exact_expected_flow(&g, &subset, VertexId(0), false, DEFAULT_ENUMERATION_CAP)
-                .unwrap();
+            exact_expected_flow(&g, &subset, VertexId(0), false, DEFAULT_ENUMERATION_CAP).unwrap();
         assert!((out.final_flow - exact).abs() < 1e-12);
         assert_eq!(out.metrics.components_sampled, 0, "trees never sample");
     }

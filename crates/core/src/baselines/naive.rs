@@ -28,7 +28,12 @@ pub struct NaiveConfig {
 impl NaiveConfig {
     /// Paper defaults at a given budget.
     pub fn paper(budget: usize, seed: u64) -> Self {
-        NaiveConfig { budget, samples: 1000, include_query: false, seed }
+        NaiveConfig {
+            budget,
+            samples: 1000,
+            include_query: false,
+            seed,
+        }
     }
 }
 
@@ -79,7 +84,12 @@ pub fn naive_select(
         flow_trace.push(flow);
     }
 
-    SelectionOutcome { selected: selected_order, flow_trace, final_flow, metrics }
+    SelectionOutcome {
+        selected: selected_order,
+        flow_trace,
+        final_flow,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +118,11 @@ mod tests {
         let out = naive_select(&g, VertexId(0), &NaiveConfig::paper(1, 1));
         assert_eq!(out.selected, vec![EdgeId(0)]);
         // Sampled flow of a single 0.9 edge to weight 10 ≈ 9.
-        assert!((out.final_flow - 9.0).abs() < 0.8, "flow {}", out.final_flow);
+        assert!(
+            (out.final_flow - 9.0).abs() < 0.8,
+            "flow {}",
+            out.final_flow
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl fmt::Display for CoreError {
             CoreError::EdgeAlreadySelected(e) => {
                 write!(f, "edge {e:?} is already part of the F-tree")
             }
-            CoreError::DisconnectedEdge { edge, endpoints: (a, b) } => write!(
+            CoreError::DisconnectedEdge {
+                edge,
+                endpoints: (a, b),
+            } => write!(
                 f,
                 "edge {edge:?} = ({a:?}, {b:?}) has no endpoint connected to the query \
                  vertex (Case I is excluded by candidate generation)"

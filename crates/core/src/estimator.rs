@@ -28,18 +28,27 @@ pub struct EstimatorConfig {
 impl EstimatorConfig {
     /// The paper's pure Monte-Carlo estimator (§7.2: 1000 samples).
     pub fn monte_carlo(samples: u32) -> Self {
-        EstimatorConfig { exact_edge_cap: 0, samples }
+        EstimatorConfig {
+            exact_edge_cap: 0,
+            samples,
+        }
     }
 
     /// Exact enumeration up to `cap` uncertain edges, sampling beyond.
     pub fn hybrid(cap: usize, samples: u32) -> Self {
-        EstimatorConfig { exact_edge_cap: cap, samples }
+        EstimatorConfig {
+            exact_edge_cap: cap,
+            samples,
+        }
     }
 
     /// Exact-only estimation for tests (falls back to sampling above the
     /// hard enumeration cap of 24 edges, which tests should never reach).
     pub fn exact() -> Self {
-        EstimatorConfig { exact_edge_cap: 24, samples: 1000 }
+        EstimatorConfig {
+            exact_edge_cap: 24,
+            samples: 1000,
+        }
     }
 }
 

@@ -64,7 +64,11 @@ pub fn exact_max_flow(
             best_edges = subset.iter().collect();
         }
     }
-    Ok(ExactSolution { edges: best_edges, flow: best_flow, subsets_evaluated: evaluated })
+    Ok(ExactSolution {
+        edges: best_edges,
+        flow: best_flow,
+        subsets_evaluated: evaluated,
+    })
 }
 
 #[cfg(test)]

@@ -36,7 +36,11 @@ enum ReachView<'a> {
     },
     /// Evaluate one component at its confidence bounds (post-insert bounds
     /// for structural probes).
-    Bound { cid: ComponentId, alpha: f64, upper: bool },
+    Bound {
+        cid: ComponentId,
+        alpha: f64,
+        upper: bool,
+    },
 }
 
 /// Result of probing a candidate edge without committing it (§6.1 Eq. 5).
@@ -73,7 +77,12 @@ impl FTree {
         self.flow_with(
             graph,
             include_query,
-            &ReachView::Override { cid, snapshot, estimate, bound: None },
+            &ReachView::Override {
+                cid,
+                snapshot,
+                estimate,
+                bound: None,
+            },
         )
     }
 
@@ -87,8 +96,24 @@ impl FTree {
         cid: ComponentId,
         alpha: f64,
     ) -> (f64, f64) {
-        let lo = self.flow_with(graph, include_query, &ReachView::Bound { cid, alpha, upper: false });
-        let hi = self.flow_with(graph, include_query, &ReachView::Bound { cid, alpha, upper: true });
+        let lo = self.flow_with(
+            graph,
+            include_query,
+            &ReachView::Bound {
+                cid,
+                alpha,
+                upper: false,
+            },
+        );
+        let hi = self.flow_with(
+            graph,
+            include_query,
+            &ReachView::Bound {
+                cid,
+                alpha,
+                upper: true,
+            },
+        );
         (lo, hi)
     }
 
@@ -99,7 +124,12 @@ impl FTree {
             return 1.0;
         }
         match view {
-            ReachView::Override { cid: ocid, snapshot, estimate, bound } if *ocid == cid => {
+            ReachView::Override {
+                cid: ocid,
+                snapshot,
+                estimate,
+                bound,
+            } if *ocid == cid => {
                 let local = snapshot
                     .vertices()
                     .iter()
@@ -117,19 +147,23 @@ impl FTree {
                     }
                 }
             }
-            ReachView::Bound { cid: bcid, alpha, upper } if *bcid == cid => {
-                match &comp.kind {
-                    Kind::Mono { members } => members[&v].reach,
-                    Kind::Bi { estimate, local, .. } => {
-                        let ci = estimate.interval(local[&v] as usize, *alpha);
-                        if *upper {
-                            ci.upper
-                        } else {
-                            ci.lower
-                        }
+            ReachView::Bound {
+                cid: bcid,
+                alpha,
+                upper,
+            } if *bcid == cid => match &comp.kind {
+                Kind::Mono { members } => members[&v].reach,
+                Kind::Bi {
+                    estimate, local, ..
+                } => {
+                    let ci = estimate.interval(local[&v] as usize, *alpha);
+                    if *upper {
+                        ci.upper
+                    } else {
+                        ci.lower
                     }
                 }
-            }
+            },
             _ => self.reach_in(cid, v),
         }
     }
@@ -141,10 +175,12 @@ impl FTree {
         include_query: bool,
         view: &ReachView<'_>,
     ) -> f64 {
-        let mut total =
-            if include_query { graph.weight(self.query).value() } else { 0.0 };
-        let mut stack: Vec<(ComponentId, f64)> =
-            self.roots.iter().map(|&c| (c, 1.0)).collect();
+        let mut total = if include_query {
+            graph.weight(self.query).value()
+        } else {
+            0.0
+        };
+        let mut stack: Vec<(ComponentId, f64)> = self.roots.iter().map(|&c| (c, 1.0)).collect();
         while let Some((cid, p_av)) = stack.pop() {
             let comp = self.comp(cid);
             match &comp.kind {
@@ -195,9 +231,10 @@ impl FTree {
         let (a, b) = graph.endpoints(e);
         let (a_in, b_in) = (self.contains_vertex(a), self.contains_vertex(b));
         match (a_in, b_in) {
-            (false, false) => {
-                Err(CoreError::DisconnectedEdge { edge: e, endpoints: (a, b) })
-            }
+            (false, false) => Err(CoreError::DisconnectedEdge {
+                edge: e,
+                endpoints: (a, b),
+            }),
             (true, false) | (false, true) => {
                 let (anchor, leaf) = if a_in { (a, b) } else { (b, a) };
                 let p = graph.probability(e).value();
@@ -207,7 +244,13 @@ impl FTree {
                     Some(cid) if self.comp(cid).is_bi() => InsertCase::LeafBi,
                     _ => InsertCase::LeafMono,
                 };
-                Ok(ProbeOutcome { flow, lower: flow, upper: flow, case, sampling_cost_edges: 0 })
+                Ok(ProbeOutcome {
+                    flow,
+                    lower: flow,
+                    upper: flow,
+                    case,
+                    sampling_cost_edges: 0,
+                })
             }
             (true, true) => {
                 let ca = self.owner(a);
@@ -215,7 +258,9 @@ impl FTree {
                 if let (Some(x), Some(y)) = (ca, cb) {
                     if x == y && self.comp(x).is_bi() {
                         // IIIa probe: re-estimate this component only.
-                        let Kind::Bi { edges, .. } = &self.comp(x).kind else { unreachable!() };
+                        let Kind::Bi { edges, .. } = &self.comp(x).kind else {
+                            unreachable!()
+                        };
                         let mut probe_edges = edges.clone();
                         probe_edges.push(e);
                         let av = self.comp(x).articulation;
@@ -264,9 +309,7 @@ impl FTree {
                     .expect("probe preconditions were just checked");
                 let flow = clone.expected_flow(graph, include_query);
                 let (lower, upper) = match report.component {
-                    Some(cid) => {
-                        clone.flow_bounds_for_component(graph, include_query, cid, alpha)
-                    }
+                    Some(cid) => clone.flow_bounds_for_component(graph, include_query, cid, alpha),
                     None => (flow, flow),
                 };
                 Ok(ProbeOutcome {
@@ -299,10 +342,14 @@ mod tests {
         for w in 0..4 {
             b.add_vertex(Weight::new(w as f64).unwrap());
         }
-        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.8).unwrap()).unwrap();
-        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap()).unwrap();
-        b.add_edge(VertexId(2), VertexId(0), Probability::new(0.4).unwrap()).unwrap();
-        b.add_edge(VertexId(2), VertexId(3), Probability::new(0.9).unwrap()).unwrap();
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.8).unwrap())
+            .unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap())
+            .unwrap();
+        b.add_edge(VertexId(2), VertexId(0), Probability::new(0.4).unwrap())
+            .unwrap();
+        b.add_edge(VertexId(2), VertexId(3), Probability::new(0.9).unwrap())
+            .unwrap();
         b.build()
     }
 
@@ -337,7 +384,10 @@ mod tests {
         t.insert_edge(&g, EdgeId(3), &mut pr).unwrap();
         let without = t.expected_flow(&g, false);
         let with = t.expected_flow(&g, true);
-        assert!((with - without - 2.0).abs() < 1e-12, "W(Q)=2 must be the difference");
+        assert!(
+            (with - without - 2.0).abs() < 1e-12,
+            "W(Q)=2 must be the difference"
+        );
     }
 
     #[test]
@@ -348,7 +398,9 @@ mod tests {
         t.insert_edge(&g, EdgeId(0), &mut pr).unwrap();
         t.insert_edge(&g, EdgeId(1), &mut pr).unwrap();
         let base = t.expected_flow(&g, false);
-        let probe = t.probe_edge(&g, EdgeId(3), base, false, 0.01, &mut pr).unwrap();
+        let probe = t
+            .probe_edge(&g, EdgeId(3), base, false, 0.01, &mut pr)
+            .unwrap();
         assert_eq!(probe.case, InsertCase::LeafMono);
         assert_eq!(probe.sampling_cost_edges, 0);
         assert_eq!(probe.lower, probe.flow);
@@ -366,7 +418,9 @@ mod tests {
         t.insert_edge(&g, EdgeId(0), &mut pr).unwrap();
         t.insert_edge(&g, EdgeId(1), &mut pr).unwrap();
         let base = t.expected_flow(&g, false);
-        let probe = t.probe_edge(&g, EdgeId(2), base, false, 0.01, &mut pr).unwrap();
+        let probe = t
+            .probe_edge(&g, EdgeId(2), base, false, 0.01, &mut pr)
+            .unwrap();
         assert_eq!(probe.case, InsertCase::CycleAcross);
         assert!(probe.sampling_cost_edges > 0);
         let mut t2 = t.clone();
@@ -396,7 +450,9 @@ mod tests {
             t.insert_edge(&g, EdgeId(e), &mut pr).unwrap();
         }
         let base = t.expected_flow(&g, false);
-        let probe = t.probe_edge(&g, EdgeId(4), base, false, 0.01, &mut pr).unwrap();
+        let probe = t
+            .probe_edge(&g, EdgeId(4), base, false, 0.01, &mut pr)
+            .unwrap();
         assert_eq!(probe.case, InsertCase::CycleInBi);
         assert!(probe.flow > base, "diagonal adds paths");
         let mut t2 = t.clone();
@@ -413,9 +469,14 @@ mod tests {
         t.insert_edge(&g, EdgeId(0), &mut mc).unwrap();
         t.insert_edge(&g, EdgeId(1), &mut mc).unwrap();
         let base = t.expected_flow(&g, false);
-        let probe = t.probe_edge(&g, EdgeId(2), base, false, 0.01, &mut mc).unwrap();
+        let probe = t
+            .probe_edge(&g, EdgeId(2), base, false, 0.01, &mut mc)
+            .unwrap();
         assert!(probe.lower <= probe.flow && probe.flow <= probe.upper);
-        assert!(probe.upper - probe.lower > 0.0, "sampled probe must have width");
+        assert!(
+            probe.upper - probe.lower > 0.0,
+            "sampled probe must have width"
+        );
     }
 
     #[test]

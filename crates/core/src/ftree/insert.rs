@@ -72,7 +72,10 @@ impl FTree {
         }
         let (a, b) = graph.endpoints(e);
         match (self.contains_vertex(a), self.contains_vertex(b)) {
-            (false, false) => Err(CoreError::DisconnectedEdge { edge: e, endpoints: (a, b) }),
+            (false, false) => Err(CoreError::DisconnectedEdge {
+                edge: e,
+                endpoints: (a, b),
+            }),
             (true, false) => {
                 self.selected.insert(e);
                 Ok(self.attach_leaf(graph, a, b, e))
@@ -101,33 +104,48 @@ impl FTree {
             None => {
                 // anchor is Q: attach to (or create) the mono root component.
                 debug_assert_eq!(anchor, self.query);
-                let existing =
-                    self.roots.iter().copied().find(|&c| !self.comp(c).is_bi());
+                let existing = self.roots.iter().copied().find(|&c| !self.comp(c).is_bi());
                 let cid = existing.unwrap_or_else(|| {
                     let c = Component {
                         articulation: anchor,
                         parent: None,
                         children: Vec::new(),
-                        kind: Kind::Mono { members: BTreeMap::new() },
+                        kind: Kind::Mono {
+                            members: BTreeMap::new(),
+                        },
                     };
                     let id = self.alloc(c);
                     self.roots.push(id);
                     id
                 });
                 self.add_mono_member(cid, leaf, anchor, e, p);
-                InsertReport { case: InsertCase::LeafMono, component: None, sampled_edge_count: 0 }
+                InsertReport {
+                    case: InsertCase::LeafMono,
+                    component: None,
+                    sampled_edge_count: 0,
+                }
             }
             Some(cid) if !self.comp(cid).is_bi() => {
                 // Case IIa: dead end extends the mono component.
                 self.add_mono_member(cid, leaf, anchor, e, p);
-                InsertReport { case: InsertCase::LeafMono, component: None, sampled_edge_count: 0 }
+                InsertReport {
+                    case: InsertCase::LeafMono,
+                    component: None,
+                    sampled_edge_count: 0,
+                }
             }
             Some(cid) => {
                 // Case IIb: new mono component hanging off the bi component.
                 let mut members = BTreeMap::new();
                 members.insert(
                     leaf,
-                    MonoMember { parent: anchor, parent_edge: e, edge_prob: p, reach: p, depth: 1 },
+                    MonoMember {
+                        parent: anchor,
+                        parent_edge: e,
+                        edge_prob: p,
+                        reach: p,
+                        depth: 1,
+                    },
                 );
                 let c = Component {
                     articulation: anchor,
@@ -138,7 +156,11 @@ impl FTree {
                 let id = self.alloc(c);
                 self.comp_mut(cid).children.push(id);
                 self.assignment[leaf.index()] = Some(id);
-                InsertReport { case: InsertCase::LeafBi, component: None, sampled_edge_count: 0 }
+                InsertReport {
+                    case: InsertCase::LeafBi,
+                    component: None,
+                    sampled_edge_count: 0,
+                }
             }
         }
     }
@@ -157,11 +179,17 @@ impl FTree {
         let (anchor_reach, anchor_depth) = if anchor == comp.articulation {
             (1.0, 0)
         } else {
-            let Kind::Mono { members } = &comp.kind else { unreachable!() };
-            let m = members.get(&anchor).expect("anchor is a member of the mono component");
+            let Kind::Mono { members } = &comp.kind else {
+                unreachable!()
+            };
+            let m = members
+                .get(&anchor)
+                .expect("anchor is a member of the mono component");
             (m.reach, m.depth)
         };
-        let Kind::Mono { members } = &mut self.comp_mut(cid).kind else { unreachable!() };
+        let Kind::Mono { members } = &mut self.comp_mut(cid).kind else {
+            unreachable!()
+        };
         members.insert(
             leaf,
             MonoMember {
@@ -190,7 +218,9 @@ impl FTree {
         // both endpoints being members, and one endpoint being the
         // component's articulation vertex (which the parent owns).
         if let Some(cid) = self.same_bi_component(a, b, ca, cb) {
-            let Kind::Bi { edges, .. } = &mut self.comp_mut(cid).kind else { unreachable!() };
+            let Kind::Bi { edges, .. } = &mut self.comp_mut(cid).kind else {
+                unreachable!()
+            };
             edges.push(e);
             let n = edges.len();
             self.refresh_bi(graph, cid, provider);
@@ -299,16 +329,16 @@ impl FTree {
         let n_edges = edges.len();
         let bc =
             self.finish_cycle_component(graph, av, parent, members, edges, inherited, provider);
-        InsertReport { case, component: Some(bc), sampled_edge_count: n_edges }
+        InsertReport {
+            case,
+            component: Some(bc),
+            sampled_edge_count: n_edges,
+        }
     }
 
     /// Lowest common ancestor of two components in the F-tree
     /// (`None` = the virtual root at `Q`).
-    fn lca_component(
-        &self,
-        a: Option<ComponentId>,
-        b: Option<ComponentId>,
-    ) -> Option<ComponentId> {
+    fn lca_component(&self, a: Option<ComponentId>, b: Option<ComponentId>) -> Option<ComponentId> {
         let mut ancestors = HashSet::new();
         let mut cur = a;
         while let Some(c) = cur {
@@ -376,7 +406,12 @@ impl FTree {
     ) {
         let comp = self.arena[cid.index()].take().expect("live component");
         self.free.push(cid.0);
-        let Kind::Bi { edges: bi_edges, local, .. } = comp.kind else {
+        let Kind::Bi {
+            edges: bi_edges,
+            local,
+            ..
+        } = comp.kind
+        else {
             panic!("absorb_bi on a mono component");
         };
         for (&v, _) in local.iter() {
@@ -392,7 +427,9 @@ impl FTree {
     fn mono_lca(&self, cid: ComponentId, x: VertexId, y: VertexId) -> VertexId {
         let comp = self.comp(cid);
         let av = comp.articulation;
-        let Kind::Mono { members } = &comp.kind else { panic!("mono_lca on bi component") };
+        let Kind::Mono { members } = &comp.kind else {
+            panic!("mono_lca on bi component")
+        };
         let depth = |v: VertexId| if v == av { 0 } else { members[&v].depth };
         let up = |v: VertexId| members[&v].parent;
         let (mut px, mut py) = (x, y);
@@ -426,7 +463,9 @@ impl FTree {
         };
         let mut v = from;
         while v != stop_vertex {
-            let m = mm.remove(&v).expect("path vertex is a member of the mono component");
+            let m = mm
+                .remove(&v)
+                .expect("path vertex is a member of the mono component");
             members.push(v);
             edges.push(m.parent_edge);
             removed.push(v);
@@ -467,7 +506,9 @@ impl FTree {
         }
         let mut classes: BTreeMap<VertexId, Class> = BTreeMap::new();
         {
-            let Kind::Mono { members } = &self.comp(cid).kind else { unreachable!() };
+            let Kind::Mono { members } = &self.comp(cid).kind else {
+                unreachable!()
+            };
             let keys: Vec<VertexId> = members.keys().copied().collect();
             let mut chain: Vec<VertexId> = Vec::new();
             for v in keys {
@@ -503,7 +544,9 @@ impl FTree {
         for (&anchor, group) in &groups {
             let mut taken: BTreeMap<VertexId, MonoMember> = BTreeMap::new();
             {
-                let Kind::Mono { members } = &mut self.comp_mut(cid).kind else { unreachable!() };
+                let Kind::Mono { members } = &mut self.comp_mut(cid).kind else {
+                    unreachable!()
+                };
                 for &v in group {
                     let m = members.remove(&v).expect("orphan is a member");
                     taken.insert(v, m);
@@ -556,7 +599,10 @@ impl FTree {
         inherited: Vec<ComponentId>,
         provider: &mut dyn EstimateProvider,
     ) -> ComponentId {
-        debug_assert!(!members.contains(&av), "AV is never a member of its component");
+        debug_assert!(
+            !members.contains(&av),
+            "AV is never a member of its component"
+        );
         debug_assert_eq!(
             members.iter().collect::<BTreeSet<_>>().len(),
             members.len(),
@@ -568,13 +614,23 @@ impl FTree {
         for (i, &v) in snapshot.vertices().iter().enumerate().skip(1) {
             local.insert(v, i as u32);
         }
-        debug_assert_eq!(local.len(), members.len(), "snapshot vertices must equal members");
+        debug_assert_eq!(
+            local.len(),
+            members.len(),
+            "snapshot vertices must equal members"
+        );
         let version = self.next_version();
         let bc = self.alloc(Component {
             articulation: av,
             parent: None,
             children: Vec::new(),
-            kind: Kind::Bi { edges, snapshot, estimate, local, version },
+            kind: Kind::Bi {
+                edges,
+                snapshot,
+                estimate,
+                local,
+                version,
+            },
         });
         for &v in &members {
             self.assignment[v.index()] = Some(bc);
@@ -815,11 +871,23 @@ mod tests {
         let mut members = BTreeMap::new();
         members.insert(
             a,
-            MonoMember { parent: anchor, parent_edge: EdgeId(0), edge_prob: 0.5, reach: 0.1, depth: 9 },
+            MonoMember {
+                parent: anchor,
+                parent_edge: EdgeId(0),
+                edge_prob: 0.5,
+                reach: 0.1,
+                depth: 9,
+            },
         );
         members.insert(
             b,
-            MonoMember { parent: a, parent_edge: EdgeId(1), edge_prob: 0.25, reach: 0.2, depth: 9 },
+            MonoMember {
+                parent: a,
+                parent_edge: EdgeId(1),
+                edge_prob: 0.25,
+                reach: 0.2,
+                depth: 9,
+            },
         );
         recompute_mono_tree(&mut members, anchor);
         assert_eq!(members[&a].reach, 0.5);

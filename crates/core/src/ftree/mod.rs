@@ -162,7 +162,10 @@ pub struct FTree {
 impl FTree {
     /// Creates the trivial F-tree `(∅, Q)` for `graph`.
     pub fn new(graph: &ProbabilisticGraph, query: VertexId) -> Self {
-        assert!(query.index() < graph.vertex_count(), "query vertex out of bounds");
+        assert!(
+            query.index() < graph.vertex_count(),
+            "query vertex out of bounds"
+        );
         FTree {
             query,
             arena: Vec::new(),
@@ -276,9 +279,9 @@ impl FTree {
         }
         match &comp.kind {
             Kind::Mono { members } => members.get(&v).expect("member of mono component").reach,
-            Kind::Bi { estimate, local, .. } => {
-                estimate.reach(local[&v] as usize)
-            }
+            Kind::Bi {
+                estimate, local, ..
+            } => estimate.reach(local[&v] as usize),
         }
     }
 
@@ -289,7 +292,9 @@ impl FTree {
         if v == self.query {
             return 1.0;
         }
-        let Some(mut cid) = self.owner(v) else { return 0.0 };
+        let Some(mut cid) = self.owner(v) else {
+            return 0.0;
+        };
         let mut vertex = v;
         let mut prob = 1.0;
         loop {
@@ -370,7 +375,14 @@ impl FTree {
         let version = self.next_version();
         let comp = self.comp_mut(cid);
         let av = comp.articulation;
-        let Kind::Bi { edges, snapshot, estimate, local, version: v } = &mut comp.kind else {
+        let Kind::Bi {
+            edges,
+            snapshot,
+            estimate,
+            local,
+            version: v,
+        } = &mut comp.kind
+        else {
             panic!("refresh_bi on a mono component");
         };
         let new_snapshot = ComponentGraph::build(graph, av, edges);
@@ -394,8 +406,10 @@ mod tests {
     fn tiny_graph() -> ProbabilisticGraph {
         let mut b = GraphBuilder::new();
         b.add_vertices(3, Weight::ONE);
-        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.5).unwrap()).unwrap();
-        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.5).unwrap())
+            .unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.5).unwrap())
+            .unwrap();
         b.build()
     }
 
@@ -421,7 +435,9 @@ mod tests {
             articulation: VertexId(0),
             parent: None,
             children: Vec::new(),
-            kind: Kind::Mono { members: BTreeMap::new() },
+            kind: Kind::Mono {
+                members: BTreeMap::new(),
+            },
         };
         let id1 = t.alloc(c.clone());
         t.dealloc(id1);

@@ -120,7 +120,9 @@ impl FTree {
     fn check_mono_invariants(&self, graph: &ProbabilisticGraph) -> Result<(), String> {
         for cid in self.component_ids() {
             let comp = self.comp(cid);
-            let Kind::Mono { members } = &comp.kind else { continue };
+            let Kind::Mono { members } = &comp.kind else {
+                continue;
+            };
             let av = comp.articulation;
             for (&v, m) in members {
                 // Parent edge must be selected and connect v to its parent.
@@ -172,7 +174,14 @@ impl FTree {
     fn check_bi_invariants(&self, graph: &ProbabilisticGraph) -> Result<(), String> {
         for cid in self.component_ids() {
             let comp = self.comp(cid);
-            let Kind::Bi { edges, snapshot, estimate, local, .. } = &comp.kind else {
+            let Kind::Bi {
+                edges,
+                snapshot,
+                estimate,
+                local,
+                ..
+            } = &comp.kind
+            else {
                 continue;
             };
             let av = comp.articulation;
@@ -247,10 +256,7 @@ impl FTree {
 
     /// The incremental decomposition must match the static Hopcroft–Tarjan
     /// one: bi components ↔ cyclic blocks, mono parent edges ↔ bridges.
-    fn check_against_static_decomposition(
-        &self,
-        graph: &ProbabilisticGraph,
-    ) -> Result<(), String> {
+    fn check_against_static_decomposition(&self, graph: &ProbabilisticGraph) -> Result<(), String> {
         let deco = biconnected_components(graph, &self.selected);
         let mut static_cyclic: Vec<BTreeSet<EdgeId>> = deco
             .blocks
@@ -290,7 +296,10 @@ impl FTree {
             }
         }
         if !static_cyclic.is_empty() {
-            return Err(format!("{} static cyclic blocks unmatched", static_cyclic.len()));
+            return Err(format!(
+                "{} static cyclic blocks unmatched",
+                static_cyclic.len()
+            ));
         }
         if !static_bridges.is_empty() {
             return Err(format!("{} static bridges unmatched", static_bridges.len()));
@@ -303,9 +312,14 @@ impl FTree {
     fn check_connectivity(&self, graph: &ProbabilisticGraph) -> Result<(), String> {
         let mut bfs = Bfs::new(graph.vertex_count());
         let mut reached = vec![false; graph.vertex_count()];
-        bfs.run(graph, self.query, |e| self.selected.contains(e), |v| {
-            reached[v.index()] = true;
-        });
+        bfs.run(
+            graph,
+            self.query,
+            |e| self.selected.contains(e),
+            |v| {
+                reached[v.index()] = true;
+            },
+        );
         for v in graph.vertices() {
             let in_tree = self.contains_vertex(v);
             if in_tree != reached[v.index()] {
@@ -351,7 +365,8 @@ mod tests {
         let mut pr = SamplingProvider::new(EstimatorConfig::exact(), 1);
         for e in 0..edges.len() {
             t.insert_edge(&g, EdgeId(e as u32), &mut pr).unwrap();
-            t.validate(&g).unwrap_or_else(|err| panic!("after edge {e}: {err}"));
+            t.validate(&g)
+                .unwrap_or_else(|err| panic!("after edge {e}: {err}"));
         }
         assert_eq!(t.bi_component_count(), 2);
     }

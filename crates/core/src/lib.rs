@@ -38,5 +38,7 @@ pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
 pub use ftree::{ComponentId, ComponentView, FTree, InsertCase, InsertReport, ProbeOutcome};
 pub use metrics::SelectionMetrics;
-pub use selection::{greedy_select, CandidateSet, DelayTracker, GreedyConfig, MemoProvider, SelectionOutcome};
+pub use selection::{
+    greedy_select, CandidateSet, DelayTracker, GreedyConfig, MemoProvider, SelectionOutcome,
+};
 pub use solver::{evaluate_selection, solve, Algorithm, SolveResult, SolverConfig};

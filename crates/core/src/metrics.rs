@@ -65,8 +65,16 @@ mod tests {
 
     #[test]
     fn absorb_adds_counters() {
-        let mut a = SelectionMetrics { probes: 2, memo_hits: 1, ..Default::default() };
-        let b = SelectionMetrics { probes: 3, samples_drawn: 10, ..Default::default() };
+        let mut a = SelectionMetrics {
+            probes: 2,
+            memo_hits: 1,
+            ..Default::default()
+        };
+        let b = SelectionMetrics {
+            probes: 3,
+            samples_drawn: 10,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.probes, 5);
         assert_eq!(a.memo_hits, 1);

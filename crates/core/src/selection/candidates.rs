@@ -17,7 +17,9 @@ pub struct CandidateSet {
 impl CandidateSet {
     /// Initializes candidates with the query vertex's incident edges.
     pub fn new(graph: &ProbabilisticGraph, query: VertexId) -> Self {
-        let mut s = CandidateSet { set: BTreeSet::new() };
+        let mut s = CandidateSet {
+            set: BTreeSet::new(),
+        };
         let selected = EdgeSubset::for_graph(graph);
         s.vertex_joined(graph, query, &selected);
         s

@@ -35,7 +35,10 @@ impl DelayTracker {
     /// clamped just above 1, where delays become enormous — the paper's
     /// `c = 1.01` stress setting).
     pub fn new(c: f64) -> Self {
-        DelayTracker { c: c.max(1.000_001), delays: HashMap::new() }
+        DelayTracker {
+            c: c.max(1.000_001),
+            delays: HashMap::new(),
+        }
     }
 
     /// Whether `e` is currently suspended.
@@ -65,7 +68,11 @@ impl DelayTracker {
         }
         // pot(e') — clamp into (0, 1] so the logarithm is well defined even
         // for zero/negative measured gains (possible under sampling noise).
-        let pot = if best_gain <= 0.0 { 1.0 } else { (gain / best_gain).clamp(1e-9, 1.0) };
+        let pot = if best_gain <= 0.0 {
+            1.0
+        } else {
+            (gain / best_gain).clamp(1e-9, 1.0)
+        };
         let ratio: f64 = cost as f64 / pot;
         if ratio <= 1.0 {
             return;
@@ -143,7 +150,10 @@ mod tests {
     fn negative_gain_treated_as_minimal_pot() {
         let mut t = DelayTracker::new(2.0);
         t.record(EdgeId(5), -0.5, 1.0, 4);
-        assert!(t.is_suspended(EdgeId(5)), "noise-negative gains must be suspendable");
+        assert!(
+            t.is_suspended(EdgeId(5)),
+            "noise-negative gains must be suspendable"
+        );
     }
 
     #[test]

@@ -108,10 +108,14 @@ pub fn greedy_select(
     query: VertexId,
     config: &GreedyConfig,
 ) -> SelectionOutcome {
-    let estimator =
-        EstimatorConfig { exact_edge_cap: config.exact_edge_cap, samples: config.samples };
-    let mut provider =
-        MemoProvider::new(SamplingProvider::new(estimator, config.seed), config.memoize);
+    let estimator = EstimatorConfig {
+        exact_edge_cap: config.exact_edge_cap,
+        samples: config.samples,
+    };
+    let mut provider = MemoProvider::new(
+        SamplingProvider::new(estimator, config.seed),
+        config.memoize,
+    );
     let mut tree = FTree::new(graph, query);
     let mut candidates = CandidateSet::new(graph, query);
     let mut delays = DelayTracker::new(config.ds_penalty_c);
@@ -140,11 +144,29 @@ pub fn greedy_select(
         }
 
         let records = if config.confidence_pruning {
-            probe_with_ci_race(graph, &tree, &pool, base_flow, config, &mut provider, &mut metrics)
+            probe_with_ci_race(
+                graph,
+                &tree,
+                &pool,
+                base_flow,
+                config,
+                &mut provider,
+                &mut metrics,
+            )
         } else {
-            probe_all(graph, &tree, &pool, base_flow, config, &mut provider, &mut metrics)
+            probe_all(
+                graph,
+                &tree,
+                &pool,
+                base_flow,
+                config,
+                &mut provider,
+                &mut metrics,
+            )
         };
-        let Some(best_idx) = best_record(&records) else { break };
+        let Some(best_idx) = best_record(&records) else {
+            break;
+        };
         let best_edge = records[best_idx].edge;
         let prev_flow = base_flow;
         let best_gain = records[best_idx].outcome.flow - prev_flow;
@@ -188,7 +210,12 @@ pub fn greedy_select(
     }
 
     metrics.absorb(&provider.inner().metrics);
-    SelectionOutcome { selected: tree.selected_edges().iter().collect(), flow_trace, final_flow: base_flow, metrics }
+    SelectionOutcome {
+        selected: tree.selected_edges().iter().collect(),
+        flow_trace,
+        final_flow: base_flow,
+        metrics,
+    }
 }
 
 /// Index of the record with maximal flow (ties: lowest edge id, for
@@ -224,7 +251,14 @@ fn probe_all(
     let mut records = Vec::with_capacity(pool.len());
     for &e in pool {
         let outcome = tree
-            .probe_edge(graph, e, base_flow, config.include_query, config.alpha, provider)
+            .probe_edge(
+                graph,
+                e,
+                base_flow,
+                config.include_query,
+                config.alpha,
+                provider,
+            )
             .expect("candidates are probeable");
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
@@ -267,7 +301,14 @@ fn probe_with_ci_race(
     let mut racing: Vec<ProbeRecord> = Vec::new();
     for &e in pool {
         let outcome = tree
-            .probe_edge(graph, e, base_flow, config.include_query, config.alpha, provider)
+            .probe_edge(
+                graph,
+                e,
+                base_flow,
+                config.include_query,
+                config.alpha,
+                provider,
+            )
             .expect("candidates are probeable");
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
@@ -278,8 +319,10 @@ fn probe_with_ci_race(
         }
     }
 
-    let analytic_best_lower =
-        analytic.iter().map(|r| r.outcome.lower).fold(f64::NEG_INFINITY, f64::max);
+    let analytic_best_lower = analytic
+        .iter()
+        .map(|r| r.outcome.lower)
+        .fold(f64::NEG_INFINITY, f64::max);
 
     for round in 0..budgets.len() {
         // Prune: a racer whose upper bound cannot beat the best lower bound
@@ -369,7 +412,11 @@ mod tests {
         cfg.exact_edge_cap = 20;
         let out = greedy_select(&g, VertexId(0), &cfg);
         for w in out.flow_trace.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "adding edges never hurts: {:?}", out.flow_trace);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "adding edges never hurts: {:?}",
+                out.flow_trace
+            );
         }
     }
 
@@ -378,7 +425,10 @@ mod tests {
         let g = small_graph();
         let base = greedy_select(&g, VertexId(0), &GreedyConfig::ft(4, 1));
         let memo = greedy_select(&g, VertexId(0), &GreedyConfig::ft(4, 1).with_memo());
-        assert!(memo.metrics.memo_hits > 0, "commits should reuse probe estimates");
+        assert!(
+            memo.metrics.memo_hits > 0,
+            "commits should reuse probe estimates"
+        );
         assert!(
             memo.metrics.components_sampled < base.metrics.components_sampled,
             "memoized run must sample fewer components ({} vs {})",

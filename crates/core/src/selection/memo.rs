@@ -31,7 +31,13 @@ impl MemoProvider {
     /// Wraps a sampling provider; when `enabled` is false the wrapper is a
     /// transparent pass-through (the plain `FT` algorithm).
     pub fn new(inner: SamplingProvider, enabled: bool) -> Self {
-        MemoProvider { inner, cache: HashMap::new(), enabled, hits: 0, misses: 0 }
+        MemoProvider {
+            inner,
+            cache: HashMap::new(),
+            enabled,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The wrapped provider (for metrics extraction).
@@ -103,8 +109,11 @@ mod tests {
         let e3 = b.add_edge(VertexId(1), VertexId(3), p).unwrap();
         let _ = e3;
         let g = b.build();
-        let edges: Vec<EdgeId> =
-            if extra_edge { vec![e0, e1, e2, e3] } else { vec![e0, e1, e2] };
+        let edges: Vec<EdgeId> = if extra_edge {
+            vec![e0, e1, e2, e3]
+        } else {
+            vec![e0, e1, e2]
+        };
         ComponentGraph::build(&g, VertexId(0), &edges)
     }
 
@@ -118,7 +127,11 @@ mod tests {
         assert_eq!(memo.hits, 1);
         assert_eq!(memo.misses, 1);
         assert_eq!(a.reach_all(), b.reach_all());
-        assert_eq!(memo.inner().metrics.components_sampled, 1, "sampled only once");
+        assert_eq!(
+            memo.inner().metrics.components_sampled,
+            1,
+            "sampled only once"
+        );
     }
 
     #[test]
@@ -150,7 +163,11 @@ mod tests {
         memo.estimate(&s);
         memo.estimate(&s);
         assert_eq!(memo.hits, 0);
-        assert_eq!(memo.inner().metrics.components_sampled, 2, "resampled both times");
+        assert_eq!(
+            memo.inner().metrics.components_sampled,
+            2,
+            "resampled both times"
+        );
     }
 
     #[test]

@@ -134,11 +134,7 @@ pub struct SolveResult {
 }
 
 /// Runs one algorithm end to end and evaluates its selection uniformly.
-pub fn solve(
-    graph: &ProbabilisticGraph,
-    query: VertexId,
-    config: &SolverConfig,
-) -> SolveResult {
+pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig) -> SolveResult {
     let start = Instant::now();
     let outcome: SelectionOutcome = match config.algorithm {
         Algorithm::Naive => naive_select(
@@ -151,9 +147,7 @@ pub fn solve(
                 seed: config.seed,
             },
         ),
-        Algorithm::Dijkstra => {
-            dijkstra_select(graph, query, config.budget, config.include_query)
-        }
+        Algorithm::Dijkstra => dijkstra_select(graph, query, config.budget, config.include_query),
         alg => {
             let mut g = GreedyConfig::ft(config.budget, config.seed);
             g.samples = config.samples;
@@ -263,8 +257,17 @@ mod tests {
     fn ft_beats_or_matches_dijkstra_here() {
         let g = graph();
         let ft = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::FtM, 3, 1));
-        let dj = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::Dijkstra, 3, 1));
-        assert!(ft.flow >= dj.flow - 1e-9, "FT {} vs Dijkstra {}", ft.flow, dj.flow);
+        let dj = solve(
+            &g,
+            VertexId(0),
+            &SolverConfig::paper(Algorithm::Dijkstra, 3, 1),
+        );
+        assert!(
+            ft.flow >= dj.flow - 1e-9,
+            "FT {} vs Dijkstra {}",
+            ft.flow,
+            dj.flow
+        );
     }
 
     #[test]
@@ -281,8 +284,14 @@ mod tests {
     fn evaluation_skips_disconnected_edges() {
         let g = graph();
         // Edge 4 (3-4) alone is not connected to Q: zero flow.
-        let flow =
-            evaluate_selection(&g, VertexId(0), &[EdgeId(4)], EstimatorConfig::exact(), false, 0);
+        let flow = evaluate_selection(
+            &g,
+            VertexId(0),
+            &[EdgeId(4)],
+            EstimatorConfig::exact(),
+            false,
+            0,
+        );
         assert_eq!(flow, 0.0);
         // Out-of-order insertion still works: 3-4 first, then the path.
         let flow = evaluate_selection(

@@ -116,7 +116,8 @@ impl CollaborationConfig {
         }
         for &(u, v) in &edge_list {
             let p = self.probabilities.sample(&mut rng, 0.0);
-            b.add_edge(VertexId(u), VertexId(v), p).expect("pairs deduplicated");
+            b.add_edge(VertexId(u), VertexId(v), p)
+                .expect("pairs deduplicated");
         }
         b.build()
     }
@@ -166,7 +167,10 @@ mod tests {
                 }
             }
         }
-        assert!(triangles > 100, "expected plentiful triangles, got {triangles}");
+        assert!(
+            triangles > 100,
+            "expected plentiful triangles, got {triangles}"
+        );
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub fn load_edge_list<R: BufRead>(
     let mut skipped = 0usize;
 
     for (lineno, line) in input.lines().enumerate() {
-        let line = line
-            .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })?;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
@@ -57,7 +59,10 @@ pub fn load_edge_list<R: BufRead>(
                 message: "expected two vertex ids".into(),
             })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("{e}") })
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("{e}"),
+            })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -93,7 +98,11 @@ pub fn load_edge_list<R: BufRead>(
         let p = probabilities.sample(&mut rng, 0.0);
         b.add_edge(VertexId(u), VertexId(v), p)?;
     }
-    Ok(LoadedGraph { graph: b.build(), original_ids, skipped })
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_ids,
+        skipped,
+    })
 }
 
 #[cfg(test)]

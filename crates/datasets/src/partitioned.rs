@@ -56,7 +56,10 @@ impl PartitionedConfig {
     pub fn generate(&self, seed: u64) -> ProbabilisticGraph {
         let size = self.partition_size();
         let parts = self.partition_count();
-        assert!(parts >= 3, "need at least 3 partitions for a ring (got {parts})");
+        assert!(
+            parts >= 3,
+            "need at least 3 partitions for a ring (got {parts})"
+        );
         let n = parts * size;
 
         let seq = SeedSequence::new(seed);
@@ -75,7 +78,8 @@ impl PartitionedConfig {
                     let u = VertexId((pi * size + a) as u32);
                     let v = VertexId((pj * size + bv) as u32);
                     let p = self.probabilities.sample(&mut rng, 0.0);
-                    b.add_edge(u, v, p).expect("ring construction has no duplicates");
+                    b.add_edge(u, v, p)
+                        .expect("ring construction has no duplicates");
                 }
             }
         }
@@ -123,7 +127,11 @@ mod tests {
             }
         }
         let max_dist = dist.iter().copied().max().unwrap();
-        assert!(max_dist >= parts / 2, "locality: diameter {max_dist} >= {}", parts / 2);
+        assert!(
+            max_dist >= parts / 2,
+            "locality: diameter {max_dist} >= {}",
+            parts / 2
+        );
         assert!(max_dist <= parts, "ring bound");
     }
 

@@ -59,8 +59,12 @@ impl PreferentialConfig {
         // Seed clique over the first m+1 vertices.
         for i in 0..=(m as u32) {
             for j in 0..i {
-                b.add_edge(VertexId(i), VertexId(j), self.probabilities.sample(&mut rng, 0.0))
-                    .expect("seed clique unique");
+                b.add_edge(
+                    VertexId(i),
+                    VertexId(j),
+                    self.probabilities.sample(&mut rng, 0.0),
+                )
+                .expect("seed clique unique");
                 endpoints.push(i);
                 endpoints.push(j);
             }
@@ -77,8 +81,12 @@ impl PreferentialConfig {
                 }
             }
             for &t in &targets {
-                b.add_edge(VertexId(v), VertexId(t), self.probabilities.sample(&mut rng, 0.0))
-                    .expect("targets deduplicated and v is new");
+                b.add_edge(
+                    VertexId(v),
+                    VertexId(t),
+                    self.probabilities.sample(&mut rng, 0.0),
+                )
+                .expect("targets deduplicated and v is new");
                 endpoints.push(v);
                 endpoints.push(t);
             }

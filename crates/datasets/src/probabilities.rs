@@ -31,7 +31,10 @@ pub enum ProbabilityModel {
 impl ProbabilityModel {
     /// The paper's `U(0, 1]` default.
     pub fn uniform_unit() -> Self {
-        ProbabilityModel::Uniform { lo: f64::EPSILON, hi: 1.0 }
+        ProbabilityModel::Uniform {
+            lo: f64::EPSILON,
+            hi: 1.0,
+        }
     }
 
     /// Draws a probability; `distance` feeds the decay model and is ignored
@@ -91,7 +94,7 @@ mod tests {
     fn decay_never_reaches_zero() {
         let m = ProbabilityModel::DistanceDecay { lambda: 1.0 };
         let mut rng = SeedSequence::new(4).rng(0);
-        let p = m.sample(&mut rng, 1e6, );
+        let p = m.sample(&mut rng, 1e6);
         assert!(p.value() > 0.0);
     }
 

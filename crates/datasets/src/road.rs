@@ -98,8 +98,7 @@ impl RoadConfig {
 
         // Spanning tree first (union-find over shuffled candidates), then
         // extra edges until the target ratio.
-        let target_edges =
-            ((n as f64 * self.edge_vertex_ratio) as usize).min(candidates.len());
+        let target_edges = ((n as f64 * self.edge_vertex_ratio) as usize).min(candidates.len());
         let mut uf = flowmax_graph::UnionFind::new(n);
         let mut chosen: Vec<(u32, u32)> = Vec::with_capacity(target_edges);
         let mut extras: Vec<(u32, u32)> = Vec::new();
@@ -127,9 +126,14 @@ impl RoadConfig {
             let (xb, yb) = positions[b as usize];
             let dist = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
             let p = self.probabilities.sample(&mut rng, dist);
-            builder.add_edge(VertexId(a), VertexId(b), p).expect("grid edges are unique");
+            builder
+                .add_edge(VertexId(a), VertexId(b), p)
+                .expect("grid edges are unique");
         }
-        RoadGraph { graph: builder.build(), positions }
+        RoadGraph {
+            graph: builder.build(),
+            positions,
+        }
     }
 }
 
@@ -142,7 +146,10 @@ mod tests {
     fn connected_and_sparse() {
         let r = RoadConfig::paper(30, 30).generate(1);
         let s = GraphStats::compute(&r.graph);
-        assert_eq!(s.component_count, 1, "spanning tree guarantees connectivity");
+        assert_eq!(
+            s.component_count, 1,
+            "spanning tree guarantees connectivity"
+        );
         let ratio = s.edge_count as f64 / s.vertex_count as f64;
         assert!((ratio - 1.31).abs() < 0.05, "edge/vertex ratio {ratio}");
     }

@@ -120,7 +120,11 @@ mod tests {
         assert_eq!(g.vertex_count(), 535);
         assert_eq!(g.edge_count(), 10_000);
         let s = GraphStats::compute(&g);
-        assert!(s.mean_degree > 30.0, "dense circle: mean degree {}", s.mean_degree);
+        assert!(
+            s.mean_degree > 30.0,
+            "dense circle: mean degree {}",
+            s.mean_degree
+        );
         assert_eq!(s.component_count, 1);
     }
 
@@ -134,11 +138,13 @@ mod tests {
                 close_deg[e.target.index()] += 1;
             }
         }
-        let mean: f64 =
-            close_deg.iter().sum::<usize>() as f64 / g.vertex_count() as f64;
+        let mean: f64 = close_deg.iter().sum::<usize>() as f64 / g.vertex_count() as f64;
         // Each user promotes 10; overlap and symmetry put the mean close to
         // but below 20 (§7.1: "an average user has 20 close friends").
-        assert!((13.0..=20.0).contains(&mean), "mean close-friend degree {mean}");
+        assert!(
+            (13.0..=20.0).contains(&mean),
+            "mean close-friend degree {mean}"
+        );
     }
 
     #[test]
@@ -153,7 +159,10 @@ mod tests {
             }
         }
         // ~535·10 promotions with overlap → a quarter to a half of edges.
-        assert!(high > 2_000 && high < 6_000, "{high} high-probability edges");
+        assert!(
+            high > 2_000 && high < 6_000,
+            "{high} high-probability edges"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
             assert!(g.vertex_count() > 0, "{} is empty", spec.name());
             assert!(g.edge_count() > 0, "{} has no edges", spec.name());
             let q = suggest_query(&g);
-            assert!(g.degree(q) >= 1, "{}: query must have neighbours", spec.name());
+            assert!(
+                g.degree(q) >= 1,
+                "{}: query must have neighbours",
+                spec.name()
+            );
         }
     }
 
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(DatasetSpec::Erdos(ErdosConfig::paper(10, 2.0)).name(), "erdos");
+        assert_eq!(
+            DatasetSpec::Erdos(ErdosConfig::paper(10, 2.0)).name(),
+            "erdos"
+        );
         assert_eq!(DatasetSpec::Wsn(WsnConfig::paper(10, 0.5)).name(), "wsn");
     }
 }

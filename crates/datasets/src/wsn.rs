@@ -49,13 +49,17 @@ impl WsnConfig {
 
     /// Generates a WSN deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> WsnGraph {
-        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon must be in (0,1)"
+        );
         let n = self.vertices;
         let seq = SeedSequence::new(seed);
         let mut rng = seq.rng(0);
 
-        let positions: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
 
         // Spatial hash: cells of side epsilon; a vertex can only connect to
         // vertices in its own or the 8 neighbouring cells.
@@ -82,7 +86,9 @@ impl WsnConfig {
             let (cx, cy) = cell_of(x, y);
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    let Some(cell) = grid.get(&(cx + dx, cy + dy)) else { continue };
+                    let Some(cell) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
                     for &j in cell {
                         if (j as usize) <= i {
                             continue; // handle each pair once
@@ -98,7 +104,10 @@ impl WsnConfig {
                 }
             }
         }
-        WsnGraph { graph: b.build(), positions }
+        WsnGraph {
+            graph: b.build(),
+            positions,
+        }
     }
 }
 
@@ -143,7 +152,10 @@ mod tests {
     fn density_grows_with_epsilon() {
         let sparse = WsnConfig::paper(500, 0.05).generate(1).graph.edge_count();
         let dense = WsnConfig::paper(500, 0.07).generate(1).graph.edge_count();
-        assert!(dense > sparse, "ε=0.07 must be denser than ε=0.05 ({dense} vs {sparse})");
+        assert!(
+            dense > sparse,
+            "ε=0.07 must be denser than ε=0.05 ({dense} vs {sparse})"
+        );
     }
 
     #[test]

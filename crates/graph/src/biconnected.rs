@@ -87,7 +87,11 @@ pub fn biconnected_components(
         timer += 1;
         disc[root.index()] = timer;
         low[root.index()] = timer;
-        stack.push(Frame { vertex: root, parent_edge: None, cursor: 0 });
+        stack.push(Frame {
+            vertex: root,
+            parent_edge: None,
+            cursor: 0,
+        });
         let mut root_children = 0usize;
 
         while let Some(frame) = stack.last_mut() {
@@ -108,7 +112,11 @@ pub fn biconnected_components(
                     if v == root {
                         root_children += 1;
                     }
-                    stack.push(Frame { vertex: w, parent_edge: Some(e), cursor: 0 });
+                    stack.push(Frame {
+                        vertex: w,
+                        parent_edge: Some(e),
+                        cursor: 0,
+                    });
                 } else if disc[w.index()] < disc[v.index()] {
                     // Back edge to an ancestor.
                     edge_stack.push(e);
@@ -141,7 +149,10 @@ pub fn biconnected_components(
         }
     }
 
-    BiconnectedDecomposition { blocks, articulation }
+    BiconnectedDecomposition {
+        blocks,
+        articulation,
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +250,19 @@ mod tests {
 
     #[test]
     fn blocks_partition_edges() {
-        let g = build(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]);
+        let g = build(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        );
         let d = biconnected_components(&g, &EdgeSubset::full(&g));
         let mut all: Vec<u32> = d.blocks.iter().flatten().map(|e| e.0).collect();
         all.sort();

@@ -34,8 +34,11 @@ impl BlockCutTree {
     /// Builds the block-cut tree of the subgraph induced by `active`.
     pub fn build(graph: &ProbabilisticGraph, active: &EdgeSubset) -> Self {
         let deco: BiconnectedDecomposition = biconnected_components(graph, active);
-        let block_vertices: Vec<Vec<VertexId>> =
-            deco.blocks.iter().map(|b| deco.block_vertices(graph, b)).collect();
+        let block_vertices: Vec<Vec<VertexId>> = deco
+            .blocks
+            .iter()
+            .map(|b| deco.block_vertices(graph, b))
+            .collect();
         let mut cut_blocks = vec![Vec::new(); graph.vertex_count()];
         for (i, vs) in block_vertices.iter().enumerate() {
             for &v in vs {
@@ -101,7 +104,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_vertices(n, Weight::ONE);
         for &(u, v) in edges {
-            b.add_edge(VertexId(u), VertexId(v), Probability::new(0.5).unwrap()).unwrap();
+            b.add_edge(VertexId(u), VertexId(v), Probability::new(0.5).unwrap())
+                .unwrap();
         }
         b.build()
     }
@@ -132,7 +136,10 @@ mod tests {
         let t = BlockCutTree::build(&g, &EdgeSubset::full(&g));
         assert_eq!(t.block_count(), 1);
         let b = t.block_ids().next().unwrap();
-        assert_eq!(t.block_vertex_set(b), &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            t.block_vertex_set(b),
+            &[VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(t.block_edges(b).len(), 3);
     }
 

@@ -85,7 +85,10 @@ impl GraphBuilder {
         let n = self.weights.len();
         for v in [a, b] {
             if v.index() >= n {
-                return Err(GraphError::VertexOutOfBounds { vertex: v, vertex_count: n });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: v,
+                    vertex_count: n,
+                });
             }
         }
         let key = (a.0.min(b.0), a.0.max(b.0));
@@ -151,7 +154,10 @@ mod tests {
         let a = b.add_vertex(Weight::ONE);
         let c = b.add_vertex(Weight::ONE);
         b.add_edge(a, c, p(0.5)).unwrap();
-        assert!(matches!(b.add_edge(c, a, p(0.9)), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(c, a, p(0.9)),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
         assert!(b.has_edge(a, c));
         assert!(b.has_edge(c, a));
     }

@@ -37,12 +37,19 @@ pub fn exact_reachability(
     source: VertexId,
     cap: usize,
 ) -> Result<Vec<f64>, GraphError> {
-    let certain: Vec<EdgeId> =
-        domain.iter().filter(|&e| graph.probability(e).is_certain()).collect();
-    let uncertain: Vec<EdgeId> =
-        domain.iter().filter(|&e| !graph.probability(e).is_certain()).collect();
+    let certain: Vec<EdgeId> = domain
+        .iter()
+        .filter(|&e| graph.probability(e).is_certain())
+        .collect();
+    let uncertain: Vec<EdgeId> = domain
+        .iter()
+        .filter(|&e| !graph.probability(e).is_certain())
+        .collect();
     if uncertain.len() > cap {
-        return Err(GraphError::TooManyEdgesForEnumeration { edges: uncertain.len(), max: cap });
+        return Err(GraphError::TooManyEdgesForEnumeration {
+            edges: uncertain.len(),
+            max: cap,
+        });
     }
 
     let mut reach = vec![0.0f64; graph.vertex_count()];
@@ -65,9 +72,14 @@ pub fn exact_reachability(
                 prob *= 1.0 - p;
             }
         }
-        bfs.run(graph, source, |e| world.contains(e), |v| {
-            reach[v.index()] += prob;
-        });
+        bfs.run(
+            graph,
+            source,
+            |e| world.contains(e),
+            |v| {
+                reach[v.index()] += prob;
+            },
+        );
     }
     Ok(reach)
 }
@@ -132,9 +144,13 @@ mod tests {
     #[test]
     fn chain_reachability() {
         let g = chain();
-        let r =
-            exact_reachability(&g, &EdgeSubset::full(&g), VertexId(0), DEFAULT_ENUMERATION_CAP)
-                .unwrap();
+        let r = exact_reachability(
+            &g,
+            &EdgeSubset::full(&g),
+            VertexId(0),
+            DEFAULT_ENUMERATION_CAP,
+        )
+        .unwrap();
         assert!((r[0] - 1.0).abs() < 1e-12);
         assert!((r[1] - 0.5).abs() < 1e-12);
         assert!((r[2] - 0.25).abs() < 1e-12);
@@ -195,9 +211,13 @@ mod tests {
             b.add_edge(vs[i], vs[i + 1], Probability::ONE).unwrap();
         }
         let g = b.build();
-        let r =
-            exact_reachability(&g, &EdgeSubset::full(&g), VertexId(0), DEFAULT_ENUMERATION_CAP)
-                .unwrap();
+        let r = exact_reachability(
+            &g,
+            &EdgeSubset::full(&g),
+            VertexId(0),
+            DEFAULT_ENUMERATION_CAP,
+        )
+        .unwrap();
         assert!(r.iter().all(|&x| (x - 1.0).abs() < 1e-12));
     }
 
@@ -209,9 +229,11 @@ mod tests {
             b.add_edge(vs[i], vs[i + 1], p(0.5)).unwrap();
         }
         let g = b.build();
-        let err =
-            exact_reachability(&g, &EdgeSubset::full(&g), VertexId(0), 4).unwrap_err();
-        assert!(matches!(err, GraphError::TooManyEdgesForEnumeration { edges: 9, max: 4 }));
+        let err = exact_reachability(&g, &EdgeSubset::full(&g), VertexId(0), 4).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::TooManyEdgesForEnumeration { edges: 9, max: 4 }
+        ));
     }
 
     #[test]
@@ -227,10 +249,8 @@ mod tests {
     fn reachability_is_symmetric_in_undirected_graphs() {
         let g = chain();
         let full = EdgeSubset::full(&g);
-        let from_q =
-            exact_reachability(&g, &full, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
-        let from_b =
-            exact_reachability(&g, &full, VertexId(2), DEFAULT_ENUMERATION_CAP).unwrap();
+        let from_q = exact_reachability(&g, &full, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
+        let from_b = exact_reachability(&g, &full, VertexId(2), DEFAULT_ENUMERATION_CAP).unwrap();
         assert!((from_q[2] - from_b[0]).abs() < 1e-12);
     }
 }

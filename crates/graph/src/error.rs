@@ -54,16 +54,28 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidProbability(p) => {
-                write!(f, "invalid edge probability {p}: must be finite and in (0, 1]")
+                write!(
+                    f,
+                    "invalid edge probability {p}: must be finite and in (0, 1]"
+                )
             }
             GraphError::InvalidWeight(w) => {
                 write!(f, "invalid vertex weight {w}: must be finite and >= 0")
             }
-            GraphError::VertexOutOfBounds { vertex, vertex_count } => {
-                write!(f, "vertex {vertex:?} out of bounds (graph has {vertex_count} vertices)")
+            GraphError::VertexOutOfBounds {
+                vertex,
+                vertex_count,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex:?} out of bounds (graph has {vertex_count} vertices)"
+                )
             }
             GraphError::EdgeOutOfBounds { edge, edge_count } => {
-                write!(f, "edge {edge:?} out of bounds (graph has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge {edge:?} out of bounds (graph has {edge_count} edges)"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v:?} is not allowed"),
             GraphError::DuplicateEdge { a, b } => {
@@ -95,7 +107,10 @@ mod tests {
         assert!(e.to_string().contains("1.5"));
         let e = GraphError::SelfLoop(VertexId(3));
         assert!(e.to_string().contains("v3"));
-        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

@@ -35,7 +35,10 @@ impl Edge {
     /// Panics in debug builds if `v` is not an endpoint of this edge.
     #[inline]
     pub fn other(&self, v: VertexId) -> VertexId {
-        debug_assert!(v == self.source || v == self.target, "{v:?} is not an endpoint");
+        debug_assert!(
+            v == self.source || v == self.target,
+            "{v:?} is not an endpoint"
+        );
         if v == self.source {
             self.target
         } else {
@@ -87,7 +90,12 @@ impl ProbabilisticGraph {
             adj_entries[*ct as usize] = (e.source, id);
             *ct += 1;
         }
-        ProbabilisticGraph { weights, edges, adj_offsets, adj_entries }
+        ProbabilisticGraph {
+            weights,
+            edges,
+            adj_offsets,
+            adj_entries,
+        }
     }
 
     /// Number of vertices `|V|`.
@@ -145,14 +153,20 @@ impl ProbabilisticGraph {
         self.weights
             .get(v.index())
             .copied()
-            .ok_or(GraphError::VertexOutOfBounds { vertex: v, vertex_count: self.vertex_count() })
+            .ok_or(GraphError::VertexOutOfBounds {
+                vertex: v,
+                vertex_count: self.vertex_count(),
+            })
     }
 
     /// Checked edge lookup.
     pub fn try_edge(&self, e: EdgeId) -> Result<&Edge, GraphError> {
         self.edges
             .get(e.index())
-            .ok_or(GraphError::EdgeOutOfBounds { edge: e, edge_count: self.edge_count() })
+            .ok_or(GraphError::EdgeOutOfBounds {
+                edge: e,
+                edge_count: self.edge_count(),
+            })
     }
 
     /// Degree of a vertex (number of incident edges in the full graph).
@@ -192,7 +206,10 @@ impl ProbabilisticGraph {
 
     /// Iterates all edge records together with their ids.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, &Edge)> {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::from_index(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::from_index(i), e))
     }
 
     /// Finds the edge between `a` and `b`, if present.
@@ -200,9 +217,14 @@ impl ProbabilisticGraph {
     /// Scans the adjacency list of the lower-degree endpoint, so this is
     /// `O(min(deg(a), deg(b)))`.
     pub fn edge_between(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
-        let (probe, other) =
-            if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
-        self.neighbors(probe).find(|&(n, _)| n == other).map(|(_, e)| e)
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe)
+            .find(|&(n, _)| n == other)
+            .map(|(_, e)| e)
     }
 
     /// Sum of all vertex weights: the maximum attainable expected flow
@@ -215,7 +237,10 @@ impl ProbabilisticGraph {
     /// Number of edges with `P(e) < 1`, i.e. the exponent of the possible-
     /// world count `2^|E_{<1}|` (§3).
     pub fn uncertain_edge_count(&self) -> usize {
-        self.edges.iter().filter(|e| !e.probability.is_certain()).count()
+        self.edges
+            .iter()
+            .filter(|e| !e.probability.is_certain())
+            .count()
     }
 }
 
@@ -250,8 +275,12 @@ mod tests {
     fn adjacency_is_symmetric() {
         let g = triangle();
         for (id, e) in g.edges() {
-            assert!(g.neighbors(e.source).any(|(n, eid)| n == e.target && eid == id));
-            assert!(g.neighbors(e.target).any(|(n, eid)| n == e.source && eid == id));
+            assert!(g
+                .neighbors(e.source)
+                .any(|(n, eid)| n == e.target && eid == id));
+            assert!(g
+                .neighbors(e.target)
+                .any(|(n, eid)| n == e.source && eid == id));
         }
     }
 

@@ -56,22 +56,37 @@ pub fn read_text<R: BufRead>(input: R) -> Result<ProbabilisticGraph, GraphError>
     let mut next_line = |what: &str| -> Result<(usize, String), GraphError> {
         match lines.next() {
             Some((n, Ok(s))) => Ok((n, s.trim().to_string())),
-            Some((n, Err(e))) => Err(GraphError::Parse { line: n, message: e.to_string() }),
-            None => Err(GraphError::Parse { line: 0, message: format!("unexpected EOF, expected {what}") }),
+            Some((n, Err(e))) => Err(GraphError::Parse {
+                line: n,
+                message: e.to_string(),
+            }),
+            None => Err(GraphError::Parse {
+                line: 0,
+                message: format!("unexpected EOF, expected {what}"),
+            }),
         }
     };
 
     let (n, header) = next_line("header")?;
     if header != HEADER {
-        return Err(GraphError::Parse { line: n, message: format!("bad header {header:?}") });
+        return Err(GraphError::Parse {
+            line: n,
+            message: format!("bad header {header:?}"),
+        });
     }
 
     let (n, counts) = next_line("counts")?;
     let mut it = counts.split_whitespace();
     let parse_usize = |tok: Option<&str>, line: usize, what: &str| -> Result<usize, GraphError> {
-        tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?
-            .parse()
-            .map_err(|e| GraphError::Parse { line, message: format!("bad {what}: {e}") })
+        tok.ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|e| GraphError::Parse {
+            line,
+            message: format!("bad {what}: {e}"),
+        })
     };
     let vertex_count = parse_usize(it.next(), n, "vertex count")?;
     let edge_count = parse_usize(it.next(), n, "edge count")?;
@@ -79,9 +94,10 @@ pub fn read_text<R: BufRead>(input: R) -> Result<ProbabilisticGraph, GraphError>
     let mut builder = GraphBuilder::with_capacity(vertex_count, edge_count);
     for _ in 0..vertex_count {
         let (ln, s) = next_line("vertex weight")?;
-        let w: f64 = s
-            .parse()
-            .map_err(|e| GraphError::Parse { line: ln, message: format!("bad weight: {e}") })?;
+        let w: f64 = s.parse().map_err(|e| GraphError::Parse {
+            line: ln,
+            message: format!("bad weight: {e}"),
+        })?;
         builder.add_vertex(Weight::new(w)?);
     }
     for _ in 0..edge_count {
@@ -91,9 +107,15 @@ pub fn read_text<R: BufRead>(input: R) -> Result<ProbabilisticGraph, GraphError>
         let v = parse_usize(it.next(), ln, "edge target")?;
         let p: f64 = it
             .next()
-            .ok_or_else(|| GraphError::Parse { line: ln, message: "missing probability".into() })?
+            .ok_or_else(|| GraphError::Parse {
+                line: ln,
+                message: "missing probability".into(),
+            })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: ln, message: format!("bad probability: {e}") })?;
+            .map_err(|e| GraphError::Parse {
+                line: ln,
+                message: format!("bad probability: {e}"),
+            })?;
         builder.add_edge(
             VertexId::from_index(u),
             VertexId::from_index(v),
@@ -114,7 +136,13 @@ pub fn write_dot<W: Write>(
     writeln!(out, "graph flowmax {{")?;
     writeln!(out, "  node [shape=circle fontsize=10];")?;
     for v in graph.vertices() {
-        writeln!(out, "  v{} [label=\"{} ({})\"];", v.0, v.0, graph.weight(v).value())?;
+        writeln!(
+            out,
+            "  v{} [label=\"{} ({})\"];",
+            v.0,
+            v.0,
+            graph.weight(v).value()
+        )?;
     }
     for (id, e) in graph.edges() {
         let style = match highlight {

@@ -58,7 +58,9 @@ pub use enumerate::{
 };
 pub use path::{count_simple_paths, shortest_path, Path};
 pub use reliability::{flow_bounds, reliability_bounds, ReliabilityBounds};
-pub use spanning::{max_probability_spanning_tree, max_probability_spanning_tree_full, SpanningTree};
+pub use spanning::{
+    max_probability_spanning_tree, max_probability_spanning_tree_full, SpanningTree,
+};
 pub use stats::GraphStats;
 pub use subgraph::{EdgeSubset, SubgraphView};
 pub use traversal::{connected_components, Bfs};

@@ -33,7 +33,10 @@ impl Path {
     /// Product of edge probabilities along the path (Lemma 2: the exact
     /// two-terminal reliability when the path is unique).
     pub fn probability(&self, graph: &ProbabilisticGraph) -> f64 {
-        self.edges.iter().map(|&e| graph.probability(e).value()).product()
+        self.edges
+            .iter()
+            .map(|&e| graph.probability(e).value())
+            .product()
     }
 }
 
@@ -46,7 +49,10 @@ pub fn shortest_path(
     target: VertexId,
 ) -> Option<Path> {
     if source == target {
-        return Some(Path { vertices: vec![source], edges: Vec::new() });
+        return Some(Path {
+            vertices: vec![source],
+            edges: Vec::new(),
+        });
     }
     let n = graph.vertex_count();
     let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
@@ -122,7 +128,15 @@ pub fn count_simple_paths(
 
     let mut on_path = vec![false; graph.vertex_count()];
     let mut found = 0;
-    dfs(graph, active, source, target, &mut on_path, &mut found, limit);
+    dfs(
+        graph,
+        active,
+        source,
+        target,
+        &mut on_path,
+        &mut found,
+        limit,
+    );
     found
 }
 
@@ -190,9 +204,15 @@ mod tests {
         let g = square_with_tail();
         let active = EdgeSubset::full(&g);
         // 0 and 2 lie on the square: two simple paths.
-        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10), 2);
+        assert_eq!(
+            count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10),
+            2
+        );
         // 4 hangs off the square: still two (via both square sides).
-        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(4), 10), 2);
+        assert_eq!(
+            count_simple_paths(&g, &active, VertexId(0), VertexId(4), 10),
+            2
+        );
     }
 
     #[test]
@@ -200,13 +220,19 @@ mod tests {
         let g = square_with_tail();
         let mut active = EdgeSubset::full(&g);
         active.remove(EdgeId(3)); // break the square
-        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10), 1);
+        assert_eq!(
+            count_simple_paths(&g, &active, VertexId(0), VertexId(2), 10),
+            1
+        );
     }
 
     #[test]
     fn count_paths_limit_short_circuits() {
         let g = square_with_tail();
         let active = EdgeSubset::full(&g);
-        assert_eq!(count_simple_paths(&g, &active, VertexId(0), VertexId(2), 1), 1);
+        assert_eq!(
+            count_simple_paths(&g, &active, VertexId(0), VertexId(2), 1),
+            1
+        );
     }
 }

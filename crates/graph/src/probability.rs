@@ -40,7 +40,10 @@ impl Probability {
     /// for untrusted input.
     #[inline]
     pub fn new_unchecked(p: f64) -> Self {
-        debug_assert!(p.is_finite() && p > 0.0 && p <= 1.0, "invalid probability {p}");
+        debug_assert!(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "invalid probability {p}"
+        );
         Probability(p)
     }
 
@@ -86,7 +89,9 @@ impl Eq for Probability {}
 impl Ord for Probability {
     fn cmp(&self, other: &Self) -> Ordering {
         // Valid probabilities are never NaN, so total order is safe.
-        self.0.partial_cmp(&other.0).expect("probability is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("probability is never NaN")
     }
 }
 
@@ -129,7 +134,14 @@ mod tests {
 
     #[test]
     fn rejects_invalid_values() {
-        for p in [0.0, -0.3, 1.0001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        for p in [
+            0.0,
+            -0.3,
+            1.0001,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
             assert!(Probability::new(p).is_err(), "{p} should be rejected");
         }
     }

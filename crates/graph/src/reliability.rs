@@ -129,8 +129,7 @@ mod tests {
         let g = diamond();
         let active = EdgeSubset::full(&g);
         let bounds = reliability_bounds(&g, &active, VertexId(0));
-        let exact =
-            exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
+        let exact = exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
         for v in g.vertices() {
             assert!(
                 bounds.lower[v.index()] <= exact[v.index()] + 1e-12,
@@ -166,8 +165,7 @@ mod tests {
         let g = b.build();
         let active = EdgeSubset::full(&g);
         let bounds = reliability_bounds(&g, &active, VertexId(0));
-        let exact =
-            exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
+        let exact = exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
         for v in g.vertices() {
             assert!((bounds.lower[v.index()] - exact[v.index()]).abs() < 1e-12);
         }
@@ -183,7 +181,10 @@ mod tests {
         let g = b.build();
         let active = EdgeSubset::full(&g);
         let bounds = reliability_bounds(&g, &active, VertexId(0));
-        assert!(bounds.upper[2] <= 0.1 + 1e-12, "source cut must cap vertex 2");
+        assert!(
+            bounds.upper[2] <= 0.1 + 1e-12,
+            "source cut must cap vertex 2"
+        );
     }
 
     #[test]
@@ -209,7 +210,10 @@ mod tests {
         )
         .unwrap();
         let (lo, hi) = flow_bounds(&g, &active, VertexId(0), false);
-        assert!(lo <= exact + 1e-12 && exact <= hi + 1e-12, "{lo} <= {exact} <= {hi}");
+        assert!(
+            lo <= exact + 1e-12 && exact <= hi + 1e-12,
+            "{lo} <= {exact} <= {hi}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on cost: reverse the comparison. Costs are finite
         // non-negative (−ln p with p ∈ (0,1]), never NaN.
-        other.cost.partial_cmp(&self.cost).expect("costs are never NaN")
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are never NaN")
     }
 }
 
@@ -70,9 +73,18 @@ pub fn max_probability_spanning_tree(
     let mut order = Vec::new();
     let mut heap = BinaryHeap::new();
     cost[source.index()] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, vertex: source, via_edge: None });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        vertex: source,
+        via_edge: None,
+    });
 
-    while let Some(HeapEntry { cost: c, vertex: u, via_edge }) = heap.pop() {
+    while let Some(HeapEntry {
+        cost: c,
+        vertex: u,
+        via_edge,
+    }) = heap.pop()
+    {
         if settled[u.index()] {
             continue;
         }
@@ -87,7 +99,11 @@ pub fn max_probability_spanning_tree(
             let nc = c + graph.probability(e).neg_ln();
             if nc < cost[v.index()] {
                 cost[v.index()] = nc;
-                heap.push(HeapEntry { cost: nc, vertex: v, via_edge: Some(e) });
+                heap.push(HeapEntry {
+                    cost: nc,
+                    vertex: v,
+                    via_edge: Some(e),
+                });
             }
         }
     }
@@ -96,7 +112,11 @@ pub fn max_probability_spanning_tree(
         .iter()
         .map(|&c| if c.is_finite() { (-c).exp() } else { 0.0 })
         .collect();
-    SpanningTree { source, order, path_probability }
+    SpanningTree {
+        source,
+        order,
+        path_probability,
+    }
 }
 
 /// Convenience: spanning tree over the *full* edge set.
@@ -146,7 +166,11 @@ mod tests {
         let g = detour_graph();
         let t = max_probability_spanning_tree_full(&g, VertexId(0));
         assert_eq!(t.order.len(), 2);
-        assert_eq!(t.order[0].0, VertexId(1), "0.9 path settles before 0.81 path");
+        assert_eq!(
+            t.order[0].0,
+            VertexId(1),
+            "0.9 path settles before 0.81 path"
+        );
         assert_eq!(t.order[1].0, VertexId(2));
     }
 
@@ -176,7 +200,10 @@ mod tests {
         let mut active = EdgeSubset::full(&g);
         active.remove(EdgeId(2));
         let t = max_probability_spanning_tree(&g, &active, VertexId(0));
-        assert!((t.path_probability[2] - 0.3).abs() < 1e-12, "must use the direct edge now");
+        assert!(
+            (t.path_probability[2] - 0.3).abs() < 1e-12,
+            "must use the direct edge now"
+        );
     }
 
     #[test]

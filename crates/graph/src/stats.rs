@@ -45,7 +45,11 @@ impl GraphStats {
         let mean_probability = if m == 0 {
             0.0
         } else {
-            graph.edges().map(|(_, e)| e.probability.value()).sum::<f64>() / m as f64
+            graph
+                .edges()
+                .map(|(_, e)| e.probability.value())
+                .sum::<f64>()
+                / m as f64
         };
         let comps = connected_components(graph, &EdgeSubset::full(graph));
         GraphStats {
@@ -53,7 +57,11 @@ impl GraphStats {
             edge_count: m,
             min_degree,
             max_degree,
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             mean_probability,
             total_weight: graph.total_weight(),
             component_count: comps.len(),
@@ -92,8 +100,10 @@ mod tests {
     fn stats_of_small_graph() {
         let mut b = GraphBuilder::new();
         b.add_vertices(4, Weight::new(2.0).unwrap());
-        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.4).unwrap()).unwrap();
-        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.6).unwrap()).unwrap();
+        b.add_edge(VertexId(0), VertexId(1), Probability::new(0.4).unwrap())
+            .unwrap();
+        b.add_edge(VertexId(1), VertexId(2), Probability::new(0.6).unwrap())
+            .unwrap();
         let g = b.build();
         let s = GraphStats::compute(&g);
         assert_eq!(s.vertex_count, 4);

@@ -22,7 +22,11 @@ impl EdgeSubset {
     /// Creates an empty subset able to hold edges of a graph with
     /// `edge_capacity` edges.
     pub fn new(edge_capacity: usize) -> Self {
-        EdgeSubset { bits: vec![0; edge_capacity.div_ceil(64)], len: 0, capacity: edge_capacity }
+        EdgeSubset {
+            bits: vec![0; edge_capacity.div_ceil(64)],
+            len: 0,
+            capacity: edge_capacity,
+        }
     }
 
     /// Creates an empty subset sized for `graph`.
@@ -78,7 +82,11 @@ impl EdgeSubset {
     #[inline]
     pub fn insert(&mut self, e: EdgeId) -> bool {
         let i = e.index();
-        assert!(i < self.capacity, "edge id {i} beyond subset capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "edge id {i} beyond subset capacity {}",
+            self.capacity
+        );
         let word = &mut self.bits[i / 64];
         let mask = 1u64 << (i % 64);
         if *word & mask == 0 {
@@ -94,7 +102,11 @@ impl EdgeSubset {
     #[inline]
     pub fn remove(&mut self, e: EdgeId) -> bool {
         let i = e.index();
-        assert!(i < self.capacity, "edge id {i} beyond subset capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "edge id {i} beyond subset capacity {}",
+            self.capacity
+        );
         let word = &mut self.bits[i / 64];
         let mask = 1u64 << (i % 64);
         if *word & mask != 0 {
@@ -114,9 +126,13 @@ impl EdgeSubset {
 
     /// Iterates active edge ids in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: (wi * 64) as u32 }
-        })
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: (wi * 64) as u32,
+            })
     }
 }
 
@@ -169,7 +185,9 @@ impl<'g> SubgraphView<'g> {
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + 'g {
         let active = self.active;
-        self.graph.neighbors(v).filter(move |&(_, e)| active.contains(e))
+        self.graph
+            .neighbors(v)
+            .filter(move |&(_, e)| active.contains(e))
     }
 }
 

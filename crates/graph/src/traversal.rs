@@ -22,7 +22,11 @@ pub struct Bfs {
 impl Bfs {
     /// Creates scratch space for graphs with `vertex_count` vertices.
     pub fn new(vertex_count: usize) -> Self {
-        Bfs { visited: vec![0; vertex_count], epoch: 0, queue: Vec::new() }
+        Bfs {
+            visited: vec![0; vertex_count],
+            epoch: 0,
+            queue: Vec::new(),
+        }
     }
 
     /// Starts a new traversal epoch, logically clearing the visited set.
@@ -128,10 +132,7 @@ impl Bfs {
 /// Computes the connected components of the subgraph induced by `active`
 /// edges. Every vertex of the graph appears in exactly one component;
 /// isolated vertices form singleton components.
-pub fn connected_components(
-    graph: &ProbabilisticGraph,
-    active: &EdgeSubset,
-) -> Vec<Vec<VertexId>> {
+pub fn connected_components(graph: &ProbabilisticGraph, active: &EdgeSubset) -> Vec<Vec<VertexId>> {
     let mut bfs = Bfs::new(graph.vertex_count());
     let mut assigned = vec![false; graph.vertex_count()];
     let mut components = Vec::new();
@@ -140,10 +141,15 @@ pub fn connected_components(
             continue;
         }
         let mut comp = Vec::new();
-        bfs.run(graph, v, |e| active.contains(e), |u| {
-            assigned[u.index()] = true;
-            comp.push(u);
-        });
+        bfs.run(
+            graph,
+            v,
+            |e| active.contains(e),
+            |u| {
+                assigned[u.index()] = true;
+                comp.push(u);
+            },
+        );
         components.push(comp);
     }
     components
@@ -160,9 +166,12 @@ mod tests {
     fn two_paths() -> ProbabilisticGraph {
         let mut b = GraphBuilder::new();
         let v: Vec<_> = (0..5).map(|_| b.add_vertex(Weight::ONE)).collect();
-        b.add_edge(v[0], v[1], Probability::new(0.5).unwrap()).unwrap();
-        b.add_edge(v[1], v[2], Probability::new(0.5).unwrap()).unwrap();
-        b.add_edge(v[3], v[4], Probability::new(0.5).unwrap()).unwrap();
+        b.add_edge(v[0], v[1], Probability::new(0.5).unwrap())
+            .unwrap();
+        b.add_edge(v[1], v[2], Probability::new(0.5).unwrap())
+            .unwrap();
+        b.add_edge(v[3], v[4], Probability::new(0.5).unwrap())
+            .unwrap();
         b.build()
     }
 

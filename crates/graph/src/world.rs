@@ -51,7 +51,10 @@ pub fn world_probability(
             prob *= 1.0 - p;
         }
     }
-    debug_assert!(existing.iter().all(|e| domain.contains(e)), "world outside its domain");
+    debug_assert!(
+        existing.iter().all(|e| domain.contains(e)),
+        "world outside its domain"
+    );
     prob
 }
 

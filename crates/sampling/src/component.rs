@@ -38,12 +38,11 @@ impl ComponentGraph {
     /// # Panics
     ///
     /// Panics if `edges` is empty; a component always has at least one edge.
-    pub fn build(
-        graph: &ProbabilisticGraph,
-        articulation: VertexId,
-        edges: &[EdgeId],
-    ) -> Self {
-        assert!(!edges.is_empty(), "a component snapshot needs at least one edge");
+    pub fn build(graph: &ProbabilisticGraph, articulation: VertexId, edges: &[EdgeId]) -> Self {
+        assert!(
+            !edges.is_empty(),
+            "a component snapshot needs at least one edge"
+        );
         let mut vertices = vec![articulation];
         let mut local_of = std::collections::HashMap::new();
         local_of.insert(articulation, 0u32);
@@ -159,8 +158,15 @@ impl ComponentGraph {
                 *s += v as u32;
             }
         }
-        let reach = successes.iter().map(|&s| s as f64 / samples as f64).collect();
-        ComponentEstimate { reach, successes, samples }
+        let reach = successes
+            .iter()
+            .map(|&s| s as f64 / samples as f64)
+            .collect();
+        ComponentEstimate {
+            reach,
+            successes,
+            samples,
+        }
     }
 
     /// Exact `Pr[v ↔ AV]` by enumerating the `2^u` worlds over the `u`
@@ -198,7 +204,11 @@ impl ComponentGraph {
                 }
             }
         }
-        Some(ComponentEstimate { reach, successes: Vec::new(), samples: 0 })
+        Some(ComponentEstimate {
+            reach,
+            successes: Vec::new(),
+            samples: 0,
+        })
     }
 }
 
@@ -326,7 +336,9 @@ mod tests {
     fn certain_edges_not_counted_against_cap() {
         let mut b = GraphBuilder::new();
         b.add_vertices(3, Weight::ONE);
-        let e0 = b.add_edge(VertexId(0), VertexId(1), Probability::ONE).unwrap();
+        let e0 = b
+            .add_edge(VertexId(0), VertexId(1), Probability::ONE)
+            .unwrap();
         let e1 = b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap();
         let g = b.build();
         let c = ComponentGraph::build(&g, VertexId(0), &[e0, e1]);

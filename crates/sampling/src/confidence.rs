@@ -98,7 +98,10 @@ pub fn normal_quantile(p: f64) -> f64 {
 /// The `z` value of Def. 10: the `100·(1 − α/2)` percentile of the standard
 /// normal distribution.
 pub fn z_for_alpha(alpha: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
     normal_quantile(1.0 - 0.5 * alpha)
 }
 

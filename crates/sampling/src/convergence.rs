@@ -22,7 +22,11 @@ impl BatchSchedule {
     /// The paper's setting: pruning becomes legal at 30 samples
     /// (CLT minimum), total budget = `samplesize`.
     pub fn paper_default(budget: u32) -> Self {
-        BatchSchedule { first: 50, growth: 2.0, budget }
+        BatchSchedule {
+            first: 50,
+            growth: 2.0,
+            budget,
+        }
     }
 
     /// Yields batch sizes; the sum of all yielded batches equals `budget`
@@ -55,32 +59,52 @@ mod tests {
 
     #[test]
     fn batches_sum_to_budget() {
-        let s = BatchSchedule { first: 50, growth: 2.0, budget: 1000 };
+        let s = BatchSchedule {
+            first: 50,
+            growth: 2.0,
+            budget: 1000,
+        };
         let total: u32 = s.batches().sum();
         assert_eq!(total, 1000);
     }
 
     #[test]
     fn batches_grow_geometrically() {
-        let s = BatchSchedule { first: 10, growth: 2.0, budget: 1000 };
+        let s = BatchSchedule {
+            first: 10,
+            growth: 2.0,
+            budget: 1000,
+        };
         let b: Vec<u32> = s.batches().collect();
         assert_eq!(&b[..4], &[10, 20, 40, 80]);
     }
 
     #[test]
     fn final_batch_truncated() {
-        let s = BatchSchedule { first: 400, growth: 2.0, budget: 1000 };
+        let s = BatchSchedule {
+            first: 400,
+            growth: 2.0,
+            budget: 1000,
+        };
         let b: Vec<u32> = s.batches().collect();
         assert_eq!(b, vec![400, 600]);
     }
 
     #[test]
     fn degenerate_schedules() {
-        let s = BatchSchedule { first: 0, growth: 0.5, budget: 5 };
+        let s = BatchSchedule {
+            first: 0,
+            growth: 0.5,
+            budget: 5,
+        };
         // first clamps to 1, growth clamps to 1.0 → five batches of 1.
         let b: Vec<u32> = s.batches().collect();
         assert_eq!(b, vec![1, 1, 1, 1, 1]);
-        let empty = BatchSchedule { first: 10, growth: 2.0, budget: 0 };
+        let empty = BatchSchedule {
+            first: 10,
+            growth: 2.0,
+            budget: 0,
+        };
         assert_eq!(empty.round_count(), 0);
     }
 

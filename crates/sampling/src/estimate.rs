@@ -18,12 +18,20 @@ pub struct FlowEstimate {
 impl FlowEstimate {
     /// An empty estimate.
     pub fn new() -> Self {
-        FlowEstimate { mean: 0.0, m2: 0.0, samples: 0 }
+        FlowEstimate {
+            mean: 0.0,
+            m2: 0.0,
+            samples: 0,
+        }
     }
 
     /// An exact (zero-variance) value, e.g. an analytically computed flow.
     pub fn exact(value: f64) -> Self {
-        FlowEstimate { mean: value, m2: 0.0, samples: u64::MAX }
+        FlowEstimate {
+            mean: value,
+            m2: 0.0,
+            samples: u64::MAX,
+        }
     }
 
     /// Returns `true` if the value is exact rather than sampled.
@@ -33,7 +41,10 @@ impl FlowEstimate {
 
     /// Adds one sampled observation (Welford update).
     pub fn push(&mut self, value: f64) {
-        debug_assert!(!self.is_exact(), "cannot push samples into an exact estimate");
+        debug_assert!(
+            !self.is_exact(),
+            "cannot push samples into an exact estimate"
+        );
         self.samples += 1;
         let delta = value - self.mean;
         self.mean += delta / self.samples as f64;
@@ -81,7 +92,10 @@ impl FlowEstimate {
             return ConfidenceInterval::exact(self.mean);
         }
         let half = z_for_alpha(alpha) * self.standard_error();
-        ConfidenceInterval { lower: self.mean - half, upper: self.mean + half }
+        ConfidenceInterval {
+            lower: self.mean - half,
+            upper: self.mean + half,
+        }
     }
 
     /// Merges two independent estimates of the *same* quantity (parallel

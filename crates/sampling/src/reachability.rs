@@ -109,9 +109,14 @@ pub fn sample_reachability(
                 alive.insert(e);
             }
         }
-        bfs.run(graph, query, |e| alive.contains(e), |v| {
-            successes[v.index()] += 1;
-        });
+        bfs.run(
+            graph,
+            query,
+            |e| alive.contains(e),
+            |v| {
+                successes[v.index()] += 1;
+            },
+        );
     }
     ReachabilityEstimate { successes, samples }
 }
@@ -140,11 +145,16 @@ pub fn sample_flow(
             }
         }
         let mut flow = 0.0;
-        bfs.run(graph, query, |e| alive.contains(e), |v| {
-            if v != query || include_query {
-                flow += graph.weight(v).value();
-            }
-        });
+        bfs.run(
+            graph,
+            query,
+            |e| alive.contains(e),
+            |v| {
+                if v != query || include_query {
+                    flow += graph.weight(v).value();
+                }
+            },
+        );
         est.push(flow);
     }
     est
@@ -178,13 +188,17 @@ mod tests {
     fn estimates_converge_to_exact_values() {
         let g = cyclic();
         let active = EdgeSubset::full(&g);
-        let exact =
-            exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
+        let exact = exact_reachability(&g, &active, VertexId(0), DEFAULT_ENUMERATION_CAP).unwrap();
         let mut rng = SeedSequence::new(99).rng(0);
         let est = sample_reachability(&g, &active, VertexId(0), 20_000, &mut rng);
         for v in g.vertices() {
             let diff = (est.probability(v) - exact[v.index()]).abs();
-            assert!(diff < 0.02, "vertex {v:?}: {} vs {}", est.probability(v), exact[v.index()]);
+            assert!(
+                diff < 0.02,
+                "vertex {v:?}: {} vs {}",
+                est.probability(v),
+                exact[v.index()]
+            );
         }
     }
 
@@ -196,7 +210,11 @@ mod tests {
             exact_expected_flow(&g, &active, VertexId(0), false, DEFAULT_ENUMERATION_CAP).unwrap();
         let mut rng = SeedSequence::new(5).rng(1);
         let est = sample_flow(&g, &active, VertexId(0), false, 20_000, &mut rng);
-        assert!((est.mean() - exact).abs() < 0.08, "{} vs {exact}", est.mean());
+        assert!(
+            (est.mean() - exact).abs() < 0.08,
+            "{} vs {exact}",
+            est.mean()
+        );
         assert!(est.confidence_interval(0.01).contains(exact));
     }
 

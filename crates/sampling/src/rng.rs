@@ -75,14 +75,25 @@ mod tests {
 
     #[test]
     fn child_seeds_differ_by_master() {
-        assert_ne!(SeedSequence::new(1).child_seed(7), SeedSequence::new(2).child_seed(7));
+        assert_ne!(
+            SeedSequence::new(1).child_seed(7),
+            SeedSequence::new(2).child_seed(7)
+        );
     }
 
     #[test]
     fn rngs_produce_reproducible_streams() {
         let s = SeedSequence::new(7);
-        let a: Vec<u32> = s.rng(3).sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u32> = s.rng(3).sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u32> = s
+            .rng(3)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u32> = s
+            .rng(3)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -91,7 +91,10 @@ mod tests {
             }
         });
         let freq = hits as f64 / n as f64;
-        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "frequency {freq} too far from 0.3"
+        );
     }
 
     #[test]
@@ -135,6 +138,9 @@ mod tests {
             }
         });
         let freq = both as f64 / n as f64;
-        assert!((freq - 0.25).abs() < 0.02, "joint frequency {freq} too far from 0.25");
+        assert!(
+            (freq - 0.25).abs() < 0.02,
+            "joint frequency {freq} too far from 0.25"
+        );
     }
 }

@@ -13,8 +13,10 @@ fn main() {
     let q = b.add_vertex(Weight::ZERO);
     let names = ["alice", "bob", "carol", "dave", "erin", "frank", "grace"];
     let weights = [4.0, 2.0, 7.0, 1.0, 3.0, 5.0, 6.0];
-    let people: Vec<VertexId> =
-        weights.iter().map(|&w| b.add_vertex(Weight::new(w).unwrap())).collect();
+    let people: Vec<VertexId> = weights
+        .iter()
+        .map(|&w| b.add_vertex(Weight::new(w).unwrap()))
+        .collect();
 
     let p = |v| Probability::new(v).unwrap();
     // Q's direct contacts.
@@ -67,5 +69,8 @@ fn main() {
 
     // The brute-force optimum is tractable at this size: show the gap.
     let optimum = exact_max_flow(&graph, q, 5, false).expect("10 edges is enumerable");
-    println!("\nexact optimum over all ≤5-edge subsets: {:.4}", optimum.flow);
+    println!(
+        "\nexact optimum over all ≤5-edge subsets: {:.4}",
+        optimum.flow
+    );
 }

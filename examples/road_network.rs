@@ -15,19 +15,34 @@ fn main() {
     // A mid-size grid by default; --paper builds San-Joaquin scale (18k
     // intersections).
     let full = std::env::args().any(|a| a == "--paper");
-    let config = if full { RoadConfig::paper(135, 135) } else { RoadConfig::paper(40, 40) };
+    let config = if full {
+        RoadConfig::paper(135, 135)
+    } else {
+        RoadConfig::paper(40, 40)
+    };
     let road = config.generate(7);
     let graph = &road.graph;
     let q = suggest_query(graph);
 
     println!("road network: {}", GraphStats::compute(graph));
     let (qx, qy) = road.positions[q.index()];
-    println!("control center at intersection {q} ({:.0} m, {:.0} m)", qx, qy);
+    println!(
+        "control center at intersection {q} ({:.0} m, {:.0} m)",
+        qx, qy
+    );
     let budget = 80;
     println!("link budget: k = {budget}\n");
 
-    println!("{:<12} {:>10} {:>10} {:>12}", "algorithm", "E[flow]", "sampled", "time");
-    for alg in [Algorithm::Dijkstra, Algorithm::FtM, Algorithm::FtMDs, Algorithm::FtMCiDs] {
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "algorithm", "E[flow]", "sampled", "time"
+    );
+    for alg in [
+        Algorithm::Dijkstra,
+        Algorithm::FtM,
+        Algorithm::FtMDs,
+        Algorithm::FtMCiDs,
+    ] {
         let result = solve(graph, q, &SolverConfig::paper(alg, budget, 11));
         println!(
             "{:<12} {:>10.2} {:>10} {:>10.1?}",

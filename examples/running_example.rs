@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example running_example`
 
-use flowmax::core::{
-    dijkstra_select, exact_max_flow, EstimatorConfig, FTree, SamplingProvider,
-};
+use flowmax::core::{dijkstra_select, exact_max_flow, EstimatorConfig, FTree, SamplingProvider};
 use flowmax::graph::{
     exact_expected_flow, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
     Weight, DEFAULT_ENUMERATION_CAP,
@@ -91,8 +89,7 @@ fn main() {
     let g = figure1_graph();
     let q = VertexId(0);
     let all = EdgeSubset::full(&g);
-    let flow_all =
-        exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
+    let flow_all = exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
     println!("all 10 edges activated:      E[flow] = {flow_all:.4}  (paper: ≈2.51)");
 
     let dj = dijkstra_select(&g, q, usize::MAX, false);
@@ -132,9 +129,14 @@ fn main() {
         tree.bi_component_count()
     );
     let flow = tree.expected_flow(&g3, false);
-    let exact =
-        exact_expected_flow(&g3, tree.selected_edges(), q3, false, DEFAULT_ENUMERATION_CAP)
-            .unwrap();
+    let exact = exact_expected_flow(
+        &g3,
+        tree.selected_edges(),
+        q3,
+        false,
+        DEFAULT_ENUMERATION_CAP,
+    )
+    .unwrap();
     println!("F-tree E[flow] = {flow:.6}");
     println!("exact  E[flow] = {exact:.6}   (2^19 = 524,288 possible worlds enumerated)");
     println!(

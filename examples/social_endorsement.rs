@@ -19,7 +19,11 @@ fn main() {
     let config = if full {
         SocialCircleConfig::paper()
     } else {
-        SocialCircleConfig { vertices: 150, edges: 1200, ..SocialCircleConfig::paper() }
+        SocialCircleConfig {
+            vertices: 150,
+            edges: 1200,
+            ..SocialCircleConfig::paper()
+        }
     };
     let graph = config.generate(99);
     let q = suggest_query(&graph);
@@ -37,7 +41,10 @@ fn main() {
     let budget = 40;
     println!("interaction budget: k = {budget}\n");
 
-    println!("{:<12} {:>12} {:>10} {:>12}", "algorithm", "E[endorse]", "probes", "time");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "algorithm", "E[endorse]", "probes", "time"
+    );
     for alg in [Algorithm::Dijkstra, Algorithm::FtM, Algorithm::FtMCiDs] {
         let result = solve(&graph, q, &SolverConfig::paper(alg, budget, 5));
         println!(

@@ -48,17 +48,24 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.values.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
     }
 
     fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
         }
     }
 
@@ -141,10 +148,16 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         "partitioned" => {
             PartitionedConfig::paper(vertices, args.parse_opt("degree", 6)?).generate(seed)
         }
-        "wsn" => WsnConfig::paper(vertices, args.parse_opt("epsilon", 0.07)?).generate(seed).graph,
+        "wsn" => {
+            WsnConfig::paper(vertices, args.parse_opt("epsilon", 0.07)?)
+                .generate(seed)
+                .graph
+        }
         "road" => {
             let side = (vertices as f64).sqrt().ceil() as usize;
-            RoadConfig::paper(side.max(2), side.max(2)).generate(seed).graph
+            RoadConfig::paper(side.max(2), side.max(2))
+                .generate(seed)
+                .graph
         }
         "social-circle" => SocialCircleConfig::paper().generate(seed),
         "collaboration" => CollaborationConfig::paper_scaled(vertices).generate(seed),
@@ -158,7 +171,9 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     };
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    gio::write_text(&graph, &mut out).and_then(|_| out.flush()).map_err(|e| e.to_string())?;
+    gio::write_text(&graph, &mut out)
+        .and_then(|_| out.flush())
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 

@@ -86,7 +86,10 @@ fn delayed_sampling_skips_probes() {
     let q = suggest_query(&g);
     let ftm = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 20, 10));
     let ftmds = solve(&g, q, &SolverConfig::paper(Algorithm::FtMDs, 20, 10));
-    assert!(ftmds.metrics.ds_skipped > 0, "DS must suspend some candidates");
+    assert!(
+        ftmds.metrics.ds_skipped > 0,
+        "DS must suspend some candidates"
+    );
     assert!(
         ftmds.flow > 0.8 * ftm.flow,
         "DS flow {} must stay close to FT+M flow {}",

@@ -6,8 +6,8 @@
 
 use flowmax::core::{EstimatorConfig, FTree, SamplingProvider};
 use flowmax::graph::{
-    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
-    Weight, DEFAULT_ENUMERATION_CAP,
+    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
+    DEFAULT_ENUMERATION_CAP,
 };
 use flowmax::sampling::SeedSequence;
 use rand::seq::SliceRandom;
@@ -26,7 +26,8 @@ fn random_graph(n: usize, m: usize, seed: u64) -> ProbabilisticGraph {
     for i in 1..n {
         let parent = order[rng.gen_range(0..i)];
         let prob = Probability::new(rng.gen_range(0.05..=1.0)).unwrap();
-        b.add_edge(VertexId(order[i]), VertexId(parent), prob).unwrap();
+        b.add_edge(VertexId(order[i]), VertexId(parent), prob)
+            .unwrap();
     }
     let mut added = n - 1;
     let mut guard = 0;
@@ -60,7 +61,8 @@ fn build_random_order(g: &ProbabilisticGraph, query: VertexId, seed: u64) -> FTr
         let Some(pos) = pos else { break }; // disconnected leftovers
         let e = remaining.remove(pos);
         tree.insert_edge(g, e, &mut provider).unwrap();
-        tree.validate(g).unwrap_or_else(|err| panic!("seed {seed}, edge {e:?}: {err}"));
+        tree.validate(g)
+            .unwrap_or_else(|err| panic!("seed {seed}, edge {e:?}: {err}"));
     }
     tree
 }
@@ -160,7 +162,10 @@ fn monte_carlo_ftree_converges_to_exact_flow() {
     )
     .unwrap();
     let rel = (sampled_flow - exact).abs() / exact.max(1e-9);
-    assert!(rel < 0.03, "sampled {sampled_flow} vs exact {exact} (rel err {rel})");
+    assert!(
+        rel < 0.03,
+        "sampled {sampled_flow} vs exact {exact} (rel err {rel})"
+    );
 }
 
 #[test]

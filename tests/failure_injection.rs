@@ -6,8 +6,7 @@ use flowmax::core::{
     GreedyConfig, SamplingProvider, SolverConfig,
 };
 use flowmax::graph::{
-    exact_reachability, EdgeId, EdgeSubset, GraphBuilder, GraphError, Probability, VertexId,
-    Weight,
+    exact_reachability, EdgeId, EdgeSubset, GraphBuilder, GraphError, Probability, VertexId, Weight,
 };
 use std::io::Cursor;
 
@@ -17,13 +16,25 @@ fn p(v: f64) -> Probability {
 
 #[test]
 fn builder_rejects_all_invalid_inputs() {
-    assert!(matches!(Probability::new(0.0), Err(GraphError::InvalidProbability(_))));
-    assert!(matches!(Probability::new(f64::NAN), Err(GraphError::InvalidProbability(_))));
-    assert!(matches!(Weight::new(-1.0), Err(GraphError::InvalidWeight(_))));
+    assert!(matches!(
+        Probability::new(0.0),
+        Err(GraphError::InvalidProbability(_))
+    ));
+    assert!(matches!(
+        Probability::new(f64::NAN),
+        Err(GraphError::InvalidProbability(_))
+    ));
+    assert!(matches!(
+        Weight::new(-1.0),
+        Err(GraphError::InvalidWeight(_))
+    ));
 
     let mut b = GraphBuilder::new();
     let v = b.add_vertex(Weight::ONE);
-    assert!(matches!(b.add_edge(v, v, p(0.5)), Err(GraphError::SelfLoop(_))));
+    assert!(matches!(
+        b.add_edge(v, v, p(0.5)),
+        Err(GraphError::SelfLoop(_))
+    ));
     assert!(matches!(
         b.add_edge(v, VertexId(100), p(0.5)),
         Err(GraphError::VertexOutOfBounds { .. })
@@ -62,7 +73,11 @@ fn solvers_handle_isolated_query_gracefully() {
     let g = b.build();
     for alg in Algorithm::all() {
         let r = solve(&g, VertexId(0), &SolverConfig::paper(alg, 5, 1));
-        assert!(r.selected.is_empty(), "{}: selected from nothing", alg.name());
+        assert!(
+            r.selected.is_empty(),
+            "{}: selected from nothing",
+            alg.name()
+        );
         assert_eq!(r.flow, 0.0, "{}", alg.name());
     }
 }
@@ -99,14 +114,18 @@ fn all_certain_edges_need_no_sampling_in_greedy_with_exact_cap() {
     let mut b = GraphBuilder::new();
     b.add_vertices(4, Weight::ONE);
     for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)] {
-        b.add_edge(VertexId(u), VertexId(v), Probability::ONE).unwrap();
+        b.add_edge(VertexId(u), VertexId(v), Probability::ONE)
+            .unwrap();
     }
     let g = b.build();
     let mut cfg = GreedyConfig::ft(5, 1);
     cfg.exact_edge_cap = 4;
     let out = greedy_select(&g, VertexId(0), &cfg);
     assert_eq!(out.metrics.components_sampled, 0);
-    assert!((out.final_flow - 3.0).abs() < 1e-12, "all three vertices certain");
+    assert!(
+        (out.final_flow - 3.0).abs() < 1e-12,
+        "all three vertices certain"
+    );
 }
 
 #[test]
@@ -140,7 +159,7 @@ fn graph_io_failures_are_typed() {
         "flowmax-graph v1\nnot-numbers\n",
         "flowmax-graph v1\n2 1\n1\nnope\n0 1 0.5\n",
         "flowmax-graph v1\n2 1\n1\n1\n0 0 0.5\n", // self loop
-        "flowmax-graph v1\n1 0\n-3\n",             // negative weight
+        "flowmax-graph v1\n1 0\n-3\n",            // negative weight
     ] {
         assert!(read_text(Cursor::new(bad)).is_err(), "accepted {bad:?}");
     }
@@ -182,7 +201,8 @@ fn extreme_probabilities_are_handled() {
     let mut b = GraphBuilder::new();
     b.add_vertices(4, Weight::new(1000.0).unwrap());
     b.add_edge(VertexId(0), VertexId(1), p(1e-12)).unwrap();
-    b.add_edge(VertexId(1), VertexId(2), Probability::ONE).unwrap();
+    b.add_edge(VertexId(1), VertexId(2), Probability::ONE)
+        .unwrap();
     b.add_edge(VertexId(2), VertexId(3), p(1e-12)).unwrap();
     let g = b.build();
     let mut cfg = GreedyConfig::ft(3, 1);
@@ -190,5 +210,9 @@ fn extreme_probabilities_are_handled() {
     let out = greedy_select(&g, VertexId(0), &cfg);
     assert_eq!(out.selected.len(), 3);
     assert!(out.final_flow.is_finite());
-    assert!(out.final_flow > 0.0 && out.final_flow < 1.0, "flow {}", out.final_flow);
+    assert!(
+        out.final_flow > 0.0 && out.final_flow < 1.0,
+        "flow {}",
+        out.final_flow
+    );
 }

@@ -76,10 +76,7 @@ fn base_tree(g: &ProbabilisticGraph) -> (FTree, SamplingProvider) {
     (tree, provider)
 }
 
-fn find_component<'a>(
-    comps: &'a [ComponentView],
-    members: &[u32],
-) -> Option<&'a ComponentView> {
+fn find_component<'a>(comps: &'a [ComponentView], members: &[u32]) -> Option<&'a ComponentView> {
     let want: Vec<VertexId> = members.iter().map(|&v| VertexId(v)).collect();
     comps.iter().find(|c| c.members == want)
 }
@@ -288,12 +285,15 @@ fn figure1_tradeoff_shape() {
     let g = b.build();
 
     let all = EdgeSubset::full(&g);
-    let flow_all =
-        exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
+    let flow_all = exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
     let dj = dijkstra_select(&g, q, usize::MAX, false);
     let opt5 = exact_max_flow(&g, q, 5, false).unwrap();
 
-    assert_eq!(dj.selected.len(), 6, "spanning tree reaches all 6 non-Q vertices");
+    assert_eq!(
+        dj.selected.len(),
+        6,
+        "spanning tree reaches all 6 non-Q vertices"
+    );
     assert!(
         opt5.flow > dj.final_flow,
         "5-edge optimum ({}) must dominate the 6-edge tree ({})",

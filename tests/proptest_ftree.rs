@@ -3,8 +3,8 @@
 
 use flowmax::core::{EstimatorConfig, FTree, SamplingProvider};
 use flowmax::graph::{
-    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
-    Weight, DEFAULT_ENUMERATION_CAP,
+    exact_expected_flow, EdgeId, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
+    DEFAULT_ENUMERATION_CAP,
 };
 use proptest::prelude::*;
 
@@ -24,12 +24,14 @@ fn graph_spec() -> impl Strategy<Value = GraphSpec> {
     (3usize..9).prop_flat_map(|n| {
         let tree = proptest::collection::vec(0usize..n, n - 1).prop_map(move |raw| {
             // parent of vertex i (1-based) must be < i
-            raw.iter().enumerate().map(|(i, &r)| r % (i + 1)).collect::<Vec<_>>()
+            raw.iter()
+                .enumerate()
+                .map(|(i, &r)| r % (i + 1))
+                .collect::<Vec<_>>()
         });
         let chords = proptest::collection::vec((0usize..n, 0usize..n), 0..5);
         let max_edges = (n - 1) + 5;
-        let probs =
-            proptest::collection::vec(0.05f64..=1.0, max_edges);
+        let probs = proptest::collection::vec(0.05f64..=1.0, max_edges);
         let weights = proptest::collection::vec(0u8..10, n);
         let order = proptest::collection::vec(0usize..64, max_edges);
         (Just(n), tree, chords, probs, weights, order).prop_map(
@@ -68,8 +70,12 @@ fn build(spec: &GraphSpec) -> ProbabilisticGraph {
     for &(u, v) in &spec.chords {
         let (u, v) = (u % spec.n, v % spec.n);
         if u != v && !b.has_edge(VertexId::from_index(u), VertexId::from_index(v)) {
-            b.add_edge(VertexId::from_index(u), VertexId::from_index(v), prob(&mut pi))
-                .unwrap();
+            b.add_edge(
+                VertexId::from_index(u),
+                VertexId::from_index(v),
+                prob(&mut pi),
+            )
+            .unwrap();
         }
     }
     b.build()

@@ -18,10 +18,12 @@ struct SmallGraph {
 
 fn small_graph() -> impl Strategy<Value = SmallGraph> {
     (3usize..8).prop_flat_map(|n| {
-        let tree = proptest::collection::vec(0usize..n, n - 1)
-            .prop_map(move |raw| {
-                raw.iter().enumerate().map(|(i, &r)| r % (i + 1)).collect::<Vec<_>>()
-            });
+        let tree = proptest::collection::vec(0usize..n, n - 1).prop_map(move |raw| {
+            raw.iter()
+                .enumerate()
+                .map(|(i, &r)| r % (i + 1))
+                .collect::<Vec<_>>()
+        });
         let chords = proptest::collection::vec((0usize..n, 0usize..n), 0..4);
         let probs = proptest::collection::vec(0.05f64..=1.0, (n - 1) + 4);
         (Just(n), tree, chords, probs).prop_map(|(n, tree_parents, chords, probs)| SmallGraph {
@@ -53,8 +55,12 @@ fn build(spec: &SmallGraph) -> ProbabilisticGraph {
     for &(u, v) in &spec.chords {
         let (u, v) = (u % spec.n, v % spec.n);
         if u != v && !b.has_edge(VertexId::from_index(u), VertexId::from_index(v)) {
-            b.add_edge(VertexId::from_index(u), VertexId::from_index(v), next_prob(&mut pi))
-                .unwrap();
+            b.add_edge(
+                VertexId::from_index(u),
+                VertexId::from_index(v),
+                next_prob(&mut pi),
+            )
+            .unwrap();
         }
     }
     b.build()

@@ -1,9 +1,7 @@
 //! Selection quality: the greedy heuristics against the brute-force optimum
 //! (Theorem 1 makes optimality NP-hard; §7 claims "high quality solutions").
 
-use flowmax::core::{
-    exact_max_flow, greedy_select, solve, Algorithm, GreedyConfig, SolverConfig,
-};
+use flowmax::core::{exact_max_flow, greedy_select, solve, Algorithm, GreedyConfig, SolverConfig};
 use flowmax::graph::{GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight};
 use flowmax::sampling::SeedSequence;
 use rand::seq::SliceRandom;
@@ -20,7 +18,8 @@ fn random_graph(n: usize, m: usize, seed: u64) -> ProbabilisticGraph {
     for i in 1..n {
         let parent = order[rng.gen_range(0..i)];
         let prob = Probability::new(rng.gen_range(0.1..=1.0)).unwrap();
-        b.add_edge(VertexId(order[i]), VertexId(parent), prob).unwrap();
+        b.add_edge(VertexId(order[i]), VertexId(parent), prob)
+            .unwrap();
     }
     let mut added = n - 1;
     let mut guard = 0;
@@ -43,8 +42,7 @@ fn random_graph(n: usize, m: usize, seed: u64) -> ProbabilisticGraph {
 
 /// Evaluates a selection exactly (all test graphs are small).
 fn exact_flow_of(g: &ProbabilisticGraph, query: VertexId, edges: &[flowmax::graph::EdgeId]) -> f64 {
-    let subset =
-        flowmax::graph::EdgeSubset::from_edges(g.edge_count(), edges.iter().copied());
+    let subset = flowmax::graph::EdgeSubset::from_edges(g.edge_count(), edges.iter().copied());
     flowmax::graph::exact_expected_flow(g, &subset, query, false, 24).unwrap()
 }
 
@@ -111,10 +109,10 @@ fn greedy_dominates_dijkstra_with_cycles_available() {
     // where the spanning tree wastes budget on fragile deep paths.
     let mut b = GraphBuilder::new();
     let q = b.add_vertex(Weight::ZERO);
-    let heavy: Vec<VertexId> =
-        (0..3).map(|_| b.add_vertex(Weight::new(50.0).unwrap())).collect();
-    let light: Vec<VertexId> =
-        (0..4).map(|_| b.add_vertex(Weight::ONE)).collect();
+    let heavy: Vec<VertexId> = (0..3)
+        .map(|_| b.add_vertex(Weight::new(50.0).unwrap()))
+        .collect();
+    let light: Vec<VertexId> = (0..4).map(|_| b.add_vertex(Weight::ONE)).collect();
     let p = |v| Probability::new(v).unwrap();
     // Heavy triangle near Q, low-probability edges (cycles pay off).
     b.add_edge(q, heavy[0], p(0.5)).unwrap();

@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by the `flowmax` workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! source-compatible [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Semantics mirror real criterion's two modes:
+//!
+//! * **Test mode** (no `--bench` in argv, i.e. `cargo test`): every
+//!   benchmark body runs exactly once as a smoke test and nothing is timed.
+//! * **Bench mode** (`cargo bench` passes `--bench`): each benchmark is
+//!   warmed up, then timed over `sample_size` samples, and a mean
+//!   time-per-iteration is printed. No HTML reports, outlier analysis, or
+//!   statistical regression — just honest wall-clock means.
+//!
+//! If the workspace ever gains registry access, deleting `vendor/` and
+//! pointing `Cargo.toml` at crates.io versions is a drop-in swap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `Bencher::iter_batched` amortizes setup cost. The stand-in runs every
+/// batch with one input regardless; the variants exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs of each batch sized per iteration count.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables with `--bench` under `cargo bench`
+        // and without it under `cargo test`; mirror real criterion's switch.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line configuration (accepted for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            bench_mode: self.bench_mode,
+            sample_size: 100,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    bench_mode: bool,
+    sample_size: usize,
+    // Tie the group's lifetime to the Criterion that created it, as real
+    // criterion does; keeps call sites source-compatible.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.bench_mode {
+            // Smoke-test mode: run the body once, untimed.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            return self;
+        }
+        // Warm-up pass.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        // Timed samples.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{label:<60} {:>12.1} ns/iter ({iters} iters)", per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.elapsed = timed;
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        group.bench_function("iter", |b| b.iter(|| 2 + 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { bench_mode: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn bench_mode_times_and_prints() {
+        let mut c = Criterion { bench_mode: true };
+        sample_bench(&mut c);
+    }
+}

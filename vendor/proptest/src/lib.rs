@@ -1,0 +1,402 @@
+//! Offline stand-in for the subset of the `proptest` API used by the
+//! `flowmax` workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! source-compatible implementations of the pieces the test suite imports:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`strategy::Just`], [`collection::vec`],
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the generated value's
+//!   `Debug` output (via the assertion message) but is not minimized.
+//! * **Deterministic seeding** — each `proptest!` test derives its RNG seed
+//!   from the test's name, so failures always reproduce.
+//!
+//! If the workspace ever gains registry access, deleting `vendor/` and
+//! pointing `Cargo.toml` at crates.io versions is a drop-in swap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic RNG behind it.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator driving value generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded by hashing `name` (FNV-1a), so each
+        /// property test gets its own reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo < hi);
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+
+        /// Uniform draw from `[0, 1]`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of an associated type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a sampler.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns
+        /// for it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*}
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Half-open: use the [0, 1) unit divisor, not f64_unit's
+                    // inclusive one, so `end` itself is never generated.
+                    let unit = (rng.next_u64() >> 11) as f64
+                        * (1.0 / (1u64 << 53) as f64);
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.f64_unit() as $t) * (hi - lo)
+                }
+            }
+        )*}
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        }
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// An inclusive bound on generated collection lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi + 1);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions that check a property over many generated
+/// inputs.
+///
+/// Supported grammar (the subset flowmax uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     /// docs and attributes pass through
+///     #[test]
+///     fn my_property(x in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strat = $strat;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    let $pat =
+                        $crate::strategy::Strategy::new_value(&strat, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($pat in $strat) $body )*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9) {
+            prop_assert!((3..9).contains(&x));
+        }
+
+        #[test]
+        fn composite_strategies_compose(spec in (1usize..4).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0.0f64..=1.0, n))
+        })) {
+            let (n, xs) = spec;
+            prop_assert_eq!(xs.len(), n);
+            for x in xs {
+                prop_assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+}
