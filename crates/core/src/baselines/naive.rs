@@ -2,11 +2,13 @@
 //! Monte-Carlo flow estimation [7], [22] and no F-tree.
 //!
 //! Every probe samples the entire candidate subgraph `E_i ∪ {e}` (1000
-//! worlds by default) and runs a BFS per world — the cost and variance the
-//! F-tree exists to avoid.
+//! worlds by default) — the cost and variance the F-tree exists to avoid.
+//! Probes run on the bit-parallel [`ParallelEstimator`] engine: 64 worlds
+//! per traversal, optionally sharded across threads, with each probe seeded
+//! by its own probe counter so results are thread-count invariant.
 
 use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
-use flowmax_sampling::{sample_reachability, SeedSequence};
+use flowmax_sampling::{default_threads, ParallelEstimator, SeedSequence};
 
 use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
@@ -23,17 +25,27 @@ pub struct NaiveConfig {
     pub include_query: bool,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for probe sampling (results do not depend on this).
+    pub threads: usize,
 }
 
 impl NaiveConfig {
-    /// Paper defaults at a given budget.
+    /// Paper defaults at a given budget, with the [`default_threads`]
+    /// worker count (`FLOWMAX_THREADS` or 1).
     pub fn paper(budget: usize, seed: u64) -> Self {
         NaiveConfig {
             budget,
             samples: 1000,
             include_query: false,
             seed,
+            threads: default_threads(),
         }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -43,7 +55,11 @@ pub fn naive_select(
     query: VertexId,
     config: &NaiveConfig,
 ) -> SelectionOutcome {
-    let mut rng = SeedSequence::new(config.seed).rng(0xBA5E);
+    let engine = ParallelEstimator::new(config.threads);
+    // One child sequence per probe: probe `i` is a pure function of
+    // `(seed, i)` no matter how many workers sample its batches.
+    let probe_seq = SeedSequence::new(SeedSequence::new(config.seed).child_seed(0xBA5E));
+    let mut probe_idx: u64 = 0;
     let mut selected = EdgeSubset::for_graph(graph);
     let mut selected_order = Vec::new();
     let mut candidates = CandidateSet::new(graph, query);
@@ -57,7 +73,9 @@ pub fn naive_select(
             // Probe: estimate the flow of E_i ∪ {e} by sampling the whole
             // candidate subgraph.
             selected.insert(e);
-            let est = sample_reachability(graph, &selected, query, config.samples, &mut rng);
+            let seq = SeedSequence::new(probe_seq.child_seed(probe_idx));
+            probe_idx += 1;
+            let est = engine.sample_reachability(graph, &selected, query, config.samples, &seq);
             let flow = est.flow(graph, query, config.include_query);
             selected.remove(e);
             metrics.probes += 1;
@@ -149,5 +167,21 @@ mod tests {
         let b = naive_select(&g, VertexId(0), &NaiveConfig::paper(3, 9));
         assert_eq!(a.selected, b.selected);
         assert_eq!(a.final_flow, b.final_flow);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let g = small_graph();
+        let base = naive_select(&g, VertexId(0), &NaiveConfig::paper(3, 9).with_threads(1));
+        for threads in [2, 8] {
+            let out = naive_select(
+                &g,
+                VertexId(0),
+                &NaiveConfig::paper(3, 9).with_threads(threads),
+            );
+            assert_eq!(base.selected, out.selected, "threads={threads}");
+            assert_eq!(base.final_flow, out.final_flow, "threads={threads}");
+            assert_eq!(base.flow_trace, out.flow_trace, "threads={threads}");
+        }
     }
 }

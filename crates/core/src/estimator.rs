@@ -11,7 +11,9 @@
 //!   the decomposition against whole-graph ground truth bit-for-bit, and
 //! * experiments can use a **hybrid** low-variance evaluator.
 
-use flowmax_sampling::{ComponentEstimate, ComponentGraph, FlowRng, SeedSequence};
+use flowmax_sampling::{
+    default_threads, ComponentEstimate, ComponentGraph, ParallelEstimator, SeedSequence,
+};
 
 use crate::metrics::SelectionMetrics;
 
@@ -63,21 +65,38 @@ pub trait EstimateProvider {
 }
 
 /// The default provider: exact enumeration below the configured cap,
-/// Monte-Carlo sampling otherwise, with full metrics accounting.
+/// bit-parallel Monte-Carlo sampling otherwise, with full metrics
+/// accounting.
+///
+/// Each `estimate` call derives an independent seed-sequence child from the
+/// provider's master seed and a call counter, then hands the batched
+/// [`ParallelEstimator`] engine the component. Results are therefore a pure
+/// function of `(seed, call index)` — identical for every worker-thread
+/// count.
 #[derive(Debug)]
 pub struct SamplingProvider {
     config: EstimatorConfig,
-    rng: FlowRng,
+    seq: SeedSequence,
+    calls: u64,
+    engine: ParallelEstimator,
     /// Counters describing the work performed.
     pub metrics: SelectionMetrics,
 }
 
 impl SamplingProvider {
-    /// Creates a provider with a deterministic RNG stream.
+    /// Creates a provider with a deterministic seed stream and the
+    /// [`default_threads`] worker count (`FLOWMAX_THREADS` or 1).
     pub fn new(config: EstimatorConfig, seed: u64) -> Self {
+        Self::with_threads(config, seed, default_threads())
+    }
+
+    /// Creates a provider with an explicit worker count.
+    pub fn with_threads(config: EstimatorConfig, seed: u64, threads: usize) -> Self {
         SamplingProvider {
             config,
-            rng: SeedSequence::new(seed).rng(0xC0FFEE),
+            seq: SeedSequence::new(SeedSequence::new(seed).child_seed(0xC0FFEE)),
+            calls: 0,
+            engine: ParallelEstimator::new(threads),
             metrics: SelectionMetrics::default(),
         }
     }
@@ -85,6 +104,11 @@ impl SamplingProvider {
     /// The active configuration.
     pub fn config(&self) -> EstimatorConfig {
         self.config
+    }
+
+    /// The worker count used for sampled components.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// Adjusts the Monte-Carlo sample budget (used by the §6.3 confidence
@@ -106,7 +130,10 @@ impl EstimateProvider for SamplingProvider {
         self.metrics.samples_drawn += self.config.samples as u64;
         self.metrics.edge_samples_drawn +=
             self.config.samples as u64 * snapshot.edge_count() as u64;
-        snapshot.sample_reachability(self.config.samples, &mut self.rng)
+        let call_seq = SeedSequence::new(self.seq.child_seed(self.calls));
+        self.calls += 1;
+        self.engine
+            .sample_component(snapshot, self.config.samples, &call_seq)
     }
 }
 
@@ -153,6 +180,20 @@ mod tests {
         // Triangle has 3 uncertain edges > cap 2 → sampled.
         let est = p.estimate(&triangle_snapshot());
         assert!(!est.is_exact());
+    }
+
+    #[test]
+    fn provider_is_thread_count_invariant() {
+        let snap = triangle_snapshot();
+        let run = |threads| {
+            let mut p =
+                SamplingProvider::with_threads(EstimatorConfig::monte_carlo(300), 5, threads);
+            // Two calls: per-call child seeds must line up across runs too.
+            (p.estimate(&snap), p.estimate(&snap))
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
+        assert!(SamplingProvider::new(EstimatorConfig::exact(), 1).threads() >= 1);
     }
 
     #[test]

@@ -41,4 +41,7 @@ pub use metrics::SelectionMetrics;
 pub use selection::{
     greedy_select, CandidateSet, DelayTracker, GreedyConfig, MemoProvider, SelectionOutcome,
 };
-pub use solver::{evaluate_selection, solve, Algorithm, SolveResult, SolverConfig};
+pub use solver::{
+    evaluate_selection, evaluate_selection_with_threads, solve, Algorithm, SolveResult,
+    SolverConfig,
+};

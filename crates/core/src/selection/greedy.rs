@@ -46,10 +46,14 @@ pub struct GreedyConfig {
     pub include_query: bool,
     /// Master seed for all sampling.
     pub seed: u64,
+    /// Worker threads for component sampling (results do not depend on
+    /// this; see `flowmax_sampling::ParallelEstimator`).
+    pub threads: usize,
 }
 
 impl GreedyConfig {
-    /// The plain `FT` algorithm at the paper's defaults.
+    /// The plain `FT` algorithm at the paper's defaults, with the
+    /// `FLOWMAX_THREADS` worker count (default 1).
     pub fn ft(budget: usize, seed: u64) -> Self {
         GreedyConfig {
             budget,
@@ -62,7 +66,14 @@ impl GreedyConfig {
             alpha: 0.01,
             include_query: false,
             seed,
+            threads: flowmax_sampling::default_threads(),
         }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Enables memoization (`FT+M`).
@@ -113,7 +124,7 @@ pub fn greedy_select(
         samples: config.samples,
     };
     let mut provider = MemoProvider::new(
-        SamplingProvider::new(estimator, config.seed),
+        SamplingProvider::with_threads(estimator, config.seed, config.threads),
         config.memoize,
     );
     let mut tree = FTree::new(graph, query);

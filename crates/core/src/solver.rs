@@ -98,10 +98,15 @@ pub struct SolverConfig {
     pub seed: u64,
     /// Evaluation estimator for the final reported flow.
     pub evaluation: EstimatorConfig,
+    /// Worker threads for Monte-Carlo sampling (CLI `--threads`,
+    /// `FLOWMAX_THREADS`). Changing this never changes results, only
+    /// wall-clock time — the batched engine is thread-count invariant.
+    pub threads: usize,
 }
 
 impl SolverConfig {
-    /// Paper defaults for `algorithm` at budget `k`.
+    /// Paper defaults for `algorithm` at budget `k`, with the
+    /// `FLOWMAX_THREADS` worker count (default 1).
     pub fn paper(algorithm: Algorithm, budget: usize, seed: u64) -> Self {
         SolverConfig {
             algorithm,
@@ -112,6 +117,7 @@ impl SolverConfig {
             include_query: false,
             seed,
             evaluation: EstimatorConfig::hybrid(16, 3000),
+            threads: flowmax_sampling::default_threads(),
         }
     }
 }
@@ -145,6 +151,7 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
                 samples: config.samples,
                 include_query: config.include_query,
                 seed: config.seed,
+                threads: config.threads,
             },
         ),
         Algorithm::Dijkstra => dijkstra_select(graph, query, config.budget, config.include_query),
@@ -154,6 +161,7 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
             g.alpha = config.alpha;
             g.ds_penalty_c = config.ds_penalty_c;
             g.include_query = config.include_query;
+            g.threads = config.threads;
             match alg {
                 Algorithm::Ft => {}
                 Algorithm::FtM => g = g.with_memo(),
@@ -166,13 +174,14 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
         }
     };
     let elapsed = start.elapsed();
-    let flow = evaluate_selection(
+    let flow = evaluate_selection_with_threads(
         graph,
         query,
         &outcome.selected,
         config.evaluation,
         config.include_query,
         config.seed ^ 0xE7A1,
+        config.threads,
     );
     SolveResult {
         algorithm: config.algorithm,
@@ -187,6 +196,9 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
 /// Evaluates the expected flow of an arbitrary edge selection by building an
 /// F-tree with the given estimator. Edges are inserted in connectivity
 /// order; edges never connected to `Q` contribute nothing and are skipped.
+///
+/// Uses the `FLOWMAX_THREADS` worker count; see
+/// [`evaluate_selection_with_threads`] for an explicit override.
 pub fn evaluate_selection(
     graph: &ProbabilisticGraph,
     query: VertexId,
@@ -195,7 +207,30 @@ pub fn evaluate_selection(
     include_query: bool,
     seed: u64,
 ) -> f64 {
-    let mut provider = SamplingProvider::new(estimator, seed);
+    evaluate_selection_with_threads(
+        graph,
+        query,
+        edges,
+        estimator,
+        include_query,
+        seed,
+        flowmax_sampling::default_threads(),
+    )
+}
+
+/// [`evaluate_selection`] with an explicit sampling worker count (results
+/// are identical for every thread count; only wall-clock time changes).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_selection_with_threads(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    edges: &[EdgeId],
+    estimator: EstimatorConfig,
+    include_query: bool,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    let mut provider = SamplingProvider::with_threads(estimator, seed, threads);
     let mut tree = FTree::new(graph, query);
     let mut remaining: Vec<EdgeId> = edges.to_vec();
     loop {

@@ -1,0 +1,496 @@
+//! Bit-parallel possible-world sampling: 64 worlds per traversal.
+//!
+//! The scalar pipeline ([`crate::sampler::sample_world`] + a BFS per world)
+//! pays one full traversal per sampled world. This module packs the
+//! existence of each edge across **64 simultaneously sampled worlds** into
+//! one `u64` lane word ([`WorldBatch`]) and resolves reachability for all 64
+//! worlds with a single lane-parallel BFS ([`LaneBfs`]), so the traversal —
+//! the dominant cost of every Monte-Carlo estimator in `flowmax` — is paid
+//! once per 64 worlds instead of once per world.
+//!
+//! # Lane/seed contract
+//!
+//! Lane `w` of a batch sampled with `(seq, first_label)` draws its coins
+//! from `seq.rng(first_label + w)` — the *same* child stream a scalar
+//! [`crate::sampler::sample_world`] call would use. The per-edge coin is an
+//! integer-threshold comparison that is **bit-identical** to the scalar
+//! `rng.gen::<f64>() < p` test (see [`EdgeCoin`]), so lane `w` of a
+//! [`WorldBatch`] *is* the scalar world of child stream `first_label + w`,
+//! not merely statistically equivalent to it. Estimators batch samples in
+//! groups of [`LANES`] with `first_label = batch_index * LANES`, which makes
+//! every batch a pure function of `(master seed, batch index)` — the property
+//! the multi-threaded [`crate::parallel::ParallelEstimator`] relies on to be
+//! thread-count invariant.
+
+use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
+
+use crate::rng::{FlowRng, SeedSequence};
+use rand::RngCore;
+
+/// Number of possible worlds packed into one [`WorldBatch`] lane word.
+pub const LANES: u32 = 64;
+
+/// `2^53`, the resolution of the scalar sampler's `f64` coin.
+const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+
+/// Number of active lanes in batch `batch` of a `samples`-world run: full
+/// batches hold [`LANES`] worlds, the final batch holds the remainder.
+///
+/// # Panics
+///
+/// Panics if `batch` lies beyond the sample budget (i.e. the run has fewer
+/// than `batch · 64` worlds), since any lane count for such a batch would
+/// be wrong.
+pub fn lanes_in_batch(samples: u32, batch: usize) -> u32 {
+    let drawn = (batch as u64) * LANES as u64;
+    assert!(drawn < samples as u64, "batch beyond the sample budget");
+    (samples as u64 - drawn).min(LANES as u64) as u32
+}
+
+/// The lane mask with the low `lanes` bits set (`0` gives the empty mask,
+/// the state of a freshly constructed, not-yet-sampled [`WorldBatch`]).
+#[inline]
+pub fn lane_mask(lanes: u32) -> u64 {
+    debug_assert!(lanes <= LANES, "lanes out of range");
+    if lanes >= 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// A per-edge coin, pre-classified so deterministic edges consume no
+/// randomness (the RNG stream contract of [`crate::sampler::sample_world`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeCoin {
+    /// `P(e) >= 1`: the edge exists in every world; no draw is consumed.
+    AlwaysOn,
+    /// `P(e) <= 0`: the edge exists in no world; no draw is consumed. (Only
+    /// reachable through `Probability::new_unchecked` in release builds; the
+    /// validated constructor forbids zero.)
+    AlwaysOff,
+    /// `0 < P(e) < 1`: one draw per world, success iff
+    /// `next_u64() >> 11 < threshold`.
+    Threshold(u64),
+}
+
+impl EdgeCoin {
+    /// Classifies a probability into its coin.
+    ///
+    /// The scalar sampler tests `rng.gen::<f64>() < p`, where the vendored
+    /// `rand` computes `gen::<f64>()` as `(next_u64() >> 11) · 2⁻⁵³`. With
+    /// `x = next_u64() >> 11` (an integer below `2⁵³`, hence exact in `f64`)
+    /// that test is the real-number comparison `x < p·2⁵³`, which for
+    /// integer `x` is exactly `x < ceil(p·2⁵³)` — and `p·2⁵³` itself is
+    /// exact because multiplying by a power of two only shifts the exponent.
+    /// [`EdgeCoin::Threshold`] therefore reproduces the scalar coin
+    /// bit-for-bit with a pure integer compare.
+    pub fn classify(p: f64) -> EdgeCoin {
+        if p >= 1.0 {
+            EdgeCoin::AlwaysOn
+        } else if p <= 0.0 {
+            EdgeCoin::AlwaysOff
+        } else {
+            EdgeCoin::Threshold((p * TWO_POW_53).ceil() as u64)
+        }
+    }
+
+    /// Flips this coin once against a single RNG stream. Deterministic
+    /// coins consume no draw.
+    ///
+    /// This is **the** coin of the whole crate: the scalar sampler
+    /// ([`crate::sampler::sample_world`] and friends) and the 64-lane
+    /// [`EdgeCoin::flip`] both call it, so the two engines cannot drift
+    /// apart coin-wise.
+    #[inline]
+    pub fn flip_one(&self, rng: &mut FlowRng) -> bool {
+        match *self {
+            EdgeCoin::AlwaysOn => true,
+            EdgeCoin::AlwaysOff => false,
+            EdgeCoin::Threshold(t) => rng.next_u64() >> 11 < t,
+        }
+    }
+
+    /// Flips this coin once per lane RNG and packs the outcomes into a lane
+    /// word (lane `w` = bit `w`). Deterministic coins consume no draws.
+    pub fn flip(&self, lane_rngs: &mut [FlowRng]) -> u64 {
+        match *self {
+            EdgeCoin::AlwaysOn => lane_mask(lane_rngs.len() as u32),
+            EdgeCoin::AlwaysOff => 0,
+            EdgeCoin::Threshold(_) => {
+                let mut mask = 0u64;
+                for (w, rng) in lane_rngs.iter_mut().enumerate() {
+                    if self.flip_one(rng) {
+                        mask |= 1u64 << w;
+                    }
+                }
+                mask
+            }
+        }
+    }
+}
+
+/// Flips the Bernoulli(`p`) coin for one edge against a scalar RNG stream —
+/// the shared helper behind every scalar sampling loop in this crate.
+///
+/// Bit-identical to the historical `rng.gen::<f64>() < p` (see
+/// [`EdgeCoin::classify`]) with the draw-free fast paths for `p >= 1` and
+/// `p <= 0`.
+#[inline]
+pub fn scalar_coin(p: f64, rng: &mut FlowRng) -> bool {
+    EdgeCoin::classify(p).flip_one(rng)
+}
+
+/// Up to 64 possible worlds sampled together: bit `w` of `masks[e]` says
+/// whether edge `e` exists in world (lane) `w`.
+///
+/// Edges outside the sampled domain have an all-zero mask, so a lane-BFS
+/// over the batch automatically respects the domain restriction.
+#[derive(Debug, Clone)]
+pub struct WorldBatch {
+    /// Lane word per edge id (length = edge capacity of the graph/domain).
+    masks: Vec<u64>,
+    /// Number of active lanes (1..=64); bits at or above this are zero.
+    lanes: u32,
+}
+
+impl WorldBatch {
+    /// An empty batch sized for `edge_capacity` edges (no active lanes).
+    pub fn new(edge_capacity: usize) -> Self {
+        WorldBatch {
+            masks: vec![0; edge_capacity],
+            lanes: 0,
+        }
+    }
+
+    /// Samples `lanes` worlds of `domain`, lane `w` drawing its coins from
+    /// `seq.rng(first_label + w)` (see the module docs for the contract).
+    pub fn sample(
+        graph: &ProbabilisticGraph,
+        domain: &EdgeSubset,
+        seq: &SeedSequence,
+        first_label: u64,
+        lanes: u32,
+    ) -> WorldBatch {
+        let mut batch = WorldBatch::new(graph.edge_count());
+        batch.sample_into(graph, domain, seq, first_label, lanes);
+        batch
+    }
+
+    /// Re-samples this batch in place (buffer-reusing form of
+    /// [`WorldBatch::sample`]).
+    pub fn sample_into(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        domain: &EdgeSubset,
+        seq: &SeedSequence,
+        first_label: u64,
+        lanes: u32,
+    ) {
+        let probs = domain
+            .iter()
+            .map(|e| (e.index(), graph.probability(e).value()));
+        self.sample_indexed_into(graph.edge_count(), probs, seq, first_label, lanes);
+    }
+
+    /// Core sampling loop over `(edge index, probability)` pairs; shared by
+    /// the graph-level and component-local samplers.
+    pub(crate) fn sample_indexed_into(
+        &mut self,
+        edge_capacity: usize,
+        probs: impl Iterator<Item = (usize, f64)>,
+        seq: &SeedSequence,
+        first_label: u64,
+        lanes: u32,
+    ) {
+        assert!((1..=LANES).contains(&lanes), "need 1..=64 lanes");
+        self.masks.clear();
+        self.masks.resize(edge_capacity, 0);
+        self.lanes = lanes;
+        let mut lane_rngs: Vec<FlowRng> = (0..lanes as u64)
+            .map(|w| seq.rng(first_label + w))
+            .collect();
+        for (idx, p) in probs {
+            self.masks[idx] = EdgeCoin::classify(p).flip(&mut lane_rngs);
+        }
+    }
+
+    /// Number of active lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// The mask with one bit set per active lane.
+    pub fn active_mask(&self) -> u64 {
+        lane_mask(self.lanes)
+    }
+
+    /// Lane word of edge `e`.
+    #[inline]
+    pub fn edge_mask(&self, e: EdgeId) -> u64 {
+        self.masks[e.index()]
+    }
+
+    /// All lane words, indexed by edge id.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Extracts one lane as a scalar world into `out` (cleared first).
+    pub fn world(&self, lane: u32, out: &mut EdgeSubset) {
+        assert!(lane < self.lanes, "lane {lane} beyond {} lanes", self.lanes);
+        out.clear();
+        for (i, &mask) in self.masks.iter().enumerate() {
+            if mask >> lane & 1 == 1 {
+                out.insert(EdgeId(i as u32));
+            }
+        }
+    }
+}
+
+/// Lane-parallel BFS: one traversal resolves reachability in all worlds of
+/// a [`WorldBatch`] at once.
+///
+/// `reached[v]` is a lane word — bit `w` says whether `v` is reachable from
+/// the source in world `w`. The worklist propagates *newly arrived* lane
+/// bits only, so each vertex is reprocessed just when some world discovers
+/// it, not once per world.
+#[derive(Debug, Clone)]
+pub struct LaneBfs {
+    reached: Vec<u64>,
+    pending: Vec<u64>,
+    in_queue: Vec<bool>,
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl LaneBfs {
+    /// Creates scratch space for graphs with `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        LaneBfs {
+            reached: vec![0; vertex_count],
+            pending: vec![0; vertex_count],
+            in_queue: vec![false; vertex_count],
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Lane words of the latest run, indexed by vertex.
+    pub fn reached(&self) -> &[u64] {
+        &self.reached
+    }
+
+    /// Lane word of vertex index `v`.
+    #[inline]
+    pub fn reached_mask(&self, v: usize) -> u64 {
+        self.reached[v]
+    }
+
+    /// Runs the lane BFS from `source` with initial lane set `init`
+    /// (typically the batch's [`WorldBatch::active_mask`]).
+    ///
+    /// `edge_masks[e]` is the lane word of edge `e` and `neighbors(u)` must
+    /// yield `(neighbor vertex index, edge index)` pairs; a world's edge
+    /// passes iff its lane bit is set, so edges absent from the sampled
+    /// domain (all-zero masks) are never crossed.
+    pub fn run<F, I>(&mut self, source: usize, init: u64, edge_masks: &[u64], neighbors: F)
+    where
+        F: Fn(usize) -> I,
+        I: Iterator<Item = (usize, usize)>,
+    {
+        self.reached.fill(0);
+        self.pending.fill(0);
+        self.in_queue.fill(false);
+        self.queue.clear();
+        self.reached[source] = init;
+        self.pending[source] = init;
+        self.in_queue[source] = true;
+        self.queue.push_back(source as u32);
+        while let Some(u) = self.queue.pop_front() {
+            let u = u as usize;
+            self.in_queue[u] = false;
+            let delta = self.pending[u];
+            self.pending[u] = 0;
+            if delta == 0 {
+                continue;
+            }
+            for (v, e) in neighbors(u) {
+                let new = delta & edge_masks[e] & !self.reached[v];
+                if new != 0 {
+                    self.reached[v] |= new;
+                    self.pending[v] |= new;
+                    if !self.in_queue[v] {
+                        self.in_queue[v] = true;
+                        self.queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: lane BFS over a graph-level [`WorldBatch`] from `query`.
+    pub fn run_graph(&mut self, graph: &ProbabilisticGraph, query: VertexId, batch: &WorldBatch) {
+        self.run(query.index(), batch.active_mask(), batch.masks(), |u| {
+            graph
+                .neighbors(VertexId::from_index(u))
+                .map(|(v, e)| (v.index(), e.index()))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::sample_world;
+    use flowmax_graph::{Bfs, GraphBuilder, Probability, Weight};
+    use rand::Rng;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Q(0)-1-2 triangle (p=0.5 each) with a certain pendant edge 2-3.
+    fn mixed_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::ONE);
+        b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(0), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), Probability::ONE)
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn threshold_coin_is_bit_identical_to_scalar_coin() {
+        // The same underlying u64 stream must decide identically whether it
+        // was consumed as `gen::<f64>() < p` or via the integer threshold.
+        let seq = SeedSequence::new(99);
+        for (i, pv) in [0.001, 0.25, 0.5, 0.9999, 1e-12, 1.0 - 1e-12]
+            .into_iter()
+            .enumerate()
+        {
+            let EdgeCoin::Threshold(t) = EdgeCoin::classify(pv) else {
+                panic!("fractional probability must classify as Threshold");
+            };
+            let mut a = seq.rng(i as u64);
+            let mut b = seq.rng(i as u64);
+            for _ in 0..4000 {
+                let scalar = a.gen::<f64>() < pv;
+                let batched = b.next_u64() >> 11 < t;
+                assert_eq!(scalar, batched, "p={pv}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_fast_paths() {
+        assert_eq!(EdgeCoin::classify(1.0), EdgeCoin::AlwaysOn);
+        assert_eq!(EdgeCoin::classify(1.5), EdgeCoin::AlwaysOn);
+        assert_eq!(EdgeCoin::classify(0.0), EdgeCoin::AlwaysOff);
+        assert_eq!(EdgeCoin::classify(-0.5), EdgeCoin::AlwaysOff);
+        // Deterministic coins never touch the RNGs.
+        let seq = SeedSequence::new(1);
+        let mut rngs: Vec<FlowRng> = vec![seq.rng(0)];
+        let before = rngs[0].clone();
+        assert_eq!(EdgeCoin::AlwaysOn.flip(&mut rngs), 1);
+        assert_eq!(EdgeCoin::AlwaysOff.flip(&mut rngs), 0);
+        assert!(rngs[0] == before, "fast paths must not consume draws");
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_worlds() {
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(7);
+        let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
+        let mut scalar = EdgeSubset::for_graph(&g);
+        let mut extracted = EdgeSubset::for_graph(&g);
+        for lane in 0..LANES {
+            let mut rng = seq.rng(lane as u64);
+            sample_world(&g, &domain, &mut rng, &mut scalar);
+            batch.world(lane, &mut extracted);
+            assert_eq!(scalar, extracted, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn partial_batches_zero_inactive_lanes() {
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(3);
+        let batch = WorldBatch::sample(&g, &domain, &seq, 128, 5);
+        assert_eq!(batch.lanes(), 5);
+        assert_eq!(batch.active_mask(), 0b11111);
+        for e in g.edge_ids() {
+            assert_eq!(
+                batch.edge_mask(e) & !batch.active_mask(),
+                0,
+                "bits above the active lanes must stay zero"
+            );
+        }
+        // The certain edge exists in every active lane.
+        assert_eq!(batch.edge_mask(EdgeId(3)), 0b11111);
+    }
+
+    #[test]
+    fn domain_restriction_zeroes_outside_edges() {
+        let g = mixed_graph();
+        let domain = EdgeSubset::from_edges(g.edge_count(), [EdgeId(0), EdgeId(3)]);
+        let batch = WorldBatch::sample(&g, &domain, &SeedSequence::new(5), 0, LANES);
+        assert_eq!(batch.edge_mask(EdgeId(1)), 0);
+        assert_eq!(batch.edge_mask(EdgeId(2)), 0);
+        assert_eq!(batch.edge_mask(EdgeId(3)), !0);
+    }
+
+    #[test]
+    fn lane_bfs_matches_scalar_bfs_per_lane() {
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(42);
+        let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
+        let mut lane_bfs = LaneBfs::new(g.vertex_count());
+        lane_bfs.run_graph(&g, VertexId(0), &batch);
+        let mut world = EdgeSubset::for_graph(&g);
+        let mut bfs = Bfs::new(g.vertex_count());
+        for lane in 0..LANES {
+            batch.world(lane, &mut world);
+            bfs.reachable(&g, &world, VertexId(0));
+            for v in g.vertices() {
+                assert_eq!(
+                    bfs.was_visited(v),
+                    lane_bfs.reached_mask(v.index()) >> lane & 1 == 1,
+                    "lane {lane}, vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bfs_survival_frequency_is_sane() {
+        // Pr[1 reaches 0] in the triangle = 0.625 (direct or two-hop).
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(11);
+        let mut batch = WorldBatch::new(g.edge_count());
+        let mut bfs = LaneBfs::new(g.vertex_count());
+        let mut hits = 0u32;
+        let batches = 300usize;
+        for b in 0..batches {
+            batch.sample_into(&g, &domain, &seq, b as u64 * LANES as u64, LANES);
+            bfs.run_graph(&g, VertexId(0), &batch);
+            hits += bfs.reached_mask(1).count_ones();
+        }
+        let freq = hits as f64 / (batches as f64 * LANES as f64);
+        assert!((freq - 0.625).abs() < 0.02, "frequency {freq}");
+    }
+
+    #[test]
+    fn lanes_in_batch_splits_the_budget() {
+        assert_eq!(lanes_in_batch(64, 0), 64);
+        assert_eq!(lanes_in_batch(65, 1), 1);
+        assert_eq!(lanes_in_batch(1000, 15), 40);
+        assert_eq!(lanes_in_batch(1, 0), 1);
+        assert_eq!(lane_mask(64), !0);
+        assert_eq!(lane_mask(1), 1);
+    }
+}

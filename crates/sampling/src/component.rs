@@ -11,10 +11,11 @@
 //!   for ground-truth testing and low-variance evaluation.
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
-use rand::Rng;
 
+use crate::batch::scalar_coin;
 use crate::confidence::{wald_interval, ConfidenceInterval};
-use crate::rng::FlowRng;
+use crate::parallel::{batched_success_counts, BatchJob};
+use crate::rng::{FlowRng, SeedSequence};
 
 /// A compact, self-contained snapshot of one component: local vertex ids are
 /// `0..n` with the articulation vertex at local id 0.
@@ -151,13 +152,59 @@ impl ComponentGraph {
         let mut stack = Vec::with_capacity(n);
         for _ in 0..samples {
             for (a, &p) in alive.iter_mut().zip(&self.edge_probs) {
-                *a = p >= 1.0 || rng.gen::<f64>() < p;
+                *a = scalar_coin(p, rng);
             }
             self.bfs_from_articulation(&alive, &mut visited, &mut stack);
             for (s, &v) in successes.iter_mut().zip(&visited) {
                 *s += v as u32;
             }
         }
+        let reach = successes
+            .iter()
+            .map(|&s| s as f64 / samples as f64)
+            .collect();
+        ComponentEstimate {
+            reach,
+            successes,
+            samples,
+        }
+    }
+
+    /// Bit-parallel, optionally multi-threaded variant of
+    /// [`ComponentGraph::sample_reachability`]: worlds are drawn in batches
+    /// of [`LANES`](crate::batch::LANES), each batch resolved by one lane
+    /// BFS, batches sharded over `threads` workers.
+    ///
+    /// World `i` draws its coins from `seq.rng(i)`, so the result is a pure
+    /// function of `(seq, samples)` — bit-identical for every thread count.
+    pub fn sample_reachability_batched(
+        &self,
+        samples: u32,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> ComponentEstimate {
+        let offsets = &self.adj_offsets;
+        let entries = &self.adj_entries;
+        let job = BatchJob {
+            vertex_count: self.vertex_count(),
+            edge_capacity: self.edge_count(),
+            work_edges: self.edge_count(),
+            source: 0,
+            samples,
+            threads,
+        };
+        let successes = batched_success_counts(
+            job,
+            |batch, first_label, lanes| {
+                let probs = self.edge_probs.iter().copied().enumerate();
+                batch.sample_indexed_into(self.edge_count(), probs, seq, first_label, lanes);
+            },
+            |u| {
+                entries[offsets[u] as usize..offsets[u + 1] as usize]
+                    .iter()
+                    .map(|&(v, e)| (v as usize, e as usize))
+            },
+        );
         let reach = successes
             .iter()
             .map(|&s| s as f64 / samples as f64)
@@ -214,7 +261,7 @@ impl ComponentGraph {
 
 /// Per-vertex reachability probabilities of a component toward its
 /// articulation vertex — the `BC.P(v)` function of Def. 9(3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentEstimate {
     /// `reach[local]` = `Pr[v ↔ AV]`; `reach[0] == 1`.
     reach: Vec<f64>,
@@ -359,6 +406,40 @@ mod tests {
         assert!(ci.width() > 0.0);
         let exact = c.exact_reachability(20).unwrap();
         assert_eq!(exact.interval(1, 0.01).width(), 0.0);
+    }
+
+    #[test]
+    fn batched_sampling_matches_exact_within_tolerance() {
+        let (g, es) = triangle();
+        let c = ComponentGraph::build(&g, VertexId(0), &es);
+        let exact = c.exact_reachability(20).unwrap();
+        let seq = SeedSequence::new(29);
+        let est = c.sample_reachability_batched(20_000, &seq, 4);
+        assert!(!est.is_exact());
+        assert_eq!(est.samples(), 20_000);
+        assert_eq!(est.reach(0), 1.0);
+        for local in 0..3 {
+            assert!(
+                (est.reach(local) - exact.reach(local)).abs() < 0.02,
+                "local {local}: {} vs {}",
+                est.reach(local),
+                exact.reach(local)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sampling_is_thread_count_invariant() {
+        let (g, es) = triangle();
+        let c = ComponentGraph::build(&g, VertexId(1), &es);
+        let seq = SeedSequence::new(71);
+        for samples in [1, 64, 100, 1000] {
+            let base = c.sample_reachability_batched(samples, &seq, 1);
+            for threads in [2, 8] {
+                let est = c.sample_reachability_batched(samples, &seq, threads);
+                assert_eq!(base, est, "samples={samples} threads={threads}");
+            }
+        }
     }
 
     #[test]

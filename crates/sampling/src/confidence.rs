@@ -184,6 +184,72 @@ mod tests {
     }
 
     #[test]
+    fn wald_degenerate_cases_stay_clamped_and_contain_p_hat() {
+        // 0 successes, all successes, and single-sample runs across several
+        // significance levels: the interval must stay inside [0, 1] and
+        // always contain the point estimate.
+        let cases = [
+            (0u32, 1u32),
+            (1, 1),
+            (0, 30),
+            (30, 30),
+            (0, 100_000),
+            (100_000, 100_000),
+            (1, 2),
+        ];
+        for (s, n) in cases {
+            let p_hat = s as f64 / n as f64;
+            for alpha in [0.001, 0.01, 0.05, 0.2] {
+                let wald = wald_interval(s, n, alpha);
+                assert!(wald.contains(p_hat), "wald ({s},{n},{alpha}) misses p̂");
+                // Wilson's centre is shrunk toward 1/2, so at p̂ ∈ {0, 1} its
+                // endpoint equals p̂ only in real arithmetic — allow rounding.
+                let wilson = wilson_interval(s, n, alpha);
+                assert!(
+                    wilson.lower - 1e-12 <= p_hat && p_hat <= wilson.upper + 1e-12,
+                    "wilson ({s},{n},{alpha}) misses p̂"
+                );
+                for ci in [wald, wilson] {
+                    assert!(ci.lower >= 0.0, "({s},{n},{alpha}): lower {}", ci.lower);
+                    assert!(ci.upper <= 1.0, "({s},{n},{alpha}): upper {}", ci.upper);
+                    assert!(ci.lower <= ci.upper, "({s},{n},{alpha}) inverted");
+                }
+            }
+        }
+        // At p̂ ∈ {0, 1} the Wald width collapses to a point — the known
+        // pathology Wilson exists to avoid.
+        assert_eq!(wald_interval(0, 50, 0.05).width(), 0.0);
+        assert_eq!(wald_interval(50, 50, 0.05).width(), 0.0);
+        // One sample: still clamped, still a valid (degenerate) interval.
+        let one = wald_interval(1, 1, 0.01);
+        assert_eq!((one.lower, one.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn wald_empirical_coverage_on_seeded_bernoulli_stream() {
+        use crate::rng::SeedSequence;
+        use rand::Rng;
+        // 400 independent repetitions of n=200 Bernoulli(0.3) draws; the
+        // nominal 95% Wald interval must cover the true p close to its
+        // nominal rate (the stream is seeded, so this never flakes).
+        let (p_true, alpha, n, reps) = (0.3, 0.05, 200u32, 400u64);
+        let seq = SeedSequence::new(0x5EED_C0DE);
+        let mut covered = 0u32;
+        for rep in 0..reps {
+            let mut rng = seq.rng(rep);
+            let successes = (0..n).filter(|_| rng.gen::<f64>() < p_true).count() as u32;
+            if wald_interval(successes, n, alpha).contains(p_true) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / reps as f64;
+        assert!(
+            (0.90..=0.995).contains(&coverage),
+            "empirical coverage {coverage} too far from nominal 0.95"
+        );
+    }
+
+    #[test]
     fn wilson_nondegenerate_at_extremes() {
         let ci = wilson_interval(0, 100, 0.05);
         assert_eq!(ci.lower, 0.0);

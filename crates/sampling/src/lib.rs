@@ -5,18 +5,29 @@
 //! baseline's estimator), component-local estimation (the F-tree's sampling
 //! kernel, §5.3), confidence intervals (§6.3 / Def. 10), and deterministic
 //! seed management for reproducible experiments.
+//!
+//! Two sampling engines share one seed contract:
+//!
+//! * the **scalar** reference path ([`sample_world`], [`sample_reachability`],
+//!   [`ComponentGraph::sample_reachability`]) — one world, one BFS at a time;
+//! * the **bit-parallel** engine ([`batch`], [`parallel`]) — 64 worlds per
+//!   `u64` lane word, one lane-BFS per batch, batches sharded across threads
+//!   with results bit-identical for every thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod component;
 pub mod confidence;
 pub mod convergence;
 pub mod estimate;
+pub mod parallel;
 pub mod reachability;
 pub mod rng;
 pub mod sampler;
 
+pub use batch::{lane_mask, lanes_in_batch, EdgeCoin, LaneBfs, WorldBatch, LANES};
 pub use component::{ComponentEstimate, ComponentGraph};
 pub use confidence::{
     normal_quantile, wald_interval, wilson_interval, z_for_alpha, ConfidenceInterval,
@@ -24,6 +35,7 @@ pub use confidence::{
 };
 pub use convergence::BatchSchedule;
 pub use estimate::FlowEstimate;
+pub use parallel::{default_threads, ParallelEstimator};
 pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
 pub use rng::{splitmix64, FlowRng, SeedSequence};
 pub use sampler::{sample_world, sample_worlds};

@@ -1,0 +1,459 @@
+//! Multi-threaded, thread-count-invariant Monte-Carlo estimation.
+//!
+//! [`ParallelEstimator`] splits a sample budget into batches of
+//! [`LANES`](crate::batch::LANES) worlds, evaluates each batch with the
+//! bit-parallel kernel of [`crate::batch`], and shards batches across a
+//! `std::thread` worker pool. Batch `b` draws lane `w`'s coins from the
+//! seed-sequence child `b * LANES + w`, so each batch is a pure function of
+//! `(seed sequence, batch index)` — which worker computes it is irrelevant.
+//! Per-vertex success counts merge by integer addition (order-free) and
+//! per-batch flow moments merge in ascending batch order, so results are
+//! **bit-identical for every thread count**, as locked down by
+//! `tests/determinism.rs`.
+
+use flowmax_graph::{EdgeSubset, ProbabilisticGraph, VertexId};
+
+use crate::batch::{lanes_in_batch, LaneBfs, WorldBatch, LANES};
+use crate::component::{ComponentEstimate, ComponentGraph};
+use crate::estimate::FlowEstimate;
+use crate::reachability::ReachabilityEstimate;
+use crate::rng::SeedSequence;
+
+/// Parses a thread-count override, as read from `FLOWMAX_THREADS`.
+fn parse_threads(var: Option<String>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// The default worker count: the `FLOWMAX_THREADS` environment variable
+/// when set to a positive integer, otherwise 1 (fully sequential).
+///
+/// Results never depend on this value — only wall-clock time does — so CI
+/// runs the whole test suite under several settings.
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var("FLOWMAX_THREADS").ok())
+}
+
+/// Runs `work` over `0..num_batches` split into at most `threads`
+/// contiguous chunks, returning the per-chunk results in chunk order.
+///
+/// With one chunk the work runs on the calling thread (no spawn overhead);
+/// otherwise a scoped worker per chunk. Chunk boundaries affect only *who*
+/// computes a batch, never what the batch contains.
+pub(crate) fn parallel_chunks<T, F>(num_batches: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let workers = threads.max(1).min(num_batches.max(1));
+    if workers <= 1 {
+        return vec![work(0..num_batches)];
+    }
+    let base = num_batches / workers;
+    let extra = num_batches % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for t in 0..workers {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || work(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("estimation worker panicked"))
+            .collect()
+    })
+}
+
+/// Work-size floor for sharding: an extra worker must have at least this
+/// many edge-coin draws (edges × worlds) to amortize its spawn/join cost
+/// (tens of microseconds per scoped thread).
+const MIN_COINS_PER_WORKER: u64 = 1 << 16;
+
+/// Caps the worker count by the job's size so that small jobs — like the
+/// F-tree's per-component probes or the Naive baseline's few-edge domains —
+/// run on the calling thread even when more workers are configured.
+/// Results never depend on this, only wall-clock time does.
+fn effective_workers(threads: usize, samples: u32, work_edges: usize) -> usize {
+    let coins = samples as u64 * work_edges.max(1) as u64;
+    let by_work = usize::try_from(coins / MIN_COINS_PER_WORKER)
+        .unwrap_or(usize::MAX)
+        .max(1);
+    threads.max(1).min(by_work)
+}
+
+/// Size and shape of one batched estimation job.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchJob {
+    /// Vertices of the (sub)graph being traversed.
+    pub vertex_count: usize,
+    /// Edge-id capacity of the sampled masks.
+    pub edge_capacity: usize,
+    /// Edges actually sampled per world (the active domain size) — the
+    /// per-batch work estimate the worker heuristic is based on, which for
+    /// sparse domains is far below `edge_capacity`.
+    pub work_edges: usize,
+    /// BFS source, as a vertex index.
+    pub source: usize,
+    /// Total worlds to draw.
+    pub samples: u32,
+    /// Configured worker-count ceiling.
+    pub threads: usize,
+}
+
+/// The shared batch driver behind every batched estimator: draws
+/// `job.samples` worlds in batches of [`LANES`] (batch `b` fills with first
+/// lane label `b·LANES`, the seed-per-batch contract), resolves each batch
+/// with one lane-BFS from `job.source`, and folds every batch into a
+/// per-chunk accumulator via `per_batch(acc, bfs, lanes)`. Per-chunk
+/// accumulators are returned in ascending batch order.
+///
+/// `fill` samples one batch into the scratch [`WorldBatch`]; `neighbors`
+/// yields `(vertex index, edge index)` adjacency. Reachability counting,
+/// flow aggregation, and the component-local sampler are all thin wrappers,
+/// so the batching/label/merge contract lives in exactly one place.
+pub(crate) fn map_batches<A, F, N, I, P>(
+    job: BatchJob,
+    fill: F,
+    neighbors: N,
+    per_batch: P,
+) -> Vec<A>
+where
+    A: Default + Send,
+    F: Fn(&mut WorldBatch, u64, u32) + Sync,
+    N: Fn(usize) -> I + Sync,
+    I: Iterator<Item = (usize, usize)>,
+    P: Fn(&mut A, &LaneBfs, u32) + Sync,
+{
+    assert!(job.samples > 0, "need at least one sample");
+    let num_batches = job.samples.div_ceil(LANES) as usize;
+    let workers = effective_workers(job.threads, job.samples, job.work_edges);
+    parallel_chunks(num_batches, workers, |range| {
+        let mut acc = A::default();
+        let mut batch = WorldBatch::new(job.edge_capacity);
+        let mut bfs = LaneBfs::new(job.vertex_count);
+        for b in range {
+            let lanes = lanes_in_batch(job.samples, b);
+            fill(&mut batch, b as u64 * LANES as u64, lanes);
+            bfs.run(job.source, batch.active_mask(), batch.masks(), &neighbors);
+            per_batch(&mut acc, &bfs, lanes);
+        }
+        acc
+    })
+}
+
+/// Per-vertex success counts over `job.samples` worlds: the reachability
+/// specialization of [`map_batches`], shared by the graph-level
+/// [`ParallelEstimator`] and the component-local
+/// [`crate::component::ComponentGraph::sample_reachability_batched`].
+pub(crate) fn batched_success_counts<F, N, I>(job: BatchJob, fill: F, neighbors: N) -> Vec<u32>
+where
+    F: Fn(&mut WorldBatch, u64, u32) + Sync,
+    N: Fn(usize) -> I + Sync,
+    I: Iterator<Item = (usize, usize)>,
+{
+    let chunks = map_batches(job, fill, neighbors, |acc: &mut Vec<u32>, bfs, _lanes| {
+        if acc.is_empty() {
+            acc.resize(job.vertex_count, 0);
+        }
+        for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
+            *s += mask.count_ones();
+        }
+    });
+    // Success counts are integers, so summing chunks is exact and
+    // order-free — but we still fold in chunk order for clarity.
+    let mut successes = vec![0u32; job.vertex_count];
+    for chunk in chunks {
+        for (total, part) in successes.iter_mut().zip(chunk) {
+            *total += part;
+        }
+    }
+    successes
+}
+
+/// A batched, multi-threaded drop-in for the scalar estimators of
+/// [`crate::reachability`] and [`crate::component`].
+///
+/// Construction is cheap (the struct is just a worker count); all scratch
+/// buffers live per worker per call. The configured count is an upper
+/// bound: jobs too small to amortize thread spawn/join — e.g. the F-tree's
+/// per-component probes — run on the calling thread, so `threads > 1`
+/// never makes an estimation slower. Results are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEstimator {
+    threads: usize,
+}
+
+impl ParallelEstimator {
+    /// An estimator using `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelEstimator {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An estimator using [`default_threads`].
+    pub fn from_env() -> Self {
+        ParallelEstimator::new(default_threads())
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Batched equivalent of [`crate::reachability::sample_reachability`]:
+    /// per-vertex reachability counts from `query` over `samples` worlds of
+    /// the `active` subgraph.
+    ///
+    /// World `i` draws its coins from `seq.rng(i)`; the result is a pure
+    /// function of `(seq, samples)`, independent of the thread count.
+    pub fn sample_reachability(
+        &self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        query: VertexId,
+        samples: u32,
+        seq: &SeedSequence,
+    ) -> ReachabilityEstimate {
+        let job = BatchJob {
+            vertex_count: graph.vertex_count(),
+            edge_capacity: graph.edge_count(),
+            work_edges: active.len(),
+            source: query.index(),
+            samples,
+            threads: self.threads,
+        };
+        let successes = batched_success_counts(
+            job,
+            |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
+            |u| {
+                graph
+                    .neighbors(VertexId::from_index(u))
+                    .map(|(v, e)| (v.index(), e.index()))
+            },
+        );
+        ReachabilityEstimate::from_parts(successes, samples)
+    }
+
+    /// Batched equivalent of [`crate::reachability::sample_flow`]: the
+    /// per-world flow aggregate over `samples` worlds.
+    ///
+    /// Per-batch moments are merged in ascending batch order (Chan et al.),
+    /// so the floating-point result is bit-identical for every thread count.
+    pub fn sample_flow(
+        &self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        query: VertexId,
+        include_query: bool,
+        samples: u32,
+        seq: &SeedSequence,
+    ) -> FlowEstimate {
+        let job = BatchJob {
+            vertex_count: graph.vertex_count(),
+            edge_capacity: graph.edge_count(),
+            work_edges: active.len(),
+            source: query.index(),
+            samples,
+            threads: self.threads,
+        };
+        let chunks = map_batches(
+            job,
+            |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
+            |u| {
+                graph
+                    .neighbors(VertexId::from_index(u))
+                    .map(|(v, e)| (v.index(), e.index()))
+            },
+            |estimates: &mut Vec<FlowEstimate>, bfs, lanes| {
+                let mut flows = [0.0f64; LANES as usize];
+                for v in graph.vertices() {
+                    if v == query && !include_query {
+                        continue;
+                    }
+                    let w = graph.weight(v).value();
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let mut mask = bfs.reached_mask(v.index());
+                    while mask != 0 {
+                        flows[mask.trailing_zeros() as usize] += w;
+                        mask &= mask - 1;
+                    }
+                }
+                let mut est = FlowEstimate::new();
+                for &flow in flows.iter().take(lanes as usize) {
+                    est.push(flow);
+                }
+                estimates.push(est);
+            },
+        );
+        let mut total = FlowEstimate::new();
+        for est in chunks.into_iter().flatten() {
+            total = total.merge(&est);
+        }
+        total
+    }
+
+    /// Batched equivalent of [`ComponentGraph::sample_reachability`]:
+    /// `Pr[v ↔ AV]` counts for every local vertex of a component.
+    pub fn sample_component(
+        &self,
+        component: &ComponentGraph,
+        samples: u32,
+        seq: &SeedSequence,
+    ) -> ComponentEstimate {
+        component.sample_reachability_batched(samples, seq, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::{sample_flow, sample_reachability};
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// Small cyclic graph: Q(0)-1 (0.5), 1-2 (0.5), Q-2 (0.5), 2-3 (0.8).
+    fn cyclic() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(4, Weight::new(2.0).unwrap());
+        b.add_edge(VertexId(0), VertexId(1), p(0.5)).unwrap();
+        b.add_edge(VertexId(1), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(0), VertexId(2), p(0.5)).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), p(0.8)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(404);
+        for samples in [1, 63, 64, 65, 1000] {
+            let reach1 = ParallelEstimator::new(1).sample_reachability(
+                &g,
+                &active,
+                VertexId(0),
+                samples,
+                &seq,
+            );
+            let flow1 = ParallelEstimator::new(1).sample_flow(
+                &g,
+                &active,
+                VertexId(0),
+                false,
+                samples,
+                &seq,
+            );
+            for threads in [2, 3, 8] {
+                let est = ParallelEstimator::new(threads);
+                let reach_t = est.sample_reachability(&g, &active, VertexId(0), samples, &seq);
+                let flow_t = est.sample_flow(&g, &active, VertexId(0), false, samples, &seq);
+                assert_eq!(reach1, reach_t, "samples={samples} threads={threads}");
+                assert_eq!(flow1, flow_t, "samples={samples} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_estimates_agree_with_scalar_statistics() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(17);
+        let n = 20_000;
+        let batched =
+            ParallelEstimator::new(4).sample_reachability(&g, &active, VertexId(0), n, &seq);
+        let mut rng = seq.rng(0);
+        let scalar = sample_reachability(&g, &active, VertexId(0), n, &mut rng);
+        for v in g.vertices() {
+            assert!(
+                (batched.probability(v) - scalar.probability(v)).abs() < 0.02,
+                "vertex {v}: {} vs {}",
+                batched.probability(v),
+                scalar.probability(v)
+            );
+        }
+        let bf = ParallelEstimator::new(4).sample_flow(&g, &active, VertexId(0), false, n, &seq);
+        let mut rng = seq.rng(1);
+        let sf = sample_flow(&g, &active, VertexId(0), false, n, &mut rng);
+        assert!(
+            (bf.mean() - sf.mean()).abs() < 0.1,
+            "{} vs {}",
+            bf.mean(),
+            sf.mean()
+        );
+        assert_eq!(bf.samples(), n as u64);
+    }
+
+    #[test]
+    fn query_always_reached_and_samples_counted() {
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(2);
+        let est =
+            ParallelEstimator::new(8).sample_reachability(&g, &active, VertexId(0), 130, &seq);
+        assert_eq!(est.samples(), 130);
+        assert_eq!(est.probability(VertexId(0)), 1.0);
+        assert_eq!(est.successes(VertexId(0)), 130);
+    }
+
+    #[test]
+    fn lane_labels_match_scalar_child_streams() {
+        // Batch 0 lane 0 must be the scalar world of child stream 0, so a
+        // 64-sample batched run and a scalar run share their first world.
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(33);
+        let est = ParallelEstimator::new(1).sample_reachability(&g, &active, VertexId(0), 1, &seq);
+        let mut rng = seq.rng(0);
+        let scalar = sample_reachability(&g, &active, VertexId(0), 1, &mut rng);
+        for v in g.vertices() {
+            assert_eq!(est.successes(v), scalar.successes(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(None), 1);
+        assert_eq!(parse_threads(Some("8".into())), 8);
+        assert_eq!(parse_threads(Some(" 2 ".into())), 2);
+        assert_eq!(parse_threads(Some("0".into())), 1);
+        assert_eq!(parse_threads(Some("-3".into())), 1);
+        assert_eq!(parse_threads(Some("lots".into())), 1);
+        assert_eq!(ParallelEstimator::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn small_jobs_stay_on_the_calling_thread() {
+        // 4 edges × 1000 samples is far below the per-worker floor.
+        assert_eq!(effective_workers(8, 1000, 4), 1);
+        // Big jobs use the configured count…
+        assert_eq!(effective_workers(8, 4096, 20_000), 8);
+        // …scaled down when only some workers can be kept busy.
+        let mid = effective_workers(8, 128, 1024);
+        assert!((1..=8).contains(&mid));
+        // Degenerate inputs stay sane.
+        assert_eq!(effective_workers(0, 1, 0), 1);
+    }
+
+    #[test]
+    fn chunking_covers_every_batch_exactly_once() {
+        for (batches, threads) in [(1, 8), (7, 2), (16, 3), (16, 16), (5, 1)] {
+            let chunks = parallel_chunks(batches, threads, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..batches).collect::<Vec<_>>());
+        }
+    }
+}

@@ -8,14 +8,14 @@
 //! sampling.
 
 use flowmax_graph::{Bfs, EdgeSubset, ProbabilisticGraph, VertexId};
-use rand::Rng;
 
+use crate::batch::scalar_coin;
 use crate::confidence::{wald_interval, ConfidenceInterval};
 use crate::estimate::FlowEstimate;
 use crate::rng::FlowRng;
 
 /// Per-vertex reachability frequencies from a whole-subgraph sampling run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachabilityEstimate {
     /// `successes[v]` = number of sampled worlds in which `v` was reached.
     successes: Vec<u32>,
@@ -23,6 +23,11 @@ pub struct ReachabilityEstimate {
 }
 
 impl ReachabilityEstimate {
+    /// Assembles an estimate from raw counts (used by the batched engine).
+    pub(crate) fn from_parts(successes: Vec<u32>, samples: u32) -> Self {
+        ReachabilityEstimate { successes, samples }
+    }
+
     /// Number of sampled worlds.
     pub fn samples(&self) -> u32 {
         self.samples
@@ -104,8 +109,7 @@ pub fn sample_reachability(
     for _ in 0..samples {
         alive.clear();
         for &e in &active_edges {
-            let p = graph.probability(e).value();
-            if p >= 1.0 || rng.gen::<f64>() < p {
+            if scalar_coin(graph.probability(e).value(), rng) {
                 alive.insert(e);
             }
         }
@@ -139,8 +143,7 @@ pub fn sample_flow(
     for _ in 0..samples {
         alive.clear();
         for &e in &active_edges {
-            let p = graph.probability(e).value();
-            if p >= 1.0 || rng.gen::<f64>() < p {
+            if scalar_coin(graph.probability(e).value(), rng) {
                 alive.insert(e);
             }
         }

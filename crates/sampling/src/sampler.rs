@@ -6,13 +6,30 @@
 //! unbiased.
 
 use flowmax_graph::{EdgeSubset, ProbabilisticGraph};
-use rand::Rng;
 
+use crate::batch::scalar_coin;
 use crate::rng::FlowRng;
 
 /// Samples one possible world of `domain` into `out` (cleared first).
 ///
 /// Each edge `e ∈ domain` survives independently with probability `P(e)`.
+///
+/// # RNG stream contract
+///
+/// Edges are visited in increasing edge-id order, and for each edge:
+///
+/// * `P(e) >= 1` — the edge always exists; **no draw is consumed**;
+/// * `P(e) <= 0` — the edge never exists; **no draw is consumed** (only
+///   reachable via `Probability::new_unchecked` in release builds, since
+///   the validated constructor forbids zero);
+/// * otherwise exactly **one** `u64` draw is consumed.
+///
+/// Both fast paths are symmetric, so inserting or removing a deterministic
+/// edge never perturbs the coins of later edges under a fixed seed.
+/// (Historically the `p <= 0` path still burned a draw, shifting the entire
+/// downstream stream.) The 64-lane batch sampler
+/// ([`crate::batch::WorldBatch`]) reproduces this contract bit-for-bit per
+/// lane, which is what lets tests compare the two world-for-world.
 pub fn sample_world(
     graph: &ProbabilisticGraph,
     domain: &EdgeSubset,
@@ -21,8 +38,7 @@ pub fn sample_world(
 ) {
     out.clear();
     for e in domain.iter() {
-        let p = graph.probability(e).value();
-        if p >= 1.0 || rng.gen::<f64>() < p {
+        if scalar_coin(graph.probability(e).value(), rng) {
             out.insert(e);
         }
     }
@@ -106,6 +122,28 @@ mod tests {
         for _ in 0..50 {
             sample_world(&g, &domain, &mut rng, &mut world);
             assert!(!world.contains(EdgeId(1)));
+        }
+    }
+
+    #[test]
+    fn deterministic_edges_do_not_perturb_the_stream() {
+        // g1: two fractional edges. g2: the same two fractional edges with a
+        // certain edge inserted *before* them. Under the stream contract the
+        // certain edge consumes no draw, so the fractional coins coincide.
+        let g1 = graph_with_probs(&[0.5, 0.5]);
+        let g2 = graph_with_probs(&[1.0, 0.5, 0.5]);
+        let seq = SeedSequence::new(13);
+        let (mut r1, mut r2) = (seq.rng(0), seq.rng(0));
+        let d1 = EdgeSubset::full(&g1);
+        let d2 = EdgeSubset::full(&g2);
+        let mut w1 = EdgeSubset::for_graph(&g1);
+        let mut w2 = EdgeSubset::for_graph(&g2);
+        for _ in 0..200 {
+            sample_world(&g1, &d1, &mut r1, &mut w1);
+            sample_world(&g2, &d2, &mut r2, &mut w2);
+            assert!(w2.contains(EdgeId(0)), "certain edge always survives");
+            assert_eq!(w1.contains(EdgeId(0)), w2.contains(EdgeId(1)));
+            assert_eq!(w1.contains(EdgeId(1)), w2.contains(EdgeId(2)));
         }
     }
 

@@ -61,5 +61,5 @@ pub mod prelude {
     pub use flowmax_graph::{
         EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
     };
-    pub use flowmax_sampling::SeedSequence;
+    pub use flowmax_sampling::{ParallelEstimator, SeedSequence};
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! flowmax solve  --graph g.txt --query 0 --budget 20 [--algorithm FT+M]
-//!                [--samples 1000] [--seed 42] [--include-query] [--dot out.dot]
+//!                [--samples 1000] [--seed 42] [--threads 8] [--include-query]
+//!                [--dot out.dot]
 //! flowmax stats  --graph g.txt
 //! flowmax exact  --graph g.txt --query 0 --budget 5
 //! flowmax generate --dataset erdos --vertices 1000 --degree 6 [--seed 42] > g.txt
@@ -98,6 +99,12 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let mut config = SolverConfig::paper(algorithm, budget, args.parse_opt("seed", 42u64)?);
     config.samples = args.parse_opt("samples", 1000u32)?;
     config.include_query = args.has_flag("include-query");
+    // Worker threads for the batched sampling engine; the default honours
+    // FLOWMAX_THREADS. Results are identical at any thread count.
+    config.threads = args.parse_opt("threads", config.threads)?;
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
 
     let result = solve(&graph, query, &config);
     println!(
@@ -182,7 +189,8 @@ flowmax — budgeted information-flow maximization in probabilistic graphs
 
 USAGE:
   flowmax solve    --graph <file> [--query N] [--budget K] [--algorithm NAME]
-                   [--samples N] [--seed N] [--include-query] [--dot <file>]
+                   [--samples N] [--seed N] [--threads N] [--include-query]
+                   [--dot <file>]
   flowmax exact    --graph <file> [--query N] [--budget K]
   flowmax stats    --graph <file>
   flowmax generate --dataset <name> [--vertices N] [--degree D] [--seed N]

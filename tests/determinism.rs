@@ -1,8 +1,11 @@
 //! Reproducibility: every stochastic pipeline stage (generation, selection,
-//! evaluation) is a pure function of its master seed.
+//! evaluation) is a pure function of its master seed — and, for the batched
+//! engine, of the master seed *only*: thread counts never change results.
 
 use flowmax::core::{solve, Algorithm, SolverConfig};
 use flowmax::datasets::{suggest_query, DatasetSpec, ErdosConfig, PartitionedConfig, WsnConfig};
+use flowmax::graph::EdgeSubset;
+use flowmax::sampling::{ParallelEstimator, SeedSequence};
 
 #[test]
 fn solver_runs_are_bitwise_reproducible() {
@@ -59,6 +62,67 @@ fn generators_are_seed_stable_at_spec_level() {
         }
         for v in a.vertices() {
             assert_eq!(a.weight(v), b.weight(v), "{}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn parallel_estimator_is_thread_count_invariant() {
+    let g = ErdosConfig::paper(300, 6.0).generate(31);
+    let q = suggest_query(&g);
+    let full = EdgeSubset::full(&g);
+    let seq = SeedSequence::new(4242);
+    // Budgets straddling the 64-lane batch width: single partial batch, one
+    // exact batch, partial tail, many batches.
+    for samples in [1u32, 64, 100, 1000] {
+        let flow1 = ParallelEstimator::new(1).sample_flow(&g, &full, q, false, samples, &seq);
+        let reach1 = ParallelEstimator::new(1).sample_reachability(&g, &full, q, samples, &seq);
+        for threads in [2usize, 8] {
+            let est = ParallelEstimator::new(threads);
+            let flow_t = est.sample_flow(&g, &full, q, false, samples, &seq);
+            let reach_t = est.sample_reachability(&g, &full, q, samples, &seq);
+            // FlowEstimate comparison is bit-exact: mean, M2 and count.
+            assert_eq!(flow1, flow_t, "flow, samples={samples} threads={threads}");
+            assert_eq!(
+                reach1, reach_t,
+                "reach, samples={samples} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_is_thread_count_invariant_for_naive_and_full_ft_stack() {
+    let g = ErdosConfig::paper(150, 5.0).generate(77);
+    let q = suggest_query(&g);
+    for alg in [Algorithm::Naive, Algorithm::FtMCiDs] {
+        let run = |threads: usize| {
+            let mut cfg = SolverConfig::paper(alg, 6, 5);
+            cfg.samples = 200;
+            cfg.threads = threads;
+            solve(&g, q, &cfg)
+        };
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let out = run(threads);
+            assert_eq!(
+                base.selected,
+                out.selected,
+                "{} selection differs at {threads} threads",
+                alg.name()
+            );
+            assert_eq!(
+                base.flow,
+                out.flow,
+                "{} evaluated flow differs at {threads} threads",
+                alg.name()
+            );
+            assert_eq!(
+                base.algorithm_flow,
+                out.algorithm_flow,
+                "{} internal flow differs at {threads} threads",
+                alg.name()
+            );
         }
     }
 }
