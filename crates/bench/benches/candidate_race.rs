@@ -1,0 +1,51 @@
+//! Criterion: fixed-budget scalar selection vs the §6.3 candidate races.
+//!
+//! The tentpole comparison of the racing engine: the same greedy selection
+//! run (a) probing every candidate at the full sample budget with the
+//! scalar one-world-per-BFS kernel (the pre-engine baseline), (b) on the
+//! bit-parallel engine, (c) through the scalar reference race, and (d)
+//! through the batched racing engine (single- and multi-threaded). The
+//! machine-readable counterpart is `experiments bench3` → `BENCH_3.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowmax_core::{greedy_select, GreedyConfig};
+use flowmax_datasets::{suggest_query, ErdosConfig};
+use flowmax_graph::VertexId;
+
+fn bench_candidate_race(c: &mut Criterion) {
+    let graph = ErdosConfig::paper(200, 10.0).generate(11);
+    let query: VertexId = suggest_query(&graph);
+    let budget = 100;
+    let base = || {
+        let mut cfg = GreedyConfig::ft(budget, 5).with_memo();
+        cfg.samples = 1000;
+        cfg.with_threads(1)
+    };
+
+    let mut group = c.benchmark_group("candidate_race");
+    group.sample_size(10);
+
+    group.bench_function("fixed_budget_scalar", |b| {
+        let cfg = base().with_scalar_estimation();
+        b.iter(|| greedy_select(&graph, query, &cfg).selected.len())
+    });
+    group.bench_function("fixed_budget_batched", |b| {
+        let cfg = base();
+        b.iter(|| greedy_select(&graph, query, &cfg).selected.len())
+    });
+    group.bench_function("scalar_race", |b| {
+        let cfg = base().with_scalar_ci();
+        b.iter(|| greedy_select(&graph, query, &cfg).selected.len())
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("batched_race_threads{threads}"), |b| {
+            let cfg = base().with_ci().with_threads(threads);
+            b.iter(|| greedy_select(&graph, query, &cfg).selected.len())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_race);
+criterion_main!(benches);

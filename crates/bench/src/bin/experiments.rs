@@ -4,15 +4,17 @@
 //! experiments list                 # show available experiment ids
 //! experiments all [--paper-scale]  # run everything
 //! experiments fig5a fig9b ...      # run specific figures
+//! experiments bench3               # candidate-race snapshot → BENCH_3.json
 //!   --paper-scale   use the paper's full sizes (slow)
 //!   --seed <n>      master seed (default 42)
 //!   --out <dir>     CSV output directory (default results/)
+//!   --reps <n>      repetitions per bench3 configuration (default 2)
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use flowmax_bench::{registry, Scale};
+use flowmax_bench::{candidate_race, registry, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,10 +22,18 @@ fn main() {
     let mut scale = Scale::reduced();
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
+    let mut reps = 2u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--paper-scale" => scale = Scale::paper_scale(),
+            "--reps" => {
+                i += 1;
+                reps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps needs an integer");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -41,6 +51,30 @@ fn main() {
             other => ids.push(other.to_string()),
         }
         i += 1;
+    }
+
+    // The candidate-race snapshot lives outside the figure registry: it
+    // emits the machine-readable BENCH_3.json perf-trajectory artifact.
+    if ids.iter().any(|s| s == "bench3") {
+        let started = Instant::now();
+        let bench = candidate_race::run(&scale, reps);
+        print!("{}", bench.to_json());
+        let path = PathBuf::from("BENCH_3.json");
+        match bench.write_json(&path) {
+            Ok(()) => println!(
+                "# candidate_race completed in {:.1?}; wrote {}",
+                started.elapsed(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        ids.retain(|s| s != "bench3");
+        if ids.is_empty() {
+            return;
+        }
     }
 
     let all = registry();

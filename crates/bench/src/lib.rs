@@ -7,10 +7,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod candidate_race;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
+pub use candidate_race::{RaceBench, RaceMeasurement};
 pub use experiments::{registry, Experiment};
 pub use report::{Cell, Report, Row};
 pub use runner::{names, roster, run_workload, RunConfig, Scale};

@@ -58,6 +58,148 @@ pub struct ProbeOutcome {
     pub sampling_cost_edges: usize,
 }
 
+/// A probe split into its deterministic part and its deferred estimation —
+/// the shape the §6.3 racing engine needs: the structural work (leaf
+/// deltas, component snapshots, tree clones) happens **once**, and the
+/// probe is then [`score`](SampledProbe::score)d repeatedly as its
+/// component estimate grows across race rounds.
+#[derive(Debug)]
+pub enum ProbePlan {
+    /// Fully analytic (leaf) probe: the outcome is already exact.
+    Analytic(ProbeOutcome),
+    /// The probe needs exactly one component estimate before it can be
+    /// scored (boxed: structural plans carry a cloned tree).
+    Sampled(Box<SampledProbe>),
+}
+
+/// The deferred half of a sampled probe: which component must be estimated,
+/// and how to turn an estimate into a flow score.
+#[derive(Debug)]
+pub struct SampledProbe {
+    snapshot: ComponentGraph,
+    cost_edges: usize,
+    kind: SampledKind,
+}
+
+#[derive(Debug)]
+enum SampledKind {
+    /// Case IIIa: re-estimate one existing bi component; flow is evaluated
+    /// on the *original* tree with the estimate overriding the stored one.
+    InBi { cid: ComponentId },
+    /// Cases IIIb/IV: the probe's tree clone with the candidate inserted
+    /// and the new component's estimate still pending.
+    Structural {
+        tree: FTree,
+        cid: ComponentId,
+        case: InsertCase,
+    },
+}
+
+impl SampledProbe {
+    /// The component snapshot that must be estimated (candidate edge
+    /// included).
+    pub fn snapshot(&self) -> &ComponentGraph {
+        &self.snapshot
+    }
+
+    /// `cost(e)` of §6.4: the number of edges the estimate must sample.
+    pub fn sampling_cost_edges(&self) -> usize {
+        self.cost_edges
+    }
+
+    /// The structural case the insertion would take.
+    pub fn case(&self) -> InsertCase {
+        match &self.kind {
+            SampledKind::InBi { .. } => InsertCase::CycleInBi,
+            SampledKind::Structural { case, .. } => *case,
+        }
+    }
+
+    /// Scores the probe under `estimate`: the flow the tree would have with
+    /// the candidate inserted, plus the candidate-specific `1 − α` bounds.
+    ///
+    /// Callable repeatedly — racing rounds re-score with growing-budget
+    /// estimates; only the latest call's estimate is retained. `tree` must
+    /// be the tree the plan was created from.
+    pub fn score(
+        &mut self,
+        tree: &FTree,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        alpha: f64,
+        estimate: ComponentEstimate,
+    ) -> ProbeOutcome {
+        match &mut self.kind {
+            SampledKind::InBi { cid } => {
+                let flow = tree.expected_flow_with_override(
+                    graph,
+                    include_query,
+                    *cid,
+                    &self.snapshot,
+                    &estimate,
+                );
+                let bound = |upper| {
+                    tree.flow_with(
+                        graph,
+                        include_query,
+                        &ReachView::Override {
+                            cid: *cid,
+                            snapshot: &self.snapshot,
+                            estimate: &estimate,
+                            bound: Some((alpha, upper)),
+                        },
+                    )
+                };
+                let lower = bound(false);
+                let upper = bound(true);
+                ProbeOutcome {
+                    flow,
+                    lower,
+                    upper,
+                    case: InsertCase::CycleInBi,
+                    sampling_cost_edges: self.cost_edges,
+                }
+            }
+            SampledKind::Structural {
+                tree: clone,
+                cid,
+                case,
+            } => {
+                clone.set_bi_estimate(*cid, estimate);
+                let flow = clone.expected_flow(graph, include_query);
+                let (lower, upper) =
+                    clone.flow_bounds_for_component(graph, include_query, *cid, alpha);
+                ProbeOutcome {
+                    flow,
+                    lower,
+                    upper,
+                    case: *case,
+                    sampling_cost_edges: self.cost_edges,
+                }
+            }
+        }
+    }
+}
+
+/// Captures the single component snapshot a structural probe insertion
+/// estimates, returning a placeholder so the estimate can be supplied
+/// later.
+#[derive(Default)]
+struct CaptureProvider {
+    snapshot: Option<ComponentGraph>,
+}
+
+impl EstimateProvider for CaptureProvider {
+    fn estimate(&mut self, snapshot: &ComponentGraph) -> ComponentEstimate {
+        assert!(
+            self.snapshot.is_none(),
+            "a structural probe estimates exactly one component"
+        );
+        self.snapshot = Some(snapshot.clone());
+        ComponentEstimate::placeholder(snapshot.vertex_count())
+    }
+}
+
 impl FTree {
     /// The expected information flow `E(flow(Q, G_selected))` under the
     /// tree's current component estimates (Def. 3 / Eq. 2).
@@ -225,6 +367,29 @@ impl FTree {
         alpha: f64,
         provider: &mut dyn EstimateProvider,
     ) -> Result<ProbeOutcome, CoreError> {
+        match self.probe_plan(graph, e, base_flow)? {
+            ProbePlan::Analytic(outcome) => Ok(outcome),
+            ProbePlan::Sampled(mut sampled) => {
+                let estimate = provider.estimate(sampled.snapshot());
+                Ok(sampled.score(self, graph, include_query, alpha, estimate))
+            }
+        }
+    }
+
+    /// The deterministic half of [`FTree::probe_edge`]: classifies the
+    /// candidate, resolves leaf probes analytically, and packages sampled
+    /// probes (IIIa and structural) with the one component snapshot they
+    /// need — without drawing a single sample. The racing engine builds one
+    /// plan per candidate and re-[`score`](SampledProbe::score)s it as the
+    /// candidate's estimate grows across rounds.
+    ///
+    /// `base_flow` must be `self.expected_flow(graph, include_query)`.
+    pub fn probe_plan(
+        &self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+        base_flow: f64,
+    ) -> Result<ProbePlan, CoreError> {
         if self.selected.contains(e) {
             return Err(CoreError::EdgeAlreadySelected(e));
         }
@@ -244,20 +409,20 @@ impl FTree {
                     Some(cid) if self.comp(cid).is_bi() => InsertCase::LeafBi,
                     _ => InsertCase::LeafMono,
                 };
-                Ok(ProbeOutcome {
+                Ok(ProbePlan::Analytic(ProbeOutcome {
                     flow,
                     lower: flow,
                     upper: flow,
                     case,
                     sampling_cost_edges: 0,
-                })
+                }))
             }
             (true, true) => {
                 let ca = self.owner(a);
                 let cb = self.owner(b);
                 if let (Some(x), Some(y)) = (ca, cb) {
                     if x == y && self.comp(x).is_bi() {
-                        // IIIa probe: re-estimate this component only.
+                        // IIIa probe: only this component is re-estimated.
                         let Kind::Bi { edges, .. } = &self.comp(x).kind else {
                             unreachable!()
                         };
@@ -265,60 +430,34 @@ impl FTree {
                         probe_edges.push(e);
                         let av = self.comp(x).articulation;
                         let snapshot = ComponentGraph::build(graph, av, &probe_edges);
-                        let estimate = provider.estimate(&snapshot);
-                        let flow = self.expected_flow_with_override(
-                            graph,
-                            include_query,
-                            x,
-                            &snapshot,
-                            &estimate,
-                        );
-                        let lower = self.flow_with(
-                            graph,
-                            include_query,
-                            &ReachView::Override {
-                                cid: x,
-                                snapshot: &snapshot,
-                                estimate: &estimate,
-                                bound: Some((alpha, false)),
-                            },
-                        );
-                        let upper = self.flow_with(
-                            graph,
-                            include_query,
-                            &ReachView::Override {
-                                cid: x,
-                                snapshot: &snapshot,
-                                estimate: &estimate,
-                                bound: Some((alpha, true)),
-                            },
-                        );
-                        return Ok(ProbeOutcome {
-                            flow,
-                            lower,
-                            upper,
-                            case: InsertCase::CycleInBi,
-                            sampling_cost_edges: probe_edges.len(),
-                        });
+                        return Ok(ProbePlan::Sampled(Box::new(SampledProbe {
+                            snapshot,
+                            cost_edges: probe_edges.len(),
+                            kind: SampledKind::InBi { cid: x },
+                        })));
                     }
                 }
-                // Structural probe: clone, insert, evaluate.
+                // Structural probe: clone and insert now, estimate later.
                 let mut clone = self.clone();
+                let mut capture = CaptureProvider::default();
                 let report = clone
-                    .insert_edge(graph, e, provider)
+                    .insert_edge(graph, e, &mut capture)
                     .expect("probe preconditions were just checked");
-                let flow = clone.expected_flow(graph, include_query);
-                let (lower, upper) = match report.component {
-                    Some(cid) => clone.flow_bounds_for_component(graph, include_query, cid, alpha),
-                    None => (flow, flow),
-                };
-                Ok(ProbeOutcome {
-                    flow,
-                    lower,
-                    upper,
-                    case: report.case,
-                    sampling_cost_edges: report.sampled_edge_count,
-                })
+                let cid = report
+                    .component
+                    .expect("cycle insertions always produce a bi component");
+                let snapshot = capture
+                    .snapshot
+                    .expect("cycle insertions estimate their new component");
+                Ok(ProbePlan::Sampled(Box::new(SampledProbe {
+                    snapshot,
+                    cost_edges: report.sampled_edge_count,
+                    kind: SampledKind::Structural {
+                        tree: clone,
+                        cid,
+                        case: report.case,
+                    },
+                })))
             }
         }
     }

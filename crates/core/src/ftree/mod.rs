@@ -25,7 +25,7 @@ mod flow;
 mod insert;
 mod validate;
 
-pub use flow::ProbeOutcome;
+pub use flow::{ProbeOutcome, ProbePlan, SampledProbe};
 pub use insert::{InsertCase, InsertReport};
 
 use std::collections::BTreeMap;
@@ -395,6 +395,17 @@ impl FTree {
         *estimate = new_estimate;
         *local = new_local;
         *v = version;
+    }
+
+    /// Replaces a bi component's reachability estimate in place (structure
+    /// and snapshot unchanged) — used by deferred probes, whose estimates
+    /// arrive after the insertion, and by racing rounds that re-score one
+    /// probe at growing sample budgets.
+    pub(crate) fn set_bi_estimate(&mut self, cid: ComponentId, new_estimate: ComponentEstimate) {
+        let Kind::Bi { estimate, .. } = &mut self.comp_mut(cid).kind else {
+            panic!("set_bi_estimate on a mono component");
+        };
+        *estimate = new_estimate;
     }
 }
 

@@ -36,10 +36,14 @@ pub use baselines::{dijkstra_select, naive_select, NaiveConfig};
 pub use error::CoreError;
 pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
-pub use ftree::{ComponentId, ComponentView, FTree, InsertCase, InsertReport, ProbeOutcome};
+pub use ftree::{
+    ComponentId, ComponentView, FTree, InsertCase, InsertReport, ProbeOutcome, ProbePlan,
+    SampledProbe,
+};
 pub use metrics::SelectionMetrics;
 pub use selection::{
-    greedy_select, CandidateSet, DelayTracker, GreedyConfig, MemoProvider, SelectionOutcome,
+    greedy_select, CandidateSet, CiEngine, DelayTracker, GreedyConfig, MemoProvider,
+    SelectionOutcome,
 };
 pub use solver::{
     evaluate_selection, evaluate_selection_with_threads, solve, Algorithm, SolveResult,

@@ -69,6 +69,28 @@ impl CandidateSet {
     pub fn to_vec(&self) -> Vec<EdgeId> {
         self.set.iter().copied().collect()
     }
+
+    /// The probe pool of one greedy iteration: all candidates except those
+    /// `suspended` (§6.4 — delayed candidates never enter the round).
+    /// Returns the pool in ascending edge-id order plus the number of
+    /// candidates skipped. When *every* candidate is suspended the full
+    /// list is returned instead (skipped = 0), so the loop never stalls.
+    pub fn probe_pool(&self, suspended: impl Fn(EdgeId) -> bool) -> (Vec<EdgeId>, u64) {
+        let mut pool = Vec::with_capacity(self.len());
+        let mut skipped = 0u64;
+        for e in self.iter() {
+            if suspended(e) {
+                skipped += 1;
+            } else {
+                pool.push(e);
+            }
+        }
+        if pool.is_empty() && !self.is_empty() {
+            (self.to_vec(), 0)
+        } else {
+            (pool, skipped)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +141,23 @@ mod tests {
         assert!(!c.contains(EdgeId(0)));
         assert!(!c.contains(EdgeId(2)));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn probe_pool_honours_suspensions_with_fallback() {
+        let g = graph();
+        let c = CandidateSet::new(&g, VertexId(0));
+        let (pool, skipped) = c.probe_pool(|_| false);
+        assert_eq!(pool, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(skipped, 0);
+        let (pool, skipped) = c.probe_pool(|e| e == EdgeId(0));
+        assert_eq!(pool, vec![EdgeId(1)]);
+        assert_eq!(skipped, 1);
+        // Everything suspended: fall back to the full pool, nothing counts
+        // as skipped (every candidate is probed after all).
+        let (pool, skipped) = c.probe_pool(|_| true);
+        assert_eq!(pool, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(skipped, 0);
     }
 
     #[test]

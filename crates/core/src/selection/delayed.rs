@@ -62,9 +62,12 @@ impl DelayTracker {
     /// Records a probe outcome for a non-selected candidate: `gain` is the
     /// flow gained by the candidate, `best_gain` the gain of the selected
     /// edge, `cost` the number of edges sampled to probe the candidate.
-    pub fn record(&mut self, e: EdgeId, gain: f64, best_gain: f64, cost: usize) {
+    ///
+    /// Returns the suspension applied — `⌊log_c(cost/pot)⌋` iterations
+    /// (capped at [`MAX_DELAY`]), or 0 when the candidate is not suspended.
+    pub fn record(&mut self, e: EdgeId, gain: f64, best_gain: f64, cost: usize) -> u32 {
         if cost == 0 {
-            return; // analytic probes are free: never suspend.
+            return 0; // analytic probes are free: never suspend.
         }
         // pot(e') — clamp into (0, 1] so the logarithm is well defined even
         // for zero/negative measured gains (possible under sampling noise).
@@ -75,12 +78,13 @@ impl DelayTracker {
         };
         let ratio: f64 = cost as f64 / pot;
         if ratio <= 1.0 {
-            return;
+            return 0;
         }
-        let d = (ratio.ln() / self.c.ln()).floor() as u32;
+        let d = ((ratio.ln() / self.c.ln()).floor() as u32).min(MAX_DELAY);
         if d > 0 {
-            self.delays.insert(e, d.min(MAX_DELAY));
+            self.delays.insert(e, d);
         }
+        d
     }
 
     /// Lifts a suspension (used when an edge gets selected regardless, e.g.
@@ -98,7 +102,7 @@ mod tests {
     fn paper_example_delay() {
         // 1% gain, cost 10, c = 2 → d = ⌊log₂ 1000⌋ = 9.
         let mut t = DelayTracker::new(2.0);
-        t.record(EdgeId(0), 0.01, 1.0, 10);
+        assert_eq!(t.record(EdgeId(0), 0.01, 1.0, 10), 9);
         assert!(t.is_suspended(EdgeId(0)));
         // Tick 9 times → released.
         for i in 0..9 {

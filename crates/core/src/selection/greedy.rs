@@ -8,9 +8,16 @@
 //! * **M** — probes and insertions share a memoizing estimate provider;
 //! * **CI** — candidates whose components must be sampled race each other in
 //!   rounds of growing sample budgets; a candidate whose upper flow bound
-//!   falls below another's lower bound is pruned (with ≥ 30 samples, §6.3);
+//!   falls below another's lower bound is pruned (with ≥ 30 samples, §6.3).
+//!   Two engines implement the race: the **batched racing engine**
+//!   (`selection::racing`, the default) runs each round as one
+//!   multi-candidate job on the parallel sampler with incremental
+//!   whole-batch estimates and budget reallocation, and the **scalar
+//!   reference** re-probes each candidate per round at the schedule's
+//!   cumulative budgets — kept as the pinned, easily-auditable baseline;
 //! * **DS** — probed-but-not-selected candidates are suspended for
-//!   `⌊log_c(cost/pot)⌋` iterations (§6.4).
+//!   `⌊log_c(cost/pot)⌋` iterations (§6.4); suspended candidates never
+//!   enter a race round.
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{BatchSchedule, MIN_SAMPLES_FOR_CLT};
@@ -21,6 +28,22 @@ use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
 use crate::selection::delayed::DelayTracker;
 use crate::selection::memo::MemoProvider;
+use crate::selection::racing::RaceDriver;
+
+/// Which implementation drives the §6.3 confidence-interval race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CiEngine {
+    /// The batched racing engine: rounds run as single multi-candidate
+    /// jobs on the parallel sampler, estimates grow incrementally in whole
+    /// 64-world batches, and eliminated candidates' unspent budgets are
+    /// reallocated to the finalists. Bit-identical at every thread count.
+    #[default]
+    BatchedRace,
+    /// The scalar reference race: every candidate re-probed from scratch
+    /// at each cumulative budget of the schedule. Slower by design; pinned
+    /// as the auditable baseline the racing engine is benchmarked against.
+    ScalarReference,
+}
 
 /// Configuration of a greedy selection run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +59,8 @@ pub struct GreedyConfig {
     pub memoize: bool,
     /// Enable confidence-interval pruning (§6.3).
     pub confidence_pruning: bool,
+    /// Which engine drives the §6.3 race when `confidence_pruning` is on.
+    pub ci_engine: CiEngine,
     /// Enable delayed sampling (§6.4).
     pub delayed_sampling: bool,
     /// DS penalty parameter `c` (paper default 2).
@@ -49,6 +74,10 @@ pub struct GreedyConfig {
     /// Worker threads for component sampling (results do not depend on
     /// this; see `flowmax_sampling::ParallelEstimator`).
     pub threads: usize,
+    /// Estimate components with the scalar one-world-per-BFS reference
+    /// kernel instead of the bit-parallel engine (baseline benchmarking;
+    /// never combines with the batched racing engine).
+    pub scalar_estimation: bool,
 }
 
 impl GreedyConfig {
@@ -61,13 +90,21 @@ impl GreedyConfig {
             exact_edge_cap: 0,
             memoize: false,
             confidence_pruning: false,
+            ci_engine: CiEngine::BatchedRace,
             delayed_sampling: false,
             ds_penalty_c: 2.0,
             alpha: 0.01,
             include_query: false,
             seed,
             threads: flowmax_sampling::default_threads(),
+            scalar_estimation: false,
         }
+    }
+
+    /// Switches component estimation to the scalar reference kernel.
+    pub fn with_scalar_estimation(mut self) -> Self {
+        self.scalar_estimation = true;
+        self
     }
 
     /// Overrides the worker count.
@@ -82,9 +119,17 @@ impl GreedyConfig {
         self
     }
 
-    /// Enables confidence-interval pruning (`+CI`).
+    /// Enables confidence-interval pruning (`+CI`) on the batched racing
+    /// engine.
     pub fn with_ci(mut self) -> Self {
         self.confidence_pruning = true;
+        self
+    }
+
+    /// Enables `+CI` on the scalar reference race (the pinned baseline).
+    pub fn with_scalar_ci(mut self) -> Self {
+        self.confidence_pruning = true;
+        self.ci_engine = CiEngine::ScalarReference;
         self
     }
 
@@ -108,9 +153,9 @@ pub struct SelectionOutcome {
     pub metrics: SelectionMetrics,
 }
 
-struct ProbeRecord {
-    edge: EdgeId,
-    outcome: ProbeOutcome,
+pub(crate) struct ProbeRecord {
+    pub(crate) edge: EdgeId,
+    pub(crate) outcome: ProbeOutcome,
 }
 
 /// Runs the greedy selection (§6.1) over `graph` from `query`.
@@ -123,38 +168,44 @@ pub fn greedy_select(
         exact_edge_cap: config.exact_edge_cap,
         samples: config.samples,
     };
-    let mut provider = MemoProvider::new(
-        SamplingProvider::with_threads(estimator, config.seed, config.threads),
-        config.memoize,
-    );
+    let mut inner = SamplingProvider::with_threads(estimator, config.seed, config.threads);
+    inner.use_scalar_kernel(config.scalar_estimation);
+    let mut provider = MemoProvider::new(inner, config.memoize);
     let mut tree = FTree::new(graph, query);
     let mut candidates = CandidateSet::new(graph, query);
     let mut delays = DelayTracker::new(config.ds_penalty_c);
+    // The racing driver samples through the batched engine by definition;
+    // scalar-estimation baselines fall back to the scalar reference race.
+    let mut racer = (config.confidence_pruning
+        && config.ci_engine == CiEngine::BatchedRace
+        && !config.scalar_estimation)
+        .then(|| RaceDriver::new(config));
     let mut metrics = SelectionMetrics::default();
     let mut flow_trace = Vec::with_capacity(config.budget);
     let mut base_flow = 0.0;
 
     for _iter in 0..config.budget {
-        // Gather the probe pool, honouring DS suspensions. If everything is
-        // suspended, fall back to the full pool rather than stalling.
-        let mut pool: Vec<EdgeId> = Vec::with_capacity(candidates.len());
-        let mut skipped = 0u64;
-        for e in candidates.iter() {
-            if config.delayed_sampling && delays.is_suspended(e) {
-                skipped += 1;
-            } else {
-                pool.push(e);
-            }
+        if candidates.is_empty() {
+            break;
         }
+        // Gather the probe pool, honouring DS suspensions (§6.4: suspended
+        // candidates never enter the round; if everything is suspended the
+        // full pool is probed rather than stalling).
+        let (pool, skipped) =
+            candidates.probe_pool(|e| config.delayed_sampling && delays.is_suspended(e));
         metrics.ds_skipped += skipped;
-        if pool.is_empty() {
-            if candidates.is_empty() {
-                break;
-            }
-            pool = candidates.to_vec();
-        }
 
-        let records = if config.confidence_pruning {
+        let records = if let Some(racer) = racer.as_mut() {
+            racer.probe_candidates(
+                graph,
+                &tree,
+                &pool,
+                base_flow,
+                config,
+                &mut provider,
+                &mut metrics,
+            )
+        } else if config.confidence_pruning {
             probe_with_ci_race(
                 graph,
                 &tree,
@@ -206,6 +257,11 @@ pub fn greedy_select(
         flow_trace.push(base_flow);
 
         if config.delayed_sampling {
+            // Age existing suspensions *before* recording this iteration's:
+            // a fresh `d(e') = ⌊log_c(cost/pot)⌋` must suspend the candidate
+            // for the next d full iterations (the paper's worked example:
+            // d = 9 ⇒ nine skipped probe rounds), not d − 1.
+            delays.tick();
             for r in &records {
                 if r.edge != best_edge {
                     delays.record(
@@ -216,7 +272,6 @@ pub fn greedy_select(
                     );
                 }
             }
-            delays.tick();
         }
     }
 
@@ -292,16 +347,14 @@ fn probe_with_ci_race(
     provider: &mut MemoProvider,
     metrics: &mut SelectionMetrics,
 ) -> Vec<ProbeRecord> {
-    // Cumulative budgets: e.g. 50, 150, 350, 750, `samples`.
+    // Cumulative budgets, e.g. 50, 150, 350, 750, `samples` — rounds below
+    // the CLT floor are dropped (their bounds may not eliminate anyway).
     let schedule = BatchSchedule::paper_default(config.samples);
-    let mut budgets: Vec<u32> = Vec::new();
-    let mut acc = 0;
-    for b in schedule.batches() {
-        acc += b;
-        if acc >= MIN_SAMPLES_FOR_CLT {
-            budgets.push(acc);
-        }
-    }
+    let mut budgets: Vec<u32> = schedule
+        .cumulative_budgets()
+        .into_iter()
+        .filter(|&acc| acc >= MIN_SAMPLES_FOR_CLT)
+        .collect();
     if budgets.is_empty() {
         budgets.push(config.samples);
     }

@@ -62,17 +62,30 @@ impl MemoProvider {
     }
 
     fn fingerprint(&self, snapshot: &ComponentGraph) -> u64 {
-        let mut h = splitmix64(snapshot.articulation().0 as u64);
-        let mut edges: Vec<u32> = snapshot.global_edges().iter().map(|e| e.0).collect();
-        edges.sort_unstable();
-        for e in edges {
-            h = splitmix64(h ^ e as u64);
-        }
         // The sample budget is part of the key so that low-budget racing
         // estimates are never served where a full-budget one is expected.
+        // (Estimates *stored* under a key may carry more samples than the
+        // key's budget — see [`MemoProvider::store`] — never fewer.)
         let cfg: EstimatorConfig = self.inner.config();
-        h = splitmix64(h ^ cfg.samples as u64);
+        let h = splitmix64(snapshot.fingerprint() ^ cfg.samples as u64);
         splitmix64(h ^ cfg.exact_edge_cap as u64)
+    }
+
+    /// Publishes an externally computed estimate into the cache under the
+    /// current configuration's key, so later probes and insertions of the
+    /// same component reuse it without sampling. The racing engine stores
+    /// its finalists here: their estimates hold *at least* the configured
+    /// budget (racing budgets are whole-batch quantized and may be
+    /// reallocation-boosted), so serving them where a full-budget estimate
+    /// is expected only reduces variance.
+    ///
+    /// A no-op when memoization is disabled.
+    pub fn store(&mut self, snapshot: &ComponentGraph, estimate: ComponentEstimate) {
+        if !self.enabled {
+            return;
+        }
+        let key = self.fingerprint(snapshot);
+        self.cache.insert(key, estimate);
     }
 }
 
@@ -168,6 +181,29 @@ mod tests {
             2,
             "resampled both times"
         );
+    }
+
+    #[test]
+    fn stored_estimates_are_served_to_later_probes() {
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut memo = MemoProvider::new(inner, true);
+        let s = snapshot(false);
+        // An externally computed (e.g. racing) estimate at a larger budget.
+        let external = SamplingProvider::new(EstimatorConfig::monte_carlo(256), 9).estimate(&s);
+        memo.store(&s, external.clone());
+        let served = memo.estimate(&s);
+        assert_eq!(memo.hits, 1, "the stored estimate must be served");
+        assert_eq!(served.reach_all(), external.reach_all());
+        assert_eq!(
+            memo.inner().metrics.components_sampled,
+            0,
+            "no sampling through the memoized provider"
+        );
+        // Disabled wrapper: store is a no-op.
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(100), 1);
+        let mut off = MemoProvider::new(inner, false);
+        off.store(&s, external);
+        assert_eq!(off.cached_components(), 0);
     }
 
     #[test]

@@ -4,8 +4,9 @@ pub mod candidates;
 pub mod delayed;
 pub mod greedy;
 pub mod memo;
+mod racing;
 
 pub use candidates::CandidateSet;
 pub use delayed::DelayTracker;
-pub use greedy::{greedy_select, GreedyConfig, SelectionOutcome};
+pub use greedy::{greedy_select, CiEngine, GreedyConfig, SelectionOutcome};
 pub use memo::MemoProvider;

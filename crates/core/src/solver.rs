@@ -15,7 +15,7 @@ use crate::baselines::{dijkstra_select, naive_select, NaiveConfig};
 use crate::estimator::{EstimatorConfig, SamplingProvider};
 use crate::ftree::FTree;
 use crate::metrics::SelectionMetrics;
-use crate::selection::greedy::{greedy_select, GreedyConfig, SelectionOutcome};
+use crate::selection::greedy::{greedy_select, CiEngine, GreedyConfig, SelectionOutcome};
 
 /// The algorithms evaluated in §7.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,8 +88,15 @@ pub struct SolverConfig {
     pub budget: usize,
     /// Monte-Carlo samples per estimation (paper: 1000).
     pub samples: u32,
+    /// Components with at most this many uncertain edges are enumerated
+    /// exactly during *selection* instead of sampled (0 = pure Monte-Carlo,
+    /// the paper's setting; tests use it to pin selections exactly).
+    pub exact_edge_cap: usize,
     /// CI significance level `α` (paper: 0.01).
     pub alpha: f64,
+    /// Race engine for the `CI` variants: the batched racing engine by
+    /// default, or the scalar reference race for baseline comparisons.
+    pub ci_engine: CiEngine,
     /// DS penalty `c` (paper: 2).
     pub ds_penalty_c: f64,
     /// Whether `W(Q)` counts toward the flow.
@@ -102,6 +109,9 @@ pub struct SolverConfig {
     /// `FLOWMAX_THREADS`). Changing this never changes results, only
     /// wall-clock time — the batched engine is thread-count invariant.
     pub threads: usize,
+    /// Estimate components with the scalar one-world-per-BFS reference
+    /// kernel instead of the bit-parallel engine (baseline benchmarking).
+    pub scalar_estimation: bool,
 }
 
 impl SolverConfig {
@@ -112,12 +122,15 @@ impl SolverConfig {
             algorithm,
             budget,
             samples: 1000,
+            exact_edge_cap: 0,
             alpha: 0.01,
+            ci_engine: CiEngine::BatchedRace,
             ds_penalty_c: 2.0,
             include_query: false,
             seed,
             evaluation: EstimatorConfig::hybrid(16, 3000),
             threads: flowmax_sampling::default_threads(),
+            scalar_estimation: false,
         }
     }
 }
@@ -158,10 +171,13 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
         alg => {
             let mut g = GreedyConfig::ft(config.budget, config.seed);
             g.samples = config.samples;
+            g.exact_edge_cap = config.exact_edge_cap;
             g.alpha = config.alpha;
+            g.ci_engine = config.ci_engine;
             g.ds_penalty_c = config.ds_penalty_c;
             g.include_query = config.include_query;
             g.threads = config.threads;
+            g.scalar_estimation = config.scalar_estimation;
             match alg {
                 Algorithm::Ft => {}
                 Algorithm::FtM => g = g.with_memo(),
@@ -338,6 +354,19 @@ mod tests {
             0,
         );
         assert!((flow - (0.9 * 5.0 + 0.63 * 8.0 + 0.315 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_ci_engines_run_and_stay_deterministic() {
+        let g = graph();
+        for engine in [CiEngine::BatchedRace, CiEngine::ScalarReference] {
+            let mut cfg = SolverConfig::paper(Algorithm::FtMCiDs, 3, 11);
+            cfg.ci_engine = engine;
+            let a = solve(&g, VertexId(0), &cfg);
+            let b = solve(&g, VertexId(0), &cfg);
+            assert_eq!(a.selected, b.selected, "{engine:?} not deterministic");
+            assert!(a.flow > 0.0);
+        }
     }
 
     #[test]

@@ -12,10 +12,10 @@
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 
-use crate::batch::scalar_coin;
+use crate::batch::{scalar_coin, WorldBatch};
 use crate::confidence::{wald_interval, ConfidenceInterval};
 use crate::parallel::{batched_success_counts, BatchJob};
-use crate::rng::{FlowRng, SeedSequence};
+use crate::rng::{splitmix64, FlowRng, SeedSequence};
 
 /// A compact, self-contained snapshot of one component: local vertex ids are
 /// `0..n` with the articulation vertex at local id 0.
@@ -123,6 +123,41 @@ impl ComponentGraph {
         self.edge_probs.iter().filter(|&&p| p < 1.0).count()
     }
 
+    /// A 64-bit identity fingerprint: articulation vertex + sorted global
+    /// edge set. Two snapshots of the *same* component (same edges, same
+    /// AV) always collide, regardless of edge order; this keys memoization
+    /// and the racing engine's per-component seed streams.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix64(self.vertices[0].0 as u64);
+        let mut edges: Vec<u32> = self.global_edges.iter().map(|e| e.0).collect();
+        edges.sort_unstable();
+        for e in edges {
+            h = splitmix64(h ^ e as u64);
+        }
+        h
+    }
+
+    /// Samples `lanes` worlds of the component's edge domain into `batch`,
+    /// lane `w` drawing from `seq.rng(first_label + w)` (the engine-wide
+    /// lane/seed contract of [`crate::batch`]).
+    pub(crate) fn fill_batch(
+        &self,
+        batch: &mut WorldBatch,
+        seq: &SeedSequence,
+        first_label: u64,
+        lanes: u32,
+    ) {
+        let probs = self.edge_probs.iter().copied().enumerate();
+        batch.sample_indexed_into(self.edge_count(), probs, seq, first_label, lanes);
+    }
+
+    /// Local CSR adjacency of vertex `u`: `(local vertex, local edge)`.
+    pub(crate) fn local_neighbors(&self, u: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj_entries[self.adj_offsets[u] as usize..self.adj_offsets[u + 1] as usize]
+            .iter()
+            .map(|&(v, e)| (v as usize, e as usize))
+    }
+
     fn bfs_from_articulation(&self, alive: &[bool], visited: &mut [bool], stack: &mut Vec<u32>) {
         visited.fill(false);
         visited[0] = true;
@@ -183,8 +218,6 @@ impl ComponentGraph {
         seq: &SeedSequence,
         threads: usize,
     ) -> ComponentEstimate {
-        let offsets = &self.adj_offsets;
-        let entries = &self.adj_entries;
         let job = BatchJob {
             vertex_count: self.vertex_count(),
             edge_capacity: self.edge_count(),
@@ -195,25 +228,10 @@ impl ComponentGraph {
         };
         let successes = batched_success_counts(
             job,
-            |batch, first_label, lanes| {
-                let probs = self.edge_probs.iter().copied().enumerate();
-                batch.sample_indexed_into(self.edge_count(), probs, seq, first_label, lanes);
-            },
-            |u| {
-                entries[offsets[u] as usize..offsets[u + 1] as usize]
-                    .iter()
-                    .map(|&(v, e)| (v as usize, e as usize))
-            },
+            |batch, first_label, lanes| self.fill_batch(batch, seq, first_label, lanes),
+            |u| self.local_neighbors(u),
         );
-        let reach = successes
-            .iter()
-            .map(|&s| s as f64 / samples as f64)
-            .collect();
-        ComponentEstimate {
-            reach,
-            successes,
-            samples,
-        }
+        ComponentEstimate::from_success_counts(successes, samples)
     }
 
     /// Exact `Pr[v ↔ AV]` by enumerating the `2^u` worlds over the `u`
@@ -272,6 +290,47 @@ pub struct ComponentEstimate {
 }
 
 impl ComponentEstimate {
+    /// Builds a sampled estimate from per-vertex success counts over
+    /// `samples` worlds (local vertex 0 is the articulation vertex, which
+    /// trivially reaches itself in every world).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is zero (0 marks exact estimates) or the
+    /// articulation vertex's count disagrees with `samples`.
+    pub fn from_success_counts(successes: Vec<u32>, samples: u32) -> Self {
+        assert!(samples > 0, "sampled estimates need at least one world");
+        assert_eq!(
+            successes.first().copied(),
+            Some(samples),
+            "the articulation vertex reaches itself in every world"
+        );
+        let reach = successes
+            .iter()
+            .map(|&s| s as f64 / samples as f64)
+            .collect();
+        ComponentEstimate {
+            reach,
+            successes,
+            samples,
+        }
+    }
+
+    /// A placeholder for deferred estimation: the articulation vertex
+    /// reaches itself, everything else reads as unreachable, no samples.
+    /// Consumers must replace it (via [`ComponentEstimate::from_success_counts`]
+    /// or a real estimator) before evaluating flow.
+    pub fn placeholder(vertex_count: usize) -> Self {
+        assert!(vertex_count >= 1, "a component has an articulation vertex");
+        let mut reach = vec![0.0; vertex_count];
+        reach[0] = 1.0;
+        ComponentEstimate {
+            reach,
+            successes: Vec::new(),
+            samples: 0,
+        }
+    }
+
     /// Reachability probability of the local vertex `local`.
     pub fn reach(&self, local: usize) -> f64 {
         self.reach[local]

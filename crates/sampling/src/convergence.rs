@@ -19,14 +19,35 @@ pub struct BatchSchedule {
 }
 
 impl BatchSchedule {
-    /// The paper's setting: pruning becomes legal at 30 samples
-    /// (CLT minimum), total budget = `samplesize`.
+    /// The paper's setting: a first batch of 50 (comfortably above the
+    /// 30-sample CLT minimum of §6.3), doubling rounds, total budget =
+    /// `samplesize`.
+    ///
+    /// The schedule only shapes the rounds; the CLT floor itself is
+    /// enforced by the racing engine
+    /// ([`crate::race::RaceConfig::clt_floor`]), which refuses to eliminate
+    /// any candidate before it has
+    /// [`MIN_SAMPLES_FOR_CLT`](crate::confidence::MIN_SAMPLES_FOR_CLT)
+    /// samples — regardless of how small `first` is configured.
     pub fn paper_default(budget: u32) -> Self {
         BatchSchedule {
             first: 50,
             growth: 2.0,
             budget,
         }
+    }
+
+    /// Cumulative sample budgets after each round (e.g. `first = 50`,
+    /// `growth = 2`, `budget = 1000` → `50, 150, 350, 750, 1000`) — the
+    /// ladder a candidate climbs in the §6.3 race.
+    pub fn cumulative_budgets(&self) -> Vec<u32> {
+        let mut acc = 0;
+        self.batches()
+            .map(|b| {
+                acc += b;
+                acc
+            })
+            .collect()
     }
 
     /// Yields batch sizes; the sum of all yielded batches equals `budget`
@@ -114,5 +135,17 @@ mod tests {
         let b: Vec<u32> = s.batches().collect();
         assert!(b[0] >= 30, "first batch must satisfy the CLT minimum");
         assert_eq!(b.iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn cumulative_budgets_match_the_papers_ladder() {
+        let s = BatchSchedule::paper_default(1000);
+        assert_eq!(s.cumulative_budgets(), vec![50, 150, 350, 750, 1000]);
+        let empty = BatchSchedule {
+            first: 10,
+            growth: 2.0,
+            budget: 0,
+        };
+        assert!(empty.cumulative_budgets().is_empty());
     }
 }

@@ -13,6 +13,12 @@
 //! * the **bit-parallel** engine ([`batch`], [`parallel`]) — 64 worlds per
 //!   `u64` lane word, one lane-BFS per batch, batches sharded across threads
 //!   with results bit-identical for every thread count.
+//!
+//! On top of them, the [`race`] module implements the §6.3 candidate race:
+//! geometric whole-batch sample rounds with confidence-interval elimination
+//! (never below the 30-sample CLT floor), budget reallocation to the
+//! finalists, and incremental per-component estimates extended as one
+//! multi-candidate job per round.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,6 +29,7 @@ pub mod confidence;
 pub mod convergence;
 pub mod estimate;
 pub mod parallel;
+pub mod race;
 pub mod reachability;
 pub mod rng;
 pub mod sampler;
@@ -35,7 +42,10 @@ pub use confidence::{
 };
 pub use convergence::BatchSchedule;
 pub use estimate::FlowEstimate;
-pub use parallel::{default_threads, ParallelEstimator};
+pub use parallel::{default_threads, ParallelEstimator, WorldsRequest};
+pub use race::{
+    CandidateRace, IncrementalComponent, LaneStatus, RaceConfig, RoundOutcome, RoundPlan,
+};
 pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
 pub use rng::{splitmix64, FlowRng, SeedSequence};
 pub use sampler::{sample_world, sample_worlds};

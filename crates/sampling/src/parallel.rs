@@ -82,7 +82,13 @@ const MIN_COINS_PER_WORKER: u64 = 1 << 16;
 /// run on the calling thread even when more workers are configured.
 /// Results never depend on this, only wall-clock time does.
 fn effective_workers(threads: usize, samples: u32, work_edges: usize) -> usize {
-    let coins = samples as u64 * work_edges.max(1) as u64;
+    workers_for_coins(threads, samples as u64 * work_edges.max(1) as u64)
+}
+
+/// The coin-count form of [`effective_workers`], for jobs — like the racing
+/// engine's multi-candidate rounds — whose total work is summed over many
+/// components and may not fit the `samples × edges` shape.
+fn workers_for_coins(threads: usize, coins: u64) -> usize {
     let by_work = usize::try_from(coins / MIN_COINS_PER_WORKER)
         .unwrap_or(usize::MAX)
         .max(1);
@@ -313,6 +319,118 @@ impl ParallelEstimator {
     ) -> ComponentEstimate {
         component.sample_reachability_batched(samples, seq, self.threads)
     }
+
+    /// Draws worlds `[first_world, total_worlds)` for **many components as
+    /// one job**: every `(component, 64-world batch)` pair becomes one work
+    /// unit, and all units are sharded across the worker pool together.
+    ///
+    /// Returns one per-vertex success-count delta per request, covering
+    /// exactly the requested world range. Because world `i` of request `r`
+    /// always draws from `r.seq.rng(i)` and counts merge by integer
+    /// addition, the result is a pure function of each request alone —
+    /// bit-identical for every thread count and to per-component calls.
+    ///
+    /// This is where the racing engine's speedup over per-candidate
+    /// estimation comes from: individual component probes are far too small
+    /// to amortize worker spawn/join (see [`effective_workers`]) and run
+    /// sequentially, but the union of all surviving candidates' batches in
+    /// a round is large enough to keep every worker busy.
+    pub fn sample_component_worlds(&self, requests: &[WorldsRequest<'_>]) -> Vec<Vec<u32>> {
+        // Flatten: global unit index → (request, batch). Requests are laid
+        // out contiguously so each chunk touches few distinct components.
+        let mut unit_request: Vec<u32> = Vec::new();
+        let mut unit_batch: Vec<u32> = Vec::new();
+        let mut coins = 0u64;
+        for (r, req) in requests.iter().enumerate() {
+            assert!(
+                req.first_world % LANES == 0,
+                "extension must start on a whole-batch boundary"
+            );
+            assert!(
+                req.total_worlds > req.first_world,
+                "request must draw at least one world"
+            );
+            coins += (req.total_worlds - req.first_world) as u64
+                * req.component.edge_count().max(1) as u64;
+            let first_batch = req.first_world / LANES;
+            let last_batch = (req.total_worlds - 1) / LANES;
+            for b in first_batch..=last_batch {
+                unit_request.push(r as u32);
+                unit_batch.push(b);
+            }
+        }
+        let workers = workers_for_coins(self.threads, coins);
+        let chunks = parallel_chunks(unit_request.len(), workers, |range| {
+            let mut acc: Vec<Option<Vec<u32>>> = vec![None; requests.len()];
+            let mut scratch: Option<(u32, WorldBatch, LaneBfs)> = None;
+            for u in range {
+                let r = unit_request[u];
+                let req = &requests[r as usize];
+                let b = unit_batch[u] as usize;
+                // Units of one request are contiguous, so scratch buffers
+                // are re-sized only at request boundaries.
+                let fresh = match &scratch {
+                    Some((owner, _, _)) => *owner != r,
+                    None => true,
+                };
+                if fresh {
+                    scratch = Some((
+                        r,
+                        WorldBatch::new(req.component.edge_count()),
+                        LaneBfs::new(req.component.vertex_count()),
+                    ));
+                }
+                let (_, batch, bfs) = scratch.as_mut().expect("scratch just initialized");
+                let lanes = lanes_in_batch(req.total_worlds, b);
+                req.component
+                    .fill_batch(batch, &req.seq, b as u64 * LANES as u64, lanes);
+                bfs.run(0, batch.active_mask(), batch.masks(), |u| {
+                    req.component.local_neighbors(u)
+                });
+                let counts =
+                    acc[r as usize].get_or_insert_with(|| vec![0u32; req.component.vertex_count()]);
+                for (s, &mask) in counts.iter_mut().zip(bfs.reached()) {
+                    *s += mask.count_ones();
+                }
+            }
+            acc
+        });
+        // Success counts are integers: summing per-request partials across
+        // chunks is exact and order-free.
+        let mut out: Vec<Vec<u32>> = requests
+            .iter()
+            .map(|req| vec![0u32; req.component.vertex_count()])
+            .collect();
+        for chunk in chunks {
+            for (total, part) in out.iter_mut().zip(chunk) {
+                if let Some(part) = part {
+                    for (t, p) in total.iter_mut().zip(part) {
+                        *t += p;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One component's share of a [`ParallelEstimator::sample_component_worlds`]
+/// job: draw worlds `[first_world, total_worlds)`, lane/seed contract as in
+/// [`crate::batch`] (world `i` draws from `seq.rng(i)`).
+///
+/// `first_world` must be a multiple of [`LANES`] — extensions always resume
+/// on a whole-batch boundary; `total_worlds` may be arbitrary (the final
+/// batch is partial).
+#[derive(Debug, Clone, Copy)]
+pub struct WorldsRequest<'a> {
+    /// The component to sample.
+    pub component: &'a ComponentGraph,
+    /// Seed stream of the component (shared across all its extensions).
+    pub seq: SeedSequence,
+    /// First world to draw (inclusive, multiple of [`LANES`]).
+    pub first_world: u32,
+    /// Total worlds of the target estimate (exclusive end of the range).
+    pub total_worlds: u32,
 }
 
 #[cfg(test)]

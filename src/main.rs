@@ -16,7 +16,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use flowmax::core::{exact_max_flow, solve, Algorithm, SolverConfig};
+use flowmax::core::{exact_max_flow, solve, Algorithm, CiEngine, SolverConfig};
 use flowmax::datasets::{
     CollaborationConfig, ErdosConfig, PartitionedConfig, PreferentialConfig, RoadConfig,
     SocialCircleConfig, WsnConfig,
@@ -105,6 +105,14 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     if config.threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
+    // §6.3 race engine for the CI variants: "batched" (default) drives
+    // rounds as multi-candidate jobs on the parallel sampler; "scalar" is
+    // the pinned reference race.
+    config.ci_engine = match args.get("ci-race").unwrap_or("batched") {
+        "batched" => CiEngine::BatchedRace,
+        "scalar" => CiEngine::ScalarReference,
+        other => return Err(format!("unknown --ci-race {other:?} (batched, scalar)")),
+    };
 
     let result = solve(&graph, query, &config);
     println!(
@@ -190,7 +198,7 @@ flowmax — budgeted information-flow maximization in probabilistic graphs
 USAGE:
   flowmax solve    --graph <file> [--query N] [--budget K] [--algorithm NAME]
                    [--samples N] [--seed N] [--threads N] [--include-query]
-                   [--dot <file>]
+                   [--ci-race batched|scalar] [--dot <file>]
   flowmax exact    --graph <file> [--query N] [--budget K]
   flowmax stats    --graph <file>
   flowmax generate --dataset <name> [--vertices N] [--degree D] [--seed N]

@@ -1,10 +1,13 @@
 //! Integration tests reproducing the paper's worked examples:
-//! the Fig. 1 trade-off, the Fig. 3 F-tree decomposition (Example 2), and
-//! the four edge-insertion walkthroughs of §5.5 (Fig. 4 cases a–d).
+//! the Fig. 1 trade-off, the Fig. 3 F-tree decomposition (Example 2), the
+//! four edge-insertion walkthroughs of §5.5 (Fig. 4 cases a–d), the §6.4
+//! delayed-sampling example (1 % gain, cost 10, c = 2 → d = 9), and a small
+//! §6.3 confidence-interval race — the latter two end-to-end through the
+//! public solver API.
 
 use flowmax::core::{
-    dijkstra_select, exact_max_flow, ComponentView, EstimatorConfig, FTree, InsertCase,
-    SamplingProvider,
+    dijkstra_select, evaluate_selection, exact_max_flow, solve, Algorithm, ComponentView,
+    EstimatorConfig, FTree, InsertCase, SamplingProvider, SolverConfig,
 };
 use flowmax::graph::{
     exact_expected_flow, EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability,
@@ -262,6 +265,112 @@ fn figure4d_cross_component_cycle() {
     )
     .unwrap();
     assert!((tree.expected_flow(&g, false) - exact).abs() < 1e-9);
+}
+
+/// §6.4's worked delay example, end-to-end through the solver: a candidate
+/// with ~1 % of the best gain and sampling cost 10 must be suspended for
+/// exactly `d = ⌊log₂(10 / 0.01…)⌋ = 9` iterations of the `FT+M+DS` run.
+///
+/// Construction: a 9-edge chain of weight-1000 vertices (selected first),
+/// twelve weight-100 leaves at `Q` (gain 50 each, the per-iteration best
+/// after the chain), and a low-probability chord `Q–r9` that closes a
+/// 10-edge cycle with a gain of ~0.66 — i.e. `pot ≈ 1.3 %`, inside the
+/// `d = 9` window `10/pot ∈ [2⁹, 2¹⁰)`.
+#[test]
+fn section_6_4_delay_example_through_the_solver() {
+    let chord_p = 0.00025;
+    let mut b = GraphBuilder::new();
+    b.add_vertex(Weight::ZERO); // Q
+    for _ in 0..9 {
+        b.add_vertex(Weight::new(1000.0).unwrap()); // chain r1..r9
+    }
+    for _ in 0..12 {
+        b.add_vertex(Weight::new(100.0).unwrap()); // leaves h1..h12
+    }
+    let chain_p = p(0.9);
+    for k in 0..9u32 {
+        b.add_edge(VertexId(k), VertexId(k + 1), chain_p).unwrap(); // e0..e8
+    }
+    for h in 10..22u32 {
+        b.add_edge(VertexId(0), VertexId(h), p(0.5)).unwrap(); // e9..e20
+    }
+    let chord = b.add_edge(VertexId(0), VertexId(9), p(chord_p)).unwrap(); // e21
+    let g = b.build();
+
+    // Sanity of the construction (exact arithmetic): the chord's gain over
+    // the selected chain against the best candidate's gain of 50 must land
+    // in the window that makes d = 9.
+    let chain: Vec<EdgeId> = (0..9).map(EdgeId).collect();
+    let mut with_chord = chain.clone();
+    with_chord.push(chord);
+    let eval = EstimatorConfig::exact();
+    let gain = evaluate_selection(&g, VertexId(0), &with_chord, eval, false, 0)
+        - evaluate_selection(&g, VertexId(0), &chain, eval, false, 0);
+    let pot = gain / 50.0;
+    let ratio = 10.0 / pot;
+    assert!(
+        (512.0..1024.0).contains(&ratio),
+        "construction must give d = 9: cost/pot = {ratio}"
+    );
+
+    // End-to-end: 9 chain picks, then the chord is probed once (cost 10),
+    // suspended for 9 iterations, and the remaining budget selects leaves.
+    let mut cfg = SolverConfig::paper(Algorithm::FtMDs, 19, 4);
+    cfg.exact_edge_cap = 24; // exact component estimates: the gain is exact
+    let r = solve(&g, VertexId(0), &cfg);
+    assert_eq!(r.selected.len(), 19);
+    assert_eq!(&r.selected[..9], &chain[..], "chain first");
+    assert!(
+        !r.selected.contains(&chord),
+        "the suspended chord must never be selected"
+    );
+    assert_eq!(
+        r.metrics.ds_skipped, 9,
+        "d = 9: the chord sits out exactly nine probe rounds"
+    );
+}
+
+/// A small §6.3 race end-to-end through the solver: closing the triangle's
+/// last edge is raced against an analytically-probed leaf whose gain
+/// dominates, so the racing engine prunes it after the first 64-world round
+/// — and the selection matches the unpruned `FT+M` run.
+#[test]
+fn section_6_3_race_prunes_dominated_cycle_candidate() {
+    let mut b = GraphBuilder::new();
+    b.add_vertex(Weight::ZERO); // Q
+    b.add_vertex(Weight::new(50.0).unwrap()); // b
+    b.add_vertex(Weight::new(50.0).unwrap()); // c
+    b.add_vertex(Weight::new(40.0).unwrap()); // a
+    b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap(); // e0 Q-b
+    b.add_edge(VertexId(1), VertexId(2), p(0.9)).unwrap(); // e1 b-c (cycle)
+    b.add_edge(VertexId(2), VertexId(0), p(0.9)).unwrap(); // e2 c-Q
+    b.add_edge(VertexId(0), VertexId(3), p(0.5)).unwrap(); // e3 Q-a
+    let g = b.build();
+
+    // Paper defaults: pure Monte-Carlo estimation, so the cycle candidate
+    // e1 (true gain ≈ 8.1) really races and loses to e3 (gain 20).
+    let cfg = SolverConfig::paper(Algorithm::FtMCi, 3, 7);
+    let raced = solve(&g, VertexId(0), &cfg);
+    assert_eq!(
+        raced.selected,
+        vec![EdgeId(0), EdgeId(2), EdgeId(3)],
+        "the dominated cycle edge must not be selected"
+    );
+    assert_eq!(
+        raced.metrics.ci_pruned, 1,
+        "the cycle candidate is eliminated by the race"
+    );
+
+    // The unpruned FT+M run spends the full budget on e1 and still agrees.
+    let unpruned = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::FtM, 3, 7));
+    assert_eq!(unpruned.selected, raced.selected);
+    assert_eq!(unpruned.metrics.ci_pruned, 0);
+    assert!(
+        raced.metrics.samples_drawn < unpruned.metrics.samples_drawn,
+        "racing must sample less than the fixed budget ({} vs {})",
+        raced.metrics.samples_drawn,
+        unpruned.metrics.samples_drawn
+    );
 }
 
 /// The Fig. 1 trade-off, on the probability multiset from the paper's
