@@ -2,7 +2,7 @@
 //! (the end-to-end cost the paper's runtime plots report).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flowmax_core::{solve, Algorithm, SolverConfig};
+use flowmax_core::{Algorithm, Session};
 use flowmax_datasets::{suggest_query, ErdosConfig, PartitionedConfig};
 
 fn bench_selection(c: &mut Criterion) {
@@ -11,6 +11,8 @@ fn bench_selection(c: &mut Criterion) {
 
     for (tag, graph) in [("locality", &locality), ("no_locality", &no_locality)] {
         let q = suggest_query(graph);
+        // The session is reused across iterations, as a serving loop would.
+        let session = Session::new(graph).with_seed(7);
         let mut group = c.benchmark_group(format!("selection_{tag}"));
         group.sample_size(10);
         for alg in [
@@ -23,18 +25,30 @@ fn bench_selection(c: &mut Criterion) {
         ] {
             group.bench_function(alg.name(), |b| {
                 b.iter(|| {
-                    let mut cfg = SolverConfig::paper(alg, 25, 7);
-                    cfg.samples = 300;
-                    solve(graph, q, &cfg).flow
+                    session
+                        .query(q)
+                        .expect("q is a graph vertex")
+                        .algorithm(alg)
+                        .budget(25)
+                        .samples(300)
+                        .run()
+                        .expect("valid query")
+                        .flow
                 })
             });
         }
         // Naive at a budget it can afford in a benchmark loop.
         group.bench_function("Naive_k10", |b| {
             b.iter(|| {
-                let mut cfg = SolverConfig::paper(Algorithm::Naive, 10, 7);
-                cfg.samples = 100;
-                solve(graph, q, &cfg).flow
+                session
+                    .query(q)
+                    .expect("q is a graph vertex")
+                    .algorithm(Algorithm::Naive)
+                    .budget(10)
+                    .samples(100)
+                    .run()
+                    .expect("valid query")
+                    .flow
             })
         });
         group.finish();

@@ -9,7 +9,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use flowmax_core::{solve, Algorithm, CiEngine, SolverConfig};
+use flowmax_core::{Algorithm, CiEngine, Session};
 use flowmax_datasets::{suggest_query, ErdosConfig};
 use flowmax_graph::ProbabilisticGraph;
 
@@ -69,14 +69,19 @@ fn measure(
     reps: u32,
 ) -> RaceMeasurement {
     let query = suggest_query(graph);
-    let mut cfg = SolverConfig::paper(algorithm, budget, 5);
-    cfg.samples = samples;
-    cfg.ci_engine = ci_engine;
-    cfg.scalar_estimation = scalar_estimation;
-    cfg.threads = threads;
+    let session = Session::new(graph).with_threads(threads).with_seed(5);
+    let spec = session
+        .query(query)
+        .expect("suggest_query returns a graph vertex")
+        .algorithm(algorithm)
+        .budget(budget)
+        .samples(samples)
+        .ci_engine(ci_engine)
+        .scalar_estimation(scalar_estimation)
+        .spec();
     let mut best: Option<RaceMeasurement> = None;
     for _ in 0..reps.max(1) {
-        let r = solve(graph, query, &cfg);
+        let r = &session.run_many(&[spec]).expect("validated spec")[0];
         let ms = r.elapsed.as_secs_f64() * 1e3;
         let m = RaceMeasurement {
             name: name.to_string(),

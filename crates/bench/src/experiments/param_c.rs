@@ -5,7 +5,7 @@
 //! suspended absurdly long and flow drops below Dijkstra level; `c = 2`
 //! loses almost nothing.
 
-use flowmax_core::{solve, Algorithm, SolverConfig};
+use flowmax_core::{Algorithm, Session};
 use flowmax_datasets::{suggest_query, PartitionedConfig};
 
 use crate::report::{Cell, Report, Row};
@@ -20,12 +20,21 @@ pub fn param_c(scale: &Scale, seed: u64) -> Report {
     let g = PartitionedConfig::paper(n, 6).generate(seed);
     let q = suggest_query(&g);
 
+    let session = Session::new(&g).with_seed(seed);
+    let query = |alg| {
+        session
+            .query(q)
+            .expect("suggest_query returns a graph vertex")
+            .algorithm(alg)
+            .budget(budget)
+            .samples(samples)
+    };
     let mut rows = Vec::new();
     for &c in &[1.01f64, 1.2, 2.0, 4.0, 16.0] {
-        let mut cfg = SolverConfig::paper(Algorithm::FtMDs, budget, seed);
-        cfg.samples = samples;
-        cfg.ds_penalty_c = c;
-        let r = solve(&g, q, &cfg);
+        let r = query(Algorithm::FtMDs)
+            .ds_penalty_c(c)
+            .run()
+            .expect("valid query");
         rows.push(Row {
             x: format!("c={c}"),
             cells: vec![Cell {
@@ -38,9 +47,7 @@ pub fn param_c(scale: &Scale, seed: u64) -> Report {
         ("FT+M (ref)", Algorithm::FtM),
         ("Dijkstra (ref)", Algorithm::Dijkstra),
     ] {
-        let mut cfg = SolverConfig::paper(alg, budget, seed);
-        cfg.samples = samples;
-        let r = solve(&g, q, &cfg);
+        let r = query(alg).run().expect("valid query");
         rows.push(Row {
             x: label.into(),
             cells: vec![Cell {

@@ -1,7 +1,7 @@
 //! Shared machinery for the figure experiments: scales, algorithm roster,
 //! and the per-workload timing loop.
 
-use flowmax_core::{solve, Algorithm, SolverConfig};
+use flowmax_core::{Algorithm, Session};
 use flowmax_datasets::suggest_query;
 use flowmax_graph::ProbabilisticGraph;
 
@@ -56,22 +56,32 @@ pub fn roster() -> Vec<Algorithm> {
 }
 
 /// Runs every algorithm on one workload and returns a table row's cells.
+///
+/// All runs share one [`Session`], so per-graph state (e.g. the Dijkstra
+/// baseline's spanning tree) is computed once per workload.
 pub fn run_workload(
     graph: &ProbabilisticGraph,
     algorithms: &[Algorithm],
     cfg: &RunConfig,
 ) -> Vec<Cell> {
     let query = suggest_query(graph);
+    let session = Session::new(graph).with_seed(cfg.seed);
     algorithms
         .iter()
         .map(|&alg| {
-            let mut sc = SolverConfig::paper(alg, cfg.budget, cfg.seed);
-            sc.samples = if alg == Algorithm::Naive {
+            let samples = if alg == Algorithm::Naive {
                 cfg.naive_samples
             } else {
                 cfg.samples
             };
-            let r = solve(graph, query, &sc);
+            let r = session
+                .query(query)
+                .expect("suggest_query returns a graph vertex")
+                .algorithm(alg)
+                .budget(cfg.budget)
+                .samples(samples)
+                .run()
+                .expect("experiment budgets and samples are positive");
             Cell {
                 flow: r.flow,
                 millis: r.elapsed.as_secs_f64() * 1e3,

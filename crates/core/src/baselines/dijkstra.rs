@@ -2,17 +2,20 @@
 //!
 //! Transforming `w(e) = −ln P(e)` and running Dijkstra from `Q` yields, in
 //! settle order, a spanning tree maximizing each vertex's best-path
-//! probability [32]. For budget `k`, the first `k` tree edges are selected.
+//! probability \[32\]. For budget `k`, the first `k` tree edges are selected.
 //! The result is a tree, so its expected flow is computed *exactly* and
 //! analytically (Theorem 2) — this baseline never samples, which is why it
 //! is the fastest and least effective algorithm in the paper's evaluation.
 
-use flowmax_graph::{max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, VertexId};
+use flowmax_graph::{
+    max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, SpanningTree, VertexId,
+};
 
 use crate::estimator::{EstimatorConfig, SamplingProvider};
 use crate::ftree::FTree;
 use crate::metrics::SelectionMetrics;
 use crate::selection::greedy::SelectionOutcome;
+use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
 
 /// Runs the Dijkstra spanning-tree baseline with edge budget `budget`.
 pub fn dijkstra_select(
@@ -22,6 +25,20 @@ pub fn dijkstra_select(
     include_query: bool,
 ) -> SelectionOutcome {
     let tree = max_probability_spanning_tree_full(graph, query);
+    dijkstra_select_from_tree(graph, &tree, budget, include_query, &mut NoObserver)
+}
+
+/// [`dijkstra_select`] over a precomputed spanning tree (the tree depends
+/// only on the graph and the query vertex, so multi-query sessions cache
+/// it), streaming one [`SelectionStep`] per activated tree edge.
+pub fn dijkstra_select_from_tree(
+    graph: &ProbabilisticGraph,
+    tree: &SpanningTree,
+    budget: usize,
+    include_query: bool,
+    observer: &mut dyn SelectionObserver,
+) -> SelectionOutcome {
+    let query = tree.source;
     let selected: Vec<EdgeId> = tree.first_edges(budget);
 
     // A spanning tree is mono-connected: the F-tree computes its flow
@@ -30,11 +47,24 @@ pub fn dijkstra_select(
     let mut ftree = FTree::new(graph, query);
     let mut provider = SamplingProvider::new(EstimatorConfig::exact(), 0);
     let mut flow_trace = Vec::with_capacity(selected.len());
-    for &e in &selected {
+    let mut prev_flow = 0.0;
+    for (iter, &e) in selected.iter().enumerate() {
         ftree
             .insert_edge(graph, e, &mut provider)
             .expect("settle order inserts parents before children");
-        flow_trace.push(ftree.expected_flow(graph, include_query));
+        let flow = ftree.expected_flow(graph, include_query);
+        flow_trace.push(flow);
+        observer.on_step(&SelectionStep {
+            iteration: iter,
+            edge: e,
+            gain: flow - prev_flow,
+            flow,
+            pool: 1,
+            probes: 0,
+            ci_pruned: 0,
+            ds_skipped: 0,
+        });
+        prev_flow = flow;
     }
     let final_flow = flow_trace.last().copied().unwrap_or(0.0);
     let metrics = SelectionMetrics {

@@ -1,5 +1,5 @@
 //! The *Naive* baseline (§7.2): greedy edge selection with whole-subgraph
-//! Monte-Carlo flow estimation [7], [22] and no F-tree.
+//! Monte-Carlo flow estimation \[7\], \[22\] and no F-tree.
 //!
 //! Every probe samples the entire candidate subgraph `E_i ∪ {e}` (1000
 //! worlds by default) — the cost and variance the F-tree exists to avoid.
@@ -13,6 +13,7 @@ use flowmax_sampling::{default_threads, ParallelEstimator, SeedSequence};
 use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
 use crate::selection::greedy::SelectionOutcome;
+use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
 
 /// Configuration of the naive baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,18 @@ pub fn naive_select(
     query: VertexId,
     config: &NaiveConfig,
 ) -> SelectionOutcome {
+    naive_select_observed(graph, query, config, &mut NoObserver)
+}
+
+/// [`naive_select`] with a [`SelectionObserver`] receiving one
+/// [`SelectionStep`] per committed edge, while the run executes. The
+/// observer is passive: observed and unobserved runs are bit-identical.
+pub fn naive_select_observed(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    config: &NaiveConfig,
+    observer: &mut dyn SelectionObserver,
+) -> SelectionOutcome {
     let engine = ParallelEstimator::new(config.threads);
     // One child sequence per probe: probe `i` is a pure function of
     // `(seed, i)` no matter how many workers sample its batches.
@@ -67,9 +80,11 @@ pub fn naive_select(
     let mut flow_trace = Vec::new();
     let mut final_flow = 0.0;
 
-    for _ in 0..config.budget {
+    for iter in 0..config.budget {
         let mut best: Option<(EdgeId, f64)> = None;
+        let mut pool = 0usize;
         for e in candidates.to_vec() {
+            pool += 1;
             // Probe: estimate the flow of E_i ∪ {e} by sampling the whole
             // candidate subgraph.
             selected.insert(e);
@@ -98,6 +113,16 @@ pub fn naive_select(
         for v in [a, b] {
             candidates.vertex_joined(graph, v, &selected);
         }
+        observer.on_step(&SelectionStep {
+            iteration: iter,
+            edge,
+            gain: flow - final_flow,
+            flow,
+            pool,
+            probes: pool as u64,
+            ci_pruned: 0,
+            ds_skipped: 0,
+        });
         final_flow = flow;
         flow_trace.push(flow);
     }

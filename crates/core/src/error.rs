@@ -21,6 +21,19 @@ pub enum CoreError {
     EmptyBudget,
     /// The query vertex has no incident edges; no flow can ever be gained.
     IsolatedQuery(VertexId),
+    /// The query vertex does not exist in the session's graph.
+    QueryOutOfBounds {
+        /// The rejected query vertex.
+        query: VertexId,
+        /// Number of vertices in the graph (valid ids are `0..count`).
+        vertex_count: usize,
+    },
+    /// The Monte-Carlo sample budget is zero; every sampled estimate would
+    /// be undefined.
+    ZeroSamples,
+    /// The algorithm name did not match any of the paper's seven algorithms
+    /// (see [`Algorithm::parse`](crate::solver::Algorithm::parse)).
+    UnknownAlgorithm(String),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +54,21 @@ impl fmt::Display for CoreError {
             CoreError::IsolatedQuery(q) => {
                 write!(f, "query vertex {q:?} has no incident edges")
             }
+            CoreError::QueryOutOfBounds {
+                query,
+                vertex_count,
+            } => write!(
+                f,
+                "query vertex {query:?} is out of bounds for a graph with {vertex_count} vertices"
+            ),
+            CoreError::ZeroSamples => {
+                write!(f, "the Monte-Carlo sample budget must be at least 1")
+            }
+            CoreError::UnknownAlgorithm(name) => write!(
+                f,
+                "unknown algorithm {name:?} (expected one of Naive, Dijkstra, FT, FT+M, \
+                 FT+M+CI, FT+M+DS, FT+M+CI+DS)"
+            ),
         }
     }
 }
@@ -61,5 +89,15 @@ mod tests {
         };
         assert!(e.to_string().contains("v4"));
         assert!(CoreError::EmptyBudget.to_string().contains("budget"));
+        let e = CoreError::QueryOutOfBounds {
+            query: VertexId(9),
+            vertex_count: 4,
+        };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('4'));
+        assert!(CoreError::ZeroSamples.to_string().contains("sample"));
+        let e = CoreError::UnknownAlgorithm("FT+X".into());
+        assert!(e.to_string().contains("FT+X"));
+        assert!(e.to_string().contains("FT+M+CI+DS"));
     }
 }

@@ -17,8 +17,8 @@
 //! is guaranteed because an articulation vertex separates edge-disjoint
 //! subgraphs).
 //!
-//! Submodules: [`insert`] implements the edge-insertion cases I–IV of §5.4,
-//! [`flow`] the expected-flow computation, and [`validate`] an invariant
+//! Submodules: `insert` implements the edge-insertion cases I–IV of §5.4,
+//! `flow` the expected-flow computation, and `validate` an invariant
 //! checker used heavily by tests.
 
 mod flow;

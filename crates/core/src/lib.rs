@@ -4,11 +4,16 @@
 //! budgeted greedy edge selection with its heuristics (§6), the evaluation
 //! baselines (§7.2), and a brute-force optimum oracle for tiny instances.
 //!
+//! The entry point is the [`Session`] API: one session per graph, any
+//! number of queries through its typed builder, `Result`-based errors, and
+//! anytime results ([`SolveRun`]) that stream per-iteration
+//! [`SelectionStep`] events and answer every budget `≤ k` from one run.
+//!
 //! Quick start:
 //!
 //! ```
-//! use flowmax_core::{solve, Algorithm, SolverConfig};
-//! use flowmax_graph::{GraphBuilder, Probability, VertexId, Weight};
+//! use flowmax_core::{Algorithm, CoreError, Session};
+//! use flowmax_graph::{GraphBuilder, Probability, Weight};
 //!
 //! let mut b = GraphBuilder::new();
 //! let q = b.add_vertex(Weight::ZERO);
@@ -16,9 +21,15 @@
 //! b.add_edge(q, v, Probability::new(0.8).unwrap()).unwrap();
 //! let graph = b.build();
 //!
-//! let result = solve(&graph, q, &SolverConfig::paper(Algorithm::FtM, 1, 42));
-//! assert!((result.flow - 4.0).abs() < 1e-9);
+//! let session = Session::new(&graph).with_seed(42);
+//! let run = session.query(q)?.algorithm(Algorithm::FtM).budget(1).run()?;
+//! assert!((run.flow - 4.0).abs() < 1e-9);
+//! assert_eq!(run.steps.len(), 1); // one SelectionStep per selected edge
+//! # Ok::<(), CoreError>(())
 //! ```
+//!
+//! The legacy one-shot [`solve`]/[`SolverConfig`] API is a deprecated shim
+//! over the session and produces bit-identical results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,9 +41,10 @@ pub mod exact;
 pub mod ftree;
 pub mod metrics;
 pub mod selection;
+pub mod session;
 pub mod solver;
 
-pub use baselines::{dijkstra_select, naive_select, NaiveConfig};
+pub use baselines::{dijkstra_select, dijkstra_select_from_tree, naive_select, NaiveConfig};
 pub use error::CoreError;
 pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
@@ -42,9 +54,11 @@ pub use ftree::{
 };
 pub use metrics::SelectionMetrics;
 pub use selection::{
-    greedy_select, CandidateSet, CiEngine, DelayTracker, GreedyConfig, MemoProvider,
-    SelectionOutcome,
+    greedy_select, greedy_select_observed, CandidateSet, CiEngine, DelayTracker, GreedyConfig,
+    MemoProvider, NoObserver, SelectionObserver, SelectionOutcome, SelectionStep,
 };
+pub use session::{QueryBuilder, QuerySpec, Session, SolveRun};
+#[allow(deprecated)]
 pub use solver::{
     evaluate_selection, evaluate_selection_with_threads, solve, Algorithm, SolveResult,
     SolverConfig,

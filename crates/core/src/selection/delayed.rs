@@ -64,7 +64,7 @@ impl DelayTracker {
     /// edge, `cost` the number of edges sampled to probe the candidate.
     ///
     /// Returns the suspension applied — `⌊log_c(cost/pot)⌋` iterations
-    /// (capped at [`MAX_DELAY`]), or 0 when the candidate is not suspended.
+    /// (capped at `MAX_DELAY`), or 0 when the candidate is not suspended.
     pub fn record(&mut self, e: EdgeId, gain: f64, best_gain: f64, cost: usize) -> u32 {
         if cost == 0 {
             return 0; // analytic probes are free: never suspend.

@@ -28,6 +28,7 @@ use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
 use crate::selection::delayed::DelayTracker;
 use crate::selection::memo::MemoProvider;
+use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
 use crate::selection::racing::RaceDriver;
 
 /// Which implementation drives the §6.3 confidence-interval race.
@@ -164,6 +165,18 @@ pub fn greedy_select(
     query: VertexId,
     config: &GreedyConfig,
 ) -> SelectionOutcome {
+    greedy_select_observed(graph, query, config, &mut NoObserver)
+}
+
+/// [`greedy_select`] with a [`SelectionObserver`] receiving one
+/// [`SelectionStep`] per committed edge, while the run executes. The
+/// observer is passive: observed and unobserved runs are bit-identical.
+pub fn greedy_select_observed(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    config: &GreedyConfig,
+    observer: &mut dyn SelectionObserver,
+) -> SelectionOutcome {
     let estimator = EstimatorConfig {
         exact_edge_cap: config.exact_edge_cap,
         samples: config.samples,
@@ -184,10 +197,12 @@ pub fn greedy_select(
     let mut flow_trace = Vec::with_capacity(config.budget);
     let mut base_flow = 0.0;
 
-    for _iter in 0..config.budget {
+    for iter in 0..config.budget {
         if candidates.is_empty() {
             break;
         }
+        let probes_before = metrics.probes;
+        let ci_pruned_before = metrics.ci_pruned;
         // Gather the probe pool, honouring DS suspensions (§6.4: suspended
         // candidates never enter the round; if everything is suspended the
         // full pool is probed rather than stalling).
@@ -255,6 +270,16 @@ pub fn greedy_select(
 
         base_flow = tree.expected_flow(graph, config.include_query);
         flow_trace.push(base_flow);
+        observer.on_step(&SelectionStep {
+            iteration: iter,
+            edge: best_edge,
+            gain: base_flow - prev_flow,
+            flow: base_flow,
+            pool: pool.len(),
+            probes: metrics.probes - probes_before,
+            ci_pruned: metrics.ci_pruned - ci_pruned_before,
+            ds_skipped: skipped,
+        });
 
         if config.delayed_sampling {
             // Age existing suspensions *before* recording this iteration's:

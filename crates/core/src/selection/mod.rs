@@ -4,9 +4,11 @@ pub mod candidates;
 pub mod delayed;
 pub mod greedy;
 pub mod memo;
+pub mod observer;
 mod racing;
 
 pub use candidates::CandidateSet;
 pub use delayed::DelayTracker;
-pub use greedy::{greedy_select, CiEngine, GreedyConfig, SelectionOutcome};
+pub use greedy::{greedy_select, greedy_select_observed, CiEngine, GreedyConfig, SelectionOutcome};
 pub use memo::MemoProvider;
+pub use observer::{NoObserver, SelectionObserver, SelectionStep};

@@ -1,0 +1,809 @@
+//! The session-based solver API: reusable multi-query sessions, streaming
+//! selection, and `Result`-based errors.
+//!
+//! The paper's greedy selection (§6.1) is *anytime*: no iteration ever
+//! looks at the remaining budget, so the selection order at budget `k` is a
+//! valid answer for every budget `≤ k`. A [`Session`] exploits that — and
+//! the fact that per-graph state (the sampling worker configuration, seed
+//! derivation, the evaluation estimator, the Dijkstra baseline's spanning
+//! trees) is independent of any single query — to serve many queries and
+//! budgets from one set of shared state:
+//!
+//! * [`Session::query`] starts a typed builder; [`QueryBuilder::run`]
+//!   executes one query and returns a [`SolveRun`];
+//! * [`QueryBuilder::run_with`] additionally **streams** one
+//!   [`SelectionStep`] per committed edge while the run executes;
+//! * [`SolveRun::flow_at`] evaluates any prefix of the selection, so one
+//!   run at budget `K` answers every budget `≤ K` exactly as `K`
+//!   independent runs would;
+//! * [`Session::run_many`] shards a batch of independent queries across
+//!   the configured worker threads — the multi-user serving mode.
+//!
+//! Every entry point returns `Result<_, CoreError>` instead of panicking
+//! on invalid input. The legacy one-shot [`solve`](crate::solver::solve)
+//! API is a thin shim over this module and produces bit-identical results.
+//!
+//! ```
+//! use flowmax_core::{Algorithm, CoreError, Session};
+//! use flowmax_graph::{GraphBuilder, Probability, Weight};
+//!
+//! let mut b = GraphBuilder::new();
+//! let q = b.add_vertex(Weight::ZERO);
+//! let v = b.add_vertex(Weight::new(5.0).unwrap());
+//! b.add_edge(q, v, Probability::new(0.8).unwrap()).unwrap();
+//! let graph = b.build();
+//!
+//! let session = Session::new(&graph).with_seed(42);
+//! let run = session.query(q)?.algorithm(Algorithm::FtM).budget(1).run()?;
+//! assert_eq!(run.selected.len(), 1);
+//! assert!((run.flow - 4.0).abs() < 1e-9);
+//! # Ok::<(), CoreError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use flowmax_graph::{
+    max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, SpanningTree, VertexId,
+};
+use flowmax_sampling::ParallelEstimator;
+
+use crate::baselines::{dijkstra_select_from_tree, naive_select_observed, NaiveConfig};
+use crate::error::CoreError;
+use crate::estimator::EstimatorConfig;
+use crate::metrics::SelectionMetrics;
+use crate::selection::greedy::{greedy_select_observed, CiEngine, GreedyConfig};
+use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
+use crate::solver::{evaluate_selection_with_threads, Algorithm};
+
+/// Seed-stream tag separating the shared evaluator's randomness from the
+/// selection's (the legacy `solve` used the same tag, so session runs are
+/// bit-identical to it).
+pub(crate) const EVAL_SEED_TAG: u64 = 0xE7A1;
+
+/// A reusable multi-query solver session over one probabilistic graph.
+///
+/// The session owns everything that is per-graph rather than per-query:
+/// the worker-thread count for Monte-Carlo sampling, the master seed that
+/// queries derive their seeds from, the shared high-fidelity evaluation
+/// estimator, and a cache of Dijkstra spanning trees keyed by query
+/// vertex. Queries are configured through [`Session::query`]'s typed
+/// builder and executed with [`QueryBuilder::run`] /
+/// [`Session::run_many`].
+///
+/// Results never depend on the worker count or on whether queries run
+/// solo or batched — only wall-clock time does.
+#[derive(Debug)]
+pub struct Session<'g> {
+    graph: &'g ProbabilisticGraph,
+    threads: usize,
+    seed: u64,
+    evaluation: EstimatorConfig,
+    spanning_trees: Mutex<HashMap<VertexId, Arc<SpanningTree>>>,
+}
+
+impl<'g> Session<'g> {
+    /// A session over `graph` with the paper's defaults: master seed 42,
+    /// the hybrid evaluation estimator, and the `FLOWMAX_THREADS` worker
+    /// count (default 1).
+    pub fn new(graph: &'g ProbabilisticGraph) -> Self {
+        Session {
+            graph,
+            threads: flowmax_sampling::default_threads(),
+            seed: 42,
+            evaluation: EstimatorConfig::hybrid(16, 3000),
+            spanning_trees: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the worker-thread count for Monte-Carlo sampling (clamped to
+    /// at least 1). Changing this never changes results, only wall-clock
+    /// time — every sampling engine in the workspace is thread-count
+    /// invariant.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the master seed that queries default to.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the shared high-fidelity estimator used to evaluate every
+    /// final selection (and [`SolveRun::flow_at`] prefixes) uniformly
+    /// across algorithms.
+    pub fn with_evaluation(mut self, evaluation: EstimatorConfig) -> Self {
+        self.evaluation = evaluation;
+        self
+    }
+
+    /// The graph this session serves.
+    pub fn graph(&self) -> &'g ProbabilisticGraph {
+        self.graph
+    }
+
+    /// The sampling worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared evaluation estimator.
+    pub fn evaluation(&self) -> EstimatorConfig {
+        self.evaluation
+    }
+
+    /// Starts a query builder for query vertex `query`, at the paper's
+    /// defaults (`FT+M+CI+DS`, 1000 samples, α = 0.01, c = 2, the
+    /// session's master seed). The budget starts at 0 and **must** be set
+    /// with [`QueryBuilder::budget`] before running.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::QueryOutOfBounds`] if `query` is not a vertex of the
+    /// session's graph.
+    pub fn query(&self, query: VertexId) -> Result<QueryBuilder<'_, 'g>, CoreError> {
+        if query.index() >= self.graph.vertex_count() {
+            return Err(CoreError::QueryOutOfBounds {
+                query,
+                vertex_count: self.graph.vertex_count(),
+            });
+        }
+        Ok(QueryBuilder {
+            session: self,
+            spec: QuerySpec {
+                vertex: query,
+                algorithm: Algorithm::FtMCiDs,
+                budget: 0,
+                samples: 1000,
+                exact_edge_cap: 0,
+                alpha: 0.01,
+                ci_engine: CiEngine::BatchedRace,
+                ds_penalty_c: 2.0,
+                include_query: false,
+                seed: self.seed,
+                scalar_estimation: false,
+            },
+        })
+    }
+
+    /// Runs a batch of independent queries, sharding them across the
+    /// session's worker threads, and returns one [`SolveRun`] per spec in
+    /// input order.
+    ///
+    /// Each query is bit-identical to running it solo through
+    /// [`QueryBuilder::run`], at any thread count: when the batch is
+    /// sharded, each query samples single-threaded on its worker, and
+    /// every estimator in the workspace is thread-count invariant.
+    ///
+    /// # Errors
+    ///
+    /// Validates every spec up front (budget ≥ 1, samples ≥ 1, query in
+    /// bounds) and returns the first violation before any work runs.
+    ///
+    /// ```
+    /// use flowmax_core::{Algorithm, CoreError, Session};
+    /// use flowmax_graph::{GraphBuilder, Probability, VertexId, Weight};
+    ///
+    /// let mut b = GraphBuilder::new();
+    /// b.add_vertex(Weight::ZERO);
+    /// for w in [5.0, 3.0, 8.0] {
+    ///     b.add_vertex(Weight::new(w).unwrap());
+    /// }
+    /// let p = |v| Probability::new(v).unwrap();
+    /// b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap();
+    /// b.add_edge(VertexId(1), VertexId(2), p(0.7)).unwrap();
+    /// b.add_edge(VertexId(0), VertexId(3), p(0.6)).unwrap();
+    /// b.add_edge(VertexId(2), VertexId(3), p(0.5)).unwrap();
+    /// let graph = b.build();
+    ///
+    /// // Multi-user serving: several queries, one shared session.
+    /// let session = Session::new(&graph);
+    /// let specs = vec![
+    ///     session.query(VertexId(0))?.budget(2).samples(200).spec(),
+    ///     session.query(VertexId(2))?.budget(3).samples(200).spec(),
+    ///     session.query(VertexId(0))?.budget(2).samples(200).spec(),
+    /// ];
+    /// let runs = session.run_many(&specs)?;
+    /// assert_eq!(runs.len(), 3);
+    ///
+    /// // Batched runs are bit-identical to solo runs of the same spec.
+    /// let solo = session.query(VertexId(0))?.budget(2).samples(200).run()?;
+    /// assert_eq!(runs[0].selected, solo.selected);
+    /// assert_eq!(runs[0].flow, solo.flow);
+    /// // Repeated queries are bit-identical to each other.
+    /// assert_eq!(runs[0].selected, runs[2].selected);
+    /// assert_eq!(runs[0].flow, runs[2].flow);
+    /// # Ok::<(), CoreError>(())
+    /// ```
+    pub fn run_many(&self, specs: &[QuerySpec]) -> Result<Vec<SolveRun<'g>>, CoreError> {
+        for spec in specs {
+            self.validate(spec)?;
+        }
+        if specs.len() <= 1 || self.threads <= 1 {
+            return Ok(specs
+                .iter()
+                .map(|spec| self.execute(spec, self.threads, &mut NoObserver))
+                .collect());
+        }
+        let pool = ParallelEstimator::new(self.threads);
+        let mut runs = pool.run_jobs(specs.len(), |i| {
+            // Workers run whole queries, so each query samples on one
+            // thread; thread-count invariance makes this bit-identical to
+            // a solo multi-threaded run.
+            self.execute(&specs[i], 1, &mut NoObserver)
+        });
+        for run in &mut runs {
+            // The batch is done: later prefix evaluations (`flow_at`) run
+            // solo, so give them the session's full worker count (results
+            // are identical at any count, only wall-clock time changes).
+            run.threads = self.threads;
+        }
+        Ok(runs)
+    }
+
+    fn validate(&self, spec: &QuerySpec) -> Result<(), CoreError> {
+        if spec.vertex.index() >= self.graph.vertex_count() {
+            return Err(CoreError::QueryOutOfBounds {
+                query: spec.vertex,
+                vertex_count: self.graph.vertex_count(),
+            });
+        }
+        if spec.budget == 0 {
+            return Err(CoreError::EmptyBudget);
+        }
+        if spec.samples == 0 {
+            return Err(CoreError::ZeroSamples);
+        }
+        Ok(())
+    }
+
+    /// The cached maximum-probability spanning tree rooted at `query`
+    /// (computed on first use; reused by every later Dijkstra query).
+    fn spanning_tree(&self, query: VertexId) -> Arc<SpanningTree> {
+        let mut cache = self
+            .spanning_trees
+            .lock()
+            .expect("spanning-tree cache poisoned");
+        cache
+            .entry(query)
+            .or_insert_with(|| Arc::new(max_probability_spanning_tree_full(self.graph, query)))
+            .clone()
+    }
+
+    /// Runs one spec without validation (the legacy `solve` shim reaches
+    /// this directly to preserve its permissive behaviour bit for bit).
+    pub(crate) fn execute(
+        &self,
+        spec: &QuerySpec,
+        threads: usize,
+        observer: &mut dyn SelectionObserver,
+    ) -> SolveRun<'g> {
+        let mut collector = StepCollector {
+            steps: Vec::new(),
+            forward: observer,
+        };
+        let start = Instant::now();
+        let outcome = match spec.algorithm {
+            Algorithm::Naive => naive_select_observed(
+                self.graph,
+                spec.vertex,
+                &NaiveConfig {
+                    budget: spec.budget,
+                    samples: spec.samples,
+                    include_query: spec.include_query,
+                    seed: spec.seed,
+                    threads,
+                },
+                &mut collector,
+            ),
+            Algorithm::Dijkstra => {
+                let tree = self.spanning_tree(spec.vertex);
+                dijkstra_select_from_tree(
+                    self.graph,
+                    &tree,
+                    spec.budget,
+                    spec.include_query,
+                    &mut collector,
+                )
+            }
+            _ => greedy_select_observed(
+                self.graph,
+                spec.vertex,
+                &spec.greedy_config(threads),
+                &mut collector,
+            ),
+        };
+        let elapsed = start.elapsed();
+        let eval_seed = spec.seed ^ EVAL_SEED_TAG;
+        // Evaluate the selection exactly as the legacy `solve` did — in the
+        // algorithm's own output order (ascending edge ids for the F-tree
+        // algorithms, commit order for the baselines) — so session flows
+        // are bit-identical to the shim's.
+        let flow = evaluate_selection_with_threads(
+            self.graph,
+            spec.vertex,
+            &outcome.selected,
+            self.evaluation,
+            spec.include_query,
+            eval_seed,
+            threads,
+        );
+        // The public selection is the *commit order* (one edge per step);
+        // it is the same edge set as `outcome.selected`.
+        let selected: Vec<EdgeId> = collector.steps.iter().map(|s| s.edge).collect();
+        debug_assert_eq!(selected.len(), outcome.selected.len());
+        SolveRun {
+            graph: self.graph,
+            evaluation: self.evaluation,
+            include_query: spec.include_query,
+            eval_seed,
+            threads,
+            evaluated_order: outcome.selected,
+            query: spec.vertex,
+            algorithm: spec.algorithm,
+            selected,
+            steps: collector.steps,
+            flow,
+            algorithm_flow: outcome.final_flow,
+            elapsed,
+            metrics: outcome.metrics,
+        }
+    }
+}
+
+/// Collects the step stream for [`SolveRun::steps`] while forwarding each
+/// event to the caller's observer.
+struct StepCollector<'a> {
+    steps: Vec<SelectionStep>,
+    forward: &'a mut dyn SelectionObserver,
+}
+
+impl SelectionObserver for StepCollector<'_> {
+    fn on_step(&mut self, step: &SelectionStep) {
+        self.steps.push(*step);
+        self.forward.on_step(step);
+    }
+}
+
+/// A fully resolved query plan: the output of [`Session::query`]'s builder
+/// and the input of [`Session::run_many`].
+///
+/// Specs are plain values (`Copy`), so a serving loop can build them once
+/// and replay them; construct them through the builder so the query vertex
+/// is validated against the session's graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    pub(crate) vertex: VertexId,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) budget: usize,
+    pub(crate) samples: u32,
+    pub(crate) exact_edge_cap: usize,
+    pub(crate) alpha: f64,
+    pub(crate) ci_engine: CiEngine,
+    pub(crate) ds_penalty_c: f64,
+    pub(crate) include_query: bool,
+    pub(crate) seed: u64,
+    pub(crate) scalar_estimation: bool,
+}
+
+impl QuerySpec {
+    /// The query vertex.
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// The selected algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The edge budget `k`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The single conversion path from a query spec to the greedy
+    /// selection's configuration: both structs are handled exhaustively
+    /// (no `..` on either side), so adding a knob to one of them is a
+    /// compile error here instead of a silently missing field.
+    pub(crate) fn greedy_config(&self, threads: usize) -> GreedyConfig {
+        let QuerySpec {
+            vertex: _,
+            algorithm,
+            budget,
+            samples,
+            exact_edge_cap,
+            alpha,
+            ci_engine,
+            ds_penalty_c,
+            include_query,
+            seed,
+            scalar_estimation,
+        } = *self;
+        let (memoize, confidence_pruning, delayed_sampling) = match algorithm {
+            Algorithm::Naive | Algorithm::Dijkstra | Algorithm::Ft => (false, false, false),
+            Algorithm::FtM => (true, false, false),
+            Algorithm::FtMCi => (true, true, false),
+            Algorithm::FtMDs => (true, false, true),
+            Algorithm::FtMCiDs => (true, true, true),
+        };
+        GreedyConfig {
+            budget,
+            samples,
+            exact_edge_cap,
+            memoize,
+            confidence_pruning,
+            ci_engine,
+            delayed_sampling,
+            ds_penalty_c,
+            alpha,
+            include_query,
+            seed,
+            threads,
+            scalar_estimation,
+        }
+    }
+}
+
+/// A typed, chainable configuration builder for one query, created by
+/// [`Session::query`]. Finish with [`run`](QueryBuilder::run),
+/// [`run_with`](QueryBuilder::run_with) for streaming, or
+/// [`spec`](QueryBuilder::spec) to extract the plan for
+/// [`Session::run_many`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryBuilder<'s, 'g> {
+    session: &'s Session<'g>,
+    spec: QuerySpec,
+}
+
+impl<'s, 'g> QueryBuilder<'s, 'g> {
+    /// Selects the algorithm (default: the paper's headline
+    /// `FT+M+CI+DS`).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.spec.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the edge budget `k` (required; `run` rejects 0).
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.spec.budget = budget;
+        self
+    }
+
+    /// Sets the Monte-Carlo samples per component estimation (paper:
+    /// 1000).
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.spec.samples = samples;
+        self
+    }
+
+    /// Components with at most this many uncertain edges are enumerated
+    /// exactly during selection instead of sampled (0 = pure Monte-Carlo,
+    /// the paper's setting).
+    pub fn exact_edge_cap(mut self, cap: usize) -> Self {
+        self.spec.exact_edge_cap = cap;
+        self
+    }
+
+    /// Sets the CI significance level `α` (paper: 0.01).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.spec.alpha = alpha;
+        self
+    }
+
+    /// Picks the §6.3 race engine for the `CI` variants (default: the
+    /// batched racing engine).
+    pub fn ci_engine(mut self, engine: CiEngine) -> Self {
+        self.spec.ci_engine = engine;
+        self
+    }
+
+    /// Sets the delayed-sampling penalty `c` (paper: 2).
+    pub fn ds_penalty_c(mut self, c: f64) -> Self {
+        self.spec.ds_penalty_c = c;
+        self
+    }
+
+    /// Whether `W(Q)` counts toward the flow (default: no).
+    pub fn include_query(mut self, include: bool) -> Self {
+        self.spec.include_query = include;
+        self
+    }
+
+    /// Overrides the session's master seed for this query.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Estimates components with the scalar one-world-per-BFS reference
+    /// kernel instead of the bit-parallel engine (baseline benchmarking).
+    pub fn scalar_estimation(mut self, scalar: bool) -> Self {
+        self.spec.scalar_estimation = scalar;
+        self
+    }
+
+    /// Extracts the validated query plan, e.g. for [`Session::run_many`].
+    pub fn spec(self) -> QuerySpec {
+        self.spec
+    }
+
+    /// Runs the query.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyBudget`] if no budget was set (or it is 0);
+    /// [`CoreError::ZeroSamples`] if the sample budget is 0.
+    pub fn run(self) -> Result<SolveRun<'g>, CoreError> {
+        self.run_with(&mut NoObserver)
+    }
+
+    /// Runs the query, streaming one [`SelectionStep`] per committed edge
+    /// to `observer` while the selection executes. Closures observe too:
+    ///
+    /// ```no_run
+    /// # use flowmax_core::{Algorithm, CoreError, SelectionStep, Session};
+    /// # use flowmax_graph::{GraphBuilder, VertexId, Weight};
+    /// # let graph = { let mut b = GraphBuilder::new(); b.add_vertex(Weight::ZERO); b.build() };
+    /// # let session = Session::new(&graph);
+    /// let run = session
+    ///     .query(VertexId(0))?
+    ///     .budget(8)
+    ///     .run_with(&mut |step: &SelectionStep| {
+    ///         println!("picked {} (flow {:.3})", step.edge, step.flow);
+    ///     })?;
+    /// # Ok::<(), CoreError>(())
+    /// ```
+    pub fn run_with(self, observer: &mut dyn SelectionObserver) -> Result<SolveRun<'g>, CoreError> {
+        self.session.validate(&self.spec)?;
+        Ok(self
+            .session
+            .execute(&self.spec, self.session.threads, observer))
+    }
+}
+
+/// The result of one session query: the full anytime record of a
+/// selection run, not just its endpoint.
+///
+/// Beyond the fields of the legacy `SolveResult`, a run keeps the
+/// per-iteration [`steps`](SolveRun::steps) stream and can evaluate any
+/// prefix of its selection with [`flow_at`](SolveRun::flow_at) — one run
+/// at budget `K` answers every budget `≤ K` exactly as independent runs
+/// would.
+#[derive(Debug, Clone)]
+pub struct SolveRun<'g> {
+    graph: &'g ProbabilisticGraph,
+    evaluation: EstimatorConfig,
+    include_query: bool,
+    eval_seed: u64,
+    threads: usize,
+    /// The selection in the order the legacy `solve` evaluated (and
+    /// returned) it: ascending edge ids for the F-tree algorithms, commit
+    /// order for the baselines. Kept so the deprecated shim stays
+    /// bit-identical.
+    pub(crate) evaluated_order: Vec<EdgeId>,
+    /// The query vertex.
+    pub query: VertexId,
+    /// The algorithm that produced the run.
+    pub algorithm: Algorithm,
+    /// Selected edges in commit (selection) order — `selected[i]` is the
+    /// edge of `steps[i]`.
+    pub selected: Vec<EdgeId>,
+    /// One step per committed edge, in commit order.
+    pub steps: Vec<SelectionStep>,
+    /// Flow of the full selection under the session's shared
+    /// high-fidelity evaluator.
+    pub flow: f64,
+    /// Flow as estimated by the algorithm itself during selection.
+    pub algorithm_flow: f64,
+    /// Wall-clock time of the selection (excludes final evaluation).
+    pub elapsed: Duration,
+    /// Work counters from the selection.
+    pub metrics: SelectionMetrics,
+}
+
+impl SolveRun<'_> {
+    /// The selection truncated to `budget` edges — exactly the selection
+    /// an independent run of the same spec at that budget would produce
+    /// (the anytime prefix property).
+    pub fn selection_at(&self, budget: usize) -> &[EdgeId] {
+        &self.selected[..budget.min(self.selected.len())]
+    }
+
+    /// Evaluates the first `budget` selected edges with the session's
+    /// shared evaluator — bit-identical to the `flow` of an independent
+    /// run of the same spec at budget `budget`.
+    pub fn flow_at(&self, budget: usize) -> f64 {
+        if budget >= self.selected.len() {
+            return self.flow;
+        }
+        // An independent run at this budget would hand the evaluator its
+        // own output order: ascending edge ids for the F-tree algorithms
+        // (their selection is an `EdgeSubset`), commit order for the
+        // baselines. Mirror that exactly so the sampled evaluation draws
+        // the same estimates bit for bit.
+        let mut prefix = self.selection_at(budget).to_vec();
+        if !matches!(self.algorithm, Algorithm::Naive | Algorithm::Dijkstra) {
+            prefix.sort_unstable();
+        }
+        evaluate_selection_with_threads(
+            self.graph,
+            self.query,
+            &prefix,
+            self.evaluation,
+            self.include_query,
+            self.eval_seed,
+            self.threads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmax_graph::{GraphBuilder, Probability, Weight};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    /// The solver-test graph: unambiguous greedy ranking.
+    fn graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ZERO); // Q
+        for w in [5.0, 3.0, 8.0, 1.0] {
+            b.add_vertex(Weight::new(w).unwrap());
+        }
+        b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap();
+        b.add_edge(VertexId(0), VertexId(2), p(0.8)).unwrap();
+        b.add_edge(VertexId(1), VertexId(3), p(0.7)).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), p(0.6)).unwrap();
+        b.add_edge(VertexId(3), VertexId(4), p(0.5)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        let g = graph();
+        let session = Session::new(&g);
+        assert!(matches!(
+            session.query(VertexId(99)),
+            Err(CoreError::QueryOutOfBounds { .. })
+        ));
+        let no_budget = session.query(VertexId(0)).unwrap().run();
+        assert!(matches!(no_budget, Err(CoreError::EmptyBudget)));
+        let no_samples = session
+            .query(VertexId(0))
+            .unwrap()
+            .budget(2)
+            .samples(0)
+            .run();
+        assert!(matches!(no_samples, Err(CoreError::ZeroSamples)));
+    }
+
+    #[test]
+    fn run_streams_one_step_per_selected_edge() {
+        let g = graph();
+        let session = Session::new(&g).with_seed(7);
+        let mut streamed = Vec::new();
+        let run = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::FtM)
+            .budget(3)
+            .run_with(&mut |s: &SelectionStep| streamed.push(s.edge))
+            .unwrap();
+        assert_eq!(run.steps.len(), run.selected.len());
+        assert_eq!(streamed, run.selected);
+        for (i, step) in run.steps.iter().enumerate() {
+            assert_eq!(step.iteration, i);
+            assert_eq!(step.edge, run.selected[i]);
+        }
+        // The cumulative flow of the last step is the run's own estimate.
+        assert_eq!(run.steps.last().unwrap().flow, run.algorithm_flow);
+    }
+
+    #[test]
+    fn flow_at_full_budget_is_the_final_flow() {
+        let g = graph();
+        let session = Session::new(&g).with_seed(3);
+        let run = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::FtMCiDs)
+            .budget(4)
+            .run()
+            .unwrap();
+        assert_eq!(run.flow_at(run.selected.len()), run.flow);
+        assert_eq!(run.flow_at(usize::MAX), run.flow);
+        assert_eq!(run.flow_at(0), 0.0);
+        assert_eq!(run.selection_at(2), &run.selected[..2]);
+    }
+
+    #[test]
+    fn dijkstra_spanning_tree_is_cached_across_queries() {
+        let g = graph();
+        let session = Session::new(&g);
+        let a = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(2)
+            .run()
+            .unwrap();
+        assert_eq!(session.spanning_trees.lock().unwrap().len(), 1);
+        let b = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(4)
+            .run()
+            .unwrap();
+        assert_eq!(session.spanning_trees.lock().unwrap().len(), 1);
+        // Anytime property across budgets on the cached tree.
+        assert_eq!(a.selected, b.selection_at(2));
+    }
+
+    #[test]
+    fn run_many_matches_solo_runs_in_order() {
+        let g = graph();
+        for threads in [1usize, 2, 8] {
+            let session = Session::new(&g).with_threads(threads).with_seed(11);
+            let specs = vec![
+                session
+                    .query(VertexId(0))
+                    .unwrap()
+                    .algorithm(Algorithm::FtM)
+                    .budget(2)
+                    .spec(),
+                session
+                    .query(VertexId(3))
+                    .unwrap()
+                    .algorithm(Algorithm::FtMCiDs)
+                    .budget(3)
+                    .spec(),
+                session
+                    .query(VertexId(0))
+                    .unwrap()
+                    .algorithm(Algorithm::Naive)
+                    .budget(2)
+                    .samples(100)
+                    .spec(),
+            ];
+            let runs = session.run_many(&specs).unwrap();
+            assert_eq!(runs.len(), specs.len());
+            for (spec, run) in specs.iter().zip(&runs) {
+                let solo = QueryBuilder {
+                    session: &session,
+                    spec: *spec,
+                }
+                .run()
+                .unwrap();
+                assert_eq!(solo.selected, run.selected, "threads={threads}");
+                assert_eq!(solo.flow, run.flow, "threads={threads}");
+                assert_eq!(solo.algorithm_flow, run.algorithm_flow);
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_validates_before_running() {
+        let g = graph();
+        let session = Session::new(&g);
+        let good = session.query(VertexId(0)).unwrap().budget(1).spec();
+        let bad = session.query(VertexId(0)).unwrap().spec(); // budget 0
+        assert!(matches!(
+            session.run_many(&[good, bad]),
+            Err(CoreError::EmptyBudget)
+        ));
+        assert!(session.run_many(&[]).unwrap().is_empty());
+    }
+}

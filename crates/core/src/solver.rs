@@ -1,26 +1,34 @@
-//! The top-level solver: one entry point for all seven evaluated algorithms
-//! (§7.2), with uniform final-flow evaluation for fair comparison.
+//! The algorithm roster (§7.2), the shared uniform final-flow evaluator,
+//! and the legacy one-shot `solve` entry point.
 //!
 //! The paper compares algorithms by the expected flow of their *selected
 //! subgraphs*. Since each algorithm estimates flow with different noise
-//! during selection, `solve` re-evaluates every final selection with one
+//! during selection, every run re-evaluates its final selection with one
 //! shared high-fidelity evaluator (exact for small components, heavily
 //! sampled otherwise) so reported flows are comparable.
+//!
+//! [`solve`] and [`SolverConfig`] are **deprecated shims** over the
+//! session API ([`crate::session::Session`]): they rebuild all per-graph
+//! state on every call and panic instead of returning errors. They produce
+//! bit-identical results to the equivalent session query and remain for
+//! migration only.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 
-use crate::baselines::{dijkstra_select, naive_select, NaiveConfig};
+use crate::error::CoreError;
 use crate::estimator::{EstimatorConfig, SamplingProvider};
 use crate::ftree::FTree;
 use crate::metrics::SelectionMetrics;
-use crate::selection::greedy::{greedy_select, CiEngine, GreedyConfig, SelectionOutcome};
+use crate::selection::greedy::CiEngine;
+use crate::selection::observer::NoObserver;
+use crate::session::{QuerySpec, Session};
 
 /// The algorithms evaluated in §7.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
-    /// Whole-graph sampling greedy, no F-tree [7], [22].
+    /// Whole-graph sampling greedy, no F-tree \[7\], \[22\].
     Naive,
     /// Maximum-probability spanning tree (first `k` edges).
     Dijkstra,
@@ -79,7 +87,20 @@ impl Algorithm {
     }
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = CoreError;
+
+    /// [`Algorithm::parse`] with a typed error for `Result` pipelines.
+    fn from_str(s: &str) -> Result<Algorithm, CoreError> {
+        Algorithm::parse(s).ok_or_else(|| CoreError::UnknownAlgorithm(s.to_string()))
+    }
+}
+
 /// Solver configuration shared by all algorithms.
+#[deprecated(
+    since = "0.5.0",
+    note = "configure queries through `Session::query`'s builder instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Which algorithm to run.
@@ -114,6 +135,7 @@ pub struct SolverConfig {
     pub scalar_estimation: bool,
 }
 
+#[allow(deprecated)]
 impl SolverConfig {
     /// Paper defaults for `algorithm` at budget `k`, with the
     /// `FLOWMAX_THREADS` worker count (default 1).
@@ -153,59 +175,62 @@ pub struct SolveResult {
 }
 
 /// Runs one algorithm end to end and evaluates its selection uniformly.
+///
+/// This is a thin shim over the session API: it builds a throwaway
+/// [`Session`], runs one query, and discards the shared state. The
+/// destructuring below is exhaustive on purpose — adding a knob to
+/// `SolverConfig` without routing it through [`QuerySpec`] (the single
+/// conversion path to `GreedyConfig`) is a compile error, not a silently
+/// ignored field.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Session::new(graph).query(q)?...run()?`; one session serves many queries"
+)]
+#[allow(deprecated)]
 pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig) -> SolveResult {
-    let start = Instant::now();
-    let outcome: SelectionOutcome = match config.algorithm {
-        Algorithm::Naive => naive_select(
-            graph,
-            query,
-            &NaiveConfig {
-                budget: config.budget,
-                samples: config.samples,
-                include_query: config.include_query,
-                seed: config.seed,
-                threads: config.threads,
-            },
-        ),
-        Algorithm::Dijkstra => dijkstra_select(graph, query, config.budget, config.include_query),
-        alg => {
-            let mut g = GreedyConfig::ft(config.budget, config.seed);
-            g.samples = config.samples;
-            g.exact_edge_cap = config.exact_edge_cap;
-            g.alpha = config.alpha;
-            g.ci_engine = config.ci_engine;
-            g.ds_penalty_c = config.ds_penalty_c;
-            g.include_query = config.include_query;
-            g.threads = config.threads;
-            g.scalar_estimation = config.scalar_estimation;
-            match alg {
-                Algorithm::Ft => {}
-                Algorithm::FtM => g = g.with_memo(),
-                Algorithm::FtMCi => g = g.with_memo().with_ci(),
-                Algorithm::FtMDs => g = g.with_memo().with_ds(),
-                Algorithm::FtMCiDs => g = g.with_memo().with_ci().with_ds(),
-                _ => unreachable!(),
-            }
-            greedy_select(graph, query, &g)
-        }
+    let SolverConfig {
+        algorithm,
+        budget,
+        samples,
+        exact_edge_cap,
+        alpha,
+        ci_engine,
+        ds_penalty_c,
+        include_query,
+        seed,
+        evaluation,
+        threads,
+        scalar_estimation,
+    } = *config;
+    let session = Session::new(graph)
+        .with_threads(threads)
+        .with_seed(seed)
+        .with_evaluation(evaluation);
+    let spec = QuerySpec {
+        vertex: query,
+        algorithm,
+        budget,
+        samples,
+        exact_edge_cap,
+        alpha,
+        ci_engine,
+        ds_penalty_c,
+        include_query,
+        seed,
+        scalar_estimation,
     };
-    let elapsed = start.elapsed();
-    let flow = evaluate_selection_with_threads(
-        graph,
-        query,
-        &outcome.selected,
-        config.evaluation,
-        config.include_query,
-        config.seed ^ 0xE7A1,
-        config.threads,
-    );
+    // The legacy API tolerated degenerate configs (zero budget, isolated
+    // queries) without erroring, so the shim skips builder validation.
+    let run = session.execute(&spec, session.threads(), &mut NoObserver);
     SolveResult {
-        algorithm: config.algorithm,
-        selected: outcome.selected,
-        flow,
-        algorithm_flow: outcome.final_flow,
-        elapsed,
-        metrics: outcome.metrics,
+        algorithm,
+        // The legacy output order (ascending ids for F-tree algorithms),
+        // not the session's commit order.
+        selected: run.evaluated_order,
+        flow: run.flow,
+        algorithm_flow: run.algorithm_flow,
+        elapsed: run.elapsed,
+        metrics: run.metrics,
     }
 }
 
@@ -271,6 +296,10 @@ pub fn evaluate_selection_with_threads(
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the legacy shim's behaviour (the session API has its
+    // own suite in `session.rs` and `tests/session_api.rs`).
+    #![allow(deprecated)]
+
     use super::*;
     use flowmax_graph::{GraphBuilder, Probability, Weight};
 

@@ -2,7 +2,7 @@
 //! dataset (§7.1, Fig. 9(b)).
 //!
 //! The paper's snapshot is a *highly connected* circle of 535 users with 10k
-//! edges, post-processed with the close-friends probability model of [36]:
+//! edges, post-processed with the close-friends probability model of \[36\]:
 //! 10 random neighbours per user receive probabilities uniform in
 //! `[0.5, 1.0]` ("close friends", ≈20 per user by symmetry), every other edge
 //! uniform in `(0, 0.5]`. We synthesize the same shape: a dense uniform

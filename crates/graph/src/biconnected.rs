@@ -1,7 +1,7 @@
 //! Biconnected components and articulation vertices (Hopcroft–Tarjan).
 //!
 //! The F-tree (§5.3) is "inspired by the block-cut tree"; this module
-//! provides the classical static decomposition [14], [35] used as
+//! provides the classical static decomposition \[14\], \[35\] used as
 //! * the reference oracle that validates the incrementally maintained F-tree
 //!   in tests, and
 //! * a substrate for the [`crate::block_cut::BlockCutTree`].

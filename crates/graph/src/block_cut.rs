@@ -1,4 +1,4 @@
-//! The block-cut tree [14], [35], [37]: the static structure the F-tree
+//! The block-cut tree \[14\], \[35\], \[37\]: the static structure the F-tree
 //! generalizes.
 //!
 //! Nodes are the biconnected blocks plus the articulation (cut) vertices;

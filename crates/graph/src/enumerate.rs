@@ -1,6 +1,6 @@
 //! Exact possible-world enumeration.
 //!
-//! Computing reachability probabilities is #P-hard in general (§3, [5]), but
+//! Computing reachability probabilities is #P-hard in general (§3, \[5\]), but
 //! for graphs (or F-tree components) with few uncertain edges the full
 //! `2^|E_{<1}|` world space can be enumerated exactly. This module is the
 //! ground truth used by tests, by the `Exact` component estimator, and by the

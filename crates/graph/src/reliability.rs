@@ -1,12 +1,12 @@
 //! Analytic two-terminal reliability bounds.
 //!
-//! §2 of the paper surveys reliability bounds ([3], [4], [9], [19], [29]) as
+//! §2 of the paper surveys reliability bounds (\[3\], \[4\], \[9\], \[19\], \[29\]) as
 //! an alternative to sampling and rejects them: the cheap ones are too loose,
 //! the tight ones too expensive. This module implements the two cheap bounds
 //! the paper explicitly discusses, so that the claim is *measurable* here
 //! (see the `ablation` bench and the tests below):
 //!
-//! * **lower bound** — the probability of the most probable path [19],
+//! * **lower bound** — the probability of the most probable path \[19\],
 //!   computed with the max-probability Dijkstra of [`crate::spanning`];
 //! * **upper bound** — a min-cut argument: every `Q`–`v` connection crosses
 //!   any cut separating them, so the probability that *some* edge of the cut

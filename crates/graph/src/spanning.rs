@@ -1,7 +1,7 @@
 //! Maximum-probability spanning trees (the *Dijkstra* baseline substrate).
 //!
 //! Transforming edge probabilities to additive costs `w(e) = −ln P(e)` turns
-//! "most probable path" into "shortest path" [32], so running Dijkstra from
+//! "most probable path" into "shortest path" \[32\], so running Dijkstra from
 //! the query vertex yields, at every iteration, a spanning tree maximizing the
 //! connection probability from `Q` to every settled vertex (§7.2 "Dijkstra").
 //! The baseline activates the first `k` tree edges in settle order.

@@ -1,7 +1,7 @@
 //! Multi-threaded, thread-count-invariant Monte-Carlo estimation.
 //!
 //! [`ParallelEstimator`] splits a sample budget into batches of
-//! [`LANES`](crate::batch::LANES) worlds, evaluates each batch with the
+//! [`LANES`] worlds, evaluates each batch with the
 //! bit-parallel kernel of [`crate::batch`], and shards batches across a
 //! `std::thread` worker pool. Batch `b` draws lane `w`'s coins from the
 //! seed-sequence child `b * LANES + w`, so each batch is a pure function of
@@ -215,6 +215,29 @@ impl ParallelEstimator {
         self.threads
     }
 
+    /// Runs `jobs` independent jobs on the worker pool and returns their
+    /// results in job order: job `i` is `run(i)`.
+    ///
+    /// This is the coarse-grained counterpart of the batched estimators —
+    /// instead of sharding one estimation's sample batches, it shards whole
+    /// independent work items (e.g. a multi-query solver session's queries)
+    /// across the same pool. Jobs are split into contiguous chunks, so
+    /// which worker runs a job never changes *what* the job computes; as
+    /// everywhere in this crate, the thread count affects only wall-clock
+    /// time, provided `run` is itself a pure function of the job index.
+    pub fn run_jobs<T, F>(&self, jobs: usize, run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        parallel_chunks(jobs, self.threads, |range| {
+            range.map(&run).collect::<Vec<T>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Batched equivalent of [`crate::reachability::sample_reachability`]:
     /// per-vertex reachability counts from `query` over `samples` worlds of
     /// the `active` subgraph.
@@ -332,7 +355,7 @@ impl ParallelEstimator {
     ///
     /// This is where the racing engine's speedup over per-candidate
     /// estimation comes from: individual component probes are far too small
-    /// to amortize worker spawn/join (see [`effective_workers`]) and run
+    /// to amortize worker spawn/join (see `effective_workers`) and run
     /// sequentially, but the union of all surviving candidates' batches in
     /// a round is large enough to keep every worker busy.
     pub fn sample_component_worlds(&self, requests: &[WorldsRequest<'_>]) -> Vec<Vec<u32>> {
@@ -564,6 +587,18 @@ mod tests {
         assert!((1..=8).contains(&mid));
         // Degenerate inputs stay sane.
         assert_eq!(effective_workers(0, 1, 0), 1);
+    }
+
+    #[test]
+    fn run_jobs_preserves_job_order_at_every_thread_count() {
+        let compute = |i: usize| i * i;
+        let expected: Vec<usize> = (0..23).map(compute).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ParallelEstimator::new(threads).run_jobs(23, compute);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+        let empty = ParallelEstimator::new(4).run_jobs(0, compute);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Whole-subgraph Monte-Carlo reachability estimation — the *Naive*
-//! estimator of [7], [22] used as the baseline in §7.2.
+//! estimator of \[7\], \[22\] used as the baseline in §7.2.
 //!
 //! Each sample draws a full possible world of the active subgraph, runs a BFS
 //! from the query vertex, and records which vertices were reached. This is

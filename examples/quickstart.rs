@@ -36,13 +36,23 @@ fn main() {
     println!("graph: {}", flowmax::graph::GraphStats::compute(&graph));
     println!("query: vertex {q} with budget k = 5\n");
 
+    // One session serves every query against this graph: the worker count,
+    // seed derivation and evaluation estimator are shared across runs.
+    let session = Session::new(&graph).with_seed(42);
+
     println!(
         "{:<12} {:>10} {:>8} {:>12}  selected edges",
         "algorithm", "E[flow]", "probes", "time"
     );
     for alg in Algorithm::all() {
-        let result = solve(&graph, q, &SolverConfig::paper(alg, 5, 42));
-        let edges: Vec<String> = result
+        let run = session
+            .query(q)
+            .expect("q is a graph vertex")
+            .algorithm(alg)
+            .budget(5)
+            .run()
+            .expect("budget and samples are positive");
+        let edges: Vec<String> = run
             .selected
             .iter()
             .map(|&e| {
@@ -60,17 +70,31 @@ fn main() {
         println!(
             "{:<12} {:>10.4} {:>8} {:>10.1?}  [{}]",
             alg.name(),
-            result.flow,
-            result.metrics.probes,
-            result.elapsed,
+            run.flow,
+            run.metrics.probes,
+            run.elapsed,
             edges.join(", ")
         );
     }
 
+    // The anytime property: one FT+M+CI+DS run at k = 5 answers every
+    // smaller budget too, via its prefix evaluations.
+    let run = session
+        .query(q)
+        .expect("q is a graph vertex")
+        .budget(5)
+        .run()
+        .expect("valid query");
+    print!("\nFT+M+CI+DS flow by budget (one run):");
+    for k in 1..=run.selected.len() {
+        print!("  k={k}: {:.3}", run.flow_at(k));
+    }
+    println!();
+
     // The brute-force optimum is tractable at this size: show the gap.
     let optimum = exact_max_flow(&graph, q, 5, false).expect("10 edges is enumerable");
     println!(
-        "\nexact optimum over all ≤5-edge subsets: {:.4}",
+        "exact optimum over all ≤5-edge subsets: {:.4}",
         optimum.flow
     );
 }

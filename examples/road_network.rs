@@ -37,19 +37,26 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>12}",
         "algorithm", "E[flow]", "sampled", "time"
     );
+    let session = Session::new(graph).with_seed(11);
     for alg in [
         Algorithm::Dijkstra,
         Algorithm::FtM,
         Algorithm::FtMDs,
         Algorithm::FtMCiDs,
     ] {
-        let result = solve(graph, q, &SolverConfig::paper(alg, budget, 11));
+        let run = session
+            .query(q)
+            .expect("q is a graph vertex")
+            .algorithm(alg)
+            .budget(budget)
+            .run()
+            .expect("valid query");
         println!(
             "{:<12} {:>10.2} {:>10} {:>10.1?}",
             alg.name(),
-            result.flow,
-            result.metrics.components_sampled,
-            result.elapsed,
+            run.flow,
+            run.metrics.components_sampled,
+            run.elapsed,
         );
     }
     println!(

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example running_example`
 
-use flowmax::core::{dijkstra_select, exact_max_flow, EstimatorConfig, FTree, SamplingProvider};
+use flowmax::core::{exact_max_flow, Algorithm, EstimatorConfig, FTree, SamplingProvider, Session};
 use flowmax::graph::{
     exact_expected_flow, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId,
     Weight, DEFAULT_ENUMERATION_CAP,
@@ -92,10 +92,19 @@ fn main() {
     let flow_all = exact_expected_flow(&g, &all, q, false, DEFAULT_ENUMERATION_CAP).unwrap();
     println!("all 10 edges activated:      E[flow] = {flow_all:.4}  (paper: ≈2.51)");
 
-    let dj = dijkstra_select(&g, q, usize::MAX, false);
+    let session = Session::new(&g);
+    let dj = session
+        .query(q)
+        .expect("q is a graph vertex")
+        .algorithm(Algorithm::Dijkstra)
+        .budget(usize::MAX)
+        .run()
+        .expect("valid query");
     println!(
         "Dijkstra spanning tree:      E[flow] = {:.4} with {} edges  (paper: 1.59, 6 edges)",
-        dj.final_flow,
+        // Spanning trees are mono-connected: the algorithm's own flow is
+        // exact and analytic (Theorem 2), no sampling involved.
+        dj.algorithm_flow,
         dj.selected.len()
     );
 
@@ -109,7 +118,7 @@ fn main() {
          and beats the {}-edge spanning tree by {:.1}%\n",
         100.0 * opt5.flow / flow_all,
         dj.selected.len(),
-        100.0 * (opt5.flow - dj.final_flow) / dj.final_flow
+        100.0 * (opt5.flow - dj.algorithm_flow) / dj.algorithm_flow
     );
 
     // ---- Figure 3 / Example 2 -------------------------------------------

@@ -45,14 +45,21 @@ fn main() {
         "{:<12} {:>12} {:>10} {:>12}",
         "algorithm", "E[endorse]", "probes", "time"
     );
+    let session = Session::new(&graph).with_seed(5);
     for alg in [Algorithm::Dijkstra, Algorithm::FtM, Algorithm::FtMCiDs] {
-        let result = solve(&graph, q, &SolverConfig::paper(alg, budget, 5));
+        let run = session
+            .query(q)
+            .expect("q is a graph vertex")
+            .algorithm(alg)
+            .budget(budget)
+            .run()
+            .expect("valid query");
         println!(
             "{:<12} {:>12.2} {:>10} {:>10.1?}",
             alg.name(),
-            result.flow,
-            result.metrics.probes,
-            result.elapsed,
+            run.flow,
+            run.metrics.probes,
+            run.elapsed,
         );
     }
     println!(

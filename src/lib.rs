@@ -24,6 +24,11 @@
 //!
 //! ## Quick start
 //!
+//! A [`core::Session`] owns the per-graph state (worker configuration,
+//! seeds, the shared evaluator, per-graph caches) and serves any number of
+//! queries
+//! through a typed builder:
+//!
 //! ```
 //! use flowmax::prelude::*;
 //!
@@ -38,9 +43,13 @@
 //! let graph = b.build();
 //!
 //! // Select the best 2 edges for query q with the FT+M algorithm.
-//! let result = solve(&graph, q, &SolverConfig::paper(Algorithm::FtM, 2, 42));
-//! assert_eq!(result.selected.len(), 2);
-//! assert!(result.flow > 4.0);
+//! let session = Session::new(&graph).with_seed(42);
+//! let run = session.query(q)?.algorithm(Algorithm::FtM).budget(2).run()?;
+//! assert_eq!(run.selected.len(), 2);
+//! assert!(run.flow > 4.0);
+//! // One run answers every budget ≤ 2 (the anytime property).
+//! assert!(run.flow_at(1) <= run.flow + 1e-9);
+//! # Ok::<(), flowmax::core::CoreError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -54,9 +63,12 @@ pub use flowmax_sampling as sampling;
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use flowmax_core::{
-        evaluate_selection, exact_max_flow, greedy_select, solve, Algorithm, EstimatorConfig,
-        FTree, GreedyConfig, SamplingProvider, SolveResult, SolverConfig,
+        evaluate_selection, exact_max_flow, greedy_select, Algorithm, EstimatorConfig, FTree,
+        GreedyConfig, QueryBuilder, QuerySpec, SamplingProvider, SelectionObserver, SelectionStep,
+        Session, SolveResult, SolveRun,
     };
+    #[allow(deprecated)]
+    pub use flowmax_core::{solve, SolverConfig};
     pub use flowmax_datasets::{suggest_query, DatasetSpec};
     pub use flowmax_graph::{
         EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,

@@ -3,20 +3,22 @@
 //! ```text
 //! flowmax solve  --graph g.txt --query 0 --budget 20 [--algorithm FT+M]
 //!                [--samples 1000] [--seed 42] [--threads 8] [--include-query]
-//!                [--dot out.dot]
+//!                [--trace] [--dot out.dot]
 //! flowmax stats  --graph g.txt
 //! flowmax exact  --graph g.txt --query 0 --budget 5
 //! flowmax generate --dataset erdos --vertices 1000 --degree 6 [--seed 42] > g.txt
 //! ```
 //!
 //! Graphs use the `flowmax-graph v1` text format (see `flowmax::graph::io`);
-//! `generate` writes one to stdout so the commands compose.
+//! `generate` writes one to stdout so the commands compose. Unknown options
+//! are rejected (not silently ignored), and `solve` streams per-iteration
+//! selection steps with `--trace`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use flowmax::core::{exact_max_flow, solve, Algorithm, CiEngine, SolverConfig};
+use flowmax::core::{exact_max_flow, Algorithm, CiEngine, SelectionStep, Session};
 use flowmax::datasets::{
     CollaborationConfig, ErdosConfig, PartitionedConfig, PreferentialConfig, RoadConfig,
     SocialCircleConfig, WsnConfig,
@@ -29,23 +31,46 @@ struct Args {
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Args {
+    /// Parses `--name value` pairs and bare `--name` flags against a
+    /// command's allowlists. Anything not listed is an error — a typo like
+    /// `--bugdet 5` must fail loudly instead of silently running with the
+    /// default budget.
+    fn parse(
+        raw: &[String],
+        allowed_values: &[&str],
+        allowed_flags: &[&str],
+    ) -> Result<Args, String> {
         let mut values = Vec::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < raw.len() {
             let a = &raw[i];
-            if let Some(name) = a.strip_prefix("--") {
-                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
-                    values.push((name.to_string(), raw[i + 1].clone()));
-                    i += 1;
-                } else {
-                    flags.push(name.to_string());
-                }
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?} (options start with --)"));
+            };
+            if allowed_flags.contains(&name) {
+                flags.push(name.to_string());
+            } else if allowed_values.contains(&name) {
+                let Some(value) = raw.get(i + 1) else {
+                    return Err(format!("option --{name} requires a value"));
+                };
+                values.push((name.to_string(), value.clone()));
+                i += 1;
+            } else {
+                let mut known: Vec<String> = allowed_values
+                    .iter()
+                    .chain(allowed_flags)
+                    .map(|n| format!("--{n}"))
+                    .collect();
+                known.sort();
+                return Err(format!(
+                    "unknown option --{name} (expected one of: {})",
+                    known.join(", ")
+                ));
             }
             i += 1;
         }
-        Args { values, flags }
+        Ok(Args { values, flags })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -89,32 +114,60 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 fn cmd_solve(args: &Args) -> Result<(), String> {
     let graph = load_graph(args.require("graph")?)?;
     let query = VertexId(args.parse_opt("query", 0u32)?);
-    if query.index() >= graph.vertex_count() {
-        return Err(format!("query vertex {query} out of bounds"));
-    }
     let budget: usize = args.parse_opt("budget", 10)?;
-    let alg_name = args.get("algorithm").unwrap_or("FT+M");
-    let algorithm = Algorithm::parse(alg_name)
-        .ok_or_else(|| format!("unknown algorithm {alg_name:?} (try FT, FT+M, Naive, Dijkstra)"))?;
-    let mut config = SolverConfig::paper(algorithm, budget, args.parse_opt("seed", 42u64)?);
-    config.samples = args.parse_opt("samples", 1000u32)?;
-    config.include_query = args.has_flag("include-query");
-    // Worker threads for the batched sampling engine; the default honours
-    // FLOWMAX_THREADS. Results are identical at any thread count.
-    config.threads = args.parse_opt("threads", config.threads)?;
-    if config.threads == 0 {
+    if budget == 0 {
+        return Err("--budget must be at least 1 (k edges to select)".to_string());
+    }
+    let algorithm: Algorithm = args
+        .get("algorithm")
+        .unwrap_or("FT+M")
+        .parse()
+        .map_err(|e: flowmax::core::CoreError| e.to_string())?;
+    let threads: usize = args.parse_opt("threads", flowmax::sampling::default_threads())?;
+    if threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
     // §6.3 race engine for the CI variants: "batched" (default) drives
     // rounds as multi-candidate jobs on the parallel sampler; "scalar" is
-    // the pinned reference race.
-    config.ci_engine = match args.get("ci-race").unwrap_or("batched") {
+    // the pinned reference race. Case-insensitive.
+    let ci_engine = match args
+        .get("ci-race")
+        .unwrap_or("batched")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "batched" => CiEngine::BatchedRace,
         "scalar" => CiEngine::ScalarReference,
         other => return Err(format!("unknown --ci-race {other:?} (batched, scalar)")),
     };
 
-    let result = solve(&graph, query, &config);
+    // Worker threads shard the batched sampling engine; results are
+    // identical at any thread count, only wall-clock time changes.
+    let session = Session::new(&graph)
+        .with_threads(threads)
+        .with_seed(args.parse_opt("seed", 42u64)?);
+    let builder = session
+        .query(query)
+        .map_err(|e| e.to_string())?
+        .algorithm(algorithm)
+        .budget(budget)
+        .samples(args.parse_opt("samples", 1000u32)?)
+        .include_query(args.has_flag("include-query"))
+        .ci_engine(ci_engine);
+    let result = if args.has_flag("trace") {
+        // Stream each committed edge as the greedy loop runs — the anytime
+        // view: the first k lines are the answer for budget k.
+        builder.run_with(&mut |step: &SelectionStep| {
+            let (a, b) = graph.endpoints(step.edge);
+            println!(
+                "iter {:>3}: edge {} ({} -- {})  gain {:+.4}  flow {:.4}  pool {}",
+                step.iteration, step.edge, a, b, step.gain, step.flow, step.pool
+            );
+        })
+    } else {
+        builder.run()
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "algorithm={} budget={} selected={} flow={:.6} time={:.3?}",
         algorithm.name(),
@@ -198,8 +251,8 @@ flowmax — budgeted information-flow maximization in probabilistic graphs
 USAGE:
   flowmax solve    --graph <file> [--query N] [--budget K] [--algorithm NAME]
                    [--samples N] [--seed N] [--threads N] [--include-query]
-                   [--ci-race batched|scalar] [--dot <file>]
-  flowmax exact    --graph <file> [--query N] [--budget K]
+                   [--ci-race batched|scalar] [--trace] [--dot <file>]
+  flowmax exact    --graph <file> [--query N] [--budget K] [--include-query]
   flowmax stats    --graph <file>
   flowmax generate --dataset <name> [--vertices N] [--degree D] [--seed N]
 
@@ -207,23 +260,53 @@ Algorithms: Naive, Dijkstra, FT, FT+M, FT+M+CI, FT+M+DS, FT+M+CI+DS
 Datasets:   erdos, partitioned, wsn, road, social-circle, collaboration, preferential
 ";
 
+/// Per-command option allowlists: `(value options, flag options)`.
+fn allowed_options(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    match command {
+        "solve" => Some((
+            &[
+                "graph",
+                "query",
+                "budget",
+                "algorithm",
+                "samples",
+                "seed",
+                "threads",
+                "ci-race",
+                "dot",
+            ],
+            &["include-query", "trace"],
+        )),
+        "exact" => Some((&["graph", "query", "budget"], &["include-query"])),
+        "stats" => Some((&["graph"], &[])),
+        "generate" => Some((&["dataset", "seed", "vertices", "degree", "epsilon"], &[])),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
-    let args = Args::parse(&raw[1..]);
     let result = match command.as_str() {
-        "solve" => cmd_solve(&args),
-        "exact" => cmd_exact(&args),
-        "stats" => cmd_stats(&args),
-        "generate" => cmd_generate(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        cmd => match allowed_options(cmd) {
+            None => Err(format!("unknown command {cmd:?}\n{USAGE}")),
+            Some((values, flags)) => {
+                Args::parse(&raw[1..], values, flags).and_then(|args| match cmd {
+                    "solve" => cmd_solve(&args),
+                    "exact" => cmd_exact(&args),
+                    "stats" => cmd_stats(&args),
+                    "generate" => cmd_generate(&args),
+                    _ => unreachable!("allowed_options covers exactly the commands"),
+                })
+            }
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -3,7 +3,7 @@
 //! weakest on cyclic/dense graphs; all FT variants deliver comparable flow
 //! with decreasing cost as heuristics stack.
 
-use flowmax::core::{solve, Algorithm, SolverConfig};
+use flowmax::core::{Algorithm, Session};
 use flowmax::datasets::{
     suggest_query, ErdosConfig, PartitionedConfig, SocialCircleConfig, WeightModel,
 };
@@ -12,11 +12,20 @@ use flowmax::datasets::{
 fn naive_works_orders_of_magnitude_harder_than_ft() {
     let g = ErdosConfig::paper(300, 6.0).generate(1);
     let q = suggest_query(&g);
-    let mut cfg = SolverConfig::paper(Algorithm::Naive, 12, 2);
-    cfg.samples = 200; // keep the naive baseline affordable in tests
-    let naive = solve(&g, q, &cfg);
-    cfg.algorithm = Algorithm::FtM;
-    let ft = solve(&g, q, &cfg);
+    let session = Session::new(&g).with_seed(2);
+    // 200 samples keeps the naive baseline affordable in tests.
+    let run = |alg| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(12)
+            .samples(200)
+            .run()
+            .unwrap()
+    };
+    let naive = run(Algorithm::Naive);
+    let ft = run(Algorithm::FtM);
     assert!(
         naive.metrics.edge_samples_drawn > 20 * ft.metrics.edge_samples_drawn.max(1),
         "naive per-edge sampling work ({}) must dwarf FT+M ({})",
@@ -35,8 +44,18 @@ fn dijkstra_never_samples_and_loses_flow_on_dense_graphs() {
     }
     .generate(3);
     let q = suggest_query(&g);
-    let dj = solve(&g, q, &SolverConfig::paper(Algorithm::Dijkstra, 25, 4));
-    let ft = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 25, 4));
+    let session = Session::new(&g).with_seed(4);
+    let run = |alg| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(25)
+            .run()
+            .unwrap()
+    };
+    let dj = run(Algorithm::Dijkstra);
+    let ft = run(Algorithm::FtM);
     assert_eq!(dj.metrics.components_sampled, 0);
     assert_eq!(dj.metrics.samples_drawn, 0);
     assert!(
@@ -51,9 +70,16 @@ fn dijkstra_never_samples_and_loses_flow_on_dense_graphs() {
 fn ft_variants_agree_on_flow_within_noise() {
     let g = PartitionedConfig::paper(300, 6).generate(5);
     let q = suggest_query(&g);
+    let session = Session::new(&g).with_seed(6);
     let mut flows = Vec::new();
     for alg in [Algorithm::Ft, Algorithm::FtM, Algorithm::FtMDs] {
-        let r = solve(&g, q, &SolverConfig::paper(alg, 20, 6));
+        let r = session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(20)
+            .run()
+            .unwrap();
         flows.push((alg.name(), r.flow));
     }
     let max = flows.iter().map(|&(_, f)| f).fold(f64::MIN, f64::max);
@@ -69,8 +95,18 @@ fn ft_variants_agree_on_flow_within_noise() {
 fn memoization_cuts_component_sampling() {
     let g = PartitionedConfig::paper(200, 6).generate(7);
     let q = suggest_query(&g);
-    let ft = solve(&g, q, &SolverConfig::paper(Algorithm::Ft, 25, 8));
-    let ftm = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 25, 8));
+    let session = Session::new(&g).with_seed(8);
+    let run = |alg| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(25)
+            .run()
+            .unwrap()
+    };
+    let ft = run(Algorithm::Ft);
+    let ftm = run(Algorithm::FtM);
     assert!(ftm.metrics.memo_hits > 0, "memoization must fire");
     assert!(
         ftm.metrics.components_sampled < ft.metrics.components_sampled,
@@ -84,8 +120,18 @@ fn memoization_cuts_component_sampling() {
 fn delayed_sampling_skips_probes() {
     let g = PartitionedConfig::paper(200, 8).generate(9);
     let q = suggest_query(&g);
-    let ftm = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 20, 10));
-    let ftmds = solve(&g, q, &SolverConfig::paper(Algorithm::FtMDs, 20, 10));
+    let session = Session::new(&g).with_seed(10);
+    let run = |alg| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(20)
+            .run()
+            .unwrap()
+    };
+    let ftm = run(Algorithm::FtM);
+    let ftmds = run(Algorithm::FtMDs);
     assert!(
         ftmds.metrics.ds_skipped > 0,
         "DS must suspend some candidates"
@@ -102,7 +148,14 @@ fn delayed_sampling_skips_probes() {
 fn ci_prunes_candidates() {
     let g = PartitionedConfig::paper(200, 6).generate(11);
     let q = suggest_query(&g);
-    let r = solve(&g, q, &SolverConfig::paper(Algorithm::FtMCi, 15, 12));
+    let session = Session::new(&g).with_seed(12);
+    let r = session
+        .query(q)
+        .unwrap()
+        .algorithm(Algorithm::FtMCi)
+        .budget(15)
+        .run()
+        .unwrap();
     assert!(
         r.metrics.ci_pruned > 0,
         "CI should eliminate at least some candidates on a cyclic workload"
@@ -115,10 +168,16 @@ fn all_algorithms_stay_within_total_weight() {
     let g = ErdosConfig::paper(150, 5.0).generate(13);
     let q = suggest_query(&g);
     let bound = g.total_weight();
+    let session = Session::new(&g).with_seed(14);
     for alg in Algorithm::all() {
-        let mut cfg = SolverConfig::paper(alg, 10, 14);
-        cfg.samples = 300;
-        let r = solve(&g, q, &cfg);
+        let r = session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(10)
+            .samples(300)
+            .run()
+            .unwrap();
         assert!(
             r.flow <= bound + 1e-6,
             "{}: flow {} exceeds total weight {bound}",

@@ -2,7 +2,7 @@
 //! evaluation) is a pure function of its master seed — and, for the batched
 //! engine, of the master seed *only*: thread counts never change results.
 
-use flowmax::core::{solve, Algorithm, SolverConfig};
+use flowmax::core::{Algorithm, Session};
 use flowmax::datasets::{suggest_query, DatasetSpec, ErdosConfig, PartitionedConfig, WsnConfig};
 use flowmax::graph::EdgeSubset;
 use flowmax::sampling::{ParallelEstimator, SeedSequence};
@@ -11,11 +11,20 @@ use flowmax::sampling::{ParallelEstimator, SeedSequence};
 fn solver_runs_are_bitwise_reproducible() {
     let g = ErdosConfig::paper(150, 5.0).generate(21);
     let q = suggest_query(&g);
+    let session = Session::new(&g).with_seed(77);
     for alg in Algorithm::all() {
-        let mut cfg = SolverConfig::paper(alg, 8, 77);
-        cfg.samples = 250;
-        let a = solve(&g, q, &cfg);
-        let b = solve(&g, q, &cfg);
+        let run = || {
+            session
+                .query(q)
+                .unwrap()
+                .algorithm(alg)
+                .budget(8)
+                .samples(250)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
         assert_eq!(a.selected, b.selected, "{} selection differs", alg.name());
         assert_eq!(a.flow, b.flow, "{} evaluated flow differs", alg.name());
         assert_eq!(
@@ -31,11 +40,20 @@ fn solver_runs_are_bitwise_reproducible() {
 fn different_seeds_change_sampled_algorithms() {
     let g = PartitionedConfig::paper(200, 6).generate(22);
     let q = suggest_query(&g);
-    let mut cfg = SolverConfig::paper(Algorithm::Ft, 12, 1);
-    cfg.samples = 100; // noisy on purpose
-    let a = solve(&g, q, &cfg);
-    cfg.seed = 2;
-    let b = solve(&g, q, &cfg);
+    let session = Session::new(&g);
+    let run = |seed: u64| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(Algorithm::Ft)
+            .budget(12)
+            .samples(100) // noisy on purpose
+            .seed(seed)
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
     // Selections usually differ under heavy sampling noise; at minimum the
     // internal flow estimates must differ.
     assert!(
@@ -97,10 +115,15 @@ fn solver_is_thread_count_invariant_for_naive_and_full_ft_stack() {
     let q = suggest_query(&g);
     for alg in [Algorithm::Naive, Algorithm::FtMCiDs] {
         let run = |threads: usize| {
-            let mut cfg = SolverConfig::paper(alg, 6, 5);
-            cfg.samples = 200;
-            cfg.threads = threads;
-            solve(&g, q, &cfg)
+            let session = Session::new(&g).with_threads(threads).with_seed(5);
+            session
+                .query(q)
+                .unwrap()
+                .algorithm(alg)
+                .budget(6)
+                .samples(200)
+                .run()
+                .unwrap()
         };
         let base = run(1);
         for threads in [2usize, 8] {
@@ -131,7 +154,18 @@ fn solver_is_thread_count_invariant_for_naive_and_full_ft_stack() {
 fn dijkstra_is_fully_deterministic_regardless_of_seed() {
     let g = PartitionedConfig::paper(150, 6).generate(23);
     let q = suggest_query(&g);
-    let a = solve(&g, q, &SolverConfig::paper(Algorithm::Dijkstra, 10, 1));
-    let b = solve(&g, q, &SolverConfig::paper(Algorithm::Dijkstra, 10, 999));
+    let session = Session::new(&g);
+    let dijkstra = |seed: u64| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(10)
+            .seed(seed)
+            .run()
+            .unwrap()
+    };
+    let a = dijkstra(1);
+    let b = dijkstra(999);
     assert_eq!(a.selected, b.selected, "spanning trees ignore the seed");
 }

@@ -1,7 +1,7 @@
 //! End-to-end pipeline smoke tests: every dataset spec through the full
 //! solver stack at test-friendly scales.
 
-use flowmax::core::{solve, Algorithm, SolverConfig};
+use flowmax::core::{Algorithm, Session};
 use flowmax::datasets::{
     suggest_query, CollaborationConfig, DatasetSpec, ErdosConfig, PartitionedConfig,
     PreferentialConfig, RoadConfig, SocialCircleConfig, WeightModel, WsnConfig,
@@ -29,9 +29,15 @@ fn every_workload_solves_with_the_full_heuristic_stack() {
     for spec in specs() {
         let g = spec.build(42);
         let q = suggest_query(&g);
-        let mut cfg = SolverConfig::paper(Algorithm::FtMCiDs, 15, 7);
-        cfg.samples = 300;
-        let r = solve(&g, q, &cfg);
+        let session = Session::new(&g).with_seed(7);
+        let r = session
+            .query(q)
+            .unwrap()
+            .algorithm(Algorithm::FtMCiDs)
+            .budget(15)
+            .samples(300)
+            .run()
+            .unwrap();
         assert!(!r.selected.is_empty(), "{}: nothing selected", spec.name());
         assert!(r.selected.len() <= 15, "{}: budget violated", spec.name());
         assert!(r.flow > 0.0, "{}: zero flow", spec.name());
@@ -49,9 +55,15 @@ fn selections_are_connected_to_the_query() {
     for spec in specs() {
         let g = spec.build(43);
         let q = suggest_query(&g);
-        let mut cfg = SolverConfig::paper(Algorithm::FtM, 12, 8);
-        cfg.samples = 200;
-        let r = solve(&g, q, &cfg);
+        let session = Session::new(&g).with_seed(8);
+        let r = session
+            .query(q)
+            .unwrap()
+            .algorithm(Algorithm::FtM)
+            .budget(12)
+            .samples(200)
+            .run()
+            .unwrap();
         let subset = EdgeSubset::from_edges(g.edge_count(), r.selected.iter().copied());
         let mut bfs = Bfs::new(g.vertex_count());
         let mut edge_touched = 0usize;
@@ -78,9 +90,15 @@ fn locality_keeps_selection_near_query() {
     let g = &wsn.graph;
     let q = suggest_query(g);
     let (qx, qy) = wsn.positions[q.index()];
-    let mut cfg = SolverConfig::paper(Algorithm::FtM, 20, 10);
-    cfg.samples = 200;
-    let r = solve(g, q, &cfg);
+    let session = Session::new(g).with_seed(10);
+    let r = session
+        .query(q)
+        .unwrap()
+        .algorithm(Algorithm::FtM)
+        .budget(20)
+        .samples(200)
+        .run()
+        .unwrap();
     for &e in &r.selected {
         let (a, b) = g.endpoints(e);
         for v in [a, b] {
@@ -100,7 +118,14 @@ fn evaluation_flow_tracks_algorithm_flow() {
     // algorithm's own final estimate.
     let g = ErdosConfig::paper(200, 5.0).generate(11);
     let q = suggest_query(&g);
-    let r = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, 15, 12));
+    let session = Session::new(&g).with_seed(12);
+    let r = session
+        .query(q)
+        .unwrap()
+        .algorithm(Algorithm::FtM)
+        .budget(15)
+        .run()
+        .unwrap();
     let rel = (r.flow - r.algorithm_flow).abs() / r.flow.max(1e-9);
     assert!(
         rel < 0.15,

@@ -2,8 +2,8 @@
 //! robustness of the pipeline under degenerate inputs.
 
 use flowmax::core::{
-    exact_max_flow, greedy_select, solve, Algorithm, CoreError, EstimatorConfig, FTree,
-    GreedyConfig, SamplingProvider, SolverConfig,
+    exact_max_flow, greedy_select, Algorithm, CoreError, EstimatorConfig, FTree, GreedyConfig,
+    SamplingProvider, Session,
 };
 use flowmax::graph::{
     exact_reachability, EdgeId, EdgeSubset, GraphBuilder, GraphError, Probability, VertexId, Weight,
@@ -71,8 +71,15 @@ fn solvers_handle_isolated_query_gracefully() {
     b.add_vertices(3, Weight::ONE);
     b.add_edge(VertexId(1), VertexId(2), p(0.9)).unwrap();
     let g = b.build();
+    let session = Session::new(&g).with_seed(1);
     for alg in Algorithm::all() {
-        let r = solve(&g, VertexId(0), &SolverConfig::paper(alg, 5, 1));
+        let r = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(alg)
+            .budget(5)
+            .run()
+            .unwrap();
         assert!(
             r.selected.is_empty(),
             "{}: selected from nothing",
@@ -87,13 +94,60 @@ fn solvers_handle_single_vertex_graph() {
     let mut b = GraphBuilder::new();
     b.add_vertex(Weight::new(7.0).unwrap());
     let g = b.build();
-    let r = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::FtM, 3, 1));
+    let session = Session::new(&g).with_seed(1);
+    let r = session
+        .query(VertexId(0))
+        .unwrap()
+        .algorithm(Algorithm::FtM)
+        .budget(3)
+        .run()
+        .unwrap();
     assert!(r.selected.is_empty());
     assert_eq!(r.flow, 0.0);
-    let mut cfg = SolverConfig::paper(Algorithm::Dijkstra, 3, 1);
-    cfg.include_query = true;
-    let r = solve(&g, VertexId(0), &cfg);
+    let r = session
+        .query(VertexId(0))
+        .unwrap()
+        .algorithm(Algorithm::Dijkstra)
+        .budget(3)
+        .include_query(true)
+        .run()
+        .unwrap();
     assert_eq!(r.flow, 7.0, "query's own weight with include_query");
+}
+
+#[test]
+fn session_rejects_invalid_queries_with_typed_errors() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(2, Weight::ONE);
+    b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap();
+    let g = b.build();
+    let session = Session::new(&g);
+
+    let err = session.query(VertexId(5)).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::QueryOutOfBounds {
+            query: VertexId(5),
+            vertex_count: 2
+        }
+    ));
+    assert!(err.to_string().contains("out of bounds"));
+
+    let err = session.query(VertexId(0)).unwrap().run().unwrap_err();
+    assert_eq!(err, CoreError::EmptyBudget);
+
+    let err = session
+        .query(VertexId(0))
+        .unwrap()
+        .budget(1)
+        .samples(0)
+        .run()
+        .unwrap_err();
+    assert_eq!(err, CoreError::ZeroSamples);
+
+    let err = "FT+NOPE".parse::<Algorithm>().unwrap_err();
+    assert_eq!(err, CoreError::UnknownAlgorithm("FT+NOPE".into()));
+    assert_eq!("ft+m+ci+ds".parse::<Algorithm>(), Ok(Algorithm::FtMCiDs));
 }
 
 #[test]

@@ -6,8 +6,8 @@
 //! public solver API.
 
 use flowmax::core::{
-    dijkstra_select, evaluate_selection, exact_max_flow, solve, Algorithm, ComponentView,
-    EstimatorConfig, FTree, InsertCase, SamplingProvider, SolverConfig,
+    dijkstra_select, evaluate_selection, exact_max_flow, Algorithm, ComponentView, EstimatorConfig,
+    FTree, InsertCase, SamplingProvider, Session,
 };
 use flowmax::graph::{
     exact_expected_flow, EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability,
@@ -315,9 +315,15 @@ fn section_6_4_delay_example_through_the_solver() {
 
     // End-to-end: 9 chain picks, then the chord is probed once (cost 10),
     // suspended for 9 iterations, and the remaining budget selects leaves.
-    let mut cfg = SolverConfig::paper(Algorithm::FtMDs, 19, 4);
-    cfg.exact_edge_cap = 24; // exact component estimates: the gain is exact
-    let r = solve(&g, VertexId(0), &cfg);
+    let session = Session::new(&g).with_seed(4);
+    let r = session
+        .query(VertexId(0))
+        .unwrap()
+        .algorithm(Algorithm::FtMDs)
+        .budget(19)
+        .exact_edge_cap(24) // exact component estimates: the gain is exact
+        .run()
+        .unwrap();
     assert_eq!(r.selected.len(), 19);
     assert_eq!(&r.selected[..9], &chain[..], "chain first");
     assert!(
@@ -349,12 +355,21 @@ fn section_6_3_race_prunes_dominated_cycle_candidate() {
 
     // Paper defaults: pure Monte-Carlo estimation, so the cycle candidate
     // e1 (true gain ≈ 8.1) really races and loses to e3 (gain 20).
-    let cfg = SolverConfig::paper(Algorithm::FtMCi, 3, 7);
-    let raced = solve(&g, VertexId(0), &cfg);
+    let session = Session::new(&g).with_seed(7);
+    let run = |alg| {
+        session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(alg)
+            .budget(3)
+            .run()
+            .unwrap()
+    };
+    let raced = run(Algorithm::FtMCi);
     assert_eq!(
         raced.selected,
         vec![EdgeId(0), EdgeId(2), EdgeId(3)],
-        "the dominated cycle edge must not be selected"
+        "commit order by gain; the dominated cycle edge must not be selected"
     );
     assert_eq!(
         raced.metrics.ci_pruned, 1,
@@ -362,7 +377,7 @@ fn section_6_3_race_prunes_dominated_cycle_candidate() {
     );
 
     // The unpruned FT+M run spends the full budget on e1 and still agrees.
-    let unpruned = solve(&g, VertexId(0), &SolverConfig::paper(Algorithm::FtM, 3, 7));
+    let unpruned = run(Algorithm::FtM);
     assert_eq!(unpruned.selected, raced.selected);
     assert_eq!(unpruned.metrics.ci_pruned, 0);
     assert!(

@@ -1,7 +1,7 @@
 //! Selection quality: the greedy heuristics against the brute-force optimum
 //! (Theorem 1 makes optimality NP-hard; §7 claims "high quality solutions").
 
-use flowmax::core::{exact_max_flow, greedy_select, solve, Algorithm, GreedyConfig, SolverConfig};
+use flowmax::core::{exact_max_flow, greedy_select, Algorithm, GreedyConfig, Session};
 use flowmax::graph::{GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight};
 use flowmax::sampling::SeedSequence;
 use rand::seq::SliceRandom;
@@ -128,8 +128,18 @@ fn greedy_dominates_dijkstra_with_cycles_available() {
     let g = b.build();
 
     let k = 5;
-    let ft = solve(&g, q, &SolverConfig::paper(Algorithm::FtM, k, 3));
-    let dj = solve(&g, q, &SolverConfig::paper(Algorithm::Dijkstra, k, 3));
+    let session = Session::new(&g).with_seed(3);
+    let run = |alg| {
+        session
+            .query(q)
+            .unwrap()
+            .algorithm(alg)
+            .budget(k)
+            .run()
+            .unwrap()
+    };
+    let ft = run(Algorithm::FtM);
+    let dj = run(Algorithm::Dijkstra);
     assert!(
         ft.flow > dj.flow * 1.3,
         "FT ({}) must clearly beat Dijkstra ({}) when cycles matter",
