@@ -49,15 +49,15 @@ fn setup(graph: &ProbabilisticGraph, k: usize) -> (FTree, SamplingProvider) {
 }
 
 /// First candidate edge whose insertion would take the wanted case, probed
-/// non-destructively.
+/// non-destructively (journalled apply + rollback under the hood).
 fn edge_for_case(
     graph: &ProbabilisticGraph,
-    tree: &FTree,
+    tree: &mut FTree,
     provider: &mut SamplingProvider,
     want: &[flowmax_core::InsertCase],
 ) -> Option<EdgeId> {
     let base = tree.expected_flow(graph, false);
-    graph.edge_ids().find(|&e| {
+    graph.edge_ids().collect::<Vec<_>>().into_iter().find(|&e| {
         if tree.selected_edges().contains(e) {
             return false;
         }
@@ -73,7 +73,7 @@ fn edge_for_case(
 
 fn bench_insert_cases(c: &mut Criterion) {
     let graph = PartitionedConfig::paper(2000, 6).generate(3);
-    let (tree, mut provider) = setup(&graph, 60);
+    let (mut tree, mut provider) = setup(&graph, 60);
 
     let mut group = c.benchmark_group("ftree_insert");
     group.sample_size(30);
@@ -86,7 +86,7 @@ fn bench_insert_cases(c: &mut Criterion) {
         ("case_iiia_cycle_in_bi", &[CycleInBi][..]),
         ("case_iv_cross_component", &[CycleAcross][..]),
     ] {
-        let Some(edge) = edge_for_case(&graph, &tree, &mut provider, cases) else {
+        let Some(edge) = edge_for_case(&graph, &mut tree, &mut provider, cases) else {
             eprintln!("warning: no candidate for {label}, skipping");
             continue;
         };

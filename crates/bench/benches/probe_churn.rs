@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark: per-candidate structural probe cost, journal
+//! engine vs the pinned clone-based reference.
+//!
+//! The workload is the diamond-chain of `flowmax_bench::probe_churn`: a
+//! fully selected chain of small bi-connected components with one
+//! cross-link chord per link. Probing a chord is a Case IV structural
+//! insertion across two adjacent components — the historical engine clones
+//! the whole tree per probe, the journal applies and rolls back touching
+//! only those two components. Both benches exercise the *plan* phase (the
+//! structural work); estimation cost is identical between engines and is
+//! excluded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowmax_bench::probe_churn::diamond_chain;
+use flowmax_core::{EstimatorConfig, FTree, SamplingProvider};
+use flowmax_graph::{EdgeId, VertexId};
+
+fn bench_probe_churn(c: &mut Criterion) {
+    let links = 60usize;
+    let graph = diamond_chain(links);
+    let mut provider = SamplingProvider::new(EstimatorConfig::monte_carlo(200), 5);
+    let mut tree = FTree::new(&graph, VertexId(0));
+    // Select every diamond edge (ids 0..4 per link block of 4 or 5), leaving
+    // the chords as perpetual structural candidates.
+    let chords: Vec<EdgeId> = graph
+        .edge_ids()
+        .filter(|&e| graph.probability(e).value() < 0.5)
+        .collect();
+    for e in graph.edge_ids() {
+        if graph.probability(e).value() >= 0.5 {
+            tree.insert_edge(&graph, e, &mut provider).unwrap();
+        }
+    }
+    assert_eq!(tree.edge_count(), 4 * links);
+    let base = tree.expected_flow(&graph, false);
+
+    let mut group = c.benchmark_group("probe_churn");
+    group.sample_size(20);
+    // One full chord sweep per iteration — the per-greedy-iteration shape.
+    group.bench_function("plan_sweep_journal", |b| {
+        b.iter(|| {
+            for &e in &chords {
+                let plan = tree.probe_plan(&graph, e, base).unwrap();
+                criterion::black_box(&plan);
+            }
+        })
+    });
+    group.bench_function("plan_sweep_cloning_reference", |b| {
+        b.iter(|| {
+            for &e in &chords {
+                let plan = tree.probe_plan_cloning(&graph, e, base).unwrap();
+                criterion::black_box(&plan);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_churn);
+criterion_main!(benches);

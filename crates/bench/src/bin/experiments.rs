@@ -5,16 +5,17 @@
 //! experiments all [--paper-scale]  # run everything
 //! experiments fig5a fig9b ...      # run specific figures
 //! experiments bench3               # candidate-race snapshot → BENCH_3.json
+//! experiments bench5               # probe-churn snapshot → BENCH_5.json
 //!   --paper-scale   use the paper's full sizes (slow)
 //!   --seed <n>      master seed (default 42)
 //!   --out <dir>     CSV output directory (default results/)
-//!   --reps <n>      repetitions per bench3 configuration (default 2)
+//!   --reps <n>      repetitions per bench configuration (default 2)
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use flowmax_bench::{candidate_race, registry, Scale};
+use flowmax_bench::{candidate_race, probe_churn, registry, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +73,30 @@ fn main() {
             }
         }
         ids.retain(|s| s != "bench3");
+        if ids.is_empty() {
+            return;
+        }
+    }
+
+    // The probe-churn snapshot: journal vs clone-based structural probing
+    // (BENCH_5.json, the PR-5 perf-trajectory artifact).
+    if ids.iter().any(|s| s == "bench5") {
+        let started = Instant::now();
+        let bench = probe_churn::run(&scale, reps);
+        print!("{}", bench.to_json());
+        let path = PathBuf::from("BENCH_5.json");
+        match bench.write_json(&path) {
+            Ok(()) => println!(
+                "# probe_churn completed in {:.1?}; wrote {}",
+                started.elapsed(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        ids.retain(|s| s != "bench5");
         if ids.is_empty() {
             return;
         }

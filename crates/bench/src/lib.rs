@@ -9,10 +9,12 @@
 
 pub mod candidate_race;
 pub mod experiments;
+pub mod probe_churn;
 pub mod report;
 pub mod runner;
 
 pub use candidate_race::{RaceBench, RaceMeasurement};
 pub use experiments::{registry, Experiment};
+pub use probe_churn::{ChurnBench, ChurnMeasurement};
 pub use report::{Cell, Report, Row};
 pub use runner::{names, roster, run_workload, RunConfig, Scale};

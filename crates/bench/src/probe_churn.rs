@@ -1,0 +1,229 @@
+//! The structural-probe-churn snapshot behind `BENCH_5.json`: selection
+//! wall-time of the journal-based probe engine versus the pinned
+//! clone-based reference on a workload built so that **structural**
+//! candidate probes (cases IIIb/IV) dominate every greedy iteration.
+//!
+//! The workload is a *diamond chain*: `B` links, each a 4-edge diamond
+//! `h_i → {a_i, b_i} → h_{i+1}` of near-certain edges, so the selected
+//! subgraph grows into a chain of `B` small bi-connected components. One
+//! low-probability rung chord `a_i – a_{i+1}` per link is never worth
+//! selecting but stays in the candidate list forever — every iteration
+//! re-probes every open chord, and each such probe is a Case IV structural
+//! insertion across two adjacent components. The clone-based engine pays a
+//! whole-tree copy (`O(B)` components) per chord probe; the journal pays
+//! only the two components the cycle touches. Selections are bit-identical
+//! between the engines, so the wall-time ratio isolates the probe-path
+//! change.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use flowmax_core::{Algorithm, Session};
+use flowmax_graph::{GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight};
+
+use crate::Scale;
+
+/// Builds the diamond-chain churn graph with `links` diamonds.
+///
+/// Vertices: `h_0 = Q`, then per link `a_i`, `b_i`, `h_{i+1}` — `3·links + 1`
+/// in total. Edges per link, in id order: `h_i–a_i`, `h_i–b_i`,
+/// `a_i–h_{i+1}`, `b_i–h_{i+1}` (probability 0.99, the selection targets)
+/// and the churn chord `a_i–a_{i+1}` (probability 0.05, structurally probed
+/// forever, never selected) for every link but the last.
+pub fn diamond_chain(links: usize) -> ProbabilisticGraph {
+    assert!(links >= 2, "need at least two links for cross-link chords");
+    let mut b = GraphBuilder::new();
+    let diamond = Probability::new(0.99).unwrap();
+    let chord = Probability::new(0.05).unwrap();
+    let h0 = b.add_vertex(Weight::ONE);
+    let mut hub = h0;
+    let mut prev_a: Option<VertexId> = None;
+    for _ in 0..links {
+        let a = b.add_vertex(Weight::ONE);
+        let bb = b.add_vertex(Weight::ONE);
+        let next = b.add_vertex(Weight::ONE);
+        b.add_edge(hub, a, diamond).unwrap();
+        b.add_edge(hub, bb, diamond).unwrap();
+        b.add_edge(a, next, diamond).unwrap();
+        b.add_edge(bb, next, diamond).unwrap();
+        if let Some(pa) = prev_a {
+            b.add_edge(pa, a, chord).unwrap();
+        }
+        prev_a = Some(a);
+        hub = next;
+    }
+    b.build()
+}
+
+/// One measured probe engine.
+#[derive(Debug, Clone)]
+pub struct ChurnMeasurement {
+    /// Engine name (`journal_probes` / `cloning_probes`).
+    pub name: String,
+    /// Selection wall-time in milliseconds (best of the repetitions).
+    pub selection_ms: f64,
+    /// Selection throughput: edges committed per second of selection time.
+    pub edges_per_sec: f64,
+    /// Candidate probes answered during the selection.
+    pub probes: u64,
+    /// Monte-Carlo worlds drawn during selection.
+    pub samples_drawn: u64,
+    /// Expected flow of the selection under the shared evaluator.
+    pub flow: f64,
+    /// Edges selected.
+    pub selected: usize,
+}
+
+/// The full snapshot.
+#[derive(Debug, Clone)]
+pub struct ChurnBench {
+    /// Workload shape.
+    pub graph: String,
+    /// Edge budget `k`.
+    pub budget: usize,
+    /// Monte-Carlo samples per component estimation.
+    pub samples: u32,
+    /// Both engines' measurements.
+    pub rows: Vec<ChurnMeasurement>,
+    /// Wall-time speedup of the journal engine over the clone-based
+    /// reference — the headline number (the ISSUE demands ≥ 2×).
+    pub speedup_cloning_vs_journal: f64,
+}
+
+fn measure(
+    graph: &ProbabilisticGraph,
+    name: &str,
+    cloning: bool,
+    budget: usize,
+    samples: u32,
+    reps: u32,
+) -> ChurnMeasurement {
+    let session = Session::new(graph).with_threads(1).with_seed(13);
+    let spec = session
+        .query(VertexId(0))
+        .expect("Q is a graph vertex")
+        .algorithm(Algorithm::FtM)
+        .budget(budget)
+        .samples(samples)
+        .cloning_probes(cloning)
+        .spec();
+    let mut best: Option<ChurnMeasurement> = None;
+    for _ in 0..reps.max(1) {
+        let r = &session.run_many(&[spec]).expect("validated spec")[0];
+        let secs = r.elapsed.as_secs_f64().max(1e-9);
+        let m = ChurnMeasurement {
+            name: name.to_string(),
+            selection_ms: secs * 1e3,
+            edges_per_sec: r.selected.len() as f64 / secs,
+            probes: r.metrics.probes,
+            samples_drawn: r.metrics.samples_drawn,
+            flow: r.flow,
+            selected: r.selected.len(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.selection_ms < b.selection_ms)
+        {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+/// Runs the snapshot: the same `FT+M` selection once per probe engine.
+/// Selections are bit-identical (asserted), so the ratio is pure probe-path
+/// wall time.
+pub fn run(scale: &Scale, reps: u32) -> ChurnBench {
+    let links = scale.pick(200, 100);
+    let graph = diamond_chain(links);
+    let budget = 4 * links; // exactly the diamond edges
+    let samples = 1000;
+    let journal = measure(&graph, "journal_probes", false, budget, samples, reps);
+    let cloning = measure(&graph, "cloning_probes", true, budget, samples, reps);
+    assert_eq!(
+        journal.flow, cloning.flow,
+        "probe engines must select bit-identically"
+    );
+    assert_eq!(journal.selected, cloning.selected);
+    let speedup = cloning.selection_ms / journal.selection_ms.max(1e-9);
+    ChurnBench {
+        graph: format!(
+            "diamond_chain(links={links}, n={}, m={})",
+            graph.vertex_count(),
+            graph.edge_count()
+        ),
+        budget,
+        samples,
+        speedup_cloning_vs_journal: speedup,
+        rows: vec![journal, cloning],
+    }
+}
+
+impl ChurnBench {
+    /// Renders the snapshot as pretty-printed JSON (assembled by hand — no
+    /// external crates in the build environment; every emitted value is a
+    /// plain number or an escape-free ASCII string).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"probe_churn\",");
+        let _ = writeln!(s, "  \"graph\": \"{}\",", self.graph);
+        let _ = writeln!(s, "  \"budget\": {},", self.budget);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(
+            s,
+            "  \"speedup_cloning_vs_journal\": {:.3},",
+            self.speedup_cloning_vs_journal
+        );
+        let _ = writeln!(s, "  \"configs\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+            let _ = writeln!(s, "      \"selection_ms\": {:.3},", r.selection_ms);
+            let _ = writeln!(s, "      \"edges_per_sec\": {:.1},", r.edges_per_sec);
+            let _ = writeln!(s, "      \"probes\": {},", r.probes);
+            let _ = writeln!(s, "      \"samples_drawn\": {},", r.samples_drawn);
+            let _ = writeln!(s, "      \"selected\": {},", r.selected);
+            let _ = writeln!(s, "      \"flow\": {:.6}", r.flow);
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes the JSON snapshot to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_chain_shape() {
+        let g = diamond_chain(5);
+        assert_eq!(g.vertex_count(), 16);
+        assert_eq!(g.edge_count(), 4 * 5 + 4);
+    }
+
+    #[test]
+    fn snapshot_emits_valid_shape() {
+        // A tiny run: both engines agree and the JSON mentions both rows.
+        let bench = ChurnBench {
+            graph: "diamond_chain(links=2)".into(),
+            budget: 8,
+            samples: 100,
+            speedup_cloning_vs_journal: 2.5,
+            rows: vec![],
+        };
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"probe_churn\""));
+        assert!(json.contains("\"speedup_cloning_vs_journal\": 2.500"));
+    }
+}

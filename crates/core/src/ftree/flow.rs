@@ -12,7 +12,13 @@
 //! * **Case IIIa** (cycle in a bi component): only that component is
 //!   re-estimated; flow is evaluated with the fresh estimate *overriding* the
 //!   stored one — no tree mutation;
-//! * **Cases IIIb/IV** (structural): the probe clones the tree and inserts.
+//! * **Cases IIIb/IV** (structural): the probe applies the insertion to the
+//!   *shared* tree through the undo journal ([`FTree::apply`]), evaluates,
+//!   and rolls back bit-identically ([`FTree::rollback`]) — `O(touched
+//!   components)` per probe instead of the historical whole-tree clone.
+//!   The clone-based path survives only as the pinned reference
+//!   ([`FTree::probe_plan_cloning`]) that benchmarks and equivalence tests
+//!   compare against.
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{ComponentEstimate, ComponentGraph};
@@ -21,19 +27,12 @@ use super::{ComponentId, FTree, InsertCase, Kind};
 use crate::error::CoreError;
 use crate::estimator::EstimateProvider;
 
-/// How per-vertex reach is read during a flow traversal.
-enum ReachView<'a> {
+/// How per-vertex reach is read during a flow traversal. (Probe scoring
+/// uses the fused three-accumulator traversal [`FTree::flow_triple`]
+/// instead — one pass yields point + both bounds.)
+enum ReachView {
     /// The tree's stored estimates.
     Stored,
-    /// Use a replacement estimate for one component (IIIa probes).
-    Override {
-        cid: ComponentId,
-        snapshot: &'a ComponentGraph,
-        estimate: &'a ComponentEstimate,
-        /// `Some((alpha, upper))`: evaluate the override at its confidence
-        /// bound instead of the point estimate.
-        bound: Option<(f64, bool)>,
-    },
     /// Evaluate one component at its confidence bounds (post-insert bounds
     /// for structural probes).
     Bound {
@@ -59,21 +58,26 @@ pub struct ProbeOutcome {
 }
 
 /// A probe split into its deterministic part and its deferred estimation —
-/// the shape the §6.3 racing engine needs: the structural work (leaf
-/// deltas, component snapshots, tree clones) happens **once**, and the
-/// probe is then [`score`](SampledProbe::score)d repeatedly as its
-/// component estimate grows across race rounds.
+/// the shape the §6.3 racing engine needs: the structural classification
+/// (leaf deltas, component snapshots) happens **once**, and the probe is
+/// then [`score`](SampledProbe::score)d repeatedly as its component
+/// estimate grows across race rounds.
 #[derive(Debug)]
 pub enum ProbePlan {
     /// Fully analytic (leaf) probe: the outcome is already exact.
     Analytic(ProbeOutcome),
     /// The probe needs exactly one component estimate before it can be
-    /// scored (boxed: structural plans carry a cloned tree).
+    /// scored (boxed to keep the analytic arm small).
     Sampled(Box<SampledProbe>),
 }
 
 /// The deferred half of a sampled probe: which component must be estimated,
 /// and how to turn an estimate into a flow score.
+///
+/// Journal-based structural plans hold only the candidate edge — scoring
+/// re-applies it to the shared tree via the undo journal and rolls back.
+/// The plan is therefore only valid while the tree it was created from is
+/// unchanged (the invariant every selection iteration already maintains).
 #[derive(Debug)]
 pub struct SampledProbe {
     snapshot: ComponentGraph,
@@ -86,10 +90,15 @@ enum SampledKind {
     /// Case IIIa: re-estimate one existing bi component; flow is evaluated
     /// on the *original* tree with the estimate overriding the stored one.
     InBi { cid: ComponentId },
-    /// Cases IIIb/IV: the probe's tree clone with the candidate inserted
-    /// and the new component's estimate still pending.
-    Structural {
-        tree: FTree,
+    /// Cases IIIb/IV, journal-based (the default): scoring applies the
+    /// candidate to the shared tree, evaluates, and rolls back — no clone.
+    Structural { edge: EdgeId, case: InsertCase },
+    /// Cases IIIb/IV, the pinned clone-based reference: the probe's tree
+    /// clone with the candidate inserted and the estimate still pending.
+    /// Kept selectable so benchmarks and tests can compare engines (boxed:
+    /// the journal variants carry no tree).
+    StructuralCloned {
+        tree: Box<FTree>,
         cid: ComponentId,
         case: InsertCase,
     },
@@ -112,6 +121,7 @@ impl SampledProbe {
         match &self.kind {
             SampledKind::InBi { .. } => InsertCase::CycleInBi,
             SampledKind::Structural { case, .. } => *case,
+            SampledKind::StructuralCloned { case, .. } => *case,
         }
     }
 
@@ -120,10 +130,12 @@ impl SampledProbe {
     ///
     /// Callable repeatedly — racing rounds re-score with growing-budget
     /// estimates; only the latest call's estimate is retained. `tree` must
-    /// be the tree the plan was created from.
+    /// be the tree the plan was created from, **unchanged since** — a
+    /// journal-based structural score applies the candidate to it and rolls
+    /// back before returning, so the tree reads unmodified afterwards.
     pub fn score(
         &mut self,
-        tree: &FTree,
+        tree: &mut FTree,
         graph: &ProbabilisticGraph,
         include_query: bool,
         alpha: f64,
@@ -131,27 +143,14 @@ impl SampledProbe {
     ) -> ProbeOutcome {
         match &mut self.kind {
             SampledKind::InBi { cid } => {
-                let flow = tree.expected_flow_with_override(
+                let (flow, lower, upper) = tree.flow_with_override_bounds(
                     graph,
                     include_query,
                     *cid,
                     &self.snapshot,
                     &estimate,
+                    alpha,
                 );
-                let bound = |upper| {
-                    tree.flow_with(
-                        graph,
-                        include_query,
-                        &ReachView::Override {
-                            cid: *cid,
-                            snapshot: &self.snapshot,
-                            estimate: &estimate,
-                            bound: Some((alpha, upper)),
-                        },
-                    )
-                };
-                let lower = bound(false);
-                let upper = bound(true);
                 ProbeOutcome {
                     flow,
                     lower,
@@ -160,15 +159,37 @@ impl SampledProbe {
                     sampling_cost_edges: self.cost_edges,
                 }
             }
-            SampledKind::Structural {
+            SampledKind::Structural { edge, case } => {
+                // Apply → evaluate → rollback on the shared tree. The
+                // supplied provider hands the insertion its estimate
+                // directly, so no sampling and no tree clone happens here.
+                let mut supplied = SuppliedProvider {
+                    estimate: Some(estimate),
+                };
+                let (report, journal) = tree
+                    .apply(graph, *edge, &mut supplied)
+                    .expect("plan stays applicable while the tree is unchanged");
+                let cid = report
+                    .component
+                    .expect("cycle insertions always produce a bi component");
+                let (flow, lower, upper) = tree.flow_with_bounds(graph, include_query, cid, alpha);
+                tree.rollback(journal);
+                ProbeOutcome {
+                    flow,
+                    lower,
+                    upper,
+                    case: *case,
+                    sampling_cost_edges: self.cost_edges,
+                }
+            }
+            SampledKind::StructuralCloned {
                 tree: clone,
                 cid,
                 case,
             } => {
                 clone.set_bi_estimate(*cid, estimate);
-                let flow = clone.expected_flow(graph, include_query);
-                let (lower, upper) =
-                    clone.flow_bounds_for_component(graph, include_query, *cid, alpha);
+                let (flow, lower, upper) =
+                    clone.flow_with_bounds(graph, include_query, *cid, alpha);
                 ProbeOutcome {
                     flow,
                     lower,
@@ -200,6 +221,32 @@ impl EstimateProvider for CaptureProvider {
     }
 }
 
+/// Defers estimation without copying the snapshot: the fused
+/// [`FTree::probe_edge`] path estimates the applied component's own
+/// snapshot afterwards, so nothing needs capturing.
+struct PlaceholderProvider;
+
+impl EstimateProvider for PlaceholderProvider {
+    fn estimate(&mut self, snapshot: &ComponentGraph) -> ComponentEstimate {
+        ComponentEstimate::placeholder(snapshot.vertex_count())
+    }
+}
+
+/// Hands a pre-computed estimate to the single component a structural
+/// probe's re-apply forms (the score-time counterpart of
+/// [`CaptureProvider`]).
+struct SuppliedProvider {
+    estimate: Option<ComponentEstimate>,
+}
+
+impl EstimateProvider for SuppliedProvider {
+    fn estimate(&mut self, _snapshot: &ComponentGraph) -> ComponentEstimate {
+        self.estimate
+            .take()
+            .expect("a structural probe estimates exactly one component")
+    }
+}
+
 impl FTree {
     /// The expected information flow `E(flow(Q, G_selected))` under the
     /// tree's current component estimates (Def. 3 / Eq. 2).
@@ -207,30 +254,14 @@ impl FTree {
         self.flow_with(graph, include_query, &ReachView::Stored)
     }
 
-    /// Expected flow with one component's estimate replaced (IIIa probes).
-    pub(crate) fn expected_flow_with_override(
-        &self,
-        graph: &ProbabilisticGraph,
-        include_query: bool,
-        cid: ComponentId,
-        snapshot: &ComponentGraph,
-        estimate: &ComponentEstimate,
-    ) -> f64 {
-        self.flow_with(
-            graph,
-            include_query,
-            &ReachView::Override {
-                cid,
-                snapshot,
-                estimate,
-                bound: None,
-            },
-        )
-    }
-
     /// Lower/upper expected-flow bounds obtained by evaluating component
     /// `cid` at its per-vertex confidence bounds (every other component at
     /// its point estimate) — the candidate-specific uncertainty of §6.3.
+    ///
+    /// This two-pass form is the pinned reference for the fused
+    /// [`FTree::flow_with_bounds`], which computes the point estimate and
+    /// both bounds in one traversal; the `fused_bounds_match_reference`
+    /// test holds them bit-identical.
     pub fn flow_bounds_for_component(
         &self,
         graph: &ProbabilisticGraph,
@@ -259,36 +290,136 @@ impl FTree {
         (lo, hi)
     }
 
+    /// `(point, lower, upper)` expected flow in **one** traversal, with
+    /// component `cid` evaluated at its point estimate and its `1 − α`
+    /// confidence bounds (every other component at its point estimate).
+    ///
+    /// Bit-identical to running [`FTree::expected_flow`] plus
+    /// [`FTree::flow_bounds_for_component`] — the traversal order is purely
+    /// structural, the three accumulators are independent, and the interval
+    /// is a pure function of the stored counts — but three times cheaper:
+    /// this is what every sampled probe pays per score, thousands of times
+    /// per greedy iteration.
+    pub(crate) fn flow_with_bounds(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        alpha: f64,
+    ) -> (f64, f64, f64) {
+        self.flow_triple(graph, include_query, &|c, v| {
+            let comp = self.comp(c);
+            if v == comp.articulation {
+                return (1.0, 1.0, 1.0);
+            }
+            if c != cid {
+                let r = self.reach_in(c, v);
+                return (r, r, r);
+            }
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    let r = members[&v].reach;
+                    (r, r, r)
+                }
+                Kind::Bi {
+                    estimate, local, ..
+                } => {
+                    let l = local[&v] as usize;
+                    let ci = estimate.interval(l, alpha);
+                    (estimate.reach(l), ci.lower, ci.upper)
+                }
+            }
+        })
+    }
+
+    /// The IIIa-probe counterpart of [`FTree::flow_with_bounds`]: component
+    /// `cid`'s stored estimate is overridden by `(snapshot, estimate)` and
+    /// evaluated at its point and `1 − α` bounds, in one traversal.
+    fn flow_with_override_bounds(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        snapshot: &ComponentGraph,
+        estimate: &ComponentEstimate,
+        alpha: f64,
+    ) -> (f64, f64, f64) {
+        self.flow_triple(graph, include_query, &|c, v| {
+            let comp = self.comp(c);
+            if v == comp.articulation {
+                return (1.0, 1.0, 1.0);
+            }
+            if c != cid {
+                let r = self.reach_in(c, v);
+                return (r, r, r);
+            }
+            let local = snapshot
+                .vertices()
+                .iter()
+                .position(|&x| x == v)
+                .expect("override snapshot covers the component's vertices");
+            let ci = estimate.interval(local, alpha);
+            (estimate.reach(local), ci.lower, ci.upper)
+        })
+    }
+
+    /// One top-down traversal accumulating three flow variants at once.
+    /// `reach3(cid, v)` yields the `(point, lower, upper)` reach of `v`
+    /// within `cid`; each accumulator sees exactly the operation sequence
+    /// its solo [`FTree::flow_with`] traversal would, so the results are
+    /// bit-identical to three separate passes.
+    fn flow_triple(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        reach3: &dyn Fn(ComponentId, VertexId) -> (f64, f64, f64),
+    ) -> (f64, f64, f64) {
+        let base = if include_query {
+            graph.weight(self.query).value()
+        } else {
+            0.0
+        };
+        let (mut t0, mut t1, mut t2) = (base, base, base);
+        let mut stack: Vec<(ComponentId, f64, f64, f64)> =
+            self.roots.iter().map(|&c| (c, 1.0, 1.0, 1.0)).collect();
+        while let Some((cid, p0, p1, p2)) = stack.pop() {
+            let comp = self.comp(cid);
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        let (r0, r1, r2) = reach3(cid, v);
+                        let w = graph.weight(v).value();
+                        t0 += r0 * p0 * w;
+                        t1 += r1 * p1 * w;
+                        t2 += r2 * p2 * w;
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        let (r0, r1, r2) = reach3(cid, v);
+                        let w = graph.weight(v).value();
+                        t0 += r0 * p0 * w;
+                        t1 += r1 * p1 * w;
+                        t2 += r2 * p2 * w;
+                    }
+                }
+            }
+            for &child in &comp.children {
+                let cav = self.comp(child).articulation;
+                let (r0, r1, r2) = reach3(cid, cav);
+                stack.push((child, r0 * p0, r1 * p1, r2 * p2));
+            }
+        }
+        (t0, t1, t2)
+    }
+
     /// Reach of `v` inside component `cid` under a view.
-    fn reach_in_view(&self, cid: ComponentId, v: VertexId, view: &ReachView<'_>) -> f64 {
+    fn reach_in_view(&self, cid: ComponentId, v: VertexId, view: &ReachView) -> f64 {
         let comp = self.comp(cid);
         if v == comp.articulation {
             return 1.0;
         }
         match view {
-            ReachView::Override {
-                cid: ocid,
-                snapshot,
-                estimate,
-                bound,
-            } if *ocid == cid => {
-                let local = snapshot
-                    .vertices()
-                    .iter()
-                    .position(|&x| x == v)
-                    .expect("override snapshot covers the component's vertices");
-                match bound {
-                    None => estimate.reach(local),
-                    Some((alpha, upper)) => {
-                        let ci = estimate.interval(local, *alpha);
-                        if *upper {
-                            ci.upper
-                        } else {
-                            ci.lower
-                        }
-                    }
-                }
-            }
             ReachView::Bound {
                 cid: bcid,
                 alpha,
@@ -311,12 +442,7 @@ impl FTree {
     }
 
     /// One top-down traversal computing total expected flow under a view.
-    fn flow_with(
-        &self,
-        graph: &ProbabilisticGraph,
-        include_query: bool,
-        view: &ReachView<'_>,
-    ) -> f64 {
+    fn flow_with(&self, graph: &ProbabilisticGraph, include_query: bool, view: &ReachView) -> f64 {
         let mut total = if include_query {
             graph.weight(self.query).value()
         } else {
@@ -353,13 +479,19 @@ impl FTree {
     ///
     /// `base_flow` must be `self.expected_flow(graph, include_query)` — the
     /// caller computes it once per iteration and shares it across probes.
+    /// The tree reads unmodified afterwards; structural candidates are
+    /// evaluated with **one** journalled apply — the captured component
+    /// snapshot is estimated and scored while the insertion is still
+    /// applied, then rolled back — never by cloning. (The split
+    /// [`FTree::probe_plan`] + [`SampledProbe::score`] form, which the
+    /// racing engine needs, pays the apply twice; one-shot probes fuse it.)
     ///
     /// Returns candidate-specific confidence bounds alongside the point
     /// estimate: exact for analytic (leaf) probes, interval-derived for
     /// probes that sampled a component.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_edge(
-        &self,
+        &mut self,
         graph: &ProbabilisticGraph,
         e: EdgeId,
         base_flow: f64,
@@ -367,11 +499,68 @@ impl FTree {
         alpha: f64,
         provider: &mut dyn EstimateProvider,
     ) -> Result<ProbeOutcome, CoreError> {
+        if matches!(self.classify_candidate(graph, e)?, ProbeClass::Structural) {
+            // Fused structural probe: apply once, estimate the new
+            // component's own snapshot in place, score, roll back — no
+            // snapshot copy, no clone.
+            let (report, journal) = self
+                .apply(graph, e, &mut PlaceholderProvider)
+                .expect("probe preconditions were just checked");
+            let cid = report
+                .component
+                .expect("cycle insertions always produce a bi component");
+            let estimate = {
+                let Kind::Bi { snapshot, .. } = &self.comp(cid).kind else {
+                    unreachable!("cycle insertions always produce a bi component")
+                };
+                provider.estimate(snapshot)
+            };
+            self.set_bi_estimate(cid, estimate);
+            let (flow, lower, upper) = self.flow_with_bounds(graph, include_query, cid, alpha);
+            self.rollback(journal);
+            return Ok(ProbeOutcome {
+                flow,
+                lower,
+                upper,
+                case: report.case,
+                sampling_cost_edges: report.sampled_edge_count,
+            });
+        }
         match self.probe_plan(graph, e, base_flow)? {
             ProbePlan::Analytic(outcome) => Ok(outcome),
             ProbePlan::Sampled(mut sampled) => {
                 let estimate = provider.estimate(sampled.snapshot());
                 Ok(sampled.score(self, graph, include_query, alpha, estimate))
+            }
+        }
+    }
+
+    /// Classifies candidate `e` (validating the probe preconditions); see
+    /// [`ProbeClass`]. Every probe entry point goes through this.
+    fn classify_candidate(
+        &self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+    ) -> Result<ProbeClass, CoreError> {
+        if self.selected.contains(e) {
+            return Err(CoreError::EdgeAlreadySelected(e));
+        }
+        let (a, b) = graph.endpoints(e);
+        let (a_in, b_in) = (self.contains_vertex(a), self.contains_vertex(b));
+        match (a_in, b_in) {
+            (false, false) => Err(CoreError::DisconnectedEdge {
+                edge: e,
+                endpoints: (a, b),
+            }),
+            (true, false) => Ok(ProbeClass::Leaf { anchor: a, leaf: b }),
+            (false, true) => Ok(ProbeClass::Leaf { anchor: b, leaf: a }),
+            (true, true) => {
+                if let (Some(x), Some(y)) = (self.owner(a), self.owner(b)) {
+                    if x == y && self.comp(x).is_bi() {
+                        return Ok(ProbeClass::InBi { cid: x });
+                    }
+                }
+                Ok(ProbeClass::Structural)
             }
         }
     }
@@ -383,25 +572,43 @@ impl FTree {
     /// plan per candidate and re-[`score`](SampledProbe::score)s it as the
     /// candidate's estimate grows across rounds.
     ///
+    /// Structural candidates are classified by a journalled apply +
+    /// rollback on this tree (hence `&mut self`); the returned plan holds
+    /// only the candidate edge and its component snapshot, and stays valid
+    /// while the tree is unchanged — one selection iteration.
+    ///
     /// `base_flow` must be `self.expected_flow(graph, include_query)`.
     pub fn probe_plan(
-        &self,
+        &mut self,
         graph: &ProbabilisticGraph,
         e: EdgeId,
         base_flow: f64,
     ) -> Result<ProbePlan, CoreError> {
-        if self.selected.contains(e) {
-            return Err(CoreError::EdgeAlreadySelected(e));
-        }
-        let (a, b) = graph.endpoints(e);
-        let (a_in, b_in) = (self.contains_vertex(a), self.contains_vertex(b));
-        match (a_in, b_in) {
-            (false, false) => Err(CoreError::DisconnectedEdge {
-                edge: e,
-                endpoints: (a, b),
-            }),
-            (true, false) | (false, true) => {
-                let (anchor, leaf) = if a_in { (a, b) } else { (b, a) };
+        self.probe_plan_impl(graph, e, base_flow, false)
+    }
+
+    /// The pinned clone-based reference form of [`FTree::probe_plan`]: the
+    /// pre-journal engine, kept selectable so equivalence tests and the
+    /// `probe_churn` benchmark can compare probe engines edge-for-edge.
+    /// Structural plans carry a full tree clone, exactly as before.
+    pub fn probe_plan_cloning(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+        base_flow: f64,
+    ) -> Result<ProbePlan, CoreError> {
+        self.probe_plan_impl(graph, e, base_flow, true)
+    }
+
+    fn probe_plan_impl(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+        base_flow: f64,
+        cloning: bool,
+    ) -> Result<ProbePlan, CoreError> {
+        match self.classify_candidate(graph, e)? {
+            ProbeClass::Leaf { anchor, leaf } => {
                 let p = graph.probability(e).value();
                 let delta = graph.weight(leaf).value() * p * self.reach_to_query(anchor);
                 let flow = base_flow + delta;
@@ -417,27 +624,25 @@ impl FTree {
                     sampling_cost_edges: 0,
                 }))
             }
-            (true, true) => {
-                let ca = self.owner(a);
-                let cb = self.owner(b);
-                if let (Some(x), Some(y)) = (ca, cb) {
-                    if x == y && self.comp(x).is_bi() {
-                        // IIIa probe: only this component is re-estimated.
-                        let Kind::Bi { edges, .. } = &self.comp(x).kind else {
-                            unreachable!()
-                        };
-                        let mut probe_edges = edges.clone();
-                        probe_edges.push(e);
-                        let av = self.comp(x).articulation;
-                        let snapshot = ComponentGraph::build(graph, av, &probe_edges);
-                        return Ok(ProbePlan::Sampled(Box::new(SampledProbe {
-                            snapshot,
-                            cost_edges: probe_edges.len(),
-                            kind: SampledKind::InBi { cid: x },
-                        })));
-                    }
-                }
-                // Structural probe: clone and insert now, estimate later.
+            ProbeClass::InBi { cid } => {
+                // IIIa probe: only this component is re-estimated.
+                let Kind::Bi { edges, .. } = &self.comp(cid).kind else {
+                    unreachable!()
+                };
+                let mut probe_edges = edges.clone();
+                probe_edges.push(e);
+                let av = self.comp(cid).articulation;
+                let mut scratch = std::mem::take(&mut self.local_scratch);
+                let snapshot = ComponentGraph::build_with(graph, av, &probe_edges, &mut scratch);
+                self.local_scratch = scratch;
+                Ok(ProbePlan::Sampled(Box::new(SampledProbe {
+                    snapshot,
+                    cost_edges: probe_edges.len(),
+                    kind: SampledKind::InBi { cid },
+                })))
+            }
+            ProbeClass::Structural if cloning => {
+                // Pinned reference: clone and insert now, estimate later.
                 let mut clone = self.clone();
                 let mut capture = CaptureProvider::default();
                 let report = clone
@@ -452,15 +657,49 @@ impl FTree {
                 Ok(ProbePlan::Sampled(Box::new(SampledProbe {
                     snapshot,
                     cost_edges: report.sampled_edge_count,
-                    kind: SampledKind::Structural {
-                        tree: clone,
+                    kind: SampledKind::StructuralCloned {
+                        tree: Box::new(clone),
                         cid,
+                        case: report.case,
+                    },
+                })))
+            }
+            ProbeClass::Structural => {
+                // Structural probe: journalled apply on the shared tree
+                // captures the would-be component's snapshot, then rolls
+                // back — no clone, cost proportional to the touched slots.
+                let mut capture = CaptureProvider::default();
+                let (report, journal) = self
+                    .apply(graph, e, &mut capture)
+                    .expect("probe preconditions were just checked");
+                self.rollback(journal);
+                let snapshot = capture
+                    .snapshot
+                    .expect("cycle insertions estimate their new component");
+                Ok(ProbePlan::Sampled(Box::new(SampledProbe {
+                    snapshot,
+                    cost_edges: report.sampled_edge_count,
+                    kind: SampledKind::Structural {
+                        edge: e,
                         case: report.case,
                     },
                 })))
             }
         }
     }
+}
+
+/// How a candidate probe is answered — the **single** classification shared
+/// by the plan engines and the fused [`FTree::probe_edge`] path, so the two
+/// can never drift apart.
+enum ProbeClass {
+    /// Case II: `leaf` is outside the tree, `anchor` inside — analytic.
+    Leaf { anchor: VertexId, leaf: VertexId },
+    /// Case IIIa inside bi component `cid` — override-scored, no mutation.
+    InBi { cid: ComponentId },
+    /// Cases IIIb/IV (plus the AV-adjacent IIIa probes routed the same
+    /// way): a mutating insertion, probed through the journal or a clone.
+    Structural,
 }
 
 #[cfg(test)]
@@ -598,6 +837,28 @@ mod tests {
         t2.insert_edge(&g, EdgeId(4), &mut pr).unwrap();
         assert!((probe.flow - t2.expected_flow(&g, false)).abs() < 1e-12);
         assert_eq!(t.edge_count(), 4, "probe must not commit");
+    }
+
+    #[test]
+    fn fused_bounds_match_reference() {
+        // The one-pass flow_with_bounds must equal expected_flow plus the
+        // two-pass flow_bounds_for_component bit for bit, on a tree with a
+        // genuinely sampled (non-degenerate) component.
+        let g = graph();
+        let mut t = FTree::new(&g, VertexId(0));
+        let mut mc = SamplingProvider::new(EstimatorConfig::monte_carlo(300), 9);
+        for e in 0..4 {
+            t.insert_edge(&g, EdgeId(e), &mut mc).unwrap();
+        }
+        let cid = t.component_of(VertexId(1)).expect("cycle component");
+        for include_query in [false, true] {
+            let (flow, lo, hi) = t.flow_with_bounds(&g, include_query, cid, 0.01);
+            assert_eq!(flow.to_bits(), t.expected_flow(&g, include_query).to_bits());
+            let (rlo, rhi) = t.flow_bounds_for_component(&g, include_query, cid, 0.01);
+            assert_eq!(lo.to_bits(), rlo.to_bits());
+            assert_eq!(hi.to_bits(), rhi.to_bits());
+            assert!(lo < hi, "sampled component must have bound width");
+        }
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl FTree {
                 };
                 let id = self.alloc(c);
                 self.comp_mut(cid).children.push(id);
-                self.assignment[leaf.index()] = Some(id);
+                self.set_assignment(leaf, Some(id));
                 InsertReport {
                     case: InsertCase::LeafBi,
                     component: None,
@@ -200,7 +200,7 @@ impl FTree {
                 depth: anchor_depth + 1,
             },
         );
-        self.assignment[leaf.index()] = Some(cid);
+        self.set_assignment(leaf, Some(cid));
     }
 
     /// Case III/IV dispatch: both endpoints are already in the tree.
@@ -404,8 +404,7 @@ impl FTree {
         edges: &mut Vec<EdgeId>,
         inherited: &mut Vec<ComponentId>,
     ) {
-        let comp = self.arena[cid.index()].take().expect("live component");
-        self.free.push(cid.0);
+        let comp = self.take_component(cid);
         let Kind::Bi {
             edges: bi_edges,
             local,
@@ -415,7 +414,7 @@ impl FTree {
             panic!("absorb_bi on a mono component");
         };
         for (&v, _) in local.iter() {
-            self.assignment[v.index()] = None; // reassigned to the new BC later
+            self.set_assignment(v, None); // reassigned to the new BC later
             members.push(v);
         }
         edges.extend(bi_edges);
@@ -472,7 +471,7 @@ impl FTree {
             v = m.parent;
         }
         for &v in removed.iter() {
-            self.assignment[v.index()] = None; // reassigned to the new BC later
+            self.set_assignment(v, None); // reassigned to the new BC later
         }
     }
 
@@ -561,7 +560,7 @@ impl FTree {
             };
             let oid = self.alloc(oc);
             for &v in group {
-                self.assignment[v.index()] = Some(oid);
+                self.set_assignment(v, Some(oid));
             }
             inherited.push(oid);
         }
@@ -608,7 +607,9 @@ impl FTree {
             members.len(),
             "cycle members must be unique"
         );
-        let snapshot = ComponentGraph::build(graph, av, &edges);
+        let mut scratch = std::mem::take(&mut self.local_scratch);
+        let snapshot = ComponentGraph::build_with(graph, av, &edges, &mut scratch);
+        self.local_scratch = scratch;
         let estimate = provider.estimate(&snapshot);
         let mut local = BTreeMap::new();
         for (i, &v) in snapshot.vertices().iter().enumerate().skip(1) {
@@ -633,7 +634,7 @@ impl FTree {
             },
         });
         for &v in &members {
-            self.assignment[v.index()] = Some(bc);
+            self.set_assignment(v, Some(bc));
         }
         for child in inherited {
             self.comp_mut(child).parent = Some(bc);

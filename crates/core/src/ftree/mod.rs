@@ -23,15 +23,17 @@
 
 mod flow;
 mod insert;
+mod journal;
 mod validate;
 
 pub use flow::{ProbeOutcome, ProbePlan, SampledProbe};
 pub use insert::{InsertCase, InsertReport};
+pub use journal::Journal;
 
 use std::collections::BTreeMap;
 
 use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
-use flowmax_sampling::{ComponentEstimate, ComponentGraph};
+use flowmax_sampling::{ComponentEstimate, ComponentGraph, LocalIdScratch};
 
 use crate::estimator::EstimateProvider;
 
@@ -39,10 +41,14 @@ use crate::estimator::EstimateProvider;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComponentId(pub(crate) u32);
 
-/// Read-only snapshot of one component (Def. 9), as returned by
+/// Borrowed read-only view of one component (Def. 9), as yielded by
 /// [`FTree::components`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ComponentView {
+///
+/// Nothing is copied out of the tree: children are a borrowed slice and
+/// members/edges are iterators over the component's own storage (the
+/// historical `ComponentView` cloned all three per component per call).
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentRef<'t> {
     /// Component id.
     pub id: ComponentId,
     /// The articulation vertex all member flow passes through.
@@ -50,14 +56,83 @@ pub struct ComponentView {
     /// Parent component (`None` iff the AV is `Q`).
     pub parent: Option<ComponentId>,
     /// Child components.
-    pub children: Vec<ComponentId>,
+    pub children: &'t [ComponentId],
+    kind: &'t Kind,
+}
+
+impl<'t> ComponentRef<'t> {
     /// `true` for bi-connected (sampled) components.
-    pub is_bi: bool,
-    /// Member vertices, sorted (the AV is not a member).
-    pub members: Vec<VertexId>,
-    /// For bi components: the component's edges; for mono components: each
-    /// member's parent edge.
-    pub edges: Vec<EdgeId>,
+    pub fn is_bi(&self) -> bool {
+        matches!(self.kind, Kind::Bi { .. })
+    }
+
+    /// Member vertices in ascending order (the AV is not a member).
+    pub fn members(&self) -> impl Iterator<Item = VertexId> + 't {
+        match self.kind {
+            Kind::Mono { members } => MemberIter::Mono(members.keys()),
+            Kind::Bi { local, .. } => MemberIter::Bi(local.keys()),
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn member_count(&self) -> usize {
+        match self.kind {
+            Kind::Mono { members } => members.len(),
+            Kind::Bi { local, .. } => local.len(),
+        }
+    }
+
+    /// For bi components: the component's edges (insertion order); for
+    /// mono components: each member's parent edge (member order).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + 't {
+        match self.kind {
+            Kind::Mono { members } => EdgeIter::Mono(members.values()),
+            Kind::Bi { edges, .. } => EdgeIter::Bi(edges.iter()),
+        }
+    }
+
+    /// Number of edges held by the component.
+    pub fn edge_count(&self) -> usize {
+        match self.kind {
+            Kind::Mono { members } => members.len(),
+            Kind::Bi { edges, .. } => edges.len(),
+        }
+    }
+}
+
+/// Borrowing member iterator behind [`ComponentRef::members`] (the two
+/// component flavours key their members in maps of different value types).
+enum MemberIter<'t> {
+    Mono(std::collections::btree_map::Keys<'t, VertexId, MonoMember>),
+    Bi(std::collections::btree_map::Keys<'t, VertexId, u32>),
+}
+
+impl Iterator for MemberIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            MemberIter::Mono(it) => it.next().copied(),
+            MemberIter::Bi(it) => it.next().copied(),
+        }
+    }
+}
+
+/// Borrowing edge iterator behind [`ComponentRef::edges`].
+enum EdgeIter<'t> {
+    Mono(std::collections::btree_map::Values<'t, VertexId, MonoMember>),
+    Bi(std::slice::Iter<'t, EdgeId>),
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        match self {
+            EdgeIter::Mono(it) => it.next().map(|m| m.parent_edge),
+            EdgeIter::Bi(it) => it.next().copied(),
+        }
+    }
 }
 
 impl ComponentId {
@@ -87,7 +162,7 @@ pub(crate) struct MonoMember {
 /// The two component flavours of Def. 9.
 #[allow(clippy::large_enum_variant)] // Bi is the hot, common variant; boxing
 // it would add an indirection to every flow evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Kind {
     /// Tree-shaped: exact analytic flow (Theorem 2).
     Mono {
@@ -111,7 +186,7 @@ pub(crate) enum Kind {
 }
 
 /// One component of the F-tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Component {
     /// The articulation vertex all member flow must pass through.
     pub articulation: VertexId,
@@ -141,9 +216,11 @@ impl Component {
 /// The F-tree over a fixed probabilistic graph (§5.3, Def. 9).
 ///
 /// The tree holds only vertex/edge *ids*; every operation takes the graph it
-/// was created for. Cloning an F-tree is cheap relative to re-sampling and is
-/// how structural probes (cases IIIb/IV) are evaluated without mutation.
-#[derive(Debug, Clone)]
+/// was created for. Structural probes (cases IIIb/IV) are evaluated without
+/// lasting mutation via the undo journal ([`FTree::apply`] /
+/// [`FTree::rollback`], see [`journal`](self)): the candidate is inserted in
+/// place, scored, and rolled back bit-identically — no per-probe clone.
+#[derive(Debug)]
 pub struct FTree {
     query: VertexId,
     /// Component arena; `None` slots are free-listed.
@@ -157,6 +234,64 @@ pub struct FTree {
     selected: EdgeSubset,
     /// Monotone counter feeding `Kind::Bi::version`.
     version_counter: u64,
+    /// Reusable global-vertex → local-id map for component snapshot builds
+    /// (allocated once per tree, epoch-reset; replaces the per-snapshot
+    /// hash map).
+    local_scratch: LocalIdScratch,
+    /// Active undo journal of an in-flight [`FTree::apply`] (`None` in
+    /// steady state).
+    recorder: Option<Box<journal::Recorder>>,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Clones performed by this thread — the probe paths are asserted
+    /// clone-free against it in debug builds (thread-local so concurrent
+    /// tests and worker pools never alias each other's counts).
+    static FTREE_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl Clone for FTree {
+    /// Deep-copies the tree (used by tests, and by the pinned clone-based
+    /// probe reference). Debug builds count clones per thread so the
+    /// selection hot loop can assert it performs none; see
+    /// [`FTree::debug_clone_count`].
+    fn clone(&self) -> Self {
+        #[cfg(debug_assertions)]
+        FTREE_CLONES.with(|c| c.set(c.get() + 1));
+        debug_assert!(self.recorder.is_none(), "cannot clone mid-apply");
+        FTree {
+            query: self.query,
+            arena: self.arena.clone(),
+            free: self.free.clone(),
+            assignment: self.assignment.clone(),
+            roots: self.roots.clone(),
+            selected: self.selected.clone(),
+            version_counter: self.version_counter,
+            // The scratch is per-tree working memory, not state: the clone
+            // starts with an empty one that grows on first use.
+            local_scratch: LocalIdScratch::default(),
+            recorder: None,
+        }
+    }
+}
+
+impl PartialEq for FTree {
+    /// Structural equality over everything that defines the tree's
+    /// behaviour: components (estimates and versions included), vertex
+    /// assignments, arena layout, free-list order, roots, selected edges
+    /// and the version counter. Working memory (the snapshot scratch, an
+    /// in-flight journal) is excluded. Used by the apply/rollback
+    /// restoration tests.
+    fn eq(&self, other: &Self) -> bool {
+        self.query == other.query
+            && self.arena == other.arena
+            && self.free == other.free
+            && self.assignment == other.assignment
+            && self.roots == other.roots
+            && self.selected == other.selected
+            && self.version_counter == other.version_counter
+    }
 }
 
 impl FTree {
@@ -174,7 +309,17 @@ impl FTree {
             roots: Vec::new(),
             selected: EdgeSubset::for_graph(graph),
             version_counter: 0,
+            local_scratch: LocalIdScratch::new(graph.vertex_count()),
+            recorder: None,
         }
+    }
+
+    /// Number of [`FTree`] clones this thread has performed (debug builds
+    /// only). The greedy loop asserts its probe phase leaves this counter
+    /// untouched — the journal made candidate probing clone-free.
+    #[cfg(debug_assertions)]
+    pub fn debug_clone_count() -> u64 {
+        FTREE_CLONES.with(|c| c.get())
     }
 
     /// The query vertex `Q`.
@@ -222,23 +367,31 @@ impl FTree {
         self.arena[cid.index()].as_ref().expect("live component")
     }
 
+    /// Mutable access to a live component. This is the single gateway for
+    /// in-place component mutation, so an active [`FTree::apply`] journal
+    /// snapshots the slot here (first touch only) before handing it out.
     pub(crate) fn comp_mut(&mut self, cid: ComponentId) -> &mut Component {
+        self.record_slot_touch(cid.0);
         self.arena[cid.index()].as_mut().expect("live component")
     }
 
     pub(crate) fn alloc(&mut self, component: Component) -> ComponentId {
         if let Some(slot) = self.free.pop() {
+            self.record_alloc(slot);
             self.arena[slot as usize] = Some(component);
             ComponentId(slot)
         } else {
+            let slot = self.arena.len() as u32;
+            self.record_alloc(slot);
             self.arena.push(Some(component));
-            ComponentId((self.arena.len() - 1) as u32)
+            ComponentId(slot)
         }
     }
 
     /// Frees a component slot. The caller is responsible for having detached
     /// it from parents/children/assignments.
     pub(crate) fn dealloc(&mut self, cid: ComponentId) {
+        self.record_slot_touch(cid.0);
         debug_assert!(self.arena[cid.index()].is_some());
         self.arena[cid.index()] = None;
         self.free.push(cid.0);
@@ -327,36 +480,21 @@ impl FTree {
             .map(|(i, _)| ComponentId(i as u32))
     }
 
-    /// Read-only snapshots of all live components, in deterministic order
-    /// (for inspection, reporting and structure tests).
-    pub fn components(&self) -> Vec<ComponentView> {
-        self.component_ids()
-            .map(|cid| {
-                let comp = self.comp(cid);
-                let (is_bi, mut members, edges) = match &comp.kind {
-                    Kind::Mono { members } => (
-                        false,
-                        members.keys().copied().collect::<Vec<_>>(),
-                        members.values().map(|m| m.parent_edge).collect::<Vec<_>>(),
-                    ),
-                    Kind::Bi { edges, local, .. } => (
-                        true,
-                        local.keys().copied().collect::<Vec<_>>(),
-                        edges.clone(),
-                    ),
-                };
-                members.sort();
-                ComponentView {
-                    id: cid,
-                    articulation: comp.articulation,
-                    parent: comp.parent,
-                    children: comp.children.clone(),
-                    is_bi,
-                    members,
-                    edges,
-                }
-            })
-            .collect()
+    /// Borrowed read-only views of all live components, in deterministic
+    /// order (for inspection, reporting and structure tests). Nothing is
+    /// cloned — members, edges and children are served straight out of the
+    /// tree's own storage.
+    pub fn components(&self) -> impl Iterator<Item = ComponentRef<'_>> + '_ {
+        self.component_ids().map(|cid| {
+            let comp = self.comp(cid);
+            ComponentRef {
+                id: cid,
+                articulation: comp.articulation,
+                parent: comp.parent,
+                children: &comp.children,
+                kind: &comp.kind,
+            }
+        })
     }
 
     /// The component owning `v` (`None` for `Q` and unconnected vertices).
@@ -373,6 +511,9 @@ impl FTree {
         provider: &mut dyn EstimateProvider,
     ) {
         let version = self.next_version();
+        // Detach the snapshot scratch so the component can be borrowed
+        // mutably alongside it (the scratch is pure working memory).
+        let mut scratch = std::mem::take(&mut self.local_scratch);
         let comp = self.comp_mut(cid);
         let av = comp.articulation;
         let Kind::Bi {
@@ -385,7 +526,7 @@ impl FTree {
         else {
             panic!("refresh_bi on a mono component");
         };
-        let new_snapshot = ComponentGraph::build(graph, av, edges);
+        let new_snapshot = ComponentGraph::build_with(graph, av, edges, &mut scratch);
         let new_estimate = provider.estimate(&new_snapshot);
         let mut new_local = BTreeMap::new();
         for (i, &vx) in new_snapshot.vertices().iter().enumerate().skip(1) {
@@ -395,6 +536,7 @@ impl FTree {
         *estimate = new_estimate;
         *local = new_local;
         *v = version;
+        self.local_scratch = scratch;
     }
 
     /// Replaces a bi component's reachability estimate in place (structure

@@ -49,7 +49,7 @@ pub use error::CoreError;
 pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
 pub use ftree::{
-    ComponentId, ComponentView, FTree, InsertCase, InsertReport, ProbeOutcome, ProbePlan,
+    ComponentId, ComponentRef, FTree, InsertCase, InsertReport, Journal, ProbeOutcome, ProbePlan,
     SampledProbe,
 };
 pub use metrics::SelectionMetrics;

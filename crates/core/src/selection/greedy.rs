@@ -22,8 +22,8 @@
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{BatchSchedule, MIN_SAMPLES_FOR_CLT};
 
-use crate::estimator::{EstimatorConfig, SamplingProvider};
-use crate::ftree::{FTree, InsertCase, ProbeOutcome};
+use crate::estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
+use crate::ftree::{FTree, InsertCase, ProbeOutcome, ProbePlan};
 use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
 use crate::selection::delayed::DelayTracker;
@@ -79,6 +79,11 @@ pub struct GreedyConfig {
     /// kernel instead of the bit-parallel engine (baseline benchmarking;
     /// never combines with the batched racing engine).
     pub scalar_estimation: bool,
+    /// Probe structural candidates through the pinned clone-based engine
+    /// (one full F-tree clone per candidate) instead of the undo journal.
+    /// Kept selectable as the pre-journal reference for benchmarking and
+    /// equivalence tests; results are bit-identical either way.
+    pub cloning_probes: bool,
 }
 
 impl GreedyConfig {
@@ -99,12 +104,20 @@ impl GreedyConfig {
             seed,
             threads: flowmax_sampling::default_threads(),
             scalar_estimation: false,
+            cloning_probes: false,
         }
     }
 
     /// Switches component estimation to the scalar reference kernel.
     pub fn with_scalar_estimation(mut self) -> Self {
         self.scalar_estimation = true;
+        self
+    }
+
+    /// Switches structural probing to the pinned clone-based reference
+    /// engine (benchmarking only; bit-identical results).
+    pub fn with_cloning_probes(mut self) -> Self {
+        self.cloning_probes = true;
         self
     }
 
@@ -210,10 +223,16 @@ pub fn greedy_select_observed(
             candidates.probe_pool(|e| config.delayed_sampling && delays.is_suspended(e));
         metrics.ds_skipped += skipped;
 
+        // The probe phase is clone-free by construction (journalled
+        // apply/rollback); debug builds prove it with the thread-local
+        // clone counter. The pinned clone-based reference engine is the
+        // one deliberate exception.
+        #[cfg(debug_assertions)]
+        let clones_before = FTree::debug_clone_count();
         let records = if let Some(racer) = racer.as_mut() {
             racer.probe_candidates(
                 graph,
-                &tree,
+                &mut tree,
                 &pool,
                 base_flow,
                 config,
@@ -223,7 +242,7 @@ pub fn greedy_select_observed(
         } else if config.confidence_pruning {
             probe_with_ci_race(
                 graph,
-                &tree,
+                &mut tree,
                 &pool,
                 base_flow,
                 config,
@@ -233,7 +252,7 @@ pub fn greedy_select_observed(
         } else {
             probe_all(
                 graph,
-                &tree,
+                &mut tree,
                 &pool,
                 base_flow,
                 config,
@@ -241,6 +260,11 @@ pub fn greedy_select_observed(
                 &mut metrics,
             )
         };
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            config.cloning_probes || FTree::debug_clone_count() == clones_before,
+            "the selection hot loop must not clone the F-tree"
+        );
         let Some(best_idx) = best_record(&records) else {
             break;
         };
@@ -329,10 +353,46 @@ fn best_record(records: &[ProbeRecord]) -> Option<usize> {
     best
 }
 
+/// One probe through the engine the config selects: the journal-based
+/// default, or the pinned clone-based reference (`cloning_probes`).
+/// Bit-identical outcomes either way.
+fn probe_once(
+    tree: &mut FTree,
+    graph: &ProbabilisticGraph,
+    e: EdgeId,
+    base_flow: f64,
+    config: &GreedyConfig,
+    provider: &mut MemoProvider,
+) -> ProbeOutcome {
+    if config.cloning_probes {
+        let plan = tree
+            .probe_plan_cloning(graph, e, base_flow)
+            .expect("candidates are probeable");
+        return match plan {
+            ProbePlan::Analytic(outcome) => outcome,
+            ProbePlan::Sampled(mut sampled) => {
+                let estimate = provider.estimate(sampled.snapshot());
+                sampled.score(tree, graph, config.include_query, config.alpha, estimate)
+            }
+        };
+    }
+    // Journal engine: the one-shot probe fuses plan + score into a single
+    // journalled apply.
+    tree.probe_edge(
+        graph,
+        e,
+        base_flow,
+        config.include_query,
+        config.alpha,
+        provider,
+    )
+    .expect("candidates are probeable")
+}
+
 /// Plain probing: every pool edge probed once at the full sample budget.
 fn probe_all(
     graph: &ProbabilisticGraph,
-    tree: &FTree,
+    tree: &mut FTree,
     pool: &[EdgeId],
     base_flow: f64,
     config: &GreedyConfig,
@@ -341,16 +401,7 @@ fn probe_all(
 ) -> Vec<ProbeRecord> {
     let mut records = Vec::with_capacity(pool.len());
     for &e in pool {
-        let outcome = tree
-            .probe_edge(
-                graph,
-                e,
-                base_flow,
-                config.include_query,
-                config.alpha,
-                provider,
-            )
-            .expect("candidates are probeable");
+        let outcome = probe_once(tree, graph, e, base_flow, config, provider);
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
             metrics.analytic_probes += 1;
@@ -365,7 +416,7 @@ fn probe_all(
 /// pruned before the full budget is spent.
 fn probe_with_ci_race(
     graph: &ProbabilisticGraph,
-    tree: &FTree,
+    tree: &mut FTree,
     pool: &[EdgeId],
     base_flow: f64,
     config: &GreedyConfig,
@@ -389,16 +440,7 @@ fn probe_with_ci_race(
     let mut analytic: Vec<ProbeRecord> = Vec::new();
     let mut racing: Vec<ProbeRecord> = Vec::new();
     for &e in pool {
-        let outcome = tree
-            .probe_edge(
-                graph,
-                e,
-                base_flow,
-                config.include_query,
-                config.alpha,
-                provider,
-            )
-            .expect("candidates are probeable");
+        let outcome = probe_once(tree, graph, e, base_flow, config, provider);
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
             metrics.analytic_probes += 1;
@@ -433,16 +475,7 @@ fn probe_with_ci_race(
         let next_budget = budgets[round + 1];
         provider.inner_mut().set_samples(next_budget);
         for r in &mut racing {
-            let outcome = tree
-                .probe_edge(
-                    graph,
-                    r.edge,
-                    base_flow,
-                    config.include_query,
-                    config.alpha,
-                    provider,
-                )
-                .expect("candidates are probeable");
+            let outcome = probe_once(tree, graph, r.edge, base_flow, config, provider);
             metrics.probes += 1;
             r.outcome = outcome;
         }

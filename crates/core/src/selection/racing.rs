@@ -71,11 +71,15 @@ impl RaceDriver {
     /// survived elimination; eliminated candidates are absent (they cannot
     /// win and are not recorded for delayed sampling, matching the scalar
     /// reference race).
+    ///
+    /// The tree is borrowed mutably because structural plans score by
+    /// journalled apply → evaluate → rollback on it; every score leaves it
+    /// bit-identical, so across the whole call the tree reads unmodified.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_candidates(
         &mut self,
         graph: &ProbabilisticGraph,
-        tree: &FTree,
+        tree: &mut FTree,
         pool: &[EdgeId],
         base_flow: f64,
         config: &GreedyConfig,
@@ -91,10 +95,12 @@ impl RaceDriver {
         let mut records: Vec<ProbeRecord> = Vec::with_capacity(pool.len());
         let mut racers: Vec<Racer> = Vec::new();
         for &e in pool {
-            match tree
-                .probe_plan(graph, e, base_flow)
-                .expect("candidates are probeable")
-            {
+            let plan = if config.cloning_probes {
+                tree.probe_plan_cloning(graph, e, base_flow)
+            } else {
+                tree.probe_plan(graph, e, base_flow)
+            };
+            match plan.expect("candidates are probeable") {
                 ProbePlan::Analytic(outcome) => {
                     metrics.probes += 1;
                     metrics.analytic_probes += 1;

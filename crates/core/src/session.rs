@@ -170,6 +170,7 @@ impl<'g> Session<'g> {
                 include_query: false,
                 seed: self.seed,
                 scalar_estimation: false,
+                cloning_probes: false,
             },
         })
     }
@@ -392,6 +393,7 @@ pub struct QuerySpec {
     pub(crate) include_query: bool,
     pub(crate) seed: u64,
     pub(crate) scalar_estimation: bool,
+    pub(crate) cloning_probes: bool,
 }
 
 impl QuerySpec {
@@ -427,6 +429,7 @@ impl QuerySpec {
             include_query,
             seed,
             scalar_estimation,
+            cloning_probes,
         } = *self;
         let (memoize, confidence_pruning, delayed_sampling) = match algorithm {
             Algorithm::Naive | Algorithm::Dijkstra | Algorithm::Ft => (false, false, false),
@@ -449,6 +452,7 @@ impl QuerySpec {
             seed,
             threads,
             scalar_estimation,
+            cloning_probes,
         }
     }
 }
@@ -528,6 +532,14 @@ impl<'s, 'g> QueryBuilder<'s, 'g> {
     /// kernel instead of the bit-parallel engine (baseline benchmarking).
     pub fn scalar_estimation(mut self, scalar: bool) -> Self {
         self.spec.scalar_estimation = scalar;
+        self
+    }
+
+    /// Probes structural candidates through the pinned clone-based
+    /// reference engine instead of the undo journal (baseline
+    /// benchmarking; results are bit-identical, only slower).
+    pub fn cloning_probes(mut self, cloning: bool) -> Self {
+        self.spec.cloning_probes = cloning;
         self
     }
 

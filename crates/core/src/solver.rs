@@ -218,6 +218,9 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
         include_query,
         seed,
         scalar_estimation,
+        // The legacy config predates the journal engine; the shim always
+        // uses the (bit-identical) default probes.
+        cloning_probes: false,
     };
     // The legacy API tolerated degenerate configs (zero budget, isolated
     // queries) without erroring, so the shim skips builder validation.

@@ -146,12 +146,20 @@ pub fn scalar_coin(p: f64, rng: &mut FlowRng) -> bool {
 ///
 /// Edges outside the sampled domain have an all-zero mask, so a lane-BFS
 /// over the batch automatically respects the domain restriction.
+///
+/// A batch is a reusable scratch arena: re-sampling via
+/// [`WorldBatch::sample_into`] reuses both the mask buffer and the per-lane
+/// RNG buffer, so steady-state sampling performs no heap allocation per
+/// batch (the edge capacity may even change between calls — buffers only
+/// grow).
 #[derive(Debug, Clone)]
 pub struct WorldBatch {
     /// Lane word per edge id (length = edge capacity of the graph/domain).
     masks: Vec<u64>,
     /// Number of active lanes (1..=64); bits at or above this are zero.
     lanes: u32,
+    /// Reusable per-lane RNG buffer (one child stream per active lane).
+    lane_rngs: Vec<FlowRng>,
 }
 
 impl WorldBatch {
@@ -160,6 +168,7 @@ impl WorldBatch {
         WorldBatch {
             masks: vec![0; edge_capacity],
             lanes: 0,
+            lane_rngs: Vec::with_capacity(LANES as usize),
         }
     }
 
@@ -207,11 +216,13 @@ impl WorldBatch {
         self.masks.clear();
         self.masks.resize(edge_capacity, 0);
         self.lanes = lanes;
-        let mut lane_rngs: Vec<FlowRng> = (0..lanes as u64)
-            .map(|w| seq.rng(first_label + w))
-            .collect();
+        // Re-seed the reusable lane-RNG buffer in place: after the first
+        // batch its capacity is pinned at 64, so this draws no allocation.
+        self.lane_rngs.clear();
+        self.lane_rngs
+            .extend((0..lanes as u64).map(|w| seq.rng(first_label + w)));
         for (idx, p) in probs {
-            self.masks[idx] = EdgeCoin::classify(p).flip(&mut lane_rngs);
+            self.masks[idx] = EdgeCoin::classify(p).flip(&mut self.lane_rngs);
         }
     }
 
@@ -252,15 +263,21 @@ impl WorldBatch {
 /// a [`WorldBatch`] at once.
 ///
 /// `reached[v]` is a lane word — bit `w` says whether `v` is reachable from
-/// the source in world `w`. The worklist propagates *newly arrived* lane
-/// bits only, so each vertex is reprocessed just when some world discovers
-/// it, not once per world.
+/// the source in world `w`. The traversal is a pure frontier worklist: it
+/// propagates *newly arrived* lane bits only, so each vertex is reprocessed
+/// just when some world discovers it (not once per world), neighbours whose
+/// lane word has already converged to the full active mask are skipped
+/// outright in late rounds, and between runs only the vertices the previous
+/// run actually touched are reset — no dense full-vertex sweep anywhere.
 #[derive(Debug, Clone)]
 pub struct LaneBfs {
     reached: Vec<u64>,
     pending: Vec<u64>,
     in_queue: Vec<bool>,
     queue: std::collections::VecDeque<u32>,
+    /// Vertices whose `reached` word the latest run set (the only entries
+    /// that need zeroing before the next run).
+    touched: Vec<u32>,
 }
 
 impl LaneBfs {
@@ -271,7 +288,25 @@ impl LaneBfs {
             pending: vec![0; vertex_count],
             in_queue: vec![false; vertex_count],
             queue: std::collections::VecDeque::new(),
+            touched: Vec::new(),
         }
+    }
+
+    /// Re-targets this scratch at a graph with `vertex_count` vertices,
+    /// reusing the buffers when the size already matches (the steady-state
+    /// case for a pooled scratch that estimates one component repeatedly).
+    pub fn prepare(&mut self, vertex_count: usize) {
+        if self.reached.len() == vertex_count {
+            return;
+        }
+        self.reached.clear();
+        self.reached.resize(vertex_count, 0);
+        self.pending.clear();
+        self.pending.resize(vertex_count, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(vertex_count, false);
+        self.queue.clear();
+        self.touched.clear();
     }
 
     /// Lane words of the latest run, indexed by vertex.
@@ -297,14 +332,18 @@ impl LaneBfs {
         F: Fn(usize) -> I,
         I: Iterator<Item = (usize, usize)>,
     {
-        self.reached.fill(0);
-        self.pending.fill(0);
-        self.in_queue.fill(false);
-        self.queue.clear();
+        // Frontier-local reset: only the previous run's touched vertices
+        // hold non-zero lane words (`pending`/`in_queue`/`queue` are
+        // self-cleaning — the worklist drains them before returning).
+        for &v in &self.touched {
+            self.reached[v as usize] = 0;
+        }
+        self.touched.clear();
         self.reached[source] = init;
         self.pending[source] = init;
         self.in_queue[source] = true;
         self.queue.push_back(source as u32);
+        self.touched.push(source as u32);
         while let Some(u) = self.queue.pop_front() {
             let u = u as usize;
             self.in_queue[u] = false;
@@ -314,9 +353,18 @@ impl LaneBfs {
                 continue;
             }
             for (v, e) in neighbors(u) {
-                let new = delta & edge_masks[e] & !self.reached[v];
+                // A converged vertex (every active lane reached) can gain
+                // no new bits; skip it before touching the edge mask.
+                let seen = self.reached[v];
+                if seen == init {
+                    continue;
+                }
+                let new = delta & edge_masks[e] & !seen;
                 if new != 0 {
-                    self.reached[v] |= new;
+                    if seen == 0 {
+                        self.touched.push(v as u32);
+                    }
+                    self.reached[v] = seen | new;
                     self.pending[v] |= new;
                     if !self.in_queue[v] {
                         self.in_queue[v] = true;

@@ -14,12 +14,65 @@ use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 
 use crate::batch::{scalar_coin, WorldBatch};
 use crate::confidence::{wald_interval, ConfidenceInterval};
-use crate::parallel::{batched_success_counts, BatchJob};
+use crate::parallel::ParallelEstimator;
 use crate::rng::{splitmix64, FlowRng, SeedSequence};
+
+/// Reusable global-vertex → local-id scratch map for
+/// [`ComponentGraph::build_with`].
+///
+/// A graph-sized dense array replaces the per-snapshot `HashMap` the
+/// builder used to allocate: entries are validated by an epoch counter, so
+/// resetting between builds is a single integer increment rather than a
+/// clear or a reallocation. Allocate one per solver session (the F-tree
+/// owns one) and thread it through every snapshot build.
+#[derive(Debug, Clone, Default)]
+pub struct LocalIdScratch {
+    /// `local[v]` is valid iff `mark[v] == epoch`.
+    mark: Vec<u64>,
+    local: Vec<u32>,
+    epoch: u64,
+}
+
+impl LocalIdScratch {
+    /// A scratch sized for graphs with `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        LocalIdScratch {
+            mark: vec![0; vertex_count],
+            local: vec![0; vertex_count],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new build: bumps the epoch (invalidating every entry in
+    /// O(1)) and grows the arrays if the graph is larger than any seen
+    /// before.
+    fn begin(&mut self, vertex_count: usize) {
+        if self.mark.len() < vertex_count {
+            self.mark.resize(vertex_count, 0);
+            self.local.resize(vertex_count, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// The local id of `v`, assigning the next one (and recording `v` in
+    /// `vertices`) on first sight this epoch.
+    #[inline]
+    fn local_of(&mut self, v: VertexId, vertices: &mut Vec<VertexId>) -> u32 {
+        let i = v.index();
+        if self.mark[i] == self.epoch {
+            return self.local[i];
+        }
+        let id = vertices.len() as u32;
+        vertices.push(v);
+        self.mark[i] = self.epoch;
+        self.local[i] = id;
+        id
+    }
+}
 
 /// A compact, self-contained snapshot of one component: local vertex ids are
 /// `0..n` with the articulation vertex at local id 0.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentGraph {
     /// Local → global vertex ids; `vertices[0]` is the articulation vertex.
     vertices: Vec<VertexId>,
@@ -34,31 +87,49 @@ pub struct ComponentGraph {
 
 impl ComponentGraph {
     /// Snapshots the subgraph formed by `edges`, rooted at the articulation
-    /// vertex `articulation`.
+    /// vertex `articulation`, using a throwaway [`LocalIdScratch`].
+    ///
+    /// Hot callers (the F-tree's insert and probe paths) should prefer
+    /// [`ComponentGraph::build_with`] with a long-lived scratch — this
+    /// convenience form pays one graph-sized allocation per call.
     ///
     /// # Panics
     ///
     /// Panics if `edges` is empty; a component always has at least one edge.
     pub fn build(graph: &ProbabilisticGraph, articulation: VertexId, edges: &[EdgeId]) -> Self {
+        Self::build_with(
+            graph,
+            articulation,
+            edges,
+            &mut LocalIdScratch::new(graph.vertex_count()),
+        )
+    }
+
+    /// [`ComponentGraph::build`] against a reusable [`LocalIdScratch`]: the
+    /// epoch bump replaces the old per-snapshot hash map, so repeated
+    /// builds allocate only the snapshot's own (component-sized) vectors.
+    ///
+    /// The produced snapshot is identical to [`ComponentGraph::build`]'s —
+    /// local ids are assigned in first-sight order either way.
+    pub fn build_with(
+        graph: &ProbabilisticGraph,
+        articulation: VertexId,
+        edges: &[EdgeId],
+        scratch: &mut LocalIdScratch,
+    ) -> Self {
         assert!(
             !edges.is_empty(),
             "a component snapshot needs at least one edge"
         );
-        let mut vertices = vec![articulation];
-        let mut local_of = std::collections::HashMap::new();
-        local_of.insert(articulation, 0u32);
+        scratch.begin(graph.vertex_count());
+        let mut vertices = Vec::with_capacity(edges.len() + 1);
+        scratch.local_of(articulation, &mut vertices);
         let mut local_endpoints = Vec::with_capacity(edges.len());
         let mut edge_probs = Vec::with_capacity(edges.len());
         for &e in edges {
             let (a, b) = graph.endpoints(e);
-            let mut local = |v: VertexId, vertices: &mut Vec<VertexId>| -> u32 {
-                *local_of.entry(v).or_insert_with(|| {
-                    vertices.push(v);
-                    (vertices.len() - 1) as u32
-                })
-            };
-            let la = local(a, &mut vertices);
-            let lb = local(b, &mut vertices);
+            let la = scratch.local_of(a, &mut vertices);
+            let lb = scratch.local_of(b, &mut vertices);
             local_endpoints.push((la, lb));
             edge_probs.push(graph.probability(e).value());
         }
@@ -212,26 +283,18 @@ impl ComponentGraph {
     ///
     /// World `i` draws its coins from `seq.rng(i)`, so the result is a pure
     /// function of `(seq, samples)` — bit-identical for every thread count.
+    ///
+    /// This convenience form spins up a throwaway
+    /// [`ParallelEstimator`] (and with it a fresh scratch pool) per call;
+    /// hot callers hold on to one estimator and use
+    /// [`ParallelEstimator::sample_component`] so scratch arenas stay warm.
     pub fn sample_reachability_batched(
         &self,
         samples: u32,
         seq: &SeedSequence,
         threads: usize,
     ) -> ComponentEstimate {
-        let job = BatchJob {
-            vertex_count: self.vertex_count(),
-            edge_capacity: self.edge_count(),
-            work_edges: self.edge_count(),
-            source: 0,
-            samples,
-            threads,
-        };
-        let successes = batched_success_counts(
-            job,
-            |batch, first_label, lanes| self.fill_batch(batch, seq, first_label, lanes),
-            |u| self.local_neighbors(u),
-        );
-        ComponentEstimate::from_success_counts(successes, samples)
+        ParallelEstimator::new(threads).sample_component(self, samples, seq)
     }
 
     /// Exact `Pr[v ↔ AV]` by enumerating the `2^u` worlds over the `u`

@@ -19,6 +19,12 @@
 //! (never below the 30-sample CLT floor), budget reallocation to the
 //! finalists, and incremental per-component estimates extended as one
 //! multi-candidate job per round.
+//!
+//! The batched engine is allocation-free in steady state: every
+//! [`ParallelEstimator`] worker owns a reusable [`SamplingScratch`] (lane
+//! buffers, per-lane RNGs, frontier worklists) checked out per chunk, and
+//! snapshot builds reuse a graph-sized [`LocalIdScratch`] reset by an epoch
+//! counter instead of allocating a hash map per component.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,9 +39,10 @@ pub mod race;
 pub mod reachability;
 pub mod rng;
 pub mod sampler;
+pub mod scratch;
 
 pub use batch::{lane_mask, lanes_in_batch, EdgeCoin, LaneBfs, WorldBatch, LANES};
-pub use component::{ComponentEstimate, ComponentGraph};
+pub use component::{ComponentEstimate, ComponentGraph, LocalIdScratch};
 pub use confidence::{
     normal_quantile, wald_interval, wilson_interval, z_for_alpha, ConfidenceInterval,
     DEFAULT_ALPHA, MIN_SAMPLES_FOR_CLT,
@@ -49,3 +56,4 @@ pub use race::{
 pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
 pub use rng::{splitmix64, FlowRng, SeedSequence};
 pub use sampler::{sample_world, sample_worlds};
+pub use scratch::{SamplingScratch, ScratchPool};

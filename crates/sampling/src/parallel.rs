@@ -11,13 +11,16 @@
 //! **bit-identical for every thread count**, as locked down by
 //! `tests/determinism.rs`.
 
+use std::sync::Arc;
+
 use flowmax_graph::{EdgeSubset, ProbabilisticGraph, VertexId};
 
-use crate::batch::{lanes_in_batch, LaneBfs, WorldBatch, LANES};
+use crate::batch::{lanes_in_batch, LaneBfs, LANES};
 use crate::component::{ComponentEstimate, ComponentGraph};
 use crate::estimate::FlowEstimate;
 use crate::reachability::ReachabilityEstimate;
 use crate::rng::SeedSequence;
+use crate::scratch::ScratchPool;
 
 /// Parses a thread-count override, as read from `FLOWMAX_THREADS`.
 fn parse_threads(var: Option<String>) -> usize {
@@ -39,16 +42,18 @@ pub fn default_threads() -> usize {
 /// contiguous chunks, returning the per-chunk results in chunk order.
 ///
 /// With one chunk the work runs on the calling thread (no spawn overhead);
-/// otherwise a scoped worker per chunk. Chunk boundaries affect only *who*
-/// computes a batch, never what the batch contains.
+/// otherwise a scoped worker per chunk. `work` receives its worker index
+/// (the chunk's position, also its [`ScratchPool`] slot) and the batch
+/// range. Chunk boundaries affect only *who* computes a batch, never what
+/// the batch contains.
 pub(crate) fn parallel_chunks<T, F>(num_batches: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(std::ops::Range<usize>) -> T + Sync,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
 {
     let workers = threads.max(1).min(num_batches.max(1));
     if workers <= 1 {
-        return vec![work(0..num_batches)];
+        return vec![work(0, 0..num_batches)];
     }
     let base = num_batches / workers;
     let extra = num_batches % workers;
@@ -63,7 +68,8 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| scope.spawn(move || work(range)))
+            .enumerate()
+            .map(|(worker, range)| scope.spawn(move || work(worker, range)))
             .collect();
         handles
             .into_iter()
@@ -100,11 +106,10 @@ fn workers_for_coins(threads: usize, coins: u64) -> usize {
 pub(crate) struct BatchJob {
     /// Vertices of the (sub)graph being traversed.
     pub vertex_count: usize,
-    /// Edge-id capacity of the sampled masks.
-    pub edge_capacity: usize,
     /// Edges actually sampled per world (the active domain size) — the
     /// per-batch work estimate the worker heuristic is based on, which for
-    /// sparse domains is far below `edge_capacity`.
+    /// sparse domains may be far below the graph's edge capacity (the
+    /// sampled mask buffer sizes itself during each fill).
     pub work_edges: usize,
     /// BFS source, as a vertex index.
     pub source: usize,
@@ -121,19 +126,23 @@ pub(crate) struct BatchJob {
 /// per-chunk accumulator via `per_batch(acc, bfs, lanes)`. Per-chunk
 /// accumulators are returned in ascending batch order.
 ///
-/// `fill` samples one batch into the scratch [`WorldBatch`]; `neighbors`
-/// yields `(vertex index, edge index)` adjacency. Reachability counting,
-/// flow aggregation, and the component-local sampler are all thin wrappers,
-/// so the batching/label/merge contract lives in exactly one place.
+/// `fill` samples one batch into the worker's pooled
+/// [`WorldBatch`](crate::batch::WorldBatch) scratch; `neighbors` yields
+/// `(vertex index, edge index)` adjacency. Each worker checks out its
+/// [`ScratchPool`] slot for the whole chunk, so steady-state estimation
+/// allocates nothing per batch. Reachability counting, flow aggregation,
+/// and the component-local sampler are all thin wrappers, so the
+/// batching/label/merge contract lives in exactly one place.
 pub(crate) fn map_batches<A, F, N, I, P>(
     job: BatchJob,
+    pool: &ScratchPool,
     fill: F,
     neighbors: N,
     per_batch: P,
 ) -> Vec<A>
 where
     A: Default + Send,
-    F: Fn(&mut WorldBatch, u64, u32) + Sync,
+    F: Fn(&mut crate::batch::WorldBatch, u64, u32) + Sync,
     N: Fn(usize) -> I + Sync,
     I: Iterator<Item = (usize, usize)>,
     P: Fn(&mut A, &LaneBfs, u32) + Sync,
@@ -141,15 +150,21 @@ where
     assert!(job.samples > 0, "need at least one sample");
     let num_batches = job.samples.div_ceil(LANES) as usize;
     let workers = effective_workers(job.threads, job.samples, job.work_edges);
-    parallel_chunks(num_batches, workers, |range| {
+    parallel_chunks(num_batches, workers, |worker, range| {
         let mut acc = A::default();
-        let mut batch = WorldBatch::new(job.edge_capacity);
-        let mut bfs = LaneBfs::new(job.vertex_count);
+        let mut guard = pool.checkout(worker);
+        let scratch = &mut *guard;
+        scratch.bfs.prepare(job.vertex_count);
         for b in range {
             let lanes = lanes_in_batch(job.samples, b);
-            fill(&mut batch, b as u64 * LANES as u64, lanes);
-            bfs.run(job.source, batch.active_mask(), batch.masks(), &neighbors);
-            per_batch(&mut acc, &bfs, lanes);
+            fill(&mut scratch.batch, b as u64 * LANES as u64, lanes);
+            scratch.bfs.run(
+                job.source,
+                scratch.batch.active_mask(),
+                scratch.batch.masks(),
+                &neighbors,
+            );
+            per_batch(&mut acc, &scratch.bfs, lanes);
         }
         acc
     })
@@ -159,20 +174,31 @@ where
 /// specialization of [`map_batches`], shared by the graph-level
 /// [`ParallelEstimator`] and the component-local
 /// [`crate::component::ComponentGraph::sample_reachability_batched`].
-pub(crate) fn batched_success_counts<F, N, I>(job: BatchJob, fill: F, neighbors: N) -> Vec<u32>
+pub(crate) fn batched_success_counts<F, N, I>(
+    job: BatchJob,
+    pool: &ScratchPool,
+    fill: F,
+    neighbors: N,
+) -> Vec<u32>
 where
-    F: Fn(&mut WorldBatch, u64, u32) + Sync,
+    F: Fn(&mut crate::batch::WorldBatch, u64, u32) + Sync,
     N: Fn(usize) -> I + Sync,
     I: Iterator<Item = (usize, usize)>,
 {
-    let chunks = map_batches(job, fill, neighbors, |acc: &mut Vec<u32>, bfs, _lanes| {
-        if acc.is_empty() {
-            acc.resize(job.vertex_count, 0);
-        }
-        for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
-            *s += mask.count_ones();
-        }
-    });
+    let chunks = map_batches(
+        job,
+        pool,
+        fill,
+        neighbors,
+        |acc: &mut Vec<u32>, bfs, _lanes| {
+            if acc.is_empty() {
+                acc.resize(job.vertex_count, 0);
+            }
+            for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
+                *s += mask.count_ones();
+            }
+        },
+    );
     // Success counts are integers, so summing chunks is exact and
     // order-free — but we still fold in chunk order for clarity.
     let mut successes = vec![0u32; job.vertex_count];
@@ -187,21 +213,28 @@ where
 /// A batched, multi-threaded drop-in for the scalar estimators of
 /// [`crate::reachability`] and [`crate::component`].
 ///
-/// Construction is cheap (the struct is just a worker count); all scratch
-/// buffers live per worker per call. The configured count is an upper
-/// bound: jobs too small to amortize thread spawn/join — e.g. the F-tree's
-/// per-component probes — run on the calling thread, so `threads > 1`
-/// never makes an estimation slower. Results are identical either way.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The estimator owns one [`SamplingScratch`](crate::scratch::SamplingScratch)
+/// per worker slot, checked out by worker index for the duration of each
+/// chunk and reused across calls, so steady-state estimation performs zero
+/// heap allocation per batch. The configured count is an upper bound: jobs
+/// too small to amortize thread spawn/join — e.g. the F-tree's
+/// per-component probes — run on the calling thread (against scratch slot
+/// 0, kept warm across every such probe), so `threads > 1` never makes an
+/// estimation slower. Results never depend on the scratch or the worker
+/// count — only wall-clock time does.
+#[derive(Debug, Clone)]
 pub struct ParallelEstimator {
     threads: usize,
+    pool: Arc<ScratchPool>,
 }
 
 impl ParallelEstimator {
     /// An estimator using `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
         ParallelEstimator {
-            threads: threads.max(1),
+            threads,
+            pool: Arc::new(ScratchPool::new(threads)),
         }
     }
 
@@ -230,7 +263,7 @@ impl ParallelEstimator {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        parallel_chunks(jobs, self.threads, |range| {
+        parallel_chunks(jobs, self.threads, |_worker, range| {
             range.map(&run).collect::<Vec<T>>()
         })
         .into_iter()
@@ -254,7 +287,6 @@ impl ParallelEstimator {
     ) -> ReachabilityEstimate {
         let job = BatchJob {
             vertex_count: graph.vertex_count(),
-            edge_capacity: graph.edge_count(),
             work_edges: active.len(),
             source: query.index(),
             samples,
@@ -262,6 +294,7 @@ impl ParallelEstimator {
         };
         let successes = batched_success_counts(
             job,
+            &self.pool,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
                 graph
@@ -288,7 +321,6 @@ impl ParallelEstimator {
     ) -> FlowEstimate {
         let job = BatchJob {
             vertex_count: graph.vertex_count(),
-            edge_capacity: graph.edge_count(),
             work_edges: active.len(),
             source: query.index(),
             samples,
@@ -296,6 +328,7 @@ impl ParallelEstimator {
         };
         let chunks = map_batches(
             job,
+            &self.pool,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
                 graph
@@ -333,14 +366,33 @@ impl ParallelEstimator {
     }
 
     /// Batched equivalent of [`ComponentGraph::sample_reachability`]:
-    /// `Pr[v ↔ AV]` counts for every local vertex of a component.
+    /// `Pr[v ↔ AV]` counts for every local vertex of a component, computed
+    /// against the estimator's pooled scratch (world `i` draws from
+    /// `seq.rng(i)`; bit-identical at every thread count).
+    ///
+    /// This is the selection loop's hottest entry point — one call per
+    /// probed component — so it reuses the warm scratch of whichever
+    /// worker slot serves it instead of allocating batch/BFS buffers.
     pub fn sample_component(
         &self,
         component: &ComponentGraph,
         samples: u32,
         seq: &SeedSequence,
     ) -> ComponentEstimate {
-        component.sample_reachability_batched(samples, seq, self.threads)
+        let job = BatchJob {
+            vertex_count: component.vertex_count(),
+            work_edges: component.edge_count(),
+            source: 0,
+            samples,
+            threads: self.threads,
+        };
+        let successes = batched_success_counts(
+            job,
+            &self.pool,
+            |batch, first_label, lanes| component.fill_batch(batch, seq, first_label, lanes),
+            |u| component.local_neighbors(u),
+        );
+        ComponentEstimate::from_success_counts(successes, samples)
     }
 
     /// Draws worlds `[first_world, total_worlds)` for **many components as
@@ -383,36 +435,37 @@ impl ParallelEstimator {
             }
         }
         let workers = workers_for_coins(self.threads, coins);
-        let chunks = parallel_chunks(unit_request.len(), workers, |range| {
+        let chunks = parallel_chunks(unit_request.len(), workers, |worker, range| {
             let mut acc: Vec<Option<Vec<u32>>> = vec![None; requests.len()];
-            let mut scratch: Option<(u32, WorldBatch, LaneBfs)> = None;
+            let mut guard = self.pool.checkout(worker);
+            let scratch = &mut *guard;
+            let mut owner: Option<u32> = None;
             for u in range {
                 let r = unit_request[u];
                 let req = &requests[r as usize];
                 let b = unit_batch[u] as usize;
-                // Units of one request are contiguous, so scratch buffers
-                // are re-sized only at request boundaries.
-                let fresh = match &scratch {
-                    Some((owner, _, _)) => *owner != r,
-                    None => true,
-                };
-                if fresh {
-                    scratch = Some((
-                        r,
-                        WorldBatch::new(req.component.edge_count()),
-                        LaneBfs::new(req.component.vertex_count()),
-                    ));
+                // Units of one request are contiguous, so the pooled
+                // scratch is re-targeted only at request boundaries (and
+                // even then the buffers are reused, not reallocated).
+                if owner != Some(r) {
+                    owner = Some(r);
+                    scratch.bfs.prepare(req.component.vertex_count());
                 }
-                let (_, batch, bfs) = scratch.as_mut().expect("scratch just initialized");
                 let lanes = lanes_in_batch(req.total_worlds, b);
-                req.component
-                    .fill_batch(batch, &req.seq, b as u64 * LANES as u64, lanes);
-                bfs.run(0, batch.active_mask(), batch.masks(), |u| {
-                    req.component.local_neighbors(u)
-                });
+                req.component.fill_batch(
+                    &mut scratch.batch,
+                    &req.seq,
+                    b as u64 * LANES as u64,
+                    lanes,
+                );
+                scratch
+                    .bfs
+                    .run(0, scratch.batch.active_mask(), scratch.batch.masks(), |u| {
+                        req.component.local_neighbors(u)
+                    });
                 let counts =
                     acc[r as usize].get_or_insert_with(|| vec![0u32; req.component.vertex_count()]);
-                for (s, &mask) in counts.iter_mut().zip(bfs.reached()) {
+                for (s, &mask) in counts.iter_mut().zip(scratch.bfs.reached()) {
                     *s += mask.count_ones();
                 }
             }
@@ -604,7 +657,7 @@ mod tests {
     #[test]
     fn chunking_covers_every_batch_exactly_once() {
         for (batches, threads) in [(1, 8), (7, 2), (16, 3), (16, 16), (5, 1)] {
-            let chunks = parallel_chunks(batches, threads, |r| r.collect::<Vec<_>>());
+            let chunks = parallel_chunks(batches, threads, |_w, r| r.collect::<Vec<_>>());
             let flat: Vec<usize> = chunks.into_iter().flatten().collect();
             assert_eq!(flat, (0..batches).collect::<Vec<_>>());
         }

@@ -26,7 +26,11 @@
 //! F-tree) and feed `(lower, upper)` bounds back via
 //! [`CandidateRace::complete_round`]. The selection layer drives it with
 //! [`ParallelEstimator::extend_components`], which turns one round into a
-//! single multi-candidate job.
+//! single multi-candidate job running against the estimator's per-worker
+//! [`SamplingScratch`](crate::scratch::SamplingScratch) pool — the round's
+//! batches reuse warm lane buffers and frontier worklists, and each
+//! [`IncrementalComponent`] keeps its own success counters across rounds,
+//! so a race's steady state draws worlds without per-batch allocation.
 
 use crate::batch::LANES;
 use crate::component::{ComponentEstimate, ComponentGraph};

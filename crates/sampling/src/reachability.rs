@@ -6,6 +6,15 @@
 //! exactly what the F-tree avoids doing globally: it has both higher variance
 //! (§7.3's covariance argument) and higher cost than component-local
 //! sampling.
+//!
+//! These scalar loops are the pinned one-world-per-BFS reference; the
+//! production path is [`crate::parallel::ParallelEstimator`]'s batched
+//! equivalents (`sample_reachability` / `sample_flow` there), which run 64
+//! worlds per traversal against the estimator's pooled
+//! [`SamplingScratch`](crate::scratch::SamplingScratch) — zero allocation
+//! per batch in steady state. The scalar loops still hoist their own
+//! per-call scratch (the dense world subset and the BFS) out of the sample
+//! loop, so their cost per world is one coin sweep plus one traversal.
 
 use flowmax_graph::{Bfs, EdgeSubset, ProbabilisticGraph, VertexId};
 

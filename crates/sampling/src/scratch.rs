@@ -1,0 +1,107 @@
+//! Reusable sampling scratch arenas.
+//!
+//! Every batched estimation needs the same per-worker working set: a
+//! [`WorldBatch`] (lane words per edge plus the per-lane RNG buffer) and a
+//! [`LaneBfs`] (reached/pending lane words, the frontier worklist and its
+//! touched-vertex reset list). Allocating those per call is cheap once but
+//! ruinous in the greedy selection loop, where every candidate probe runs a
+//! small component estimation: thousands of probes per iteration each paid
+//! a fresh batch + BFS allocation.
+//!
+//! [`SamplingScratch`] bundles the working set and [`ScratchPool`] keeps
+//! **one scratch per worker slot** of a
+//! [`ParallelEstimator`](crate::parallel::ParallelEstimator), checked out by
+//! worker index for the duration of a chunk. Buffers survive across jobs and
+//! only grow, so steady-state estimation performs zero heap allocation per
+//! batch: the mask buffer, lane RNGs, BFS arrays and frontier queues are all
+//! reused, whatever sequence of components and domains the estimator serves.
+//!
+//! Scratch contents never influence results — every buffer is fully
+//! re-initialized (sized, re-seeded, or frontier-reset) before use, so a
+//! pooled run is bit-identical to one on freshly allocated buffers.
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::batch::{LaneBfs, WorldBatch};
+
+/// One worker's reusable estimation working set.
+#[derive(Debug)]
+pub struct SamplingScratch {
+    /// Lane-word batch (edge masks + per-lane RNG buffer).
+    pub batch: WorldBatch,
+    /// Lane BFS state (reached/pending words, frontier worklist).
+    pub bfs: LaneBfs,
+}
+
+impl SamplingScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        SamplingScratch {
+            batch: WorldBatch::new(0),
+            bfs: LaneBfs::new(0),
+        }
+    }
+}
+
+impl Default for SamplingScratch {
+    fn default() -> Self {
+        SamplingScratch::new()
+    }
+}
+
+/// A fixed set of [`SamplingScratch`] slots, one per worker of a
+/// [`ParallelEstimator`](crate::parallel::ParallelEstimator).
+///
+/// Workers address their slot by index, so the mutexes are uncontended in
+/// normal operation — they exist only to make the pool `Sync` (scoped
+/// workers borrow it across threads). The mutexes are **not** re-entrant:
+/// checking out a slot while the same thread already holds it (e.g.
+/// calling back into the same estimator from inside a `fill`/`per_batch`
+/// callback) deadlocks — callbacks must never re-enter their estimator.
+#[derive(Debug)]
+pub struct ScratchPool {
+    slots: Vec<Mutex<SamplingScratch>>,
+}
+
+impl ScratchPool {
+    /// A pool with `workers` slots (at least one).
+    pub fn new(workers: usize) -> Self {
+        ScratchPool {
+            slots: (0..workers.max(1))
+                .map(|_| Mutex::new(SamplingScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// Checks out worker `worker`'s scratch for the duration of a chunk.
+    pub fn checkout(&self, worker: usize) -> MutexGuard<'_, SamplingScratch> {
+        self.slots[worker % self.slots.len()]
+            .lock()
+            .expect("sampling scratch poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_always_has_a_slot() {
+        let pool = ScratchPool::new(0);
+        let _guard = pool.checkout(0);
+        let pool = ScratchPool::new(3);
+        let _a = pool.checkout(0);
+        let _b = pool.checkout(1);
+        // Out-of-range workers wrap instead of panicking.
+        let _c = pool.checkout(5);
+    }
+
+    #[test]
+    fn scratch_buffers_grow_and_are_reusable() {
+        let mut s = SamplingScratch::new();
+        s.bfs.prepare(10);
+        assert_eq!(s.bfs.reached().len(), 10);
+        s.bfs.prepare(4);
+        assert_eq!(s.bfs.reached().len(), 4);
+    }
+}

@@ -6,7 +6,7 @@
 //! public solver API.
 
 use flowmax::core::{
-    dijkstra_select, evaluate_selection, exact_max_flow, Algorithm, ComponentView, EstimatorConfig,
+    dijkstra_select, evaluate_selection, exact_max_flow, Algorithm, ComponentRef, EstimatorConfig,
     FTree, InsertCase, SamplingProvider, Session,
 };
 use flowmax::graph::{
@@ -79,54 +79,57 @@ fn base_tree(g: &ProbabilisticGraph) -> (FTree, SamplingProvider) {
     (tree, provider)
 }
 
-fn find_component<'a>(comps: &'a [ComponentView], members: &[u32]) -> Option<&'a ComponentView> {
+fn find_component<'a, 't>(
+    comps: &'a [ComponentRef<'t>],
+    members: &[u32],
+) -> Option<&'a ComponentRef<'t>> {
     let want: Vec<VertexId> = members.iter().map(|&v| VertexId(v)).collect();
-    comps.iter().find(|c| c.members == want)
+    comps.iter().find(|c| c.members().eq(want.iter().copied()))
 }
 
 #[test]
 fn figure3_ftree_has_the_papers_component_structure() {
     let g = figure3_graph();
     let (tree, _) = base_tree(&g);
-    let comps = tree.components();
+    let comps: Vec<ComponentRef> = tree.components().collect();
     assert_eq!(comps.len(), 6, "components A–F");
 
     // A = ({1,2,3,6}, Q), mono, root.
     let a = find_component(&comps, &[1, 2, 3, 6]).expect("component A");
-    assert!(!a.is_bi);
+    assert!(!a.is_bi());
     assert_eq!(a.articulation, VertexId(0));
     assert_eq!(a.parent, None);
 
     // B = ({4,5}, 3), bi, child of A.
     let b = find_component(&comps, &[4, 5]).expect("component B");
-    assert!(b.is_bi);
+    assert!(b.is_bi());
     assert_eq!(b.articulation, VertexId(3));
     assert_eq!(b.parent, Some(a.id));
-    assert_eq!(b.edges.len(), 3, "2^3 worlds, Example 2");
+    assert_eq!(b.edge_count(), 3, "2^3 worlds, Example 2");
 
     // C = ({7,8,9}, 6), bi, child of A.
     let c = find_component(&comps, &[7, 8, 9]).expect("component C");
-    assert!(c.is_bi);
+    assert!(c.is_bi());
     assert_eq!(c.articulation, VertexId(6));
     assert_eq!(c.parent, Some(a.id));
-    assert_eq!(c.edges.len(), 4, "2^4 worlds, Example 2");
+    assert_eq!(c.edge_count(), 4, "2^4 worlds, Example 2");
 
     // D = ({10,11}, 9), bi, child of C.
     let d = find_component(&comps, &[10, 11]).expect("component D");
-    assert!(d.is_bi);
+    assert!(d.is_bi());
     assert_eq!(d.articulation, VertexId(9));
     assert_eq!(d.parent, Some(c.id));
-    assert_eq!(d.edges.len(), 3, "2^3 worlds, Example 2");
+    assert_eq!(d.edge_count(), 3, "2^3 worlds, Example 2");
 
     // E = ({13,14,15,16}, 9), mono, child of C.
     let e = find_component(&comps, &[13, 14, 15, 16]).expect("component E");
-    assert!(!e.is_bi);
+    assert!(!e.is_bi());
     assert_eq!(e.articulation, VertexId(9));
     assert_eq!(e.parent, Some(c.id));
 
     // F = ({12}, 11), mono, child of D.
     let f = find_component(&comps, &[12]).expect("component F");
-    assert!(!f.is_bi);
+    assert!(!f.is_bi());
     assert_eq!(f.articulation, VertexId(11));
     assert_eq!(f.parent, Some(d.id));
 }
@@ -158,9 +161,9 @@ fn figure4a_new_leaf_on_bi_component() {
     let r = tree.insert_edge(&g, EdgeId(19), &mut provider).unwrap();
     assert_eq!(r.case, InsertCase::LeafBi);
     tree.validate(&g).unwrap();
-    let comps = tree.components();
+    let comps: Vec<ComponentRef> = tree.components().collect();
     let gcomp = find_component(&comps, &[17]).expect("component G");
-    assert!(!gcomp.is_bi);
+    assert!(!gcomp.is_bi());
     assert_eq!(gcomp.articulation, VertexId(7));
     let c = find_component(&comps, &[7, 8, 9]).expect("component C");
     assert_eq!(gcomp.parent, Some(c.id));
@@ -175,10 +178,10 @@ fn figure4b_cycle_inside_bi_component() {
     let r = tree.insert_edge(&g, EdgeId(20), &mut provider).unwrap();
     assert_eq!(r.case, InsertCase::CycleInBi);
     tree.validate(&g).unwrap();
-    assert_eq!(tree.components().len(), 6, "no structural change");
-    let comps = tree.components();
+    assert_eq!(tree.components().count(), 6, "no structural change");
+    let comps: Vec<ComponentRef> = tree.components().collect();
     let c = find_component(&comps, &[7, 8, 9]).expect("component C");
-    assert_eq!(c.edges.len(), 5);
+    assert_eq!(c.edge_count(), 5);
     assert!(
         tree.reach_to_query(VertexId(8)) > reach_8_before,
         "paper: nodes 7, 8, 9 gain probability from edge b"
@@ -194,21 +197,21 @@ fn figure4c_cycle_inside_mono_component_splits() {
     let r = tree.insert_edge(&g, EdgeId(21), &mut provider).unwrap();
     assert_eq!(r.case, InsertCase::CycleInMono);
     tree.validate(&g).unwrap();
-    let comps = tree.components();
+    let comps: Vec<ComponentRef> = tree.components().collect();
     assert_eq!(comps.len(), 8);
 
     let e_rest = find_component(&comps, &[13]).expect("shrunken E");
-    assert!(!e_rest.is_bi);
+    assert!(!e_rest.is_bi());
     assert_eq!(e_rest.articulation, VertexId(9));
 
     let gcomp = find_component(&comps, &[14, 15]).expect("new bi G");
-    assert!(gcomp.is_bi);
+    assert!(gcomp.is_bi());
     assert_eq!(gcomp.articulation, VertexId(13));
     assert_eq!(gcomp.parent, Some(e_rest.id));
-    assert_eq!(gcomp.edges.len(), 3, "13-14, 13-15, 14-15");
+    assert_eq!(gcomp.edge_count(), 3, "13-14, 13-15, 14-15");
 
     let h = find_component(&comps, &[16]).expect("orphan H");
-    assert!(!h.is_bi);
+    assert!(!h.is_bi());
     assert_eq!(h.articulation, VertexId(15), "paper: 16 regrouped under 15");
     assert_eq!(h.parent, Some(gcomp.id));
 
@@ -234,13 +237,13 @@ fn figure4d_cross_component_cycle() {
     let r = tree.insert_edge(&g, EdgeId(22), &mut provider).unwrap();
     assert_eq!(r.case, InsertCase::CycleAcross);
     tree.validate(&g).unwrap();
-    let comps = tree.components();
+    let comps: Vec<ComponentRef> = tree.components().collect();
 
     let ring = find_component(&comps, &[10, 11, 13, 15]).expect("component ⃝");
-    assert!(ring.is_bi);
+    assert!(ring.is_bi());
     assert_eq!(ring.articulation, VertexId(9));
     // ⃝'s edges: D's three + 9-13 + 13-15 + the new 11-15 = 6.
-    assert_eq!(ring.edges.len(), 6);
+    assert_eq!(ring.edge_count(), 6);
     let c = find_component(&comps, &[7, 8, 9]).expect("component C");
     assert_eq!(ring.parent, Some(c.id));
 

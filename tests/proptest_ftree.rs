@@ -181,7 +181,7 @@ proptest! {
         let tree = build_tree(&g, VertexId(0), &spec);
         let mut seen = std::collections::BTreeSet::new();
         for comp in tree.components() {
-            for e in comp.edges {
+            for e in comp.edges() {
                 prop_assert!(seen.insert(e), "edge {:?} in two components", e);
             }
         }
