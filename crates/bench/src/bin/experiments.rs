@@ -6,6 +6,7 @@
 //! experiments fig5a fig9b ...      # run specific figures
 //! experiments bench3               # candidate-race snapshot → BENCH_3.json
 //! experiments bench5               # probe-churn snapshot → BENCH_5.json
+//! experiments bench6               # incremental-engine snapshot → BENCH_6.json
 //!   --paper-scale   use the paper's full sizes (slow)
 //!   --seed <n>      master seed (default 42)
 //!   --out <dir>     CSV output directory (default results/)
@@ -97,6 +98,31 @@ fn main() {
             }
         }
         ids.retain(|s| s != "bench5");
+        if ids.is_empty() {
+            return;
+        }
+    }
+
+    // The incremental-engine snapshot: O(touched) probing and replay-based
+    // commits vs the journal and clone references (BENCH_6.json, the PR-6
+    // perf-trajectory artifact).
+    if ids.iter().any(|s| s == "bench6") {
+        let started = Instant::now();
+        let bench = probe_churn::run_bench6(&scale, reps);
+        print!("{}", bench.to_json());
+        let path = PathBuf::from("BENCH_6.json");
+        match bench.write_json(&path) {
+            Ok(()) => println!(
+                "# incremental_churn completed in {:.1?}; wrote {}",
+                started.elapsed(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        ids.retain(|s| s != "bench6");
         if ids.is_empty() {
             return;
         }

@@ -63,6 +63,7 @@ pub fn dijkstra_select_from_tree(
             probes: 0,
             ci_pruned: 0,
             ds_skipped: 0,
+            memo_hits: 0,
         });
         prev_flow = flow;
     }

@@ -122,6 +122,7 @@ pub fn naive_select_observed(
             probes: pool as u64,
             ci_pruned: 0,
             ds_skipped: 0,
+            memo_hits: 0,
         });
         final_flow = flow;
         flow_trace.push(flow);

@@ -2,8 +2,16 @@
 //!
 //! Because an articulation vertex separates its component from the rest of
 //! the selected subgraph, `Pr[v ↔ Q] = Pr[v ↔ AV | component] · Pr[AV ↔ Q]`
-//! with independent factors; flow therefore aggregates in one top-down pass,
-//! multiplying component-local reaches along the tree (Theorem 2 + Lemma 1).
+//! with independent factors; flow therefore aggregates bottom-up per
+//! component (Theorem 2 + Lemma 1): a component's **subtree flow** is its
+//! members' `reach · weight` sum plus each child subtree's flow scaled by
+//! the child AV's within-component reach, and the total is the sum over the
+//! root components. The per-component form is what makes flow *incremental*:
+//! [`FlowCache`] keeps every component's member sum and subtree flow, so a
+//! probe or commit that touches `k` components re-aggregates only those `k`
+//! and their ancestors — bit-identical to a fresh whole-forest traversal,
+//! which survives as the pinned reference (and is debug-counted, so the
+//! selection loop can assert it never runs one mid-iteration).
 //!
 //! Probing (`probe_edge`) evaluates the flow a candidate insertion *would*
 //! yield, at minimal cost per structural case:
@@ -23,23 +31,296 @@
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{ComponentEstimate, ComponentGraph};
 
-use super::{ComponentId, FTree, InsertCase, Kind};
+use super::{CommitReplay, ComponentId, FTree, InsertCase, Journal, Kind};
 use crate::error::CoreError;
 use crate::estimator::EstimateProvider;
 
-/// How per-vertex reach is read during a flow traversal. (Probe scoring
-/// uses the fused three-accumulator traversal [`FTree::flow_triple`]
-/// instead — one pass yields point + both bounds.)
-enum ReachView {
-    /// The tree's stored estimates.
-    Stored,
-    /// Evaluate one component at its confidence bounds (post-insert bounds
-    /// for structural probes).
-    Bound {
-        cid: ComponentId,
-        alpha: f64,
-        upper: bool,
-    },
+/// Per-component flow memo backing the incremental selection engine.
+///
+/// `entries[slot]` caches two accumulator values for the component living
+/// in arena `slot`: `member_sum` (the flow accumulator right after the
+/// member loop) and `sub` (after also adding child subtrees — the
+/// component's full subtree flow). Caching the *intermediate* member sum is
+/// what keeps incremental evaluation bit-identical to a fresh traversal: an
+/// ancestor of a touched component resumes accumulation from `member_sum`
+/// and replays only the child additions, reproducing the exact operation
+/// sequence [`FTree::expected_flow`] would perform.
+///
+/// The cache is pure working memory: excluded from tree equality, dropped
+/// on clone, and consulted only by the `*_cached` evaluators below.
+#[derive(Debug, Default)]
+pub(crate) struct FlowCache {
+    /// Cached accumulators per arena slot (`None`: free or never drained).
+    entries: Vec<Option<CacheEntry>>,
+    /// Slots whose members or estimates changed since the last drain
+    /// ([`FTree::flow_cached_total`]); ancestors are implied.
+    dirty: Vec<u32>,
+    /// Epoch marks: a slot takes part in the current evaluation iff
+    /// `mark[slot] >> 1 == epoch`. The low bit distinguishes member-dirty
+    /// (re-sum members) from ancestor-dirty (members intact, only child
+    /// contributions must be replayed).
+    mark: Vec<u64>,
+    epoch: u64,
+    /// Traversal scratch reused across evaluations.
+    stack: Vec<(u32, bool)>,
+    /// Per-slot triple-lane scratch for probe overlays (never the
+    /// committed state — probes must not pollute `entries`).
+    overlay: Vec<(f64, f64, f64)>,
+    /// Seed-slot scratch reused across evaluations.
+    seeds: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    /// Flow accumulator after summing `reach · weight` over members.
+    member_sum: f64,
+    /// Accumulator after also adding each child's subtree flow scaled by
+    /// its AV reach: the component's subtree flow.
+    sub: f64,
+}
+
+impl FlowCache {
+    #[inline]
+    fn marked(&self, slot: usize) -> bool {
+        self.mark[slot] >> 1 == self.epoch
+    }
+
+    #[inline]
+    fn member_dirty(&self, slot: usize) -> bool {
+        self.mark[slot] & 1 == 1
+    }
+}
+
+/// Sorted `(vertex, snapshot index)` lookup for an IIIa override snapshot,
+/// built once per evaluation so member lookups cost `O(log m)` instead of
+/// a linear scan of the snapshot's vertex list per member.
+fn override_order(snapshot: &ComponentGraph) -> Vec<(VertexId, u32)> {
+    let mut order: Vec<(VertexId, u32)> = snapshot
+        .vertices()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    order.sort_unstable_by_key(|&(v, _)| v);
+    order
+}
+
+#[inline]
+fn override_position(order: &[(VertexId, u32)], v: VertexId) -> usize {
+    let at = order
+        .binary_search_by_key(&v, |&(w, _)| w)
+        .expect("override snapshot covers the component's vertices");
+    order[at].1 as usize
+}
+
+/// Opens a new evaluation epoch: every live seed slot is marked
+/// member-dirty, then each seed's parent chain is marked ancestor-dirty,
+/// stopping at the first already-marked ancestor (its chain is complete).
+/// Because all seeds are member-marked before any chain walk starts, the
+/// marked set is closed under parents when this returns. Dead or
+/// out-of-range seeds are skipped.
+fn mark_touched(tree: &FTree, cache: &mut FlowCache, seeds: &[u32]) {
+    cache.epoch += 1;
+    let epoch = cache.epoch;
+    if cache.mark.len() < tree.arena.len() {
+        cache.mark.resize(tree.arena.len(), 0);
+    }
+    for &slot in seeds {
+        let idx = slot as usize;
+        if idx < tree.arena.len() && tree.arena[idx].is_some() {
+            cache.mark[idx] = (epoch << 1) | 1;
+        }
+    }
+    for &slot in seeds {
+        let idx = slot as usize;
+        if idx >= tree.arena.len() || tree.arena[idx].is_none() {
+            continue;
+        }
+        let mut up = tree.comp(ComponentId(slot)).parent;
+        while let Some(p) = up {
+            if cache.mark[p.index()] >> 1 == epoch {
+                break;
+            }
+            cache.mark[p.index()] = epoch << 1;
+            up = tree.comp(p).parent;
+        }
+    }
+}
+
+/// Recomputes the cached accumulators of every marked component, children
+/// before parents — the committed-state drain behind
+/// [`FTree::flow_cached_total`]. Member-dirty (or never-cached) slots
+/// re-sum their members; ancestor-dirty slots resume from their cached
+/// member sum and replay only the child additions.
+fn drain_marked(tree: &FTree, cache: &mut FlowCache, graph: &ProbabilisticGraph) {
+    let mut stack = std::mem::take(&mut cache.stack);
+    stack.clear();
+    for &r in &tree.roots {
+        if cache.marked(r.index()) {
+            stack.push((r.0, false));
+        }
+    }
+    while let Some((slot, exit)) = stack.pop() {
+        let cid = ComponentId(slot);
+        let comp = tree.comp(cid);
+        if !exit {
+            stack.push((slot, true));
+            for &ch in &comp.children {
+                if cache.marked(ch.index()) {
+                    stack.push((ch.0, false));
+                }
+            }
+            continue;
+        }
+        let idx = slot as usize;
+        let member_sum = if cache.member_dirty(idx) || cache.entries[idx].is_none() {
+            let mut acc = 0.0;
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        acc += tree.reach_in(cid, v) * graph.weight(v).value();
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        acc += tree.reach_in(cid, v) * graph.weight(v).value();
+                    }
+                }
+            }
+            acc
+        } else {
+            cache.entries[idx]
+                .expect("entry presence just checked")
+                .member_sum
+        };
+        let mut sub = member_sum;
+        for &ch in &comp.children {
+            let child_sub = cache.entries[ch.index()]
+                .expect("children drain before their parent; clean children are cached")
+                .sub;
+            sub += tree.reach_in(cid, tree.comp(ch).articulation) * child_sub;
+        }
+        cache.entries[idx] = Some(CacheEntry { member_sum, sub });
+    }
+    cache.stack = stack;
+}
+
+/// Triple-lane `O(touched)` evaluation for probes: marked subtrees are
+/// re-aggregated bottom-up into the overlay scratch (the committed
+/// `entries` are never written), unmarked subtrees contribute their cached
+/// subtree flow to all three lanes — valid because an unmarked component's
+/// three lanes are identical (the bounded component and every journal
+/// touch are marked). Returns `(point, lower, upper)` totals.
+fn overlay_flow_triple(
+    tree: &FTree,
+    cache: &mut FlowCache,
+    graph: &ProbabilisticGraph,
+    include_query: bool,
+    reach3: &dyn Fn(ComponentId, VertexId) -> (f64, f64, f64),
+) -> (f64, f64, f64) {
+    if cache.overlay.len() < tree.arena.len() {
+        cache.overlay.resize(tree.arena.len(), (0.0, 0.0, 0.0));
+    }
+    let mut stack = std::mem::take(&mut cache.stack);
+    stack.clear();
+    for &r in &tree.roots {
+        if cache.marked(r.index()) {
+            stack.push((r.0, false));
+        }
+    }
+    while let Some((slot, exit)) = stack.pop() {
+        let cid = ComponentId(slot);
+        let comp = tree.comp(cid);
+        if !exit {
+            stack.push((slot, true));
+            for &ch in &comp.children {
+                if cache.marked(ch.index()) {
+                    stack.push((ch.0, false));
+                }
+            }
+            continue;
+        }
+        let idx = slot as usize;
+        let (mut a0, mut a1, mut a2) = if cache.member_dirty(idx) {
+            let (mut a0, mut a1, mut a2) = (0.0, 0.0, 0.0);
+            let mut add = |v: VertexId| {
+                let (r0, r1, r2) = reach3(cid, v);
+                let w = graph.weight(v).value();
+                a0 += r0 * w;
+                a1 += r1 * w;
+                a2 += r2 * w;
+            };
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        add(v);
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        add(v);
+                    }
+                }
+            }
+            (a0, a1, a2)
+        } else {
+            // Ancestor-dirty: members and their reaches are untouched, so
+            // the cached single-lane member sum is bit-identical to what
+            // each lane would recompute.
+            let ms = cache
+                .entries
+                .get(idx)
+                .copied()
+                .flatten()
+                .expect("ancestor-dirty component has a cache entry")
+                .member_sum;
+            (ms, ms, ms)
+        };
+        for &ch in &comp.children {
+            let (s0, s1, s2) = if cache.marked(ch.index()) {
+                cache.overlay[ch.index()]
+            } else {
+                let s = cache
+                    .entries
+                    .get(ch.index())
+                    .copied()
+                    .flatten()
+                    .expect("clean child has a cache entry")
+                    .sub;
+                (s, s, s)
+            };
+            let (r0, r1, r2) = reach3(cid, tree.comp(ch).articulation);
+            a0 += r0 * s0;
+            a1 += r1 * s1;
+            a2 += r2 * s2;
+        }
+        cache.overlay[idx] = (a0, a1, a2);
+    }
+    cache.stack = stack;
+    let base = if include_query {
+        graph.weight(tree.query).value()
+    } else {
+        0.0
+    };
+    let (mut t0, mut t1, mut t2) = (base, base, base);
+    for &r in &tree.roots {
+        let (s0, s1, s2) = if cache.marked(r.index()) {
+            cache.overlay[r.index()]
+        } else {
+            let s = cache
+                .entries
+                .get(r.index())
+                .copied()
+                .flatten()
+                .expect("clean root has a cache entry")
+                .sub;
+            (s, s, s)
+        };
+        t0 += s0;
+        t1 += s1;
+        t2 += s2;
+    }
+    (t0, t1, t2)
 }
 
 /// Result of probing a candidate edge without committing it (§6.1 Eq. 5).
@@ -141,23 +422,55 @@ impl SampledProbe {
         alpha: f64,
         estimate: ComponentEstimate,
     ) -> ProbeOutcome {
+        self.score_keeping(tree, graph, include_query, alpha, estimate)
+            .0
+    }
+
+    /// [`score`](Self::score), additionally capturing a [`CommitReplay`]
+    /// when the tree's incremental flow cache is enabled and the probe is a
+    /// journal-based structural one: the rollback records the applied
+    /// state's images on the way out, so the selection loop can commit this
+    /// candidate later by replaying the recorded mutations instead of
+    /// re-running the insertion.
+    pub(crate) fn score_keeping(
+        &mut self,
+        tree: &mut FTree,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        alpha: f64,
+        estimate: ComponentEstimate,
+    ) -> (ProbeOutcome, Option<CommitReplay>) {
         match &mut self.kind {
             SampledKind::InBi { cid } => {
-                let (flow, lower, upper) = tree.flow_with_override_bounds(
-                    graph,
-                    include_query,
-                    *cid,
-                    &self.snapshot,
-                    &estimate,
-                    alpha,
-                );
-                ProbeOutcome {
-                    flow,
-                    lower,
-                    upper,
-                    case: InsertCase::CycleInBi,
-                    sampling_cost_edges: self.cost_edges,
-                }
+                let (flow, lower, upper) = if tree.flow_cache_enabled() {
+                    tree.flow_with_override_bounds_cached(
+                        graph,
+                        include_query,
+                        *cid,
+                        &self.snapshot,
+                        &estimate,
+                        alpha,
+                    )
+                } else {
+                    tree.flow_with_override_bounds(
+                        graph,
+                        include_query,
+                        *cid,
+                        &self.snapshot,
+                        &estimate,
+                        alpha,
+                    )
+                };
+                (
+                    ProbeOutcome {
+                        flow,
+                        lower,
+                        upper,
+                        case: InsertCase::CycleInBi,
+                        sampling_cost_edges: self.cost_edges,
+                    },
+                    None,
+                )
             }
             SampledKind::Structural { edge, case } => {
                 // Apply → evaluate → rollback on the shared tree. The
@@ -172,15 +485,27 @@ impl SampledProbe {
                 let cid = report
                     .component
                     .expect("cycle insertions always produce a bi component");
-                let (flow, lower, upper) = tree.flow_with_bounds(graph, include_query, cid, alpha);
-                tree.rollback(journal);
-                ProbeOutcome {
-                    flow,
-                    lower,
-                    upper,
-                    case: *case,
-                    sampling_cost_edges: self.cost_edges,
-                }
+                let (flow, lower, upper) = if tree.flow_cache_enabled() {
+                    tree.flow_with_bounds_cached(graph, include_query, cid, alpha, &journal)
+                } else {
+                    tree.flow_with_bounds(graph, include_query, cid, alpha)
+                };
+                let replay = if tree.flow_cache_enabled() {
+                    Some(tree.rollback_capturing(journal, cid))
+                } else {
+                    tree.rollback(journal);
+                    None
+                };
+                (
+                    ProbeOutcome {
+                        flow,
+                        lower,
+                        upper,
+                        case: *case,
+                        sampling_cost_edges: self.cost_edges,
+                    },
+                    replay,
+                )
             }
             SampledKind::StructuralCloned {
                 tree: clone,
@@ -190,13 +515,16 @@ impl SampledProbe {
                 clone.set_bi_estimate(*cid, estimate);
                 let (flow, lower, upper) =
                     clone.flow_with_bounds(graph, include_query, *cid, alpha);
-                ProbeOutcome {
-                    flow,
-                    lower,
-                    upper,
-                    case: *case,
-                    sampling_cost_edges: self.cost_edges,
-                }
+                (
+                    ProbeOutcome {
+                        flow,
+                        lower,
+                        upper,
+                        case: *case,
+                        sampling_cost_edges: self.cost_edges,
+                    },
+                    None,
+                )
             }
         }
     }
@@ -249,9 +577,11 @@ impl EstimateProvider for SuppliedProvider {
 
 impl FTree {
     /// The expected information flow `E(flow(Q, G_selected))` under the
-    /// tree's current component estimates (Def. 3 / Eq. 2).
+    /// tree's current component estimates (Def. 3 / Eq. 2), by one
+    /// whole-forest traversal — the pinned reference the incremental
+    /// [`FTree::flow_cached_total`] is held bit-identical to.
     pub fn expected_flow(&self, graph: &ProbabilisticGraph, include_query: bool) -> f64 {
-        self.flow_with(graph, include_query, &ReachView::Stored)
+        self.flow_forest(graph, include_query, &|c, v| self.reach_in(c, v))
     }
 
     /// Lower/upper expected-flow bounds obtained by evaluating component
@@ -269,25 +599,31 @@ impl FTree {
         cid: ComponentId,
         alpha: f64,
     ) -> (f64, f64) {
-        let lo = self.flow_with(
-            graph,
-            include_query,
-            &ReachView::Bound {
-                cid,
-                alpha,
-                upper: false,
-            },
-        );
-        let hi = self.flow_with(
-            graph,
-            include_query,
-            &ReachView::Bound {
-                cid,
-                alpha,
-                upper: true,
-            },
-        );
-        (lo, hi)
+        let bound = |upper: bool| {
+            self.flow_forest(graph, include_query, &|c, v| {
+                let comp = self.comp(c);
+                if v == comp.articulation {
+                    return 1.0;
+                }
+                if c != cid {
+                    return self.reach_in(c, v);
+                }
+                match &comp.kind {
+                    Kind::Mono { members } => members[&v].reach,
+                    Kind::Bi {
+                        estimate, local, ..
+                    } => {
+                        let ci = estimate.interval(local[&v] as usize, alpha);
+                        if upper {
+                            ci.upper
+                        } else {
+                            ci.lower
+                        }
+                    }
+                }
+            })
+        };
+        (bound(false), bound(true))
     }
 
     /// `(point, lower, upper)` expected flow in **one** traversal, with
@@ -307,7 +643,7 @@ impl FTree {
         cid: ComponentId,
         alpha: f64,
     ) -> (f64, f64, f64) {
-        self.flow_triple(graph, include_query, &|c, v| {
+        self.flow_forest_triple(graph, include_query, &|c, v| {
             let comp = self.comp(c);
             if v == comp.articulation {
                 return (1.0, 1.0, 1.0);
@@ -344,7 +680,8 @@ impl FTree {
         estimate: &ComponentEstimate,
         alpha: f64,
     ) -> (f64, f64, f64) {
-        self.flow_triple(graph, include_query, &|c, v| {
+        let order = override_order(snapshot);
+        self.flow_forest_triple(graph, include_query, &|c, v| {
             let comp = self.comp(c);
             if v == comp.articulation {
                 return (1.0, 1.0, 1.0);
@@ -353,125 +690,306 @@ impl FTree {
                 let r = self.reach_in(c, v);
                 return (r, r, r);
             }
-            let local = snapshot
-                .vertices()
-                .iter()
-                .position(|&x| x == v)
-                .expect("override snapshot covers the component's vertices");
+            let local = override_position(&order, v);
             let ci = estimate.interval(local, alpha);
             (estimate.reach(local), ci.lower, ci.upper)
         })
     }
 
-    /// One top-down traversal accumulating three flow variants at once.
-    /// `reach3(cid, v)` yields the `(point, lower, upper)` reach of `v`
-    /// within `cid`; each accumulator sees exactly the operation sequence
-    /// its solo [`FTree::flow_with`] traversal would, so the results are
+    /// One bottom-up whole-forest traversal computing total expected flow,
+    /// with per-vertex within-component reach supplied by `reach`.
+    /// Children complete before their parent; a parent accumulates members
+    /// first (ascending member order), then child subtree flows scaled by
+    /// each child AV's reach (child-list order) — the canonical operation
+    /// sequence every evaluator in this module shares, which is what makes
+    /// cached, overlay and fresh results bitwise comparable.
+    ///
+    /// Debug builds count every call ([`FTree::debug_full_flow_eval_count`])
+    /// so the incremental selection loop can assert it never falls back to
+    /// a whole-forest walk mid-iteration.
+    fn flow_forest(
+        &self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        reach: &dyn Fn(ComponentId, VertexId) -> f64,
+    ) -> f64 {
+        #[cfg(debug_assertions)]
+        FTree::note_full_flow_eval();
+        let mut sub = vec![0.0f64; self.arena.len()];
+        let mut stack: Vec<(u32, bool)> = self.roots.iter().map(|&r| (r.0, false)).collect();
+        while let Some((slot, exit)) = stack.pop() {
+            let cid = ComponentId(slot);
+            let comp = self.comp(cid);
+            if !exit {
+                stack.push((slot, true));
+                for &ch in &comp.children {
+                    stack.push((ch.0, false));
+                }
+                continue;
+            }
+            let mut acc = 0.0;
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        acc += reach(cid, v) * graph.weight(v).value();
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        acc += reach(cid, v) * graph.weight(v).value();
+                    }
+                }
+            }
+            for &ch in &comp.children {
+                acc += reach(cid, self.comp(ch).articulation) * sub[ch.index()];
+            }
+            sub[slot as usize] = acc;
+        }
+        let mut total = if include_query {
+            graph.weight(self.query).value()
+        } else {
+            0.0
+        };
+        for &r in &self.roots {
+            total += sub[r.index()];
+        }
+        total
+    }
+
+    /// The three-accumulator form of [`FTree::flow_forest`]: `reach3` yields
+    /// `(point, lower, upper)` reach per vertex, and each lane sees exactly
+    /// the operation sequence its solo traversal would, so the results are
     /// bit-identical to three separate passes.
-    fn flow_triple(
+    fn flow_forest_triple(
         &self,
         graph: &ProbabilisticGraph,
         include_query: bool,
         reach3: &dyn Fn(ComponentId, VertexId) -> (f64, f64, f64),
     ) -> (f64, f64, f64) {
+        #[cfg(debug_assertions)]
+        FTree::note_full_flow_eval();
+        let mut sub = vec![(0.0f64, 0.0f64, 0.0f64); self.arena.len()];
+        let mut stack: Vec<(u32, bool)> = self.roots.iter().map(|&r| (r.0, false)).collect();
+        while let Some((slot, exit)) = stack.pop() {
+            let cid = ComponentId(slot);
+            let comp = self.comp(cid);
+            if !exit {
+                stack.push((slot, true));
+                for &ch in &comp.children {
+                    stack.push((ch.0, false));
+                }
+                continue;
+            }
+            let (mut a0, mut a1, mut a2) = (0.0, 0.0, 0.0);
+            let mut add_member = |v: VertexId| {
+                let (r0, r1, r2) = reach3(cid, v);
+                let w = graph.weight(v).value();
+                a0 += r0 * w;
+                a1 += r1 * w;
+                a2 += r2 * w;
+            };
+            match &comp.kind {
+                Kind::Mono { members } => {
+                    for &v in members.keys() {
+                        add_member(v);
+                    }
+                }
+                Kind::Bi { local, .. } => {
+                    for &v in local.keys() {
+                        add_member(v);
+                    }
+                }
+            }
+            for &ch in &comp.children {
+                let (s0, s1, s2) = sub[ch.index()];
+                let (r0, r1, r2) = reach3(cid, self.comp(ch).articulation);
+                a0 += r0 * s0;
+                a1 += r1 * s1;
+                a2 += r2 * s2;
+            }
+            sub[slot as usize] = (a0, a1, a2);
+        }
         let base = if include_query {
             graph.weight(self.query).value()
         } else {
             0.0
         };
         let (mut t0, mut t1, mut t2) = (base, base, base);
-        let mut stack: Vec<(ComponentId, f64, f64, f64)> =
-            self.roots.iter().map(|&c| (c, 1.0, 1.0, 1.0)).collect();
-        while let Some((cid, p0, p1, p2)) = stack.pop() {
-            let comp = self.comp(cid);
-            match &comp.kind {
-                Kind::Mono { members } => {
-                    for &v in members.keys() {
-                        let (r0, r1, r2) = reach3(cid, v);
-                        let w = graph.weight(v).value();
-                        t0 += r0 * p0 * w;
-                        t1 += r1 * p1 * w;
-                        t2 += r2 * p2 * w;
-                    }
-                }
-                Kind::Bi { local, .. } => {
-                    for &v in local.keys() {
-                        let (r0, r1, r2) = reach3(cid, v);
-                        let w = graph.weight(v).value();
-                        t0 += r0 * p0 * w;
-                        t1 += r1 * p1 * w;
-                        t2 += r2 * p2 * w;
-                    }
-                }
-            }
-            for &child in &comp.children {
-                let cav = self.comp(child).articulation;
-                let (r0, r1, r2) = reach3(cid, cav);
-                stack.push((child, r0 * p0, r1 * p1, r2 * p2));
-            }
+        for &r in &self.roots {
+            let (s0, s1, s2) = sub[r.index()];
+            t0 += s0;
+            t1 += s1;
+            t2 += s2;
         }
         (t0, t1, t2)
     }
 
-    /// Reach of `v` inside component `cid` under a view.
-    fn reach_in_view(&self, cid: ComponentId, v: VertexId, view: &ReachView) -> f64 {
-        let comp = self.comp(cid);
-        if v == comp.articulation {
-            return 1.0;
-        }
-        match view {
-            ReachView::Bound {
-                cid: bcid,
-                alpha,
-                upper,
-            } if *bcid == cid => match &comp.kind {
-                Kind::Mono { members } => members[&v].reach,
-                Kind::Bi {
-                    estimate, local, ..
-                } => {
-                    let ci = estimate.interval(local[&v] as usize, *alpha);
-                    if *upper {
-                        ci.upper
-                    } else {
-                        ci.lower
-                    }
-                }
-            },
-            _ => self.reach_in(cid, v),
+    /// Switches this tree to incremental flow accounting: every live slot
+    /// is queued dirty so the first [`FTree::flow_cached_total`] populates
+    /// the cache, and subsequent commits keep it fresh via
+    /// [`FTree::cache_mark_dirty`]. Probes evaluate `O(touched)` through
+    /// the overlay scratch without ever writing committed entries.
+    pub(crate) fn enable_flow_cache(&mut self) {
+        let mut cache = Box::<FlowCache>::default();
+        cache.dirty.extend(self.component_ids().map(|c| c.0));
+        self.flow_cache = Some(cache);
+    }
+
+    /// Whether incremental flow accounting is enabled.
+    pub(crate) fn flow_cache_enabled(&self) -> bool {
+        self.flow_cache.is_some()
+    }
+
+    /// Queues arena slots whose members or estimates changed, for
+    /// re-aggregation at the next [`FTree::flow_cached_total`]. No-op
+    /// without an enabled cache; ancestors are implied (the drain marks
+    /// them itself); dead slots are tolerated (their entries are cleared).
+    pub(crate) fn cache_mark_dirty(&mut self, slots: impl IntoIterator<Item = u32>) {
+        if let Some(cache) = self.flow_cache.as_deref_mut() {
+            cache.dirty.extend(slots);
         }
     }
 
-    /// One top-down traversal computing total expected flow under a view.
-    fn flow_with(&self, graph: &ProbabilisticGraph, include_query: bool, view: &ReachView) -> f64 {
+    /// The incremental counterpart of [`FTree::expected_flow`]: drains the
+    /// dirty-slot queue by re-aggregating exactly the dirty components and
+    /// their ancestors, then sums the cached root subtree flows —
+    /// bit-identical to a fresh whole-forest traversal without performing
+    /// one.
+    pub(crate) fn flow_cached_total(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+    ) -> f64 {
+        let mut cache = self.flow_cache.take().expect("flow cache enabled");
+        {
+            let tree = &*self;
+            if cache.entries.len() < tree.arena.len() {
+                cache.entries.resize(tree.arena.len(), None);
+            }
+            let mut seeds = std::mem::take(&mut cache.seeds);
+            seeds.clear();
+            seeds.append(&mut cache.dirty);
+            for &slot in &seeds {
+                let idx = slot as usize;
+                if (idx >= tree.arena.len() || tree.arena[idx].is_none())
+                    && idx < cache.entries.len()
+                {
+                    cache.entries[idx] = None;
+                }
+            }
+            mark_touched(tree, &mut cache, &seeds);
+            drain_marked(tree, &mut cache, graph);
+            cache.seeds = seeds;
+        }
         let mut total = if include_query {
             graph.weight(self.query).value()
         } else {
             0.0
         };
-        let mut stack: Vec<(ComponentId, f64)> = self.roots.iter().map(|&c| (c, 1.0)).collect();
-        while let Some((cid, p_av)) = stack.pop() {
-            let comp = self.comp(cid);
-            match &comp.kind {
-                Kind::Mono { members } => {
-                    for &v in members.keys() {
-                        let r = self.reach_in_view(cid, v, view);
-                        total += r * p_av * graph.weight(v).value();
-                    }
-                }
-                Kind::Bi { local, .. } => {
-                    for &v in local.keys() {
-                        let r = self.reach_in_view(cid, v, view);
-                        total += r * p_av * graph.weight(v).value();
-                    }
-                }
-            }
-            for &child in &comp.children {
-                let cav = self.comp(child).articulation;
-                let r = self.reach_in_view(cid, cav, view);
-                stack.push((child, r * p_av));
-            }
+        for &r in &self.roots {
+            total += cache.entries[r.index()]
+                .expect("live roots are cached after a drain")
+                .sub;
         }
+        self.flow_cache = Some(cache);
         total
+    }
+
+    /// The incremental counterpart of [`FTree::flow_with_bounds`], for
+    /// structural probes evaluated while their journalled apply is still in
+    /// place: only the journal's touched components and their ancestors are
+    /// re-aggregated, triple-lane, into the overlay scratch — committed
+    /// entries are never written. Bit-identical to the fresh traversal.
+    pub(crate) fn flow_with_bounds_cached(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        alpha: f64,
+        journal: &Journal,
+    ) -> (f64, f64, f64) {
+        let mut cache = self.flow_cache.take().expect("flow cache enabled");
+        debug_assert!(
+            cache.dirty.is_empty(),
+            "probe evaluation requires a drained flow cache"
+        );
+        let mut seeds = std::mem::take(&mut cache.seeds);
+        seeds.clear();
+        seeds.extend(journal.touched_slot_ids());
+        let result = {
+            let tree = &*self;
+            mark_touched(tree, &mut cache, &seeds);
+            overlay_flow_triple(tree, &mut cache, graph, include_query, &|c, v| {
+                let comp = tree.comp(c);
+                if v == comp.articulation {
+                    return (1.0, 1.0, 1.0);
+                }
+                if c != cid {
+                    let r = tree.reach_in(c, v);
+                    return (r, r, r);
+                }
+                match &comp.kind {
+                    Kind::Mono { members } => {
+                        let r = members[&v].reach;
+                        (r, r, r)
+                    }
+                    Kind::Bi {
+                        estimate, local, ..
+                    } => {
+                        let l = local[&v] as usize;
+                        let ci = estimate.interval(l, alpha);
+                        (estimate.reach(l), ci.lower, ci.upper)
+                    }
+                }
+            })
+        };
+        cache.seeds = seeds;
+        self.flow_cache = Some(cache);
+        result
+    }
+
+    /// The incremental counterpart of [`FTree::flow_with_override_bounds`]
+    /// (IIIa probes): only component `cid` — evaluated under the override
+    /// estimate — and its ancestors are re-aggregated. The tree itself is
+    /// untouched, so no journal is involved.
+    fn flow_with_override_bounds_cached(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        include_query: bool,
+        cid: ComponentId,
+        snapshot: &ComponentGraph,
+        estimate: &ComponentEstimate,
+        alpha: f64,
+    ) -> (f64, f64, f64) {
+        let mut cache = self.flow_cache.take().expect("flow cache enabled");
+        debug_assert!(
+            cache.dirty.is_empty(),
+            "probe evaluation requires a drained flow cache"
+        );
+        let mut seeds = std::mem::take(&mut cache.seeds);
+        seeds.clear();
+        seeds.push(cid.0);
+        let order = override_order(snapshot);
+        let result = {
+            let tree = &*self;
+            mark_touched(tree, &mut cache, &seeds);
+            overlay_flow_triple(tree, &mut cache, graph, include_query, &|c, v| {
+                let comp = tree.comp(c);
+                if v == comp.articulation {
+                    return (1.0, 1.0, 1.0);
+                }
+                if c != cid {
+                    let r = tree.reach_in(c, v);
+                    return (r, r, r);
+                }
+                let local = override_position(&order, v);
+                let ci = estimate.interval(local, alpha);
+                (estimate.reach(local), ci.lower, ci.upper)
+            })
+        };
+        cache.seeds = seeds;
+        self.flow_cache = Some(cache);
+        result
     }
 
     /// Evaluates the flow the tree would have after inserting `e`, without
@@ -499,6 +1017,25 @@ impl FTree {
         alpha: f64,
         provider: &mut dyn EstimateProvider,
     ) -> Result<ProbeOutcome, CoreError> {
+        self.probe_edge_keeping(graph, e, base_flow, include_query, alpha, provider)
+            .map(|(outcome, _replay)| outcome)
+    }
+
+    /// [`probe_edge`](FTree::probe_edge), additionally capturing a
+    /// [`CommitReplay`] when the incremental flow cache is enabled and the
+    /// probe is structural: the selection loop can then commit the winning
+    /// candidate by replaying its probe's recorded mutations instead of
+    /// re-running the insertion.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_edge_keeping(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        e: EdgeId,
+        base_flow: f64,
+        include_query: bool,
+        alpha: f64,
+        provider: &mut dyn EstimateProvider,
+    ) -> Result<(ProbeOutcome, Option<CommitReplay>), CoreError> {
         if matches!(self.classify_candidate(graph, e)?, ProbeClass::Structural) {
             // Fused structural probe: apply once, estimate the new
             // component's own snapshot in place, score, roll back — no
@@ -516,21 +1053,33 @@ impl FTree {
                 provider.estimate(snapshot)
             };
             self.set_bi_estimate(cid, estimate);
-            let (flow, lower, upper) = self.flow_with_bounds(graph, include_query, cid, alpha);
-            self.rollback(journal);
-            return Ok(ProbeOutcome {
-                flow,
-                lower,
-                upper,
-                case: report.case,
-                sampling_cost_edges: report.sampled_edge_count,
-            });
+            let (flow, lower, upper) = if self.flow_cache_enabled() {
+                self.flow_with_bounds_cached(graph, include_query, cid, alpha, &journal)
+            } else {
+                self.flow_with_bounds(graph, include_query, cid, alpha)
+            };
+            let replay = if self.flow_cache_enabled() {
+                Some(self.rollback_capturing(journal, cid))
+            } else {
+                self.rollback(journal);
+                None
+            };
+            return Ok((
+                ProbeOutcome {
+                    flow,
+                    lower,
+                    upper,
+                    case: report.case,
+                    sampling_cost_edges: report.sampled_edge_count,
+                },
+                replay,
+            ));
         }
         match self.probe_plan(graph, e, base_flow)? {
-            ProbePlan::Analytic(outcome) => Ok(outcome),
+            ProbePlan::Analytic(outcome) => Ok((outcome, None)),
             ProbePlan::Sampled(mut sampled) => {
                 let estimate = provider.estimate(sampled.snapshot());
-                Ok(sampled.score(self, graph, include_query, alpha, estimate))
+                Ok(sampled.score_keeping(self, graph, include_query, alpha, estimate))
             }
         }
     }
@@ -712,6 +1261,128 @@ mod tests {
 
     fn exact_provider() -> SamplingProvider {
         SamplingProvider::new(EstimatorConfig::exact(), 7)
+    }
+
+    /// Manual timing probe (not a correctness test): run with
+    /// `cargo test --release -p flowmax-core -- --ignored probe_timing --nocapture`.
+    #[test]
+    #[ignore]
+    fn probe_timing_breakdown() {
+        use crate::selection::MemoProvider;
+        use std::time::Instant;
+        let links = 100usize;
+        let mut b = GraphBuilder::new();
+        let diamond = Probability::new(0.99).unwrap();
+        let chordp = Probability::new(0.05).unwrap();
+        let h0 = b.add_vertex(Weight::ONE);
+        let mut hub = h0;
+        let mut prev_a: Option<VertexId> = None;
+        let mut chords = Vec::new();
+        let mut count = 0u32;
+        for _ in 0..links {
+            let a = b.add_vertex(Weight::ONE);
+            let bb = b.add_vertex(Weight::ONE);
+            let next = b.add_vertex(Weight::ONE);
+            b.add_edge(hub, a, diamond).unwrap();
+            b.add_edge(hub, bb, diamond).unwrap();
+            b.add_edge(a, next, diamond).unwrap();
+            b.add_edge(bb, next, diamond).unwrap();
+            count += 4;
+            if let Some(pa) = prev_a {
+                b.add_edge(pa, a, chordp).unwrap();
+                chords.push(EdgeId(count));
+                count += 1;
+            }
+            prev_a = Some(a);
+            hub = next;
+        }
+        let g = b.build();
+        let inner = SamplingProvider::new(EstimatorConfig::monte_carlo(1000), 13);
+        let mut provider = MemoProvider::new(inner, true);
+        let mut tree = FTree::new(&g, VertexId(0));
+        for e in g.edge_ids() {
+            if g.probability(e).value() > 0.5 {
+                tree.insert_edge(&g, e, &mut provider).unwrap();
+            }
+        }
+        let base = tree.expected_flow(&g, false);
+        let reps = 2000usize;
+        // Warm the memo for every chord's merged shape first.
+        for &e in &chords {
+            let _ = tree.probe_edge(&g, e, base, false, 0.05, &mut provider);
+        }
+
+        let t = Instant::now();
+        for i in 0..reps {
+            let e = chords[i % chords.len()];
+            let (_r, j) = tree.apply(&g, e, &mut provider).unwrap();
+            tree.rollback(j);
+        }
+        println!(
+            "apply+memo+rollback      : {:8.2} us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        let t = Instant::now();
+        for i in 0..reps {
+            let e = chords[i % chords.len()];
+            let _ = tree
+                .probe_edge(&g, e, base, false, 0.05, &mut provider)
+                .unwrap();
+        }
+        println!(
+            "journal fused probe      : {:8.2} us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += tree.expected_flow(&g, false);
+        }
+        println!(
+            "single-lane traversal    : {:8.2} us ({acc:.0})",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        let t = Instant::now();
+        let cid = tree.component_ids().next().unwrap();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let (p, _, _) = tree.flow_with_bounds(&g, false, cid, 0.05);
+            acc += p;
+        }
+        println!(
+            "triple-lane traversal    : {:8.2} us ({acc:.0})",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        tree.enable_flow_cache();
+        let cached = tree.flow_cached_total(&g, false);
+        assert_eq!(cached.to_bits(), base.to_bits());
+        let t = Instant::now();
+        for i in 0..reps {
+            let e = chords[i % chords.len()];
+            let _ = tree
+                .probe_edge(&g, e, cached, false, 0.05, &mut provider)
+                .unwrap();
+        }
+        println!(
+            "incremental fused probe  : {:8.2} us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        let t = Instant::now();
+        for i in 0..reps {
+            let e = chords[i % chords.len()];
+            let (_r, j) = tree.apply(&g, e, &mut provider).unwrap();
+            let cid = _r.component.unwrap();
+            let _ = tree.rollback_capturing(j, cid);
+        }
+        println!(
+            "apply+memo+capture       : {:8.2} us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
     }
 
     /// Q(0)-1 (0.8), 1-2 (0.5), 2-0 (0.4), 2-3 (0.9), weights = id.
@@ -901,5 +1572,112 @@ mod tests {
         let t = FTree::new(&g, VertexId(3));
         assert_eq!(t.expected_flow(&g, false), 0.0);
         assert_eq!(t.expected_flow(&g, true), 3.0);
+    }
+
+    /// Insertable candidates: unselected edges touching a tree vertex.
+    fn insertable(g: &ProbabilisticGraph, tree: &FTree) -> Vec<EdgeId> {
+        g.edge_ids()
+            .filter(|&e| {
+                if tree.selected_edges().contains(e) {
+                    return false;
+                }
+                let (a, b) = g.endpoints(e);
+                tree.contains_vertex(a) || tree.contains_vertex(b)
+            })
+            .collect()
+    }
+
+    /// The Δ(touched) golden: growing the Fig. 3 tree edge by edge through
+    /// the incremental commit path (apply → keep → mark touched), the
+    /// cached flow total and every candidate probe — leaf, in-bi,
+    /// `splitTree` and cross-component alike — are **bit-identical** to a
+    /// reference tree maintained by `insert_edge` with whole-forest
+    /// traversals, at every single step.
+    #[test]
+    fn figure3_walk_cached_flow_and_probes_match_full_traversal() {
+        let g = crate::ftree::goldens::figure3_graph();
+        let mut pr = exact_provider();
+        let mut cached = FTree::new(&g, VertexId(0));
+        cached.enable_flow_cache();
+        let mut reference = FTree::new(&g, VertexId(0));
+        for e in 0..19u32 {
+            let total = cached.flow_cached_total(&g, false);
+            assert_eq!(
+                total.to_bits(),
+                reference.expected_flow(&g, false).to_bits(),
+                "cached total diverged before inserting e{e}"
+            );
+            for cand in insertable(&g, &cached) {
+                let mut pa = exact_provider();
+                let mut pb = exact_provider();
+                let a = cached
+                    .probe_edge(&g, cand, total, false, 0.01, &mut pa)
+                    .unwrap();
+                let b = reference
+                    .probe_edge(&g, cand, total, false, 0.01, &mut pb)
+                    .unwrap();
+                assert_eq!(a.case, b.case, "case of {cand:?} before e{e}");
+                assert_eq!(
+                    a.flow.to_bits(),
+                    b.flow.to_bits(),
+                    "overlay flow of {cand:?} before e{e}: {} vs {}",
+                    a.flow,
+                    b.flow
+                );
+                assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+                assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+            }
+            // Commit: the incremental path keeps the applied journal's
+            // mutations and marks its touched set; the reference re-runs
+            // a plain insertion.
+            let (_, journal) = cached.apply(&g, EdgeId(e), &mut pr).unwrap();
+            let touched: Vec<u32> = journal.touched_slot_ids().collect();
+            drop(journal);
+            cached.cache_mark_dirty(touched);
+            reference.insert_edge(&g, EdgeId(e), &mut pr).unwrap();
+            assert_eq!(cached, reference, "trees diverged after e{e}");
+        }
+        let total = cached.flow_cached_total(&g, false);
+        assert_eq!(
+            total.to_bits(),
+            reference.expected_flow(&g, false).to_bits()
+        );
+    }
+
+    /// The dirty-state regression: mutating a component estimate *without*
+    /// marking it leaves the cache stale, and the revalidation the greedy
+    /// loop runs after every commit (cached bits == full-traversal bits)
+    /// must catch it. This is the safety net that makes every invalidation
+    /// bug a loud debug failure instead of a silent wrong answer.
+    #[test]
+    #[should_panic(expected = "stale cache must be caught")]
+    fn unmarked_mutation_fails_the_commit_revalidation() {
+        let g = crate::ftree::goldens::figure3_graph();
+        let mut pr = exact_provider();
+        let mut tree = FTree::new(&g, VertexId(0));
+        tree.enable_flow_cache();
+        for e in 0..19u32 {
+            let (_, journal) = tree.apply(&g, EdgeId(e), &mut pr).unwrap();
+            let touched: Vec<u32> = journal.touched_slot_ids().collect();
+            drop(journal);
+            tree.cache_mark_dirty(touched);
+        }
+        let _ = tree.flow_cached_total(&g, false);
+        // Dirty a bi-component's estimate across rounds without marking it.
+        let bi = tree
+            .components()
+            .find(|c| c.is_bi())
+            .map(|c| c.id)
+            .expect("figure 3 has bi components");
+        let members = match &tree.comp(bi).kind {
+            Kind::Bi { local, .. } => local.len(),
+            Kind::Mono { .. } => unreachable!(),
+        };
+        tree.set_bi_estimate(bi, ComponentEstimate::placeholder(members + 1));
+        assert_eq!(
+            tree.flow_cached_total(&g, false).to_bits(),
+            tree.expected_flow(&g, false).to_bits(),
+            "stale cache must be caught"
+        );
     }
 }

@@ -16,11 +16,12 @@
 //!    estimate its reachability function.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::ComponentGraph;
 
-use super::{Component, ComponentId, FTree, Kind, MonoMember};
+use super::{Component, ComponentId, FTree, Kind, LocalMap, MonoMember};
 use crate::error::CoreError;
 use crate::estimator::EstimateProvider;
 
@@ -67,6 +68,13 @@ impl FTree {
         e: EdgeId,
         provider: &mut dyn EstimateProvider,
     ) -> Result<InsertReport, CoreError> {
+        // A direct insertion bypasses the journal, so an enabled flow cache
+        // would silently go stale; incremental commits go through
+        // `apply` + `cache_mark_dirty` instead.
+        debug_assert!(
+            self.recorder.is_some() || self.flow_cache.is_none(),
+            "direct insert_edge would stale the enabled flow cache"
+        );
         if self.selected.contains(e) {
             return Err(CoreError::EdgeAlreadySelected(e));
         }
@@ -273,6 +281,8 @@ impl FTree {
         provider: &mut dyn EstimateProvider,
         case: InsertCase,
     ) -> InsertReport {
+        #[cfg(debug_assertions)]
+        FTree::note_structural_insert();
         let ca = self.owner(a);
         let cb = self.owner(b);
         let lca = self.lca_component(ca, cb);
@@ -413,7 +423,7 @@ impl FTree {
         else {
             panic!("absorb_bi on a mono component");
         };
-        for (&v, _) in local.iter() {
+        for &(v, _) in local.iter() {
             self.set_assignment(v, None); // reassigned to the new BC later
             members.push(v);
         }
@@ -611,10 +621,7 @@ impl FTree {
         let snapshot = ComponentGraph::build_with(graph, av, &edges, &mut scratch);
         self.local_scratch = scratch;
         let estimate = provider.estimate(&snapshot);
-        let mut local = BTreeMap::new();
-        for (i, &v) in snapshot.vertices().iter().enumerate().skip(1) {
-            local.insert(v, i as u32);
-        }
+        let local = LocalMap::from_snapshot(snapshot.vertices());
         debug_assert_eq!(
             local.len(),
             members.len(),
@@ -627,9 +634,9 @@ impl FTree {
             children: Vec::new(),
             kind: Kind::Bi {
                 edges,
-                snapshot,
-                estimate,
-                local,
+                snapshot: Arc::new(snapshot),
+                estimate: Arc::new(estimate),
+                local: Arc::new(local),
                 version,
             },
         });

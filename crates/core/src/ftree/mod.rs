@@ -28,9 +28,11 @@ mod validate;
 
 pub use flow::{ProbeOutcome, ProbePlan, SampledProbe};
 pub use insert::{InsertCase, InsertReport};
+pub(crate) use journal::CommitReplay;
 pub use journal::Journal;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{ComponentEstimate, ComponentGraph, LocalIdScratch};
@@ -70,7 +72,7 @@ impl<'t> ComponentRef<'t> {
     pub fn members(&self) -> impl Iterator<Item = VertexId> + 't {
         match self.kind {
             Kind::Mono { members } => MemberIter::Mono(members.keys()),
-            Kind::Bi { local, .. } => MemberIter::Bi(local.keys()),
+            Kind::Bi { local, .. } => MemberIter::Bi(local.iter()),
         }
     }
 
@@ -104,7 +106,7 @@ impl<'t> ComponentRef<'t> {
 /// component flavours key their members in maps of different value types).
 enum MemberIter<'t> {
     Mono(std::collections::btree_map::Keys<'t, VertexId, MonoMember>),
-    Bi(std::collections::btree_map::Keys<'t, VertexId, u32>),
+    Bi(std::slice::Iter<'t, (VertexId, u32)>),
 }
 
 impl Iterator for MemberIter<'_> {
@@ -113,7 +115,7 @@ impl Iterator for MemberIter<'_> {
     fn next(&mut self) -> Option<VertexId> {
         match self {
             MemberIter::Mono(it) => it.next().copied(),
-            MemberIter::Bi(it) => it.next().copied(),
+            MemberIter::Bi(it) => it.next().map(|&(v, _)| v),
         }
     }
 }
@@ -159,6 +161,69 @@ pub(crate) struct MonoMember {
     pub depth: u32,
 }
 
+/// Sorted vertex → local-index map for bi components.
+///
+/// Rebuilt wholesale on every structural change — including every
+/// structural *probe* — so construction cost is on the greedy hot path. A
+/// sorted `Vec` costs one allocation per rebuild (the `BTreeMap` it
+/// replaced allocated a node per member), looks up by branch-light binary
+/// search, and iterates in the same ascending vertex order, keeping flow
+/// accumulation — hence results — bit-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct LocalMap(Vec<(VertexId, u32)>);
+
+impl LocalMap {
+    /// Builds the map from a snapshot's vertex list (index 0 is the AV,
+    /// which is not a member).
+    pub(crate) fn from_snapshot(vertices: &[VertexId]) -> Self {
+        let mut pairs: Vec<(VertexId, u32)> = vertices
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        LocalMap(pairs)
+    }
+
+    #[inline]
+    fn position(&self, v: VertexId) -> Option<usize> {
+        self.0.binary_search_by_key(&v, |&(w, _)| w).ok()
+    }
+
+    #[inline]
+    pub(crate) fn contains_key(&self, v: &VertexId) -> bool {
+        self.position(*v).is_some()
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Member vertices in ascending order.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = &VertexId> + '_ {
+        self.0.iter().map(|(v, _)| v)
+    }
+
+    /// `(vertex, local index)` pairs in ascending vertex order.
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, (VertexId, u32)> {
+        self.0.iter()
+    }
+}
+
+impl std::ops::Index<&VertexId> for LocalMap {
+    type Output = u32;
+
+    #[inline]
+    fn index(&self, v: &VertexId) -> &u32 {
+        let i = self
+            .position(*v)
+            .expect("vertex is a member of this bi component");
+        &self.0[i].1
+    }
+}
+
 /// The two component flavours of Def. 9.
 #[allow(clippy::large_enum_variant)] // Bi is the hot, common variant; boxing
 // it would add an indirection to every flow evaluation.
@@ -171,15 +236,21 @@ pub(crate) enum Kind {
         members: BTreeMap<VertexId, MonoMember>,
     },
     /// Cyclic: estimated flow (Lemma 1 or exact enumeration).
+    ///
+    /// The heavyweight payloads are `Arc`-shared: they are replaced
+    /// wholesale on every structural change (never mutated in place), so
+    /// the undo journal's first-touch slot snapshots — taken on every
+    /// structural probe — cost a reference-count bump instead of deep
+    /// copies of the snapshot graph, estimate vectors and member map.
     Bi {
         /// The component's edge set (insertion order).
         edges: Vec<EdgeId>,
         /// Compact snapshot used for (re-)estimation.
-        snapshot: ComponentGraph,
+        snapshot: Arc<ComponentGraph>,
         /// `BC.P(v)`: reachability of each snapshot vertex toward the AV.
-        estimate: ComponentEstimate,
+        estimate: Arc<ComponentEstimate>,
         /// Vertex → local index into `snapshot`/`estimate`.
-        local: BTreeMap<VertexId, u32>,
+        local: Arc<LocalMap>,
         /// Bumped on every structural change; consumed by memoization.
         version: u64,
     },
@@ -241,6 +312,10 @@ pub struct FTree {
     /// Active undo journal of an in-flight [`FTree::apply`] (`None` in
     /// steady state).
     recorder: Option<Box<journal::Recorder>>,
+    /// Incremental per-component flow aggregation (`None` unless the
+    /// incremental selection engine enabled it). Pure working memory:
+    /// excluded from equality, reset on clone.
+    flow_cache: Option<Box<flow::FlowCache>>,
 }
 
 #[cfg(debug_assertions)]
@@ -249,6 +324,16 @@ thread_local! {
     /// clone-free against it in debug builds (thread-local so concurrent
     /// tests and worker pools never alias each other's counts).
     static FTREE_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Whole-forest flow traversals performed by this thread. The
+    /// incremental selection loop asserts one full greedy iteration bumps
+    /// this by zero: probes and commits must aggregate `O(touched)` through
+    /// the flow cache, never re-walk the whole tree.
+    static FULL_FLOW_EVALS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Structural (case IIIb/IV) insertion executions by this thread. A
+    /// replay-based commit re-applies recorded mutations and must not show
+    /// up here — the incremental loop asserts memoized structural winners
+    /// leave this counter untouched across the commit.
+    static STRUCTURAL_INSERTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 impl Clone for FTree {
@@ -272,6 +357,9 @@ impl Clone for FTree {
             // starts with an empty one that grows on first use.
             local_scratch: LocalIdScratch::default(),
             recorder: None,
+            // Cached flow aggregation is working memory too; a clone that
+            // wants incremental flow re-enables the cache itself.
+            flow_cache: None,
         }
     }
 }
@@ -311,6 +399,7 @@ impl FTree {
             version_counter: 0,
             local_scratch: LocalIdScratch::new(graph.vertex_count()),
             recorder: None,
+            flow_cache: None,
         }
     }
 
@@ -320,6 +409,35 @@ impl FTree {
     #[cfg(debug_assertions)]
     pub fn debug_clone_count() -> u64 {
         FTREE_CLONES.with(|c| c.get())
+    }
+
+    /// Number of whole-forest flow traversals this thread has performed
+    /// (debug builds only). The incremental selection loop asserts a full
+    /// greedy iteration leaves this untouched: all of its flow evaluations
+    /// must run through the `O(touched)` cache instead.
+    #[cfg(debug_assertions)]
+    pub fn debug_full_flow_eval_count() -> u64 {
+        FULL_FLOW_EVALS.with(|c| c.get())
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn note_full_flow_eval() {
+        FULL_FLOW_EVALS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Number of structural (case IIIb/IV) insertion executions this
+    /// thread has performed (debug builds only; probes count too). The
+    /// incremental loop asserts a memoized structural commit leaves this
+    /// untouched — the winner is committed by replaying its probe's
+    /// recorded mutations, never by re-running `insert_edge`.
+    #[cfg(debug_assertions)]
+    pub fn debug_structural_insert_count() -> u64 {
+        STRUCTURAL_INSERTS.with(|c| c.get())
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn note_structural_insert() {
+        STRUCTURAL_INSERTS.with(|c| c.set(c.get() + 1));
     }
 
     /// The query vertex `Q`.
@@ -528,13 +646,10 @@ impl FTree {
         };
         let new_snapshot = ComponentGraph::build_with(graph, av, edges, &mut scratch);
         let new_estimate = provider.estimate(&new_snapshot);
-        let mut new_local = BTreeMap::new();
-        for (i, &vx) in new_snapshot.vertices().iter().enumerate().skip(1) {
-            new_local.insert(vx, i as u32);
-        }
-        *snapshot = new_snapshot;
-        *estimate = new_estimate;
-        *local = new_local;
+        let new_local = LocalMap::from_snapshot(new_snapshot.vertices());
+        *snapshot = Arc::new(new_snapshot);
+        *estimate = Arc::new(new_estimate);
+        *local = Arc::new(new_local);
         *v = version;
         self.local_scratch = scratch;
     }
@@ -547,7 +662,59 @@ impl FTree {
         let Kind::Bi { estimate, .. } = &mut self.comp_mut(cid).kind else {
             panic!("set_bi_estimate on a mono component");
         };
-        *estimate = new_estimate;
+        *estimate = Arc::new(new_estimate);
+    }
+}
+
+/// Shared golden fixture for the incremental-flow unit tests: the paper's
+/// Fig. 3(a) graph plus the four Fig. 4 insertion candidates — every
+/// structural insertion case (leaf-on-mono/bi, cycle-in-bi, `splitTree`,
+/// cross-component cycle) occurs while inserting its first 19 edges in id
+/// order and probing the rest.
+#[cfg(test)]
+pub(crate) mod goldens {
+    use flowmax_graph::{GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight};
+
+    /// Vertices Q=0, 1..17 with weight = id, all probabilities 0.5.
+    /// Edges e0–e18 form components A–F of Example 2; e19–e22 are the
+    /// Fig. 4 candidates (7-17, 6-8, 14-15, 11-15).
+    pub(crate) fn figure3_graph() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Weight::ZERO); // Q
+        for w in 1..=17 {
+            b.add_vertex(Weight::new(w as f64).unwrap());
+        }
+        let half = Probability::new(0.5).unwrap();
+        let edges: [(u32, u32); 23] = [
+            (0, 3),
+            (0, 6),
+            (3, 1),
+            (6, 2),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (9, 6),
+            (9, 10),
+            (10, 11),
+            (11, 9),
+            (9, 13),
+            (13, 14),
+            (13, 15),
+            (15, 16),
+            (11, 12),
+            // Fig. 4 insertion candidates:
+            (7, 17),
+            (6, 8),
+            (14, 15),
+            (11, 15),
+        ];
+        for (x, y) in edges {
+            b.add_edge(VertexId(x), VertexId(y), half).unwrap();
+        }
+        b.build()
     }
 }
 

@@ -213,7 +213,7 @@ impl FTree {
             if (estimate.reach(0) - 1.0).abs() > 1e-12 {
                 return Err(format!("{cid:?} AV reach must be 1"));
             }
-            for (&v, &l) in local {
+            for &(v, l) in local.iter() {
                 if snapshot.vertices().get(l as usize) != Some(&v) {
                     return Err(format!("{cid:?} local index of {v:?} stale"));
                 }

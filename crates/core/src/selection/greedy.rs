@@ -23,7 +23,7 @@ use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{BatchSchedule, MIN_SAMPLES_FOR_CLT};
 
 use crate::estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
-use crate::ftree::{FTree, InsertCase, ProbeOutcome, ProbePlan};
+use crate::ftree::{CommitReplay, FTree, InsertCase, ProbeOutcome, ProbePlan};
 use crate::metrics::SelectionMetrics;
 use crate::selection::candidates::CandidateSet;
 use crate::selection::delayed::DelayTracker;
@@ -84,6 +84,14 @@ pub struct GreedyConfig {
     /// Kept selectable as the pre-journal reference for benchmarking and
     /// equivalence tests; results are bit-identical either way.
     pub cloning_probes: bool,
+    /// Drive iterations through the incremental engine (the default):
+    /// `O(touched)` flow aggregation through the F-tree flow cache, and —
+    /// under memoization — commit-by-replay for structural winners instead
+    /// of a re-run insertion. `false` selects the journal reference engine
+    /// that re-aggregates the whole forest per evaluation; results are
+    /// bit-identical either way (ignored under `cloning_probes`, whose
+    /// probe clones carry no flow cache).
+    pub incremental: bool,
 }
 
 impl GreedyConfig {
@@ -105,7 +113,16 @@ impl GreedyConfig {
             threads: flowmax_sampling::default_threads(),
             scalar_estimation: false,
             cloning_probes: false,
+            incremental: true,
         }
+    }
+
+    /// Selects between the incremental engine (`true`, the default) and
+    /// the pinned whole-forest journal reference (`false`). Bit-identical
+    /// results; the differential harness runs both.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
     }
 
     /// Switches component estimation to the scalar reference kernel.
@@ -170,6 +187,10 @@ pub struct SelectionOutcome {
 pub(crate) struct ProbeRecord {
     pub(crate) edge: EdgeId,
     pub(crate) outcome: ProbeOutcome,
+    /// The probe's captured redo images (incremental engine, structural
+    /// journal probes only) — the winning record's replay commits the
+    /// insertion without re-running it.
+    pub(crate) replay: Option<CommitReplay>,
 }
 
 /// Runs the greedy selection (§6.1) over `graph` from `query`.
@@ -198,6 +219,12 @@ pub fn greedy_select_observed(
     inner.use_scalar_kernel(config.scalar_estimation);
     let mut provider = MemoProvider::new(inner, config.memoize);
     let mut tree = FTree::new(graph, query);
+    // The incremental engine never combines with the clone-based probe
+    // reference: cloned probe trees carry no flow cache.
+    let incremental = config.incremental && !config.cloning_probes;
+    if incremental {
+        tree.enable_flow_cache();
+    }
     let mut candidates = CandidateSet::new(graph, query);
     let mut delays = DelayTracker::new(config.ds_penalty_c);
     // The racing driver samples through the batched engine by definition;
@@ -216,6 +243,7 @@ pub fn greedy_select_observed(
         }
         let probes_before = metrics.probes;
         let ci_pruned_before = metrics.ci_pruned;
+        let memo_hits_before = metrics.memo_hits + provider.inner().metrics.memo_hits;
         // Gather the probe pool, honouring DS suspensions (§6.4: suspended
         // candidates never enter the round; if everything is suspended the
         // full pool is probed rather than stalling).
@@ -229,7 +257,9 @@ pub fn greedy_select_observed(
         // one deliberate exception.
         #[cfg(debug_assertions)]
         let clones_before = FTree::debug_clone_count();
-        let records = if let Some(racer) = racer.as_mut() {
+        #[cfg(debug_assertions)]
+        let full_evals_before = FTree::debug_full_flow_eval_count();
+        let mut records = if let Some(racer) = racer.as_mut() {
             racer.probe_candidates(
                 graph,
                 &mut tree,
@@ -271,13 +301,48 @@ pub fn greedy_select_observed(
         let best_edge = records[best_idx].edge;
         let prev_flow = base_flow;
         let best_gain = records[best_idx].outcome.flow - prev_flow;
+        let best_case = records[best_idx].outcome.case;
 
         // Commit. With memoization the insertion reuses the winning probe's
-        // estimate; otherwise it re-samples (the paper's plain FT).
-        let report = tree
-            .insert_edge(graph, best_edge, &mut provider)
-            .expect("candidate edges are insertable");
-        match report.case {
+        // estimate; otherwise it re-samples (the paper's plain FT). The
+        // incremental engine commits a memoized structural winner by
+        // replaying its probe's recorded mutations — zero re-insertion work
+        // — gated on the memo still holding the formed component's estimate
+        // (it always does: the probe published it), so the metrics come out
+        // identical to the reference engine's memo-hit re-insertion.
+        // Everything else commits through the journalled apply, which hands
+        // the touched slots to the flow cache.
+        #[cfg(debug_assertions)]
+        let structural_inserts_before = FTree::debug_structural_insert_count();
+        let mut replay_slot = records[best_idx].replay.take();
+        let mut committed_by_replay = false;
+        if incremental && config.memoize {
+            if let Some(replay) = replay_slot.as_ref() {
+                debug_assert_eq!(replay.edge(), best_edge);
+                if provider.lookup(replay.snapshot()).is_some() {
+                    tree.commit_replay(replay_slot.take().expect("presence just checked"));
+                    committed_by_replay = true;
+                }
+            }
+        }
+        if !committed_by_replay {
+            if incremental {
+                let (report, journal) = tree
+                    .apply(graph, best_edge, &mut provider)
+                    .expect("candidate edges are insertable");
+                debug_assert_eq!(report.case, best_case);
+                let touched: Vec<u32> = journal.touched_slot_ids().collect();
+                // Dropping the journal keeps the insertion.
+                drop(journal);
+                tree.cache_mark_dirty(touched);
+            } else {
+                let report = tree
+                    .insert_edge(graph, best_edge, &mut provider)
+                    .expect("candidate edges are insertable");
+                debug_assert_eq!(report.case, best_case);
+            }
+        }
+        match best_case {
             InsertCase::LeafMono | InsertCase::LeafBi => metrics.insert_case_ii += 1,
             InsertCase::CycleInBi => metrics.insert_case_iiia += 1,
             InsertCase::CycleInMono => metrics.insert_case_iiib += 1,
@@ -292,7 +357,42 @@ pub fn greedy_select_observed(
             candidates.vertex_joined(graph, v, tree.selected_edges());
         }
 
-        base_flow = tree.expected_flow(graph, config.include_query);
+        base_flow = if incremental {
+            tree.flow_cached_total(graph, config.include_query)
+        } else {
+            tree.expected_flow(graph, config.include_query)
+        };
+
+        // Post-commit revalidation (the clone-counter pattern of the probe
+        // phase, extended to the incremental state): the whole iteration
+        // must have run zero whole-forest traversals and — for memoized
+        // structural winners — zero re-insertions, and the cached base
+        // flow and versioned candidate pool must match a from-scratch
+        // recomputation bit for bit.
+        #[cfg(debug_assertions)]
+        if incremental {
+            assert_eq!(
+                FTree::debug_full_flow_eval_count(),
+                full_evals_before,
+                "incremental iterations must never fall back to whole-forest flow evaluation"
+            );
+            if config.memoize
+                && matches!(best_case, InsertCase::CycleInMono | InsertCase::CycleAcross)
+            {
+                assert_eq!(
+                    FTree::debug_structural_insert_count(),
+                    structural_inserts_before,
+                    "memoized structural winners must commit by replay, not re-insertion"
+                );
+            }
+            assert_eq!(
+                base_flow.to_bits(),
+                tree.expected_flow(graph, config.include_query).to_bits(),
+                "cached base flow diverged from the whole-forest reference"
+            );
+            candidates.debug_validate(graph, &tree);
+        }
+
         flow_trace.push(base_flow);
         observer.on_step(&SelectionStep {
             iteration: iter,
@@ -303,6 +403,7 @@ pub fn greedy_select_observed(
             probes: metrics.probes - probes_before,
             ci_pruned: metrics.ci_pruned - ci_pruned_before,
             ds_skipped: skipped,
+            memo_hits: metrics.memo_hits + provider.inner().metrics.memo_hits - memo_hits_before,
         });
 
         if config.delayed_sampling {
@@ -363,22 +464,23 @@ fn probe_once(
     base_flow: f64,
     config: &GreedyConfig,
     provider: &mut MemoProvider,
-) -> ProbeOutcome {
+) -> (ProbeOutcome, Option<CommitReplay>) {
     if config.cloning_probes {
         let plan = tree
             .probe_plan_cloning(graph, e, base_flow)
             .expect("candidates are probeable");
         return match plan {
-            ProbePlan::Analytic(outcome) => outcome,
+            ProbePlan::Analytic(outcome) => (outcome, None),
             ProbePlan::Sampled(mut sampled) => {
                 let estimate = provider.estimate(sampled.snapshot());
-                sampled.score(tree, graph, config.include_query, config.alpha, estimate)
+                sampled.score_keeping(tree, graph, config.include_query, config.alpha, estimate)
             }
         };
     }
     // Journal engine: the one-shot probe fuses plan + score into a single
-    // journalled apply.
-    tree.probe_edge(
+    // journalled apply (capturing the redo images when the incremental
+    // flow cache is enabled).
+    tree.probe_edge_keeping(
         graph,
         e,
         base_flow,
@@ -401,12 +503,16 @@ fn probe_all(
 ) -> Vec<ProbeRecord> {
     let mut records = Vec::with_capacity(pool.len());
     for &e in pool {
-        let outcome = probe_once(tree, graph, e, base_flow, config, provider);
+        let (outcome, replay) = probe_once(tree, graph, e, base_flow, config, provider);
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
             metrics.analytic_probes += 1;
         }
-        records.push(ProbeRecord { edge: e, outcome });
+        records.push(ProbeRecord {
+            edge: e,
+            outcome,
+            replay,
+        });
     }
     records
 }
@@ -440,13 +546,21 @@ fn probe_with_ci_race(
     let mut analytic: Vec<ProbeRecord> = Vec::new();
     let mut racing: Vec<ProbeRecord> = Vec::new();
     for &e in pool {
-        let outcome = probe_once(tree, graph, e, base_flow, config, provider);
+        let (outcome, replay) = probe_once(tree, graph, e, base_flow, config, provider);
         metrics.probes += 1;
         if outcome.sampling_cost_edges == 0 {
             metrics.analytic_probes += 1;
-            analytic.push(ProbeRecord { edge: e, outcome });
+            analytic.push(ProbeRecord {
+                edge: e,
+                outcome,
+                replay,
+            });
         } else {
-            racing.push(ProbeRecord { edge: e, outcome });
+            racing.push(ProbeRecord {
+                edge: e,
+                outcome,
+                replay,
+            });
         }
     }
 
@@ -475,9 +589,10 @@ fn probe_with_ci_race(
         let next_budget = budgets[round + 1];
         provider.inner_mut().set_samples(next_budget);
         for r in &mut racing {
-            let outcome = probe_once(tree, graph, r.edge, base_flow, config, provider);
+            let (outcome, replay) = probe_once(tree, graph, r.edge, base_flow, config, provider);
             metrics.probes += 1;
             r.outcome = outcome;
+            r.replay = replay;
         }
     }
     provider.inner_mut().set_samples(config.samples);

@@ -87,6 +87,27 @@ impl MemoProvider {
         let key = self.fingerprint(snapshot);
         self.cache.insert(key, estimate);
     }
+
+    /// Serves a cached estimate for `snapshot` if one exists, counting a
+    /// hit exactly like [`estimate`](EstimateProvider::estimate) would —
+    /// this is what licenses a replay-based commit: when the lookup hits,
+    /// the reference engine's re-insertion would have been served the same
+    /// cached estimate, so replaying the probe's recorded mutations is
+    /// bit-identical *including* the metrics. A miss counts nothing (the
+    /// caller falls back to a real insertion, whose estimate call records
+    /// the miss). Always `None` when memoization is disabled.
+    pub(crate) fn lookup(&mut self, snapshot: &ComponentGraph) -> Option<&ComponentEstimate> {
+        if !self.enabled {
+            return None;
+        }
+        let key = self.fingerprint(snapshot);
+        if self.cache.contains_key(&key) {
+            self.hits += 1;
+            self.inner.metrics.memo_hits += 1;
+            return self.cache.get(&key);
+        }
+        None
+    }
 }
 
 impl EstimateProvider for MemoProvider {

@@ -43,6 +43,12 @@ pub struct SelectionStep {
     /// Candidate probes skipped because the edge was suspended by delayed
     /// sampling (§6.4) this iteration.
     pub ds_skipped: u64,
+    /// Component estimates served from the §6.2 memo this iteration
+    /// (probe-time cache hits plus racing streams resumed from cache).
+    /// Part of the cross-engine determinism contract: the incremental
+    /// engine's replay commits must reproduce the reference engine's hit
+    /// sequence exactly.
+    pub memo_hits: u64,
 }
 
 /// A passive listener for [`SelectionStep`] events.
@@ -64,6 +70,7 @@ pub struct SelectionStep {
 ///     probes: 1,
 ///     ci_pruned: 0,
 ///     ds_skipped: 0,
+///     memo_hits: 0,
 /// });
 /// assert_eq!(seen, 1);
 /// ```
@@ -101,6 +108,7 @@ mod tests {
             probes: 4,
             ci_pruned: 1,
             ds_skipped: 2,
+            memo_hits: 0,
         }
     }
 

@@ -31,7 +31,7 @@ use flowmax_sampling::{
 };
 
 use crate::estimator::EstimateProvider;
-use crate::ftree::{FTree, ProbeOutcome, ProbePlan, SampledProbe};
+use crate::ftree::{CommitReplay, FTree, ProbeOutcome, ProbePlan, SampledProbe};
 use crate::metrics::SelectionMetrics;
 use crate::selection::greedy::{GreedyConfig, ProbeRecord};
 use crate::selection::memo::MemoProvider;
@@ -104,7 +104,11 @@ impl RaceDriver {
                 ProbePlan::Analytic(outcome) => {
                     metrics.probes += 1;
                     metrics.analytic_probes += 1;
-                    records.push(ProbeRecord { edge: e, outcome });
+                    records.push(ProbeRecord {
+                        edge: e,
+                        outcome,
+                        replay: None,
+                    });
                 }
                 ProbePlan::Sampled(mut plan) => {
                     let snapshot = plan.snapshot();
@@ -116,9 +120,18 @@ impl RaceDriver {
                         // never perturb later sampled estimates).
                         let exact = memo.estimate(plan.snapshot());
                         metrics.probes += 1;
-                        let outcome =
-                            plan.score(tree, graph, config.include_query, config.alpha, exact);
-                        records.push(ProbeRecord { edge: e, outcome });
+                        let (outcome, replay) = plan.score_keeping(
+                            tree,
+                            graph,
+                            config.include_query,
+                            config.alpha,
+                            exact,
+                        );
+                        records.push(ProbeRecord {
+                            edge: e,
+                            outcome,
+                            replay,
+                        });
                         continue;
                     }
                     let key = snapshot.fingerprint();
@@ -140,6 +153,13 @@ impl RaceDriver {
             external_lower,
         );
         let mut outcomes: Vec<Option<ProbeOutcome>> = vec![None; racers.len()];
+        // Redo images captured by each racer's latest actual score. Rounds
+        // that reuse a previous outcome (cached stream already at target)
+        // keep the earlier replay: the lane's estimate is a pure function
+        // of its drawn worlds, so the captured post-images still match what
+        // the final round would produce.
+        let mut replays: Vec<Option<CommitReplay>> = Vec::with_capacity(racers.len());
+        replays.resize_with(racers.len(), || None);
         let mut scored_at: Vec<u32> = vec![0; racers.len()];
         while let Some(round) = race.next_round() {
             // Check out the round's lanes (creating missing ones on their
@@ -187,7 +207,7 @@ impl RaceDriver {
                 let outcome = match outcomes[i] {
                     Some(outcome) if scored_at[i] == lane.drawn() => outcome,
                     _ => {
-                        let outcome = racers[i].plan.score(
+                        let (outcome, replay) = racers[i].plan.score_keeping(
                             tree,
                             graph,
                             config.include_query,
@@ -197,6 +217,7 @@ impl RaceDriver {
                         metrics.probes += 1;
                         scored_at[i] = lane.drawn();
                         outcomes[i] = Some(outcome);
+                        replays[i] = replay;
                         outcome
                     }
                 };
@@ -222,6 +243,7 @@ impl RaceDriver {
             records.push(ProbeRecord {
                 edge: racer.edge,
                 outcome,
+                replay: replays[i].take(),
             });
         }
         records

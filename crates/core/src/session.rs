@@ -171,6 +171,7 @@ impl<'g> Session<'g> {
                 seed: self.seed,
                 scalar_estimation: false,
                 cloning_probes: false,
+                incremental: true,
             },
         })
     }
@@ -394,6 +395,7 @@ pub struct QuerySpec {
     pub(crate) seed: u64,
     pub(crate) scalar_estimation: bool,
     pub(crate) cloning_probes: bool,
+    pub(crate) incremental: bool,
 }
 
 impl QuerySpec {
@@ -430,6 +432,7 @@ impl QuerySpec {
             seed,
             scalar_estimation,
             cloning_probes,
+            incremental,
         } = *self;
         let (memoize, confidence_pruning, delayed_sampling) = match algorithm {
             Algorithm::Naive | Algorithm::Dijkstra | Algorithm::Ft => (false, false, false),
@@ -453,6 +456,7 @@ impl QuerySpec {
             threads,
             scalar_estimation,
             cloning_probes,
+            incremental,
         }
     }
 }
@@ -540,6 +544,17 @@ impl<'s, 'g> QueryBuilder<'s, 'g> {
     /// benchmarking; results are bit-identical, only slower).
     pub fn cloning_probes(mut self, cloning: bool) -> Self {
         self.spec.cloning_probes = cloning;
+        self
+    }
+
+    /// Maintains probe flow as `base + Δ(touched)` and commits winners by
+    /// replaying their probe journals (default: on). Turning it off runs
+    /// the PR-5 journal reference engine — full-tree flow re-aggregation
+    /// and `insert_edge` commits — with bit-identical results, only
+    /// slower. Ignored (always off) under [`cloning_probes`]
+    /// (QueryBuilder::cloning_probes).
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.spec.incremental = incremental;
         self
     }
 

@@ -221,6 +221,7 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
         // The legacy config predates the journal engine; the shim always
         // uses the (bit-identical) default probes.
         cloning_probes: false,
+        incremental: true,
     };
     // The legacy API tolerated degenerate configs (zero budget, isolated
     // queries) without erroring, so the shim skips builder validation.

@@ -83,7 +83,14 @@ pub struct ComponentGraph {
     /// CSR adjacency over local ids: `(local vertex, local edge)`.
     adj_offsets: Vec<u32>,
     adj_entries: Vec<(u32, u32)>,
+    /// Commutative identity hash over (AV, edge multiset), fixed at build
+    /// time — see [`ComponentGraph::fingerprint`].
+    fingerprint: u64,
 }
+
+/// Salt decorrelating the per-edge terms of the commutative fingerprint from
+/// raw edge ids (so `{e}` and `{e+1}` don't land one apart).
+const FINGERPRINT_EDGE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl ComponentGraph {
     /// Snapshots the subgraph formed by `edges`, rooted at the articulation
@@ -126,12 +133,14 @@ impl ComponentGraph {
         scratch.local_of(articulation, &mut vertices);
         let mut local_endpoints = Vec::with_capacity(edges.len());
         let mut edge_probs = Vec::with_capacity(edges.len());
+        let mut fingerprint = splitmix64(articulation.0 as u64);
         for &e in edges {
             let (a, b) = graph.endpoints(e);
             let la = scratch.local_of(a, &mut vertices);
             let lb = scratch.local_of(b, &mut vertices);
             local_endpoints.push((la, lb));
             edge_probs.push(graph.probability(e).value());
+            fingerprint = fingerprint.wrapping_add(splitmix64(e.0 as u64 ^ FINGERPRINT_EDGE_SALT));
         }
         // Build local CSR.
         let n = vertices.len();
@@ -161,6 +170,7 @@ impl ComponentGraph {
             global_edges: edges.to_vec(),
             adj_offsets,
             adj_entries,
+            fingerprint,
         }
     }
 
@@ -194,18 +204,18 @@ impl ComponentGraph {
         self.edge_probs.iter().filter(|&&p| p < 1.0).count()
     }
 
-    /// A 64-bit identity fingerprint: articulation vertex + sorted global
-    /// edge set. Two snapshots of the *same* component (same edges, same
-    /// AV) always collide, regardless of edge order; this keys memoization
-    /// and the racing engine's per-component seed streams.
+    /// A 64-bit identity fingerprint: articulation vertex + global edge set.
+    /// Two snapshots of the *same* component (same edges, same AV) always
+    /// collide, regardless of edge order; this keys memoization and the
+    /// racing engine's per-component seed streams.
+    ///
+    /// The hash is a commutative running sum (`splitmix64(AV)` plus one
+    /// salted `splitmix64` term per edge) accumulated during
+    /// [`ComponentGraph::build_with`], so reading it here is O(1) — no
+    /// per-call sort of the edge set. Order independence comes from the
+    /// commutativity of the per-edge terms instead.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = splitmix64(self.vertices[0].0 as u64);
-        let mut edges: Vec<u32> = self.global_edges.iter().map(|e| e.0).collect();
-        edges.sort_unstable();
-        for e in edges {
-            h = splitmix64(h ^ e as u64);
-        }
-        h
+        self.fingerprint
     }
 
     /// Samples `lanes` worlds of the component's edge domain into `batch`,
@@ -595,5 +605,22 @@ mod tests {
     fn empty_component_rejected() {
         let (g, _) = triangle();
         ComponentGraph::build(&g, VertexId(0), &[]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_identity_sensitive() {
+        let (g, es) = triangle();
+        let base = ComponentGraph::build(&g, VertexId(0), &es);
+        let reversed: Vec<EdgeId> = es.iter().rev().copied().collect();
+        let same = ComponentGraph::build(&g, VertexId(0), &reversed);
+        assert_eq!(
+            base.fingerprint(),
+            same.fingerprint(),
+            "edge order must not affect the identity hash"
+        );
+        let other_av = ComponentGraph::build(&g, VertexId(1), &es);
+        assert_ne!(base.fingerprint(), other_av.fingerprint());
+        let fewer = ComponentGraph::build(&g, VertexId(0), &es[..2]);
+        assert_ne!(base.fingerprint(), fewer.fingerprint());
     }
 }
