@@ -7,6 +7,7 @@
 //! experiments bench3               # candidate-race snapshot → BENCH_3.json
 //! experiments bench5               # probe-churn snapshot → BENCH_5.json
 //! experiments bench6               # incremental-engine snapshot → BENCH_6.json
+//! experiments bench7               # serve-throughput snapshot → BENCH_7.json
 //!   --paper-scale   use the paper's full sizes (slow)
 //!   --seed <n>      master seed (default 42)
 //!   --out <dir>     CSV output directory (default results/)
@@ -16,7 +17,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use flowmax_bench::{candidate_race, probe_churn, registry, Scale};
+use flowmax_bench::{candidate_race, probe_churn, registry, serve_bench, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -123,6 +124,31 @@ fn main() {
             }
         }
         ids.retain(|s| s != "bench6");
+        if ids.is_empty() {
+            return;
+        }
+    }
+
+    // The serve-throughput snapshot: warm FlowServer (resident graph,
+    // coalescing, persistent pool) vs cold per-query sessions
+    // (BENCH_7.json, the PR-7 perf-trajectory artifact).
+    if ids.iter().any(|s| s == "bench7") {
+        let started = Instant::now();
+        let bench = serve_bench::run(&scale, reps);
+        print!("{}", bench.to_json());
+        let path = PathBuf::from("BENCH_7.json");
+        match bench.write_json(&path) {
+            Ok(()) => println!(
+                "# serve_throughput completed in {:.1?}; wrote {}",
+                started.elapsed(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        ids.retain(|s| s != "bench7");
         if ids.is_empty() {
             return;
         }

@@ -1,0 +1,332 @@
+//! The serving snapshot behind `BENCH_7.json`: query throughput of the
+//! long-lived [`FlowServer`] (resident graph, shared session state, warm
+//! worker pool, queue coalescing) against the cold baseline it replaces —
+//! one fresh [`Session`] constructed per query, the way a batch script or a
+//! CGI-style front-end would drive the library.
+//!
+//! The workload is a mixed stream against one Erdős–Rényi graph: half the
+//! queries run the full `FT+M+CI+DS` sampling stack (pool- and
+//! scratch-bound), half run `Dijkstra` (spanning-tree-bound, where the
+//! server's per-graph [`SessionState`] cache turns repeat queries into
+//! cache hits while the cold path re-runs Dijkstra every time).
+//!
+//! Both paths produce **bit-identical results per query** — asserted for
+//! every query, plus an explicit replay of the first query through the warm
+//! server at the end. The ratio is therefore pure serving-path wall time:
+//! session construction, spanning-tree reuse, and batch coalescing.
+//!
+//! [`SessionState`]: flowmax_core::SessionState
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use flowmax_core::{Algorithm, FlowServer, QueryParams, ServeConfig, Session};
+use flowmax_datasets::{suggest_query, ErdosConfig};
+use flowmax_graph::{EdgeId, ProbabilisticGraph};
+
+use crate::Scale;
+
+/// One measured serving mode.
+#[derive(Debug, Clone)]
+pub struct ServeMeasurement {
+    /// Mode name (`cold_sessions` / `warm_server`).
+    pub name: String,
+    /// Wall time for the whole stream, milliseconds.
+    pub total_ms: f64,
+    /// Queries answered per second of wall time.
+    pub qps: f64,
+    /// Median per-query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Executed batches (1 per query on the cold path; fewer than the
+    /// query count on the warm path when coalescing kicks in).
+    pub batches: u64,
+}
+
+/// The full `BENCH_7` snapshot.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Workload shape.
+    pub graph: String,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// Worker threads per executing batch.
+    pub threads: usize,
+    /// Monte-Carlo samples per sampled query.
+    pub samples: u32,
+    /// Both modes' measurements, warm first.
+    pub rows: Vec<ServeMeasurement>,
+    /// Throughput ratio `warm_qps / cold_qps` — the headline number.
+    pub speedup_warm_vs_cold: f64,
+}
+
+/// The per-query identity a replay must reproduce bit for bit.
+type QueryOutcome = (Vec<EdgeId>, u64);
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summarize(
+    name: &str,
+    mut latencies_ms: Vec<f64>,
+    total_ms: f64,
+    batches: u64,
+) -> ServeMeasurement {
+    latencies_ms.sort_by(f64::total_cmp);
+    ServeMeasurement {
+        name: name.to_string(),
+        total_ms,
+        qps: latencies_ms.len() as f64 / (total_ms / 1e3).max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        batches,
+    }
+}
+
+/// The mixed query stream: alternating full-stack sampled queries and
+/// spanning-tree-bound Dijkstra queries, each pinning its own seed (the
+/// serving replay contract keys on it).
+fn query_stream(graph: &ProbabilisticGraph, count: usize, samples: u32) -> Vec<QueryParams> {
+    let q = suggest_query(graph);
+    (0..count)
+        .map(|i| {
+            let mut p = QueryParams::new(q, 3 + i % 4);
+            p.algorithm = if i % 2 == 0 {
+                Algorithm::FtMCiDs
+            } else {
+                Algorithm::Dijkstra
+            };
+            p.samples = samples;
+            p.seed = Some(1_000 + i as u64);
+            p
+        })
+        .collect()
+}
+
+/// The cold baseline: a fresh [`Session`] per query — empty spanning-tree
+/// cache, no resident state — exactly what the server replaces.
+fn run_cold(
+    graph: &ProbabilisticGraph,
+    stream: &[QueryParams],
+    threads: usize,
+) -> (ServeMeasurement, Vec<QueryOutcome>) {
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(stream.len());
+    let mut outcomes = Vec::with_capacity(stream.len());
+    for p in stream {
+        let t0 = Instant::now();
+        let session = Session::new(graph).with_threads(threads).with_seed(42);
+        let run = session
+            .query(p.vertex)
+            .expect("stream queries are valid")
+            .algorithm(p.algorithm)
+            .budget(p.budget)
+            .samples(p.samples)
+            .seed(p.seed.expect("stream queries pin a seed"))
+            .run()
+            .expect("stream queries run");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        outcomes.push((run.selected.clone(), run.flow.to_bits()));
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let batches = stream.len() as u64;
+    (
+        summarize("cold_sessions", latencies, total_ms, batches),
+        outcomes,
+    )
+}
+
+/// The warm path: every query submitted to one [`FlowServer`] with the
+/// graph already resident and the dispatcher paused, then released at once
+/// — the coalescer's best case, and the shape a bursty client queue takes.
+fn run_warm(
+    graph: &ProbabilisticGraph,
+    stream: &[QueryParams],
+    threads: usize,
+) -> (ServeMeasurement, Vec<QueryOutcome>, FlowServer, u64) {
+    let server = FlowServer::new(ServeConfig {
+        threads,
+        queue_capacity: stream.len().max(64),
+        start_paused: true,
+        ..ServeConfig::default()
+    });
+    let fp = server.load_graph(graph.clone());
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|p| server.submit(fp, *p).expect("queue sized for the stream"))
+        .collect();
+    let started = Instant::now();
+    server.resume();
+    let mut latencies = Vec::with_capacity(stream.len());
+    let mut outcomes = Vec::with_capacity(stream.len());
+    for ticket in tickets {
+        let result = ticket.wait().expect("stream queries run");
+        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+        outcomes.push((result.selected.clone(), result.flow.to_bits()));
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let batches = server.stats().batches;
+    (
+        summarize("warm_server", latencies, total_ms, batches),
+        outcomes,
+        server,
+        fp,
+    )
+}
+
+/// Runs the snapshot: the same query stream through both serving modes,
+/// best-of-`reps` wall time each, with per-query bit-identity asserted
+/// between the modes and a final replay through the warm server.
+pub fn run(scale: &Scale, reps: u32) -> ServeBench {
+    let vertices = scale.pick(2_000, 400);
+    let queries = scale.pick(64, 24);
+    let samples = 300;
+    let threads = 4;
+    let graph = ErdosConfig::paper(vertices, 6.0).generate(7);
+    let stream = query_stream(&graph, queries, samples);
+
+    let mut cold: Option<(ServeMeasurement, Vec<QueryOutcome>)> = None;
+    let mut warm: Option<(ServeMeasurement, Vec<QueryOutcome>, FlowServer, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let c = run_cold(&graph, &stream, threads);
+        if cold.as_ref().is_none_or(|b| c.0.total_ms < b.0.total_ms) {
+            cold = Some(c);
+        }
+        let w = run_warm(&graph, &stream, threads);
+        if warm.as_ref().is_none_or(|b| w.0.total_ms < b.0.total_ms) {
+            warm = Some(w);
+        }
+    }
+    let (cold, cold_outcomes) = cold.expect("at least one repetition");
+    let (warm, warm_outcomes, server, fp) = warm.expect("at least one repetition");
+
+    // The serving contract: mode must never leak into results.
+    assert_eq!(
+        cold_outcomes, warm_outcomes,
+        "warm server diverged from cold sessions"
+    );
+    // And the replay contract: resubmitting the first query against the
+    // now thoroughly warmed server is bit-identical to its cold run.
+    let replay = server
+        .submit(fp, stream[0])
+        .expect("server is idle")
+        .wait()
+        .expect("replay runs");
+    assert_eq!(
+        (replay.selected, replay.flow.to_bits()),
+        cold_outcomes[0].clone(),
+        "replay diverged from the cold baseline"
+    );
+
+    let speedup = warm.qps / cold.qps.max(1e-9);
+    ServeBench {
+        graph: format!(
+            "erdos(n={}, m={})",
+            graph.vertex_count(),
+            graph.edge_count()
+        ),
+        queries,
+        threads,
+        samples,
+        speedup_warm_vs_cold: speedup,
+        rows: vec![warm, cold],
+    }
+}
+
+impl ServeBench {
+    /// Renders the snapshot as pretty-printed JSON (assembled by hand — no
+    /// external crates in the build environment; every emitted value is a
+    /// plain number or an escape-free ASCII string).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"serve_throughput\",");
+        let _ = writeln!(s, "  \"graph\": \"{}\",", self.graph);
+        let _ = writeln!(s, "  \"queries\": {},", self.queries);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(
+            s,
+            "  \"speedup_warm_vs_cold\": {:.3},",
+            self.speedup_warm_vs_cold
+        );
+        let _ = writeln!(s, "  \"configs\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+            let _ = writeln!(s, "      \"total_ms\": {:.3},", r.total_ms);
+            let _ = writeln!(s, "      \"qps\": {:.1},", r.qps);
+            let _ = writeln!(s, "      \"p50_ms\": {:.3},", r.p50_ms);
+            let _ = writeln!(s, "      \"p99_ms\": {:.3},", r.p99_ms);
+            let _ = writeln!(s, "      \"batches\": {}", r.batches);
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes the JSON snapshot to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sane_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 0.50), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_emits_valid_shape() {
+        let bench = ServeBench {
+            graph: "erdos(n=10, m=20)".into(),
+            queries: 8,
+            threads: 2,
+            samples: 100,
+            speedup_warm_vs_cold: 1.75,
+            rows: vec![summarize("warm_server", vec![1.0, 2.0], 10.0, 1)],
+        };
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"serve_throughput\""));
+        assert!(json.contains("\"speedup_warm_vs_cold\": 1.750"));
+        assert!(json.contains("\"batches\": 1"));
+    }
+
+    #[test]
+    fn tiny_stream_agrees_between_modes_and_coalesces() {
+        // The full measurement path at toy scale: bit-identity between the
+        // modes is asserted inside `run`, and the burst must coalesce into
+        // fewer batches than queries.
+        let bench = run(&Scale::reduced(), 1);
+        assert_eq!(bench.rows.len(), 2);
+        let warm = &bench.rows[0];
+        let cold = &bench.rows[1];
+        assert_eq!(warm.name, "warm_server");
+        assert_eq!(cold.batches, bench.queries as u64);
+        assert!(
+            warm.batches < bench.queries as u64,
+            "burst did not coalesce: {} batches for {} queries",
+            warm.batches,
+            bench.queries
+        );
+        assert!(warm.qps > 0.0 && cold.qps > 0.0);
+    }
+}

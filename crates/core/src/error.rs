@@ -34,6 +34,11 @@ pub enum CoreError {
     /// The algorithm name did not match any of the paper's seven algorithms
     /// (see [`Algorithm::parse`](crate::solver::Algorithm::parse)).
     UnknownAlgorithm(String),
+    /// A worker thread panicked while executing the query. The panic was
+    /// contained: the worker pool and the serving process stay up, only
+    /// this query fails. The payload is the panic message when it was a
+    /// string, or a placeholder otherwise.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for CoreError {
@@ -69,7 +74,24 @@ impl fmt::Display for CoreError {
                 "unknown algorithm {name:?} (expected one of Naive, Dijkstra, FT, FT+M, \
                  FT+M+CI, FT+M+DS, FT+M+CI+DS)"
             ),
+            CoreError::WorkerPanicked(msg) => write!(
+                f,
+                "a worker thread panicked while executing the query ({msg}); \
+                 the pool stays serviceable, only this query failed"
+            ),
         }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload, for
+/// [`CoreError::WorkerPanicked`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -99,5 +121,15 @@ mod tests {
         let e = CoreError::UnknownAlgorithm("FT+X".into());
         assert!(e.to_string().contains("FT+X"));
         assert!(e.to_string().contains("FT+M+CI+DS"));
+        let e = CoreError::WorkerPanicked("index out of bounds".into());
+        assert!(e.to_string().contains("index out of bounds"));
+        assert!(e.to_string().contains("serviceable"));
+    }
+
+    #[test]
+    fn panic_messages_extract_strings() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&String::from("ow")), "ow");
+        assert_eq!(panic_message(&42u32), "non-string panic payload");
     }
 }

@@ -579,7 +579,8 @@ impl FTree {
     /// The expected information flow `E(flow(Q, G_selected))` under the
     /// tree's current component estimates (Def. 3 / Eq. 2), by one
     /// whole-forest traversal — the pinned reference the incremental
-    /// [`FTree::flow_cached_total`] is held bit-identical to.
+    /// `FTree::flow_cached_total` (crate-internal) is held bit-identical
+    /// to.
     pub fn expected_flow(&self, graph: &ProbabilisticGraph, include_query: bool) -> f64 {
         self.flow_forest(graph, include_query, &|c, v| self.reach_in(c, v))
     }
@@ -589,7 +590,8 @@ impl FTree {
     /// its point estimate) — the candidate-specific uncertainty of §6.3.
     ///
     /// This two-pass form is the pinned reference for the fused
-    /// [`FTree::flow_with_bounds`], which computes the point estimate and
+    /// `FTree::flow_with_bounds` (crate-internal), which computes the
+    /// point estimate and
     /// both bounds in one traversal; the `fused_bounds_match_reference`
     /// test holds them bit-identical.
     pub fn flow_bounds_for_component(

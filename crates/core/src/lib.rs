@@ -30,6 +30,31 @@
 //!
 //! The legacy one-shot [`solve`]/[`SolverConfig`] API is a deprecated shim
 //! over the session and produces bit-identical results.
+//!
+//! ## Serving
+//!
+//! For long-lived processes answering query streams, the [`serve`] module
+//! wraps sessions in a daemon-grade front-end, [`FlowServer`]: graphs stay
+//! **resident** (keyed by [`ProbabilisticGraph::fingerprint`], LRU-bounded
+//! by [`ServeConfig::max_resident_graphs`]) together with their per-graph
+//! [`SessionState`] (the bounded spanning-tree cache), so repeat queries
+//! hit warm caches instead of rebuilding them. Admission is **bounded**:
+//! at most [`ServeConfig::queue_capacity`] queries queue, and an overfull
+//! queue rejects with [`ServeError::Overloaded`] carrying a retry-after
+//! hint, instead of buffering without limit. Queued queries against the
+//! same graph **coalesce** (up to [`ServeConfig::coalesce_max`]) into one
+//! [`Session::run_many_with`] batch over the persistent worker pool, and
+//! every query's [`Ticket`] streams anytime [`ServeEvent::Step`] events
+//! while the batch runs. The serving contract is **deterministic replay**:
+//! a result is a pure function of (graph fingerprint, [`QueryParams`],
+//! seed) — any queue state, any coalescing, any thread count — so
+//! resubmitting a query reproduces its selection and flows bit for bit. A
+//! worker panic fails only the affected batch (with
+//! [`CoreError::WorkerPanicked`]); the dispatcher and the pool stay
+//! serviceable. The `flowmax-serve` binary exposes exactly this over a TCP
+//! line protocol (see its `--help`).
+//!
+//! [`ProbabilisticGraph::fingerprint`]: flowmax_graph::ProbabilisticGraph::fingerprint
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +66,7 @@ pub mod exact;
 pub mod ftree;
 pub mod metrics;
 pub mod selection;
+pub mod serve;
 pub mod session;
 pub mod solver;
 
@@ -57,7 +83,12 @@ pub use selection::{
     greedy_select, greedy_select_observed, CandidateSet, CiEngine, DelayTracker, GreedyConfig,
     MemoProvider, NoObserver, SelectionObserver, SelectionOutcome, SelectionStep,
 };
-pub use session::{QueryBuilder, QuerySpec, Session, SolveRun};
+pub use serve::{
+    FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult, ServeStats, Ticket,
+};
+pub use session::{
+    QueryBuilder, QuerySpec, Session, SessionState, SolveRun, DEFAULT_SPANNING_CACHE_CAPACITY,
+};
 #[allow(deprecated)]
 pub use solver::{
     evaluate_selection, evaluate_selection_with_threads, solve, Algorithm, SolveResult,

@@ -9,7 +9,8 @@
 //! a binary search plus a shift, and the per-round probe pool reads the
 //! already-sorted vector instead of rebuilding an ordered set. A version
 //! counter increments on every mutation; together with
-//! [`CandidateSet::debug_validate`] it lets the incremental selection loop
+//! `CandidateSet::debug_validate` (debug builds only) it lets the
+//! incremental selection loop
 //! assert after every commit that the maintained list still equals a fresh
 //! enumeration from the tree.
 

@@ -40,8 +40,8 @@
 //! # Ok::<(), CoreError>(())
 //! ```
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use flowmax_graph::{
@@ -62,6 +62,103 @@ use crate::solver::{evaluate_selection_with_threads, Algorithm};
 /// bit-identical to it).
 pub(crate) const EVAL_SEED_TAG: u64 = 0xE7A1;
 
+/// Default bound of the per-graph spanning-tree cache: plenty for a few hot
+/// Dijkstra roots, small enough that a daemon serving arbitrary query
+/// vertices can never leak (each tree is O(V)).
+pub const DEFAULT_SPANNING_CACHE_CAPACITY: usize = 32;
+
+/// A bounded LRU of Dijkstra spanning trees keyed by root vertex.
+/// Most-recently-used entries live at the back of the deque; capacity is
+/// at least 1. Linear scans are fine: the capacity is tens, not millions,
+/// and each hit already amortizes an O(E log V) Dijkstra run.
+#[derive(Debug)]
+struct TreeLru {
+    capacity: usize,
+    entries: VecDeque<(VertexId, Arc<SpanningTree>)>,
+}
+
+impl TreeLru {
+    fn new(capacity: usize) -> Self {
+        TreeLru {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        key: VertexId,
+        make: impl FnOnce() -> Arc<SpanningTree>,
+    ) -> Arc<SpanningTree> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let hit = self.entries.remove(pos).expect("position came from iter");
+            self.entries.push_back(hit);
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back((key, make()));
+        }
+        self.entries.back().expect("just pushed").1.clone()
+    }
+}
+
+/// The shareable per-graph half of a [`Session`]: today, the bounded
+/// spanning-tree cache behind the Dijkstra baseline.
+///
+/// Sessions are cheap, short-lived views (`Session<'g>` borrows its
+/// graph); a long-lived server instead keeps one `Arc<SessionState>` per
+/// resident graph and hands it to every session over that graph via
+/// [`Session::with_state`], so warm state survives individual sessions.
+/// **A state must only ever be shared between sessions over the same
+/// graph** — trees are keyed by root vertex alone.
+///
+/// The cache is bounded (LRU, default
+/// [`DEFAULT_SPANNING_CACHE_CAPACITY`]), so a daemon serving arbitrary
+/// query vertices cannot leak, and lock poisoning is recovered via
+/// [`PoisonError::into_inner`] instead of panicking: a tree is either
+/// fully inserted or absent, so the cache is valid after any panic and
+/// one crashed query cannot take the whole session (or server) down.
+#[derive(Debug)]
+pub struct SessionState {
+    spanning_trees: Mutex<TreeLru>,
+}
+
+impl SessionState {
+    /// A fresh state with the default spanning-tree cache capacity.
+    pub fn new() -> Self {
+        SessionState::with_capacity(DEFAULT_SPANNING_CACHE_CAPACITY)
+    }
+
+    /// A fresh state whose spanning-tree cache holds at most `capacity`
+    /// trees (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SessionState {
+            spanning_trees: Mutex::new(TreeLru::new(capacity)),
+        }
+    }
+
+    /// Trees currently cached (for stats endpoints and tests).
+    pub fn cached_trees(&self) -> usize {
+        self.lock_trees().entries.len()
+    }
+
+    fn lock_trees(&self) -> std::sync::MutexGuard<'_, TreeLru> {
+        // A panicked query thread poisons the mutex but never leaves the
+        // LRU half-updated (insertions happen via a completed
+        // `get_or_insert_with`), so recovering the guard is sound.
+        self.spanning_trees
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for SessionState {
+    fn default() -> Self {
+        SessionState::new()
+    }
+}
+
 /// A reusable multi-query solver session over one probabilistic graph.
 ///
 /// The session owns everything that is per-graph rather than per-query:
@@ -80,7 +177,7 @@ pub struct Session<'g> {
     threads: usize,
     seed: u64,
     evaluation: EstimatorConfig,
-    spanning_trees: Mutex<HashMap<VertexId, Arc<SpanningTree>>>,
+    state: Arc<SessionState>,
 }
 
 impl<'g> Session<'g> {
@@ -93,17 +190,40 @@ impl<'g> Session<'g> {
             threads: flowmax_sampling::default_threads(),
             seed: 42,
             evaluation: EstimatorConfig::hybrid(16, 3000),
-            spanning_trees: Mutex::new(HashMap::new()),
+            state: Arc::new(SessionState::new()),
         }
     }
 
-    /// Sets the worker-thread count for Monte-Carlo sampling (clamped to
-    /// at least 1). Changing this never changes results, only wall-clock
+    /// Sets the worker-thread count for Monte-Carlo sampling. A request of
+    /// 0 is invalid and clamped to 1 with a one-time process-wide stderr
+    /// warning — the same story as `FLOWMAX_THREADS` parsing and the CLI's
+    /// `--threads`. Changing this never changes results, only wall-clock
     /// time — every sampling engine in the workspace is thread-count
     /// invariant.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = flowmax_sampling::clamp_threads(threads, "Session::with_threads");
         self
+    }
+
+    /// Shares per-graph state (the bounded spanning-tree cache) with this
+    /// session — the serving path, where sessions are short-lived views
+    /// over a resident graph and its long-lived [`SessionState`]. The
+    /// state **must** belong to this session's graph.
+    pub fn with_state(mut self, state: Arc<SessionState>) -> Self {
+        self.state = state;
+        self
+    }
+
+    /// Replaces the session's state with a fresh one whose spanning-tree
+    /// cache holds at most `capacity` trees (clamped to at least 1).
+    pub fn with_spanning_cache_capacity(mut self, capacity: usize) -> Self {
+        self.state = Arc::new(SessionState::with_capacity(capacity));
+        self
+    }
+
+    /// The session's shareable per-graph state.
+    pub fn state(&self) -> &Arc<SessionState> {
+        &self.state
     }
 
     /// Sets the master seed that queries default to.
@@ -226,13 +346,38 @@ impl<'g> Session<'g> {
     /// # Ok::<(), CoreError>(())
     /// ```
     pub fn run_many(&self, specs: &[QuerySpec]) -> Result<Vec<SolveRun<'g>>, CoreError> {
+        self.run_many_with(specs, &|_, _| {})
+    }
+
+    /// [`run_many`](Session::run_many) with streaming: `on_step` receives
+    /// `(spec index, step)` for every committed edge of every query, as it
+    /// commits. This is the serving daemon's entry point — a coalesced
+    /// batch of queries streams anytime partial selections to each client
+    /// while the batch executes.
+    ///
+    /// Steps of one spec arrive in commit order; steps of different specs
+    /// interleave arbitrarily (they execute concurrently), so `on_step`
+    /// must be `Sync` and demultiplex by the spec index. Results are
+    /// bit-identical to [`run_many`](Session::run_many).
+    pub fn run_many_with(
+        &self,
+        specs: &[QuerySpec],
+        on_step: &(dyn Fn(usize, &SelectionStep) + Sync),
+    ) -> Result<Vec<SolveRun<'g>>, CoreError> {
         for spec in specs {
             self.validate(spec)?;
         }
         if specs.len() <= 1 || self.threads <= 1 {
             return Ok(specs
                 .iter()
-                .map(|spec| self.execute(spec, self.threads, &mut NoObserver))
+                .enumerate()
+                .map(|(i, spec)| {
+                    self.execute(
+                        spec,
+                        self.threads,
+                        &mut IndexedForward { index: i, on_step },
+                    )
+                })
                 .collect());
         }
         let pool = ParallelEstimator::new(self.threads);
@@ -240,7 +385,7 @@ impl<'g> Session<'g> {
             // Workers run whole queries, so each query samples on one
             // thread; thread-count invariance makes this bit-identical to
             // a solo multi-threaded run.
-            self.execute(&specs[i], 1, &mut NoObserver)
+            self.execute(&specs[i], 1, &mut IndexedForward { index: i, on_step })
         });
         for run in &mut runs {
             // The batch is done: later prefix evaluations (`flow_at`) run
@@ -268,16 +413,12 @@ impl<'g> Session<'g> {
     }
 
     /// The cached maximum-probability spanning tree rooted at `query`
-    /// (computed on first use; reused by every later Dijkstra query).
+    /// (computed on first use; reused by every later Dijkstra query until
+    /// LRU-evicted — see [`SessionState`]).
     fn spanning_tree(&self, query: VertexId) -> Arc<SpanningTree> {
-        let mut cache = self
-            .spanning_trees
-            .lock()
-            .expect("spanning-tree cache poisoned");
-        cache
-            .entry(query)
-            .or_insert_with(|| Arc::new(max_probability_spanning_tree_full(self.graph, query)))
-            .clone()
+        self.state.lock_trees().get_or_insert_with(query, || {
+            Arc::new(max_probability_spanning_tree_full(self.graph, query))
+        })
     }
 
     /// Runs one spec without validation (the legacy `solve` shim reaches
@@ -358,6 +499,19 @@ impl<'g> Session<'g> {
             elapsed,
             metrics: outcome.metrics,
         }
+    }
+}
+
+/// Adapts a shared `(spec index, step)` callback to the per-query
+/// [`SelectionObserver`] seam, for [`Session::run_many_with`].
+struct IndexedForward<'a> {
+    index: usize,
+    on_step: &'a (dyn Fn(usize, &SelectionStep) + Sync),
+}
+
+impl SelectionObserver for IndexedForward<'_> {
+    fn on_step(&mut self, step: &SelectionStep) {
+        (self.on_step)(self.index, step);
     }
 }
 
@@ -551,8 +705,8 @@ impl<'s, 'g> QueryBuilder<'s, 'g> {
     /// replaying their probe journals (default: on). Turning it off runs
     /// the PR-5 journal reference engine — full-tree flow re-aggregation
     /// and `insert_edge` commits — with bit-identical results, only
-    /// slower. Ignored (always off) under [`cloning_probes`]
-    /// (QueryBuilder::cloning_probes).
+    /// slower. Ignored (always off) under
+    /// [`QueryBuilder::cloning_probes`].
     pub fn incremental(mut self, incremental: bool) -> Self {
         self.spec.incremental = incremental;
         self
@@ -766,7 +920,7 @@ mod tests {
             .budget(2)
             .run()
             .unwrap();
-        assert_eq!(session.spanning_trees.lock().unwrap().len(), 1);
+        assert_eq!(session.state().cached_trees(), 1);
         let b = session
             .query(VertexId(0))
             .unwrap()
@@ -774,9 +928,126 @@ mod tests {
             .budget(4)
             .run()
             .unwrap();
-        assert_eq!(session.spanning_trees.lock().unwrap().len(), 1);
+        assert_eq!(session.state().cached_trees(), 1);
         // Anytime property across budgets on the cached tree.
         assert_eq!(a.selected, b.selection_at(2));
+    }
+
+    #[test]
+    fn spanning_tree_cache_is_bounded_lru() {
+        let g = graph();
+        let session = Session::new(&g).with_spanning_cache_capacity(2);
+        for v in [0u32, 1, 2, 3, 4] {
+            session
+                .query(VertexId(v))
+                .unwrap()
+                .algorithm(Algorithm::Dijkstra)
+                .budget(1)
+                .run()
+                .unwrap();
+            assert!(
+                session.state().cached_trees() <= 2,
+                "cache exceeded its bound after root {v}"
+            );
+        }
+        // Re-querying the most recent roots must not grow the cache.
+        for v in [3u32, 4, 3, 4] {
+            session
+                .query(VertexId(v))
+                .unwrap()
+                .algorithm(Algorithm::Dijkstra)
+                .budget(1)
+                .run()
+                .unwrap();
+        }
+        assert_eq!(session.state().cached_trees(), 2);
+        // An evicted root recomputes the same tree: selections agree with
+        // a fresh session's.
+        let evicted = session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(2)
+            .run()
+            .unwrap();
+        let fresh = Session::new(&g)
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(2)
+            .run()
+            .unwrap();
+        assert_eq!(evicted.selected, fresh.selected);
+    }
+
+    #[test]
+    fn spanning_tree_cache_recovers_from_poison() {
+        let g = graph();
+        let session = Session::new(&g);
+        session
+            .query(VertexId(0))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(1)
+            .run()
+            .unwrap();
+        // Poison the cache mutex: panic while holding the lock on another
+        // thread, as a crashing query thread would.
+        let state = session.state();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = state.spanning_trees.lock().unwrap();
+                panic!("query thread dies while holding the cache lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(state.spanning_trees.lock().is_err(), "mutex is poisoned");
+        // The session keeps serving: the cached tree is still readable and
+        // new roots still insert.
+        assert_eq!(session.state().cached_trees(), 1);
+        let run = session
+            .query(VertexId(2))
+            .unwrap()
+            .algorithm(Algorithm::Dijkstra)
+            .budget(2)
+            .run()
+            .unwrap();
+        assert_eq!(run.selected.len(), 2);
+        assert_eq!(session.state().cached_trees(), 2);
+    }
+
+    #[test]
+    fn run_many_with_streams_indexed_steps() {
+        let g = graph();
+        for threads in [1usize, 4] {
+            let session = Session::new(&g).with_threads(threads).with_seed(9);
+            let specs = vec![
+                session
+                    .query(VertexId(0))
+                    .unwrap()
+                    .algorithm(Algorithm::FtM)
+                    .budget(2)
+                    .spec(),
+                session
+                    .query(VertexId(3))
+                    .unwrap()
+                    .algorithm(Algorithm::FtM)
+                    .budget(3)
+                    .spec(),
+            ];
+            let streamed: Mutex<Vec<Vec<SelectionStep>>> = Mutex::new(vec![Vec::new(); 2]);
+            let runs = session
+                .run_many_with(&specs, &|i, step| streamed.lock().unwrap()[i].push(*step))
+                .unwrap();
+            let streamed = streamed.into_inner().unwrap();
+            for (run, got) in runs.iter().zip(&streamed) {
+                assert_eq!(run.steps.len(), got.len(), "threads={threads}");
+                for (a, b) in run.steps.iter().zip(got) {
+                    assert_eq!(a.edge, b.edge);
+                    assert_eq!(a.iteration, b.iteration);
+                }
+            }
+        }
     }
 
     #[test]

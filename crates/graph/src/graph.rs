@@ -242,6 +242,34 @@ impl ProbabilisticGraph {
             .filter(|e| !e.probability.is_certain())
             .count()
     }
+
+    /// A deterministic 64-bit fingerprint of the full graph content —
+    /// vertex weights, edge endpoints and probabilities, in definition
+    /// order. Two graphs fingerprint equal iff they were built from the
+    /// same sequence of vertices and edges (modulo a negligible collision
+    /// probability), so the value is a stable identity for session caches
+    /// keyed across processes and runs. It is **not** seeded per process
+    /// (no `RandomState`): the same graph file fingerprints identically
+    /// everywhere, which is what a serving client replays against.
+    pub fn fingerprint(&self) -> u64 {
+        // splitmix64-style mixing: absorb each word through an
+        // add-then-mix round. Not cryptographic — a content id, not a MAC.
+        fn mix(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ mix(self.weights.len() as u64);
+        h = mix(h ^ self.edges.len() as u64);
+        for w in &self.weights {
+            h = mix(h.wrapping_add(w.value().to_bits()));
+        }
+        for e in &self.edges {
+            h = mix(h.wrapping_add((e.source.0 as u64) << 32 | e.target.0 as u64));
+            h = mix(h.wrapping_add(e.probability.value().to_bits()));
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +286,30 @@ mod tests {
         b.add_edge(v1, v2, Probability::new(0.25).unwrap()).unwrap();
         b.add_edge(v2, v0, Probability::ONE).unwrap();
         b.build()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = triangle();
+        let b = triangle();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same id");
+        // Any content difference — weight, probability, or topology —
+        // changes the fingerprint.
+        let mut builder = GraphBuilder::new();
+        let v0 = builder.add_vertex(Weight::ONE);
+        let v1 = builder.add_vertex(Weight::new(2.0).unwrap());
+        let v2 = builder.add_vertex(Weight::new(3.0).unwrap());
+        builder
+            .add_edge(v0, v1, Probability::new(0.5).unwrap())
+            .unwrap();
+        builder
+            .add_edge(v1, v2, Probability::new(0.26).unwrap())
+            .unwrap();
+        builder.add_edge(v2, v0, Probability::ONE).unwrap();
+        let c = builder.build();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "probability differs");
+        let empty = GraphBuilder::new().build();
+        assert_ne!(a.fingerprint(), empty.fingerprint());
     }
 
     #[test]

@@ -294,10 +294,10 @@ impl ComponentGraph {
     /// World `i` draws its coins from `seq.rng(i)`, so the result is a pure
     /// function of `(seq, samples)` — bit-identical for every thread count.
     ///
-    /// This convenience form spins up a throwaway
-    /// [`ParallelEstimator`] (and with it a fresh scratch pool) per call;
-    /// hot callers hold on to one estimator and use
-    /// [`ParallelEstimator::sample_component`] so scratch arenas stay warm.
+    /// This convenience form builds a [`ParallelEstimator`] per call, which
+    /// is free: execution runs on the persistent process-global worker pool
+    /// against each thread's warm scratch either way. Hot callers may still
+    /// prefer [`ParallelEstimator::sample_component`] directly.
     pub fn sample_reachability_batched(
         &self,
         samples: u32,

@@ -20,14 +20,20 @@
 //! finalists, and incremental per-component estimates extended as one
 //! multi-candidate job per round.
 //!
-//! The batched engine is allocation-free in steady state: every
-//! [`ParallelEstimator`] worker owns a reusable [`SamplingScratch`] (lane
-//! buffers, per-lane RNGs, frontier worklists) checked out per chunk, and
-//! snapshot builds reuse a graph-sized [`LocalIdScratch`] reset by an epoch
-//! counter instead of allocating a hash map per component.
+//! The batched engine is allocation-free in steady state *and* spawn-free
+//! per job: chunks run on the persistent process-global
+//! [`WorkerPool`] (one pinned thread per worker slot,
+//! channel-fed, joined on drop), every thread keeps one warm
+//! [`SamplingScratch`] for life (lane buffers, per-lane RNGs, frontier
+//! worklists — see [`with_thread_scratch`]), and snapshot builds reuse a
+//! graph-sized [`LocalIdScratch`] reset by an epoch counter instead of
+//! allocating a hash map per component.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the worker pool hands lifetime-erased closures to
+// its persistent threads through one audited `#[allow(unsafe_code)]`
+// transmute (see `pool::WorkerPool::run`); everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod batch;
 pub mod component;
@@ -35,6 +41,7 @@ pub mod confidence;
 pub mod convergence;
 pub mod estimate;
 pub mod parallel;
+pub mod pool;
 pub mod race;
 pub mod reachability;
 pub mod rng;
@@ -49,11 +56,14 @@ pub use confidence::{
 };
 pub use convergence::BatchSchedule;
 pub use estimate::FlowEstimate;
-pub use parallel::{default_threads, ParallelEstimator, WorldsRequest};
+pub use parallel::{
+    clamp_threads, default_threads, invalid_thread_requests, ParallelEstimator, WorldsRequest,
+};
+pub use pool::{is_pool_worker, WorkerPool};
 pub use race::{
     CandidateRace, IncrementalComponent, LaneStatus, RaceConfig, RoundOutcome, RoundPlan,
 };
 pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
 pub use rng::{splitmix64, FlowRng, SeedSequence};
 pub use sampler::{sample_world, sample_worlds};
-pub use scratch::{SamplingScratch, ScratchPool};
+pub use scratch::{with_thread_scratch, SamplingScratch};

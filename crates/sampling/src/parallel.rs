@@ -2,31 +2,83 @@
 //!
 //! [`ParallelEstimator`] splits a sample budget into batches of
 //! [`LANES`] worlds, evaluates each batch with the
-//! bit-parallel kernel of [`crate::batch`], and shards batches across a
-//! `std::thread` worker pool. Batch `b` draws lane `w`'s coins from the
-//! seed-sequence child `b * LANES + w`, so each batch is a pure function of
-//! `(seed sequence, batch index)` — which worker computes it is irrelevant.
-//! Per-vertex success counts merge by integer addition (order-free) and
-//! per-batch flow moments merge in ascending batch order, so results are
-//! **bit-identical for every thread count**, as locked down by
-//! `tests/determinism.rs`.
+//! bit-parallel kernel of [`crate::batch`], and shards batches across the
+//! persistent [`WorkerPool`]. Batch `b` draws lane
+//! `w`'s coins from the seed-sequence child `b * LANES + w`, so each batch
+//! is a pure function of `(seed sequence, batch index)` — which worker
+//! computes it is irrelevant. Per-vertex success counts merge by integer
+//! addition (order-free) and per-batch flow moments merge in ascending
+//! batch order, so results are **bit-identical for every thread count**, as
+//! locked down by `tests/determinism.rs`.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use flowmax_graph::{EdgeSubset, ProbabilisticGraph, VertexId};
 
 use crate::batch::{lanes_in_batch, LaneBfs, LANES};
 use crate::component::{ComponentEstimate, ComponentGraph};
 use crate::estimate::FlowEstimate;
+use crate::pool::WorkerPool;
 use crate::reachability::ReachabilityEstimate;
 use crate::rng::SeedSequence;
-use crate::scratch::ScratchPool;
+use crate::scratch::with_thread_scratch;
+
+/// Invalid worker-count requests observed so far (zero or unparseable, from
+/// any origin). The first one is echoed to stderr; all are counted, so
+/// tests — and operators debugging a mysteriously serial server — can see
+/// that requests were clamped without scraping stderr.
+static INVALID_THREAD_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// How many invalid thread-count requests have been clamped to 1 so far in
+/// this process (see [`clamp_threads`] and `FLOWMAX_THREADS` parsing).
+pub fn invalid_thread_requests() -> u64 {
+    INVALID_THREAD_REQUESTS.load(Ordering::Relaxed)
+}
+
+/// Records one invalid worker-count request: warns on stderr the first
+/// time (once per process, not once per job — a daemon misconfigured with
+/// `FLOWMAX_THREADS=eight` would otherwise spam every query), counts every
+/// time, and returns the clamped value 1.
+fn note_invalid_threads(origin: &str, detail: &str) -> usize {
+    if INVALID_THREAD_REQUESTS.fetch_add(1, Ordering::Relaxed) == 0 {
+        eprintln!(
+            "flowmax: warning: invalid worker-thread count from {origin} ({detail}); \
+             clamping to 1 (sequential) — results are unaffected, only wall-clock time"
+        );
+    }
+    1
+}
+
+/// The single clamping story for explicit thread-count requests, shared by
+/// [`ParallelEstimator`] call sites, `Session::with_threads`, and the CLI's
+/// `--threads`: a request of `0` is invalid (there is no zero-thread
+/// estimator), warned about once per process on stderr, and clamped to 1.
+/// Positive requests pass through unchanged.
+pub fn clamp_threads(requested: usize, origin: &str) -> usize {
+    if requested == 0 {
+        note_invalid_threads(origin, "0 worker threads requested")
+    } else {
+        requested
+    }
+}
 
 /// Parses a thread-count override, as read from `FLOWMAX_THREADS`.
+///
+/// Unset or blank means 1 (fully sequential). Anything else must be a
+/// positive integer: zero or unparseable values (`FLOWMAX_THREADS=eight`)
+/// are clamped to 1 with a one-time stderr warning instead of silently
+/// serializing a production server — the same story as [`clamp_threads`].
 fn parse_threads(var: Option<String>) -> usize {
-    var.and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    let Some(raw) = var else { return 1 };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return 1;
+    }
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => note_invalid_threads("FLOWMAX_THREADS", "0 requests no workers at all"),
+        Err(_) => note_invalid_threads("FLOWMAX_THREADS", &format!("unparseable value {raw:?}")),
+    }
 }
 
 /// The default worker count: the `FLOWMAX_THREADS` environment variable
@@ -42,10 +94,11 @@ pub fn default_threads() -> usize {
 /// contiguous chunks, returning the per-chunk results in chunk order.
 ///
 /// With one chunk the work runs on the calling thread (no spawn overhead);
-/// otherwise a scoped worker per chunk. `work` receives its worker index
-/// (the chunk's position, also its [`ScratchPool`] slot) and the batch
-/// range. Chunk boundaries affect only *who* computes a batch, never what
-/// the batch contains.
+/// otherwise chunk 0 runs on the caller and each further chunk on a pinned
+/// worker of the process-global persistent [`WorkerPool`]. `work` receives
+/// its worker index (the chunk's position) and the batch range. Chunk
+/// boundaries affect only *who* computes a batch, never what the batch
+/// contains.
 pub(crate) fn parallel_chunks<T, F>(num_batches: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
@@ -64,23 +117,13 @@ where
         ranges.push(start..start + len);
         start += len;
     }
-    let work = &work;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .enumerate()
-            .map(|(worker, range)| scope.spawn(move || work(worker, range)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("estimation worker panicked"))
-            .collect()
-    })
+    WorkerPool::global().run(ranges, work)
 }
 
 /// Work-size floor for sharding: an extra worker must have at least this
-/// many edge-coin draws (edges × worlds) to amortize its spawn/join cost
-/// (tens of microseconds per scoped thread).
+/// many edge-coin draws (edges × worlds) to amortize its dispatch/report
+/// round-trip through the persistent pool (single-digit microseconds per
+/// chunk — far below the old per-job scoped spawn, but still not free).
 const MIN_COINS_PER_WORKER: u64 = 1 << 16;
 
 /// Caps the worker count by the job's size so that small jobs — like the
@@ -126,16 +169,15 @@ pub(crate) struct BatchJob {
 /// per-chunk accumulator via `per_batch(acc, bfs, lanes)`. Per-chunk
 /// accumulators are returned in ascending batch order.
 ///
-/// `fill` samples one batch into the worker's pooled
+/// `fill` samples one batch into the thread's warm
 /// [`WorldBatch`](crate::batch::WorldBatch) scratch; `neighbors` yields
-/// `(vertex index, edge index)` adjacency. Each worker checks out its
-/// [`ScratchPool`] slot for the whole chunk, so steady-state estimation
-/// allocates nothing per batch. Reachability counting, flow aggregation,
-/// and the component-local sampler are all thin wrappers, so the
-/// batching/label/merge contract lives in exactly one place.
+/// `(vertex index, edge index)` adjacency. Each chunk runs against its
+/// thread's persistent [`with_thread_scratch`] arenas, so steady-state
+/// estimation allocates nothing per batch. Reachability counting, flow
+/// aggregation, and the component-local sampler are all thin wrappers, so
+/// the batching/label/merge contract lives in exactly one place.
 pub(crate) fn map_batches<A, F, N, I, P>(
     job: BatchJob,
-    pool: &ScratchPool,
     fill: F,
     neighbors: N,
     per_batch: P,
@@ -150,23 +192,23 @@ where
     assert!(job.samples > 0, "need at least one sample");
     let num_batches = job.samples.div_ceil(LANES) as usize;
     let workers = effective_workers(job.threads, job.samples, job.work_edges);
-    parallel_chunks(num_batches, workers, |worker, range| {
-        let mut acc = A::default();
-        let mut guard = pool.checkout(worker);
-        let scratch = &mut *guard;
-        scratch.bfs.prepare(job.vertex_count);
-        for b in range {
-            let lanes = lanes_in_batch(job.samples, b);
-            fill(&mut scratch.batch, b as u64 * LANES as u64, lanes);
-            scratch.bfs.run(
-                job.source,
-                scratch.batch.active_mask(),
-                scratch.batch.masks(),
-                &neighbors,
-            );
-            per_batch(&mut acc, &scratch.bfs, lanes);
-        }
-        acc
+    parallel_chunks(num_batches, workers, |_worker, range| {
+        with_thread_scratch(|scratch| {
+            let mut acc = A::default();
+            scratch.bfs.prepare(job.vertex_count);
+            for b in range {
+                let lanes = lanes_in_batch(job.samples, b);
+                fill(&mut scratch.batch, b as u64 * LANES as u64, lanes);
+                scratch.bfs.run(
+                    job.source,
+                    scratch.batch.active_mask(),
+                    scratch.batch.masks(),
+                    &neighbors,
+                );
+                per_batch(&mut acc, &scratch.bfs, lanes);
+            }
+            acc
+        })
     })
 }
 
@@ -174,31 +216,20 @@ where
 /// specialization of [`map_batches`], shared by the graph-level
 /// [`ParallelEstimator`] and the component-local
 /// [`crate::component::ComponentGraph::sample_reachability_batched`].
-pub(crate) fn batched_success_counts<F, N, I>(
-    job: BatchJob,
-    pool: &ScratchPool,
-    fill: F,
-    neighbors: N,
-) -> Vec<u32>
+pub(crate) fn batched_success_counts<F, N, I>(job: BatchJob, fill: F, neighbors: N) -> Vec<u32>
 where
     F: Fn(&mut crate::batch::WorldBatch, u64, u32) + Sync,
     N: Fn(usize) -> I + Sync,
     I: Iterator<Item = (usize, usize)>,
 {
-    let chunks = map_batches(
-        job,
-        pool,
-        fill,
-        neighbors,
-        |acc: &mut Vec<u32>, bfs, _lanes| {
-            if acc.is_empty() {
-                acc.resize(job.vertex_count, 0);
-            }
-            for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
-                *s += mask.count_ones();
-            }
-        },
-    );
+    let chunks = map_batches(job, fill, neighbors, |acc: &mut Vec<u32>, bfs, _lanes| {
+        if acc.is_empty() {
+            acc.resize(job.vertex_count, 0);
+        }
+        for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
+            *s += mask.count_ones();
+        }
+    });
     // Success counts are integers, so summing chunks is exact and
     // order-free — but we still fold in chunk order for clarity.
     let mut successes = vec![0u32; job.vertex_count];
@@ -213,28 +244,29 @@ where
 /// A batched, multi-threaded drop-in for the scalar estimators of
 /// [`crate::reachability`] and [`crate::component`].
 ///
-/// The estimator owns one [`SamplingScratch`](crate::scratch::SamplingScratch)
-/// per worker slot, checked out by worker index for the duration of each
-/// chunk and reused across calls, so steady-state estimation performs zero
-/// heap allocation per batch. The configured count is an upper bound: jobs
-/// too small to amortize thread spawn/join — e.g. the F-tree's
-/// per-component probes — run on the calling thread (against scratch slot
-/// 0, kept warm across every such probe), so `threads > 1` never makes an
-/// estimation slower. Results never depend on the scratch or the worker
-/// count — only wall-clock time does.
+/// Construction is free: the estimator is just a worker-count ceiling.
+/// Execution runs on the process-global persistent
+/// [`WorkerPool`], and every thread — pool worker
+/// or submitter — keeps one warm
+/// [`SamplingScratch`](crate::scratch::SamplingScratch) for life (see
+/// [`with_thread_scratch`]), so steady-state estimation performs zero heap
+/// allocation per batch and pays no thread spawn/join per job. The
+/// configured count is an upper bound: jobs too small to amortize even a
+/// pool dispatch — e.g. the F-tree's per-component probes — run on the
+/// calling thread against its own warm scratch, so `threads > 1` never
+/// makes an estimation slower. Results never depend on the scratch or the
+/// worker count — only wall-clock time does.
 #[derive(Debug, Clone)]
 pub struct ParallelEstimator {
     threads: usize,
-    pool: Arc<ScratchPool>,
 }
 
 impl ParallelEstimator {
-    /// An estimator using `threads` workers (clamped to at least 1).
+    /// An estimator using `threads` workers (clamped to at least 1, with
+    /// the process-wide one-time warning of [`clamp_threads`] on 0).
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
         ParallelEstimator {
-            threads,
-            pool: Arc::new(ScratchPool::new(threads)),
+            threads: clamp_threads(threads, "ParallelEstimator::new"),
         }
     }
 
@@ -294,7 +326,6 @@ impl ParallelEstimator {
         };
         let successes = batched_success_counts(
             job,
-            &self.pool,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
                 graph
@@ -328,7 +359,6 @@ impl ParallelEstimator {
         };
         let chunks = map_batches(
             job,
-            &self.pool,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
                 graph
@@ -388,7 +418,6 @@ impl ParallelEstimator {
         };
         let successes = batched_success_counts(
             job,
-            &self.pool,
             |batch, first_label, lanes| component.fill_batch(batch, seq, first_label, lanes),
             |u| component.local_neighbors(u),
         );
@@ -435,41 +464,41 @@ impl ParallelEstimator {
             }
         }
         let workers = workers_for_coins(self.threads, coins);
-        let chunks = parallel_chunks(unit_request.len(), workers, |worker, range| {
-            let mut acc: Vec<Option<Vec<u32>>> = vec![None; requests.len()];
-            let mut guard = self.pool.checkout(worker);
-            let scratch = &mut *guard;
-            let mut owner: Option<u32> = None;
-            for u in range {
-                let r = unit_request[u];
-                let req = &requests[r as usize];
-                let b = unit_batch[u] as usize;
-                // Units of one request are contiguous, so the pooled
-                // scratch is re-targeted only at request boundaries (and
-                // even then the buffers are reused, not reallocated).
-                if owner != Some(r) {
-                    owner = Some(r);
-                    scratch.bfs.prepare(req.component.vertex_count());
+        let chunks = parallel_chunks(unit_request.len(), workers, |_worker, range| {
+            with_thread_scratch(|scratch| {
+                let mut acc: Vec<Option<Vec<u32>>> = vec![None; requests.len()];
+                let mut owner: Option<u32> = None;
+                for u in range {
+                    let r = unit_request[u];
+                    let req = &requests[r as usize];
+                    let b = unit_batch[u] as usize;
+                    // Units of one request are contiguous, so the warm
+                    // scratch is re-targeted only at request boundaries (and
+                    // even then the buffers are reused, not reallocated).
+                    if owner != Some(r) {
+                        owner = Some(r);
+                        scratch.bfs.prepare(req.component.vertex_count());
+                    }
+                    let lanes = lanes_in_batch(req.total_worlds, b);
+                    req.component.fill_batch(
+                        &mut scratch.batch,
+                        &req.seq,
+                        b as u64 * LANES as u64,
+                        lanes,
+                    );
+                    scratch
+                        .bfs
+                        .run(0, scratch.batch.active_mask(), scratch.batch.masks(), |u| {
+                            req.component.local_neighbors(u)
+                        });
+                    let counts = acc[r as usize]
+                        .get_or_insert_with(|| vec![0u32; req.component.vertex_count()]);
+                    for (s, &mask) in counts.iter_mut().zip(scratch.bfs.reached()) {
+                        *s += mask.count_ones();
+                    }
                 }
-                let lanes = lanes_in_batch(req.total_worlds, b);
-                req.component.fill_batch(
-                    &mut scratch.batch,
-                    &req.seq,
-                    b as u64 * LANES as u64,
-                    lanes,
-                );
-                scratch
-                    .bfs
-                    .run(0, scratch.batch.active_mask(), scratch.batch.masks(), |u| {
-                        req.component.local_neighbors(u)
-                    });
-                let counts =
-                    acc[r as usize].get_or_insert_with(|| vec![0u32; req.component.vertex_count()]);
-                for (s, &mask) in counts.iter_mut().zip(scratch.bfs.reached()) {
-                    *s += mask.count_ones();
-                }
-            }
-            acc
+                acc
+            })
         });
         // Success counts are integers: summing per-request partials across
         // chunks is exact and order-free.
@@ -618,15 +647,32 @@ mod tests {
         }
     }
 
+    /// The whole parse/clamp matrix lives in one test function so its
+    /// counter-delta assertions can't race other tests (the invalid-request
+    /// counter is process-global).
     #[test]
     fn parse_threads_accepts_positive_integers_only() {
+        // Valid values, and the silent unset/blank defaults, never touch
+        // the invalid counter.
+        let before = invalid_thread_requests();
         assert_eq!(parse_threads(None), 1);
         assert_eq!(parse_threads(Some("8".into())), 8);
         assert_eq!(parse_threads(Some(" 2 ".into())), 2);
+        assert_eq!(parse_threads(Some(String::new())), 1);
+        assert_eq!(parse_threads(Some("   ".into())), 1);
+        assert_eq!(clamp_threads(1, "test"), 1);
+        assert_eq!(clamp_threads(64, "test"), 64);
+        assert_eq!(invalid_thread_requests(), before);
+
+        // Zero and unparseable values clamp to 1 *and* are counted, so a
+        // misconfigured daemon is observable rather than silently serial.
         assert_eq!(parse_threads(Some("0".into())), 1);
         assert_eq!(parse_threads(Some("-3".into())), 1);
         assert_eq!(parse_threads(Some("lots".into())), 1);
+        assert_eq!(parse_threads(Some("eight".into())), 1);
+        assert_eq!(clamp_threads(0, "test"), 1);
         assert_eq!(ParallelEstimator::new(0).threads(), 1);
+        assert_eq!(invalid_thread_requests(), before + 6);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The persistent worker pool behind every multi-threaded estimation.
+//!
+//! Before this module, every estimation job re-spawned a fresh
+//! `std::thread::scope` worker set — tens of microseconds of spawn/join per
+//! job, paid thousands of times per selection and once per query in a
+//! long-lived serving process. [`WorkerPool`] replaces that with **one
+//! long-lived thread per worker slot**, each fed through its own channel:
+//!
+//! * a job's chunk `j` always runs on pool worker `j - 1` (chunk `0` runs
+//!   on the submitting thread, which would otherwise idle-wait), so worker
+//!   assignment is as deterministic as the scoped spawn it replaces;
+//! * worker threads never die: a panicking job is caught on the worker,
+//!   shipped back to the submitter, and re-raised *there* — the pool stays
+//!   serviceable for every later job (see `tests/failure_injection.rs`);
+//! * each worker thread keeps its own warm
+//!   [`SamplingScratch`](crate::scratch::SamplingScratch) (thread-local, see
+//!   [`crate::scratch::with_thread_scratch`]), so arenas stay hot across
+//!   *every* estimation the process ever runs, not just within one job;
+//! * dropping an owned pool is a clean shutdown: queued tasks drain, then
+//!   every worker exits and is joined.
+//!
+//! Results never depend on the pool: chunk contents are a pure function of
+//! the job (see [`crate::parallel`]), and which OS thread computes a chunk
+//! is unobservable. The whole determinism test suite is the oracle for
+//! this.
+//!
+//! # Safety
+//!
+//! This is the one module in the workspace that uses `unsafe`. Submitted
+//! closures borrow the caller's stack (the graph, the per-chunk result
+//! slots), but a channel to a `'static` worker thread can only carry
+//! `'static` payloads, so [`WorkerPool::run`] erases the task's lifetime
+//! with a single `transmute` — the standard scoped-thread-pool idiom. It is
+//! sound because `run` **never returns (or unwinds) before every submitted
+//! task has reported back**: each task sends its result (or caught panic)
+//! over a completion channel as its final action, and the submitter blocks
+//! until all chunks have answered, keeping every borrow alive for as long
+//! as any worker can touch it.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased unit of work, executed exactly once by a worker.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread: a nested
+    /// [`WorkerPool::run`] from inside a task must not wait on workers that
+    /// may be busy running its own parent job (a deadlock), so it runs its
+    /// chunks inline instead — bit-identical, only scheduling changes.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True on threads owned by a [`WorkerPool`].
+pub fn is_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|flag| flag.get())
+}
+
+struct PoolState {
+    senders: Vec<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// A persistent, channel-fed worker pool: one long-lived thread per worker
+/// slot, grown on demand and reused by every estimation job in the process
+/// (via [`WorkerPool::global`]) or owned directly (tests, embedders that
+/// want [`Drop`]-time shutdown).
+pub struct WorkerPool {
+    state: Mutex<PoolState>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.width())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `width` worker threads, spawned immediately. More
+    /// workers are added on demand by jobs that need them.
+    pub fn new(width: usize) -> Self {
+        let pool = WorkerPool {
+            state: Mutex::new(PoolState {
+                senders: Vec::new(),
+                handles: Vec::new(),
+            }),
+        };
+        pool.ensure_width(width);
+        pool
+    }
+
+    /// The process-wide shared pool used by
+    /// [`ParallelEstimator`](crate::parallel::ParallelEstimator). Created
+    /// empty on first use and grown to the widest job ever submitted; its
+    /// threads live for the rest of the process (there is no point in
+    /// shutting down a pool the next query would recreate).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// The current number of spawned worker threads.
+    pub fn width(&self) -> usize {
+        self.lock_state().senders.len()
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // A poisoned state mutex only means some thread panicked while
+        // growing the pool; the sender list itself is always consistent
+        // (push is the last step), so recover instead of cascading.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn ensure_width(&self, width: usize) {
+        let mut state = self.lock_state();
+        while state.senders.len() < width {
+            let index = state.senders.len();
+            let (tx, rx) = channel::<Task>();
+            let handle = std::thread::Builder::new()
+                .name(format!("flowmax-worker-{index}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn flowmax pool worker");
+            state.senders.push(tx);
+            state.handles.push(handle);
+        }
+    }
+
+    /// Runs one chunk of work per entry of `ranges` and returns the chunk
+    /// results in chunk order: result `j` is `work(j, ranges[j])`.
+    ///
+    /// Chunk `0` runs on the calling thread; chunk `j ≥ 1` runs on pool
+    /// worker `j - 1`. If any chunk panics, the panic is re-raised on the
+    /// calling thread — but only after **every** chunk has finished, so the
+    /// pool (and the borrows the chunks share) are never left in a torn
+    /// state, and the worker threads survive to serve the next job.
+    ///
+    /// Called from inside a pool worker (a nested job), all chunks run
+    /// inline on that worker instead — waiting on siblings that may be
+    /// busy with the parent job would deadlock. Results are identical
+    /// either way.
+    pub fn run<T, F>(&self, ranges: Vec<Range<usize>>, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let chunks = ranges.len();
+        if chunks <= 1 || is_pool_worker() {
+            return ranges
+                .into_iter()
+                .enumerate()
+                .map(|(j, range)| work(j, range))
+                .collect();
+        }
+        self.ensure_width(chunks - 1);
+
+        // Every task reports on this channel exactly once — its result or
+        // the panic payload it caught — and the loop below collects all
+        // `chunks - 1` reports before the function can return or unwind.
+        let (done_tx, done_rx) = channel::<(usize, std::thread::Result<T>)>();
+        let work_ref: &(dyn Fn(usize, Range<usize>) -> T + Sync) = &work;
+        {
+            let state = self.lock_state();
+            for (j, range) in ranges.iter().enumerate().skip(1) {
+                let range = range.clone();
+                let tx = done_tx.clone();
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| work_ref(j, range)));
+                    let _ = tx.send((j, result));
+                });
+                // SAFETY: the task borrows `work` and sends on a channel
+                // owned by this stack frame. Both outlive the task because
+                // this function blocks until the task has reported on
+                // `done_rx` (the report is the task's final action, after
+                // the borrowed closure call has returned), and it does so
+                // on every path including panics — the payload is caught
+                // above and re-raised only after all chunks reported.
+                #[allow(unsafe_code)]
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                state.senders[j - 1]
+                    .send(task)
+                    .expect("flowmax pool worker hung up");
+            }
+        }
+        drop(done_tx);
+
+        // The submitting thread computes chunk 0 instead of idling; its
+        // panic, too, is deferred until every worker chunk has answered.
+        let first = catch_unwind(AssertUnwindSafe(|| work(0, ranges[0].clone())));
+        let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(chunks);
+        slots.push(Some(first));
+        slots.resize_with(chunks, || None);
+        for _ in 1..chunks {
+            let (j, result) = done_rx
+                .recv()
+                .expect("flowmax pool worker dropped a task without reporting");
+            slots[j] = Some(result);
+        }
+        // All chunks have reported: no worker can touch `work` or the
+        // channel any more, so the erased borrows end here.
+        let mut out = Vec::with_capacity(chunks);
+        for slot in slots {
+            match slot.expect("every chunk reports exactly once") {
+                Ok(value) => out.push(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let PoolState { senders, handles } = {
+            let mut state = self.lock_state();
+            PoolState {
+                senders: std::mem::take(&mut state.senders),
+                handles: std::mem::take(&mut state.handles),
+            }
+        };
+        // Closing the channels lets each worker drain any queued tasks and
+        // exit its receive loop; joining then guarantees no thread outlives
+        // the pool.
+        drop(senders);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Task>) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    // Tasks contain their own panic containment (`catch_unwind` around the
+    // user closure), so this loop never unwinds: one thread per worker
+    // slot, for the life of the pool. When the pool closes the channel,
+    // `recv` keeps delivering queued tasks before reporting disconnect, so
+    // shutdown never drops submitted work.
+    while let Ok(task) = rx.recv() {
+        task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn ranges(chunks: usize, per: usize) -> Vec<Range<usize>> {
+        (0..chunks).map(|j| j * per..(j + 1) * per).collect()
+    }
+
+    #[test]
+    fn run_returns_chunk_results_in_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run(ranges(4, 5), |j, range| (j, range.sum::<usize>()));
+        assert_eq!(out.len(), 4);
+        for (j, (cj, _)) in out.iter().enumerate() {
+            assert_eq!(j, *cj);
+        }
+        assert!(pool.width() >= 3);
+    }
+
+    #[test]
+    fn pool_grows_on_demand_and_reuses_threads() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.width(), 0);
+        let a = pool.run(ranges(5, 1), |j, _| j);
+        assert_eq!(a, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.width(), 4, "grown to widest job");
+        let b = pool.run(ranges(2, 1), |j, _| j * 10);
+        assert_eq!(b, vec![0, 10]);
+        assert_eq!(pool.width(), 4, "no shrink, no respawn");
+    }
+
+    #[test]
+    fn panicking_chunk_fails_the_job_but_not_the_pool() {
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(ranges(3, 1), |j, _| {
+                if j == 1 {
+                    panic!("injected worker fault");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                j
+            })
+        }));
+        let payload = result.expect_err("the injected panic must surface");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "injected worker fault");
+        // Every non-faulty chunk still ran to completion before the panic
+        // was re-raised on the submitting thread.
+        assert_eq!(completed.load(Ordering::SeqCst), 2);
+        // The pool stays serviceable: the worker that ran the faulty task
+        // is still alive and answers the next job.
+        let out = pool.run(ranges(3, 1), |j, _| j + 100);
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn submitter_panic_is_also_deferred_until_workers_finish() {
+        let pool = WorkerPool::new(1);
+        let worker_done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(ranges(2, 1), |j, _| {
+                if j == 0 {
+                    panic!("chunk zero fault");
+                }
+                worker_done.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(worker_done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_jobs_run_inline_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        // Each outer chunk submits an inner multi-chunk job to the same
+        // pool; inner jobs detect they are on a pool worker and run inline.
+        let out = pool.run(ranges(3, 1), |_, _| {
+            let inner = WorkerPool::global().run(ranges(4, 1), |j, _| j);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn drop_joins_all_workers_after_draining() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(ranges(5, 2), |j, _| j);
+        assert_eq!(out.len(), 5);
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn single_chunk_jobs_never_touch_the_workers() {
+        let pool = WorkerPool::new(0);
+        let out = pool.run(ranges(1, 7), |j, range| (j, range.len()));
+        assert_eq!(out, vec![(0, 7)]);
+        assert_eq!(pool.width(), 0);
+    }
+}

@@ -26,8 +26,8 @@
 //! F-tree) and feed `(lower, upper)` bounds back via
 //! [`CandidateRace::complete_round`]. The selection layer drives it with
 //! [`ParallelEstimator::extend_components`], which turns one round into a
-//! single multi-candidate job running against the estimator's per-worker
-//! [`SamplingScratch`](crate::scratch::SamplingScratch) pool — the round's
+//! single multi-candidate job running against each worker thread's warm
+//! [`SamplingScratch`](crate::scratch::SamplingScratch) — the round's
 //! batches reuse warm lane buffers and frontier worklists, and each
 //! [`IncrementalComponent`] keeps its own success counters across rounds,
 //! so a race's steady state draws worlds without per-batch allocation.

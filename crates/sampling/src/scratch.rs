@@ -8,23 +8,29 @@
 //! small component estimation: thousands of probes per iteration each paid
 //! a fresh batch + BFS allocation.
 //!
-//! [`SamplingScratch`] bundles the working set and [`ScratchPool`] keeps
-//! **one scratch per worker slot** of a
-//! [`ParallelEstimator`](crate::parallel::ParallelEstimator), checked out by
-//! worker index for the duration of a chunk. Buffers survive across jobs and
-//! only grow, so steady-state estimation performs zero heap allocation per
-//! batch: the mask buffer, lane RNGs, BFS arrays and frontier queues are all
-//! reused, whatever sequence of components and domains the estimator serves.
+//! [`SamplingScratch`] bundles the working set, and
+//! [`with_thread_scratch`] keeps **one scratch per OS thread** — each
+//! persistent [`WorkerPool`](crate::pool::WorkerPool) worker owns exactly
+//! one, warmed by the first job it ever serves and reused by every
+//! estimation the process runs afterwards; submitting threads (which
+//! compute chunk 0 of their own jobs, and whole jobs that are too small to
+//! shard) get their own. Buffers survive across jobs and only grow, so
+//! steady-state estimation performs zero heap allocation per batch: the
+//! mask buffer, lane RNGs, BFS arrays and frontier queues are all reused,
+//! whatever sequence of components and domains the thread serves.
 //!
 //! Scratch contents never influence results — every buffer is fully
 //! re-initialized (sized, re-seeded, or frontier-reset) before use, so a
-//! pooled run is bit-identical to one on freshly allocated buffers.
+//! pooled run is bit-identical to one on freshly allocated buffers. For the
+//! same reason a *re-entrant* checkout (an estimation callback calling back
+//! into an estimator on the same thread) is handled by handing the inner
+//! call a fresh temporary scratch instead of deadlocking or panicking.
 
-use std::sync::{Mutex, MutexGuard};
+use std::cell::RefCell;
 
 use crate::batch::{LaneBfs, WorldBatch};
 
-/// One worker's reusable estimation working set.
+/// One thread's reusable estimation working set.
 #[derive(Debug)]
 pub struct SamplingScratch {
     /// Lane-word batch (edge masks + per-lane RNG buffer).
@@ -49,52 +55,29 @@ impl Default for SamplingScratch {
     }
 }
 
-/// A fixed set of [`SamplingScratch`] slots, one per worker of a
-/// [`ParallelEstimator`](crate::parallel::ParallelEstimator).
-///
-/// Workers address their slot by index, so the mutexes are uncontended in
-/// normal operation — they exist only to make the pool `Sync` (scoped
-/// workers borrow it across threads). The mutexes are **not** re-entrant:
-/// checking out a slot while the same thread already holds it (e.g.
-/// calling back into the same estimator from inside a `fill`/`per_batch`
-/// callback) deadlocks — callbacks must never re-enter their estimator.
-#[derive(Debug)]
-pub struct ScratchPool {
-    slots: Vec<Mutex<SamplingScratch>>,
+thread_local! {
+    static THREAD_SCRATCH: RefCell<SamplingScratch> = RefCell::new(SamplingScratch::new());
 }
 
-impl ScratchPool {
-    /// A pool with `workers` slots (at least one).
-    pub fn new(workers: usize) -> Self {
-        ScratchPool {
-            slots: (0..workers.max(1))
-                .map(|_| Mutex::new(SamplingScratch::new()))
-                .collect(),
-        }
-    }
-
-    /// Checks out worker `worker`'s scratch for the duration of a chunk.
-    pub fn checkout(&self, worker: usize) -> MutexGuard<'_, SamplingScratch> {
-        self.slots[worker % self.slots.len()]
-            .lock()
-            .expect("sampling scratch poisoned")
-    }
+/// Runs `f` against the calling thread's warm [`SamplingScratch`].
+///
+/// The scratch persists for the life of the thread — on a
+/// [`WorkerPool`](crate::pool::WorkerPool) worker that means for the life
+/// of the process — so arenas stay hot across estimations, jobs, sessions
+/// and queries. If the thread is already inside a `with_thread_scratch`
+/// call (an estimator callback re-entering an estimator), the inner call
+/// receives a fresh temporary scratch: correct, allocating, and impossible
+/// to deadlock.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut SamplingScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut SamplingScratch::new()),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn pool_always_has_a_slot() {
-        let pool = ScratchPool::new(0);
-        let _guard = pool.checkout(0);
-        let pool = ScratchPool::new(3);
-        let _a = pool.checkout(0);
-        let _b = pool.checkout(1);
-        // Out-of-range workers wrap instead of panicking.
-        let _c = pool.checkout(5);
-    }
 
     #[test]
     fn scratch_buffers_grow_and_are_reusable() {
@@ -103,5 +86,25 @@ mod tests {
         assert_eq!(s.bfs.reached().len(), 10);
         s.bfs.prepare(4);
         assert_eq!(s.bfs.reached().len(), 4);
+    }
+
+    #[test]
+    fn thread_scratch_is_warm_across_checkouts() {
+        with_thread_scratch(|s| s.bfs.prepare(16));
+        let len = with_thread_scratch(|s| s.bfs.reached().len());
+        assert_eq!(len, 16, "same thread sees the same buffers");
+    }
+
+    #[test]
+    fn reentrant_checkout_gets_a_fresh_scratch() {
+        with_thread_scratch(|outer| {
+            outer.bfs.prepare(8);
+            let inner_len = with_thread_scratch(|inner| {
+                inner.bfs.prepare(3);
+                inner.bfs.reached().len()
+            });
+            assert_eq!(inner_len, 3);
+            assert_eq!(outer.bfs.reached().len(), 8, "outer scratch untouched");
+        });
     }
 }

@@ -1,0 +1,296 @@
+//! `flowmax-serve` — the long-lived query-serving daemon.
+//!
+//! A thin line-protocol TCP front-end over [`flowmax::core::FlowServer`]:
+//! every serving decision (graph residency, admission control, coalescing,
+//! streaming, deterministic replay) lives in the library, so this binary
+//! only parses lines and relays events. See `flowmax-serve --help` and the
+//! README's "Serving" section for the protocol.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowmax::core::{
+    Algorithm, FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult,
+};
+use flowmax::graph::{io as gio, VertexId};
+
+const USAGE: &str = "\
+flowmax-serve — long-lived flow-maximization query daemon
+
+USAGE:
+    flowmax-serve [OPTIONS]
+
+OPTIONS:
+    --port <N>            TCP port to listen on (default 7878; 0 picks an
+                          ephemeral port). The daemon prints `LISTENING <port>`
+                          on stdout once it accepts connections.
+    --threads <N>         Sampling worker threads per executing batch
+                          (default: FLOWMAX_THREADS or 1; 0 is clamped to 1
+                          with a warning).
+    --max-graphs <N>      Graphs kept resident, LRU beyond that (default 4).
+    --queue-capacity <N>  Bounded admission queue; a full queue rejects with
+                          `ERR OVERLOADED retry_after_ms=<hint>` (default 64).
+    --coalesce-max <N>    Queued queries against the same graph coalesced
+                          into one batch (default 16).
+    --retry-after-ms <N>  Backoff hint attached to overload rejections
+                          (default 50).
+    --seed <N>            Server-default master seed for queries that don't
+                          pin one (default 42).
+    --help                Print this help.
+
+PROTOCOL (one command per line):
+    LOAD <path>
+        Parse a `flowmax-graph v1` text file and make it resident.
+        -> OK LOADED <fingerprint> vertices=<n> edges=<m>
+    SOLVE <fingerprint> query=<v> budget=<k> [algorithm=<name>]
+          [samples=<n>] [seed=<n>] [stream]
+        Run one query. With `stream`, one `STEP <iter> <edge> <gain> <flow>`
+        line per committed edge arrives while the query runs (anytime
+        partial answers), then the final line either way:
+        -> OK RESULT flow=<f> algorithm_flow=<f> seed=<n> edges=<e1,e2,...>
+    STATS
+        -> OK STATS resident=<n> queued=<n> completed=<n> rejected=<n> batches=<n>
+    QUIT
+        -> OK BYE (closes this connection; the daemon keeps serving)
+    SHUTDOWN
+        -> OK BYE (stops the whole daemon)
+
+DETERMINISTIC REPLAY:
+    A query's result is a pure function of (graph fingerprint, query
+    parameters, seed). Replaying the same SOLVE line — any queue state,
+    any coalescing, any thread count — returns a bit-identical selection
+    and flow.
+";
+
+struct Options {
+    port: u16,
+    config: ServeConfig,
+}
+
+fn parse_options(raw: &[String]) -> Result<Options, String> {
+    let mut port = 7878u16;
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let name = raw[i].as_str();
+        if name == "--help" {
+            return Err(String::new()); // caller prints usage
+        }
+        let value = raw
+            .get(i + 1)
+            .ok_or_else(|| format!("option {name} requires a value"))?;
+        let bad = |what: &str| format!("invalid value for {what}: {value:?}");
+        match name {
+            "--port" => port = value.parse().map_err(|_| bad("--port"))?,
+            "--threads" => config.threads = value.parse().map_err(|_| bad("--threads"))?,
+            "--max-graphs" => {
+                config.max_resident_graphs = value.parse().map_err(|_| bad("--max-graphs"))?
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value.parse().map_err(|_| bad("--queue-capacity"))?
+            }
+            "--coalesce-max" => {
+                config.coalesce_max = value.parse().map_err(|_| bad("--coalesce-max"))?
+            }
+            "--retry-after-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("--retry-after-ms"))?;
+                config.retry_after = Duration::from_millis(ms);
+            }
+            "--seed" => config.seed = value.parse().map_err(|_| bad("--seed"))?,
+            other => return Err(format!("unknown option {other} (see --help)")),
+        }
+        i += 2;
+    }
+    Ok(Options { port, config })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&raw) {
+        Ok(options) => options,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("flowmax-serve: {msg}");
+            eprintln!("run `flowmax-serve --help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(("127.0.0.1", options.port)) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("flowmax-serve: cannot bind 127.0.0.1:{}: {e}", options.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+    let server = Arc::new(FlowServer::new(options.config));
+    // The scripted-client handshake: clients (and CI) read this line to
+    // learn the ephemeral port.
+    println!("LISTENING {port}");
+    let _ = std::io::stdout().flush();
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let _ = handle_client(stream, &server);
+                });
+            }
+            Err(e) => eprintln!("flowmax-serve: accept failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serves one connection until QUIT/SHUTDOWN/EOF. Protocol errors answer
+/// with an `ERR` line and keep the connection alive.
+fn handle_client(stream: TcpStream, server: &FlowServer) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let mut tokens = line.split_whitespace();
+        let reply_end = match tokens.next() {
+            None => continue, // blank line
+            Some("QUIT") => {
+                writeln!(writer, "OK BYE")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Some("SHUTDOWN") => {
+                writeln!(writer, "OK BYE")?;
+                writer.flush()?;
+                std::process::exit(0);
+            }
+            Some("LOAD") => cmd_load(tokens.next(), server),
+            Some("SOLVE") => cmd_solve(&mut tokens, server, &mut writer)?,
+            Some("STATS") => {
+                let s = server.stats();
+                Ok(format!(
+                    "OK STATS resident={} queued={} completed={} rejected={} batches={}",
+                    s.resident_graphs, s.queued, s.completed, s.rejected, s.batches
+                ))
+            }
+            Some(other) => Err(format!(
+                "unknown command {other:?} (LOAD, SOLVE, STATS, QUIT, SHUTDOWN)"
+            )),
+        };
+        match reply_end {
+            Ok(ok) => writeln!(writer, "{ok}")?,
+            Err(err) => writeln!(writer, "ERR {err}")?,
+        }
+        writer.flush()?;
+    }
+}
+
+fn cmd_load(path: Option<&str>, server: &FlowServer) -> Result<String, String> {
+    let path = path.ok_or("LOAD requires a path")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let graph =
+        gio::read_text(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let vertices = graph.vertex_count();
+    let edges = graph.edge_count();
+    let fingerprint = server.load_graph(graph);
+    Ok(format!(
+        "OK LOADED {fingerprint:016x} vertices={vertices} edges={edges}"
+    ))
+}
+
+/// Parses and runs one SOLVE command, writing STEP lines inline when
+/// streaming was requested. Returns the final reply line.
+fn cmd_solve(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    server: &FlowServer,
+    writer: &mut impl Write,
+) -> std::io::Result<Result<String, String>> {
+    let parsed = (|| -> Result<(u64, QueryParams, bool), String> {
+        let fp_text = tokens.next().ok_or("SOLVE requires a graph fingerprint")?;
+        let fingerprint = u64::from_str_radix(fp_text, 16)
+            .map_err(|_| format!("invalid fingerprint {fp_text:?} (16 hex digits)"))?;
+        let mut params = QueryParams::new(VertexId(0), 0);
+        let mut stream = false;
+        let mut saw_query = false;
+        for token in tokens {
+            if token == "stream" {
+                stream = true;
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            let bad = || format!("invalid value for {key}: {value:?}");
+            match key {
+                "query" => {
+                    params.vertex = VertexId(value.parse().map_err(|_| bad())?);
+                    saw_query = true;
+                }
+                "budget" => params.budget = value.parse().map_err(|_| bad())?,
+                "samples" => params.samples = value.parse().map_err(|_| bad())?,
+                "seed" => params.seed = Some(value.parse().map_err(|_| bad())?),
+                "algorithm" => {
+                    params.algorithm = value.parse::<Algorithm>().map_err(|e| e.to_string())?
+                }
+                other => return Err(format!("unknown SOLVE key {other:?}")),
+            }
+        }
+        if !saw_query {
+            return Err("SOLVE requires query=<vertex>".into());
+        }
+        Ok((fingerprint, params, stream))
+    })();
+    let (fingerprint, params, stream) = match parsed {
+        Ok(parsed) => parsed,
+        Err(msg) => return Ok(Err(msg)),
+    };
+    let ticket = match server.submit(fingerprint, params) {
+        Ok(ticket) => ticket,
+        Err(ServeError::Overloaded { retry_after }) => {
+            return Ok(Err(format!(
+                "OVERLOADED retry_after_ms={}",
+                retry_after.as_millis()
+            )))
+        }
+        Err(e) => return Ok(Err(e.to_string())),
+    };
+    loop {
+        match ticket.next_event() {
+            Some(ServeEvent::Step(step)) => {
+                if stream {
+                    // f64 Display is shortest-roundtrip, so equal lines
+                    // mean bit-equal values — the replay oracle works on
+                    // the text protocol itself.
+                    writeln!(
+                        writer,
+                        "STEP {} {} {} {}",
+                        step.iteration, step.edge, step.gain, step.flow
+                    )?;
+                    writer.flush()?;
+                }
+            }
+            Some(ServeEvent::Done(result)) => return Ok(Ok(format_result(&result))),
+            Some(ServeEvent::Failed(e)) => return Ok(Err(e.to_string())),
+            None => return Ok(Err("server shut down mid-query".into())),
+        }
+    }
+}
+
+fn format_result(result: &ServeResult) -> String {
+    let edges: Vec<String> = result.selected.iter().map(|e| e.to_string()).collect();
+    format!(
+        "OK RESULT flow={} algorithm_flow={} seed={} edges={}",
+        result.flow,
+        result.algorithm_flow,
+        result.params.seed.expect("server resolves the seed"),
+        edges.join(",")
+    )
+}

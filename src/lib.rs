@@ -64,8 +64,9 @@ pub use flowmax_sampling as sampling;
 pub mod prelude {
     pub use flowmax_core::{
         evaluate_selection, exact_max_flow, greedy_select, Algorithm, EstimatorConfig, FTree,
-        GreedyConfig, QueryBuilder, QuerySpec, SamplingProvider, SelectionObserver, SelectionStep,
-        Session, SolveResult, SolveRun,
+        FlowServer, GreedyConfig, QueryBuilder, QueryParams, QuerySpec, SamplingProvider,
+        SelectionObserver, SelectionStep, ServeConfig, ServeEvent, Session, SessionState,
+        SolveResult, SolveRun,
     };
     #[allow(deprecated)]
     pub use flowmax_core::{solve, SolverConfig};

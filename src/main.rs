@@ -123,10 +123,10 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         .unwrap_or("FT+M")
         .parse()
         .map_err(|e: flowmax::core::CoreError| e.to_string())?;
+    // `--threads 0` is clamped to 1 with the shared one-time warning — the
+    // same story as `FLOWMAX_THREADS` and `Session::with_threads`.
     let threads: usize = args.parse_opt("threads", flowmax::sampling::default_threads())?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
-    }
+    let threads = flowmax::sampling::clamp_threads(threads, "--threads");
     // §6.3 race engine for the CI variants: "batched" (default) drives
     // rounds as multi-candidate jobs on the parallel sampler; "scalar" is
     // the pinned reference race. Case-insensitive.

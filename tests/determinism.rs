@@ -150,6 +150,109 @@ fn solver_is_thread_count_invariant_for_naive_and_full_ft_stack() {
     }
 }
 
+/// The persistent-pool serving contract (satellite of the worker-pool PR):
+/// the same `QuerySpec` must be bit-identical (a) on a fresh pool, (b)
+/// after 100 unrelated jobs have warmed every worker's scratch arenas with
+/// different graph shapes and sizes, and (c) at thread counts 1 and 8.
+/// Scratch contents and pool history must never leak into results.
+#[test]
+fn pool_reuse_and_warm_scratch_never_change_results() {
+    let g = ErdosConfig::paper(150, 5.0).generate(91);
+    let q = suggest_query(&g);
+    let run = |threads: usize| {
+        Session::new(&g)
+            .with_threads(threads)
+            .with_seed(13)
+            .query(q)
+            .unwrap()
+            .algorithm(Algorithm::FtMCiDs)
+            .budget(6)
+            .samples(200)
+            .run()
+            .unwrap()
+    };
+    let fresh = run(8);
+
+    // 100 unrelated warmup jobs against a differently-shaped graph, with
+    // varying budgets/samples/seeds, so every pooled worker re-targets its
+    // warm scratch repeatedly before the replay.
+    let warm_graph = PartitionedConfig::paper(80, 5).generate(7);
+    let wq = suggest_query(&warm_graph);
+    let warm_session = Session::new(&warm_graph).with_threads(8).with_seed(99);
+    let warmup: Vec<_> = (0..100)
+        .map(|i| {
+            warm_session
+                .query(wq)
+                .unwrap()
+                .algorithm(Algorithm::FtM)
+                .budget(1 + i % 4)
+                .samples(64 + (i as u32 % 5) * 64)
+                .seed(1000 + i as u64)
+                .spec()
+        })
+        .collect();
+    assert_eq!(warm_session.run_many(&warmup).unwrap().len(), 100);
+
+    let warmed = run(8);
+    assert_eq!(fresh.selected, warmed.selected, "warm pool changed results");
+    assert_eq!(fresh.flow, warmed.flow);
+    assert_eq!(fresh.algorithm_flow, warmed.algorithm_flow);
+
+    let single = run(1);
+    assert_eq!(fresh.selected, single.selected, "thread count leaked");
+    assert_eq!(fresh.flow, single.flow);
+    assert_eq!(fresh.algorithm_flow, single.algorithm_flow);
+}
+
+/// The serve layer inherits the replay contract: the same submission
+/// against a [`flowmax::core::FlowServer`] is bit-identical whether the
+/// graph was just loaded or has served (and coalesced) other queries.
+#[test]
+fn served_replay_is_bit_identical_under_load() {
+    use flowmax::core::{FlowServer, QueryParams, ServeConfig};
+
+    let g = ErdosConfig::paper(120, 5.0).generate(55);
+    let q = suggest_query(&g);
+    let server = FlowServer::new(ServeConfig {
+        threads: 4,
+        ..ServeConfig::default()
+    });
+    let fp = server.load_graph(g.clone());
+    let mut params = QueryParams::new(q, 5);
+    params.samples = 200;
+    let first = server.submit(fp, params).unwrap().wait().unwrap();
+
+    // Unrelated load in between, including concurrent (coalescable) waves.
+    let tickets: Vec<_> = (0..8)
+        .map(|i| {
+            let mut other = QueryParams::new(q, 1 + i % 3);
+            other.samples = 100;
+            other.seed = Some(500 + i as u64);
+            server.submit(fp, other).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+
+    let replay = server.submit(fp, params).unwrap().wait().unwrap();
+    assert_eq!(first.selected, replay.selected, "replay diverged");
+    assert_eq!(first.flow, replay.flow);
+    assert_eq!(first.steps.len(), replay.steps.len());
+
+    // And the served result equals a direct session run of the same spec.
+    let direct = Session::new(&g)
+        .with_seed(42)
+        .query(q)
+        .unwrap()
+        .budget(5)
+        .samples(200)
+        .run()
+        .unwrap();
+    assert_eq!(first.selected, direct.selected);
+    assert_eq!(first.flow, direct.flow);
+}
+
 #[test]
 fn dijkstra_is_fully_deterministic_regardless_of_seed() {
     let g = PartitionedConfig::paper(150, 6).generate(23);

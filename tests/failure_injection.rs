@@ -249,6 +249,58 @@ fn probe_never_mutates_even_on_error() {
     tree.validate(&g).unwrap();
 }
 
+/// A worker panic mid-job must fail that job only (satellite of the
+/// persistent-pool PR): the panic surfaces on the submitting thread — no
+/// hang, no process abort — the pool's threads survive, and the very next
+/// estimation through the same process-wide pool is bit-identical to one
+/// from before the fault.
+#[test]
+fn worker_panic_fails_the_job_but_the_shared_pool_stays_serviceable() {
+    use flowmax::datasets::{suggest_query, ErdosConfig};
+    use flowmax::sampling::WorkerPool;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let g = ErdosConfig::paper(100, 5.0).generate(47);
+    let q = suggest_query(&g);
+    let solve = || {
+        Session::new(&g)
+            .with_threads(8)
+            .with_seed(11)
+            .query(q)
+            .unwrap()
+            .budget(4)
+            .samples(150)
+            .run()
+            .unwrap()
+    };
+    let before = solve();
+
+    // Kill jobs on the same shared pool the session just used, three times
+    // over: each must fail loudly without taking a worker thread with it.
+    let chunk_ranges = || (0..8usize).map(|j| j * 4..(j + 1) * 4).collect::<Vec<_>>();
+    for round in 0..3 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            WorkerPool::global().run(chunk_ranges(), |j, range| {
+                if j == 5 {
+                    panic!("injected fault in round {round}");
+                }
+                range.sum::<usize>()
+            })
+        }));
+        assert!(result.is_err(), "round {round}: injected panic vanished");
+    }
+
+    // Healthy jobs still run on the surviving workers...
+    let sums = WorkerPool::global().run(chunk_ranges(), |_, range| range.sum::<usize>());
+    assert_eq!(sums.len(), 8);
+    // ...and a real estimation through the same pool is bit-identical to
+    // the pre-fault run.
+    let after = solve();
+    assert_eq!(before.selected, after.selected);
+    assert_eq!(before.flow, after.flow);
+    assert_eq!(before.algorithm_flow, after.algorithm_flow);
+}
+
 #[test]
 fn extreme_probabilities_are_handled() {
     // Mix of near-zero and certain probabilities must not under/overflow.

@@ -1,0 +1,167 @@
+//! End-to-end test of the `flowmax-serve` binary over its TCP line
+//! protocol: ephemeral-port startup handshake, LOAD/SOLVE/STATS, streamed
+//! anytime steps, protocol-error recovery, the deterministic-replay
+//! contract *on the wire* (f64 `Display` is shortest-roundtrip, so equal
+//! RESULT lines mean bit-equal values), and clean SHUTDOWN.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use flowmax::datasets::{suggest_query, ErdosConfig};
+use flowmax::graph::io as gio;
+
+/// Kills the daemon if the test panics before the SHUTDOWN handshake.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to daemon");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("write command");
+        self.writer.flush().expect("flush command");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        assert!(!line.is_empty(), "daemon hung up unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    /// Sends one command and collects `STEP` lines until the final
+    /// `OK`/`ERR` reply: `(steps, final_reply)`.
+    fn roundtrip(&mut self, line: &str) -> (Vec<String>, String) {
+        self.send(line);
+        let mut steps = Vec::new();
+        loop {
+            let reply = self.recv();
+            if reply.starts_with("STEP ") {
+                steps.push(reply);
+            } else {
+                return (steps, reply);
+            }
+        }
+    }
+}
+
+#[test]
+fn daemon_serves_the_line_protocol_end_to_end() {
+    // A graph file for the daemon to LOAD.
+    let graph = ErdosConfig::paper(80, 5.0).generate(19);
+    let query = suggest_query(&graph);
+    let path = std::env::temp_dir().join(format!("flowmax-serve-test-{}.txt", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create graph file");
+        let mut w = std::io::BufWriter::new(file);
+        gio::write_text(&graph, &mut w)
+            .and_then(|_| w.flush())
+            .expect("write graph file");
+    }
+
+    // Start on an ephemeral port; the startup handshake prints it.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_flowmax-serve"))
+        .args(["--port", "0", "--threads", "2", "--seed", "42"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn flowmax-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut guard = DaemonGuard(child);
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read LISTENING banner");
+    let port: u16 = banner
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("banner carries the port");
+
+    let mut client = Client::connect(port);
+
+    // LOAD announces the fingerprint the SOLVE commands key on.
+    let (_, loaded) = client.roundtrip(&format!("LOAD {}", path.display()));
+    assert!(loaded.starts_with("OK LOADED "), "{loaded}");
+    assert!(loaded.contains("vertices=80"), "{loaded}");
+    let fp = loaded
+        .split_whitespace()
+        .nth(2)
+        .expect("fingerprint field")
+        .to_string();
+
+    // A streamed solve: one STEP per committed edge, then the result.
+    let solve = format!("SOLVE {fp} query={} budget=4 samples=200 seed=9", query.0);
+    let (steps, result) = client.roundtrip(&format!("{solve} stream"));
+    assert!(result.starts_with("OK RESULT flow="), "{result}");
+    assert!(result.contains("seed=9"), "{result}");
+    let edges = result
+        .rsplit_once("edges=")
+        .expect("edges field")
+        .1
+        .split(',')
+        .count();
+    assert_eq!(steps.len(), edges, "one STEP per selected edge");
+
+    // The replay contract on the wire: the same SOLVE line (sans stream)
+    // answers with a byte-identical RESULT line.
+    let (no_steps, replay) = client.roundtrip(&solve);
+    assert!(no_steps.is_empty(), "unrequested STEP lines");
+    assert_eq!(replay, result, "replay diverged on the wire");
+
+    // Protocol errors answer ERR and keep the connection serviceable.
+    let (_, err) = client.roundtrip("FROBNICATE now");
+    assert!(err.starts_with("ERR "), "{err}");
+    let (_, err) = client.roundtrip(&format!("SOLVE {fp} budget=3"));
+    assert!(err.contains("query="), "{err}");
+    let (_, err) = client.roundtrip("SOLVE ffffffffffffffff query=0 budget=1");
+    assert!(err.starts_with("ERR "), "{err}");
+
+    let (_, stats) = client.roundtrip("STATS");
+    assert!(stats.starts_with("OK STATS resident=1 "), "{stats}");
+    assert!(stats.contains("completed=2"), "{stats}");
+    assert!(stats.contains("rejected=0"), "{stats}");
+
+    // A second connection sees the same resident graph.
+    let mut second = Client::connect(port);
+    let (_, replay2) = second.roundtrip(&solve);
+    assert_eq!(replay2, result, "second connection diverged");
+    let (_, bye) = second.roundtrip("QUIT");
+    assert_eq!(bye, "OK BYE");
+
+    // SHUTDOWN stops the whole daemon.
+    let (_, bye) = client.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match guard.0.try_wait().expect("poll daemon") {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                break;
+            }
+            None if Instant::now() > deadline => panic!("daemon ignored SHUTDOWN"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -174,6 +174,57 @@ fn run_many_is_bit_identical_to_solo_runs_at_every_thread_count() {
     }
 }
 
+/// Satellite of the persistent-pool PR, at the session-API level: batches
+/// must be bit-identical on a fresh process-wide pool, after the pool and
+/// every worker's warm scratch arenas served 100 unrelated jobs, and at
+/// thread counts 1 vs 8.
+#[test]
+fn warm_pool_and_thread_count_never_leak_into_run_many() {
+    let g = erdos(41);
+    let q = suggest_query(&g);
+    let batch = |threads: usize| {
+        let session = Session::new(&g).with_threads(threads).with_seed(17);
+        let specs: Vec<_> = (1..=4)
+            .map(|budget| {
+                session
+                    .query(q)
+                    .unwrap()
+                    .algorithm(Algorithm::FtMCiDs)
+                    .budget(budget)
+                    .samples(150)
+                    .spec()
+            })
+            .collect();
+        session
+            .run_many(&specs)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.selected.clone(), r.flow, r.algorithm_flow))
+            .collect::<Vec<_>>()
+    };
+    let fresh = batch(8);
+
+    // 100 unrelated jobs on a differently-shaped graph cycle the shared
+    // pool's workers through foreign scratch shapes before the replay.
+    let other = PartitionedConfig::paper(90, 5).generate(3);
+    let oq = suggest_query(&other);
+    let warm = Session::new(&other).with_threads(8).with_seed(77);
+    let warmup: Vec<_> = (0..100)
+        .map(|i| {
+            warm.query(oq)
+                .unwrap()
+                .budget(1 + i % 3)
+                .samples(80)
+                .seed(i as u64)
+                .spec()
+        })
+        .collect();
+    assert_eq!(warm.run_many(&warmup).unwrap().len(), 100);
+
+    assert_eq!(batch(8), fresh, "warm pool changed run_many results");
+    assert_eq!(batch(1), fresh, "thread count leaked into results");
+}
+
 /// The deprecated `solve` shim returns the same selections (as a set — its
 /// legacy output order is ascending edge ids for the F-tree algorithms),
 /// flows, and metrics as the session API, for every algorithm.
