@@ -1,11 +1,12 @@
-//! Criterion: scalar vs 64-lane vs multi-threaded world sampling.
+//! Criterion: scalar vs 64-lane vs wide-lane vs multi-threaded sampling.
 //!
 //! Measures the tentpole speedup of the bit-parallel engine: the same
 //! 1024-world reachability estimation run (a) one world + one BFS at a time
-//! (the scalar reference), (b) 64 worlds per lane-BFS on one thread, and
-//! (c) the same batches sharded across worker threads. All three are
-//! statistically equivalent estimators; (b) and (c) are bit-identical to
-//! each other by the engine's thread-invariance guarantee.
+//! (the scalar reference), (b) 64 worlds per lane-BFS on one thread,
+//! (c) 256/512 worlds per SIMD lane block, and (d) the same batches sharded
+//! across worker threads. All are statistically equivalent estimators;
+//! (b)–(d) are bit-identical to each other by the engine's thread- and
+//! lane-width-invariance guarantees.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flowmax_datasets::{suggest_query, ErdosConfig};
@@ -32,6 +33,20 @@ fn bench_batched_sampling(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let engine = ParallelEstimator::new(threads);
         group.bench_function(format!("lanes64_threads{threads}_1024_worlds"), |b| {
+            b.iter(|| {
+                engine
+                    .sample_reachability(&graph, &full, query, SAMPLES, &seq)
+                    .samples()
+            })
+        });
+    }
+
+    // The wide SIMD lane blocks (256 and 512 worlds per BFS pass), single
+    // thread so the kernel width is the only variable.
+    for lane_words in [4usize, 8] {
+        let engine = ParallelEstimator::new(1).with_lane_words(lane_words);
+        let worlds = 64 * lane_words;
+        group.bench_function(format!("lanes{worlds}_threads1_1024_worlds"), |b| {
             b.iter(|| {
                 engine
                     .sample_reachability(&graph, &full, query, SAMPLES, &seq)

@@ -8,6 +8,7 @@
 //! experiments bench5               # probe-churn snapshot → BENCH_5.json
 //! experiments bench6               # incremental-engine snapshot → BENCH_6.json
 //! experiments bench7               # serve-throughput snapshot → BENCH_7.json
+//! experiments bench8               # wide-lane sampling snapshot → BENCH_8.json
 //!   --paper-scale   use the paper's full sizes (slow)
 //!   --seed <n>      master seed (default 42)
 //!   --out <dir>     CSV output directory (default results/)
@@ -17,7 +18,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use flowmax_bench::{candidate_race, probe_churn, registry, serve_bench, Scale};
+use flowmax_bench::{candidate_race, probe_churn, registry, serve_bench, wide_lanes, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -149,6 +150,31 @@ fn main() {
             }
         }
         ids.retain(|s| s != "bench7");
+        if ids.is_empty() {
+            return;
+        }
+    }
+
+    // The wide-lane snapshot: SIMD lane blocks at 64/256/512 worlds per
+    // BFS pass vs the pinned scalar reference kernel (BENCH_8.json, the
+    // PR-8 perf-trajectory artifact).
+    if ids.iter().any(|s| s == "bench8") {
+        let started = Instant::now();
+        let bench = wide_lanes::run(&scale, reps);
+        print!("{}", bench.to_json());
+        let path = PathBuf::from("BENCH_8.json");
+        match bench.write_json(&path) {
+            Ok(()) => println!(
+                "# wide_lanes completed in {:.1?}; wrote {}",
+                started.elapsed(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        ids.retain(|s| s != "bench8");
         if ids.is_empty() {
             return;
         }

@@ -39,6 +39,11 @@ pub enum CoreError {
     /// this query fails. The payload is the panic message when it was a
     /// string, or a placeholder otherwise.
     WorkerPanicked(String),
+    /// The server shut down before this query could run. Admitted but
+    /// never-executed queries fail with this terminal error instead of a
+    /// silent stream end, so clients can distinguish an orderly shutdown
+    /// from a crash.
+    ShuttingDown,
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +84,9 @@ impl fmt::Display for CoreError {
                 "a worker thread panicked while executing the query ({msg}); \
                  the pool stays serviceable, only this query failed"
             ),
+            CoreError::ShuttingDown => {
+                write!(f, "the server shut down before the query could run")
+            }
         }
     }
 }

@@ -91,13 +91,31 @@ impl SamplingProvider {
         Self::with_threads(config, seed, default_threads())
     }
 
-    /// Creates a provider with an explicit worker count.
+    /// Creates a provider with an explicit worker count and the ambient
+    /// `FLOWMAX_LANES` lane width.
     pub fn with_threads(config: EstimatorConfig, seed: u64, threads: usize) -> Self {
+        Self::with_parallelism(
+            config,
+            seed,
+            threads,
+            flowmax_sampling::default_lane_words(),
+        )
+    }
+
+    /// Creates a provider with explicit worker count and lane width
+    /// (64-world lane words per BFS block; supported widths 1, 4, 8).
+    /// Results never depend on either — only wall-clock time does.
+    pub fn with_parallelism(
+        config: EstimatorConfig,
+        seed: u64,
+        threads: usize,
+        lane_words: usize,
+    ) -> Self {
         SamplingProvider {
             config,
             seq: SeedSequence::new(SeedSequence::new(seed).child_seed(0xC0FFEE)),
             calls: 0,
-            engine: ParallelEstimator::new(threads),
+            engine: ParallelEstimator::new(threads).with_lane_words(lane_words),
             scalar_kernel: false,
             metrics: SelectionMetrics::default(),
         }

@@ -91,6 +91,6 @@ pub use session::{
 };
 #[allow(deprecated)]
 pub use solver::{
-    evaluate_selection, evaluate_selection_with_threads, solve, Algorithm, SolveResult,
-    SolverConfig,
+    evaluate_selection, evaluate_selection_with_parallelism, evaluate_selection_with_threads,
+    solve, Algorithm, SolveResult, SolverConfig,
 };

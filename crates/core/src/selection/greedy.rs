@@ -75,6 +75,10 @@ pub struct GreedyConfig {
     /// Worker threads for component sampling (results do not depend on
     /// this; see `flowmax_sampling::ParallelEstimator`).
     pub threads: usize,
+    /// Lane width for component sampling, in 64-world lane words per BFS
+    /// block (supported widths 1, 4, 8; results do not depend on this —
+    /// see `flowmax_sampling::ParallelEstimator::with_lane_words`).
+    pub lane_words: usize,
     /// Estimate components with the scalar one-world-per-BFS reference
     /// kernel instead of the bit-parallel engine (baseline benchmarking;
     /// never combines with the batched racing engine).
@@ -111,6 +115,7 @@ impl GreedyConfig {
             include_query: false,
             seed,
             threads: flowmax_sampling::default_threads(),
+            lane_words: flowmax_sampling::default_lane_words(),
             scalar_estimation: false,
             cloning_probes: false,
             incremental: true,
@@ -141,6 +146,13 @@ impl GreedyConfig {
     /// Overrides the worker count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the sampling lane width (64-world lane words per BFS
+    /// block). Bit-identical results at every supported width.
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = lane_words;
         self
     }
 
@@ -215,7 +227,12 @@ pub fn greedy_select_observed(
         exact_edge_cap: config.exact_edge_cap,
         samples: config.samples,
     };
-    let mut inner = SamplingProvider::with_threads(estimator, config.seed, config.threads);
+    let mut inner = SamplingProvider::with_parallelism(
+        estimator,
+        config.seed,
+        config.threads,
+        config.lane_words,
+    );
     inner.use_scalar_kernel(config.scalar_estimation);
     let mut provider = MemoProvider::new(inner, config.memoize);
     let mut tree = FTree::new(graph, query);

@@ -52,6 +52,10 @@ pub struct ServeConfig {
     /// Sampling worker threads per executing batch (0 is clamped to 1
     /// with the process-wide warning, like everywhere else).
     pub threads: usize,
+    /// Sampling lane width, in 64-world lane words per BFS block
+    /// (supported widths 1, 4, 8; others clamped to 1 with the
+    /// process-wide warning). Results never depend on this.
+    pub lane_words: usize,
     /// Graphs kept resident (LRU beyond this; at least 1).
     pub max_resident_graphs: usize,
     /// Bounded admission queue capacity (at least 1). A submit against a
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             threads: flowmax_sampling::default_threads(),
+            lane_words: flowmax_sampling::default_lane_words(),
             max_resident_graphs: 4,
             queue_capacity: 64,
             coalesce_max: 16,
@@ -278,7 +283,7 @@ impl Inner {
 /// contract; `src/bin/serve.rs` wraps this in a line-protocol TCP daemon.
 pub struct FlowServer {
     inner: Arc<Inner>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for FlowServer {
@@ -294,6 +299,7 @@ impl FlowServer {
     /// Starts a server (and its dispatcher thread) with `config`.
     pub fn new(mut config: ServeConfig) -> Self {
         config.threads = flowmax_sampling::clamp_threads(config.threads, "FlowServer");
+        config.lane_words = flowmax_sampling::clamp_lane_words(config.lane_words, "FlowServer");
         config.max_resident_graphs = config.max_resident_graphs.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
         config.coalesce_max = config.coalesce_max.max(1);
@@ -319,7 +325,35 @@ impl FlowServer {
         };
         FlowServer {
             inner,
-            dispatcher: Some(dispatcher),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Gracefully shuts the server down: stops admitting new queries
+    /// (submits now fail with [`ServeError::ShuttingDown`]), lets the
+    /// dispatcher finish the batch it is currently executing, fails every
+    /// admitted-but-unstarted query with a terminal
+    /// [`ServeEvent::Failed`]\([`CoreError::ShuttingDown`]\) — no ticket
+    /// ends as a silent stream end — and joins the dispatcher thread.
+    /// Idempotent: repeated calls, concurrent calls, and the eventual drop
+    /// are no-ops after the first.
+    pub fn shutdown(&self) {
+        let drained: Vec<Pending> = {
+            let mut queue = self.inner.lock_queue();
+            queue.shutdown = true;
+            queue.pending.drain(..).collect()
+        };
+        self.inner.work_ready.notify_all();
+        for pending in drained {
+            let _ = pending.tx.send(ServeEvent::Failed(CoreError::ShuttingDown));
+        }
+        let handle = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
         }
     }
 
@@ -431,19 +465,12 @@ impl FlowServer {
 }
 
 impl Drop for FlowServer {
-    /// Clean shutdown: stop admitting, let the dispatcher finish the batch
-    /// it is executing, drop the rest of the queue (their tickets see the
-    /// stream end), and join the dispatcher thread.
+    /// Dropping the server is a [graceful shutdown](FlowServer::shutdown):
+    /// the executing batch finishes, every admitted-but-unstarted query
+    /// fails with a terminal [`CoreError::ShuttingDown`] event, and the
+    /// dispatcher thread is joined.
     fn drop(&mut self) {
-        {
-            let mut queue = self.inner.lock_queue();
-            queue.shutdown = true;
-            queue.pending.clear();
-        }
-        self.inner.work_ready.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -493,6 +520,7 @@ fn execute_batch(inner: &Inner, batch: &[Pending]) {
     let resident = &batch[0].graph;
     let session = Session::new(&resident.graph)
         .with_threads(inner.config.threads)
+        .with_lane_words(inner.config.lane_words)
         .with_seed(inner.config.seed)
         .with_state(Arc::clone(&resident.state));
     let specs: Vec<_> = batch
@@ -789,9 +817,31 @@ mod tests {
         let fp = server.load_graph(graph(1.0));
         let ticket = server.submit(fp, quick_params(0, 2)).unwrap();
         drop(server); // paused: the query never ran
+        assert!(matches!(ticket.wait(), Err(CoreError::ShuttingDown)));
+    }
+
+    #[test]
+    fn shutdown_fails_pending_queries_with_a_terminal_event() {
+        let server = FlowServer::new(ServeConfig {
+            start_paused: true,
+            ..ServeConfig::default()
+        });
+        let fp = server.load_graph(graph(1.0));
+        let t1 = server.submit(fp, quick_params(0, 2)).unwrap();
+        let t2 = server.submit(fp, quick_params(1, 2)).unwrap();
+        server.shutdown();
+        for ticket in [t1, t2] {
+            assert!(matches!(
+                ticket.next_event(),
+                Some(ServeEvent::Failed(CoreError::ShuttingDown))
+            ));
+            assert!(ticket.next_event().is_none(), "Failed is terminal");
+        }
+        // Shutdown is idempotent and new submissions are refused.
+        server.shutdown();
         assert!(matches!(
-            ticket.wait(),
-            Err(CoreError::WorkerPanicked(msg)) if msg.contains("dropped")
+            server.submit(fp, quick_params(0, 1)),
+            Err(ServeError::ShuttingDown)
         ));
     }
 }

@@ -55,7 +55,7 @@ use crate::estimator::EstimatorConfig;
 use crate::metrics::SelectionMetrics;
 use crate::selection::greedy::{greedy_select_observed, CiEngine, GreedyConfig};
 use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
-use crate::solver::{evaluate_selection_with_threads, Algorithm};
+use crate::solver::{evaluate_selection_with_parallelism, Algorithm};
 
 /// Seed-stream tag separating the shared evaluator's randomness from the
 /// selection's (the legacy `solve` used the same tag, so session runs are
@@ -175,6 +175,7 @@ impl Default for SessionState {
 pub struct Session<'g> {
     graph: &'g ProbabilisticGraph,
     threads: usize,
+    lane_words: usize,
     seed: u64,
     evaluation: EstimatorConfig,
     state: Arc<SessionState>,
@@ -188,6 +189,7 @@ impl<'g> Session<'g> {
         Session {
             graph,
             threads: flowmax_sampling::default_threads(),
+            lane_words: flowmax_sampling::default_lane_words(),
             seed: 42,
             evaluation: EstimatorConfig::hybrid(16, 3000),
             state: Arc::new(SessionState::new()),
@@ -202,6 +204,19 @@ impl<'g> Session<'g> {
     /// invariant.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = flowmax_sampling::clamp_threads(threads, "Session::with_threads");
+        self
+    }
+
+    /// Sets the sampling lane width, in 64-world lane words per BFS block.
+    /// Supported widths are 1, 4 and 8 (64/256/512 worlds per traversal);
+    /// anything else is clamped to 1 with a one-time process-wide stderr
+    /// warning — the same story as `FLOWMAX_LANES` parsing and the CLIs'
+    /// `--lanes`. Changing this never changes results, only wall-clock
+    /// time — every sampling engine in the workspace is lane-width
+    /// invariant.
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words =
+            flowmax_sampling::clamp_lane_words(lane_words, "Session::with_lane_words");
         self
     }
 
@@ -248,6 +263,11 @@ impl<'g> Session<'g> {
     /// The sampling worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The sampling lane width, in 64-world lane words per BFS block.
+    pub fn lane_words(&self) -> usize {
+        self.lane_words
     }
 
     /// The master seed.
@@ -444,6 +464,7 @@ impl<'g> Session<'g> {
                     include_query: spec.include_query,
                     seed: spec.seed,
                     threads,
+                    lane_words: self.lane_words,
                 },
                 &mut collector,
             ),
@@ -460,7 +481,7 @@ impl<'g> Session<'g> {
             _ => greedy_select_observed(
                 self.graph,
                 spec.vertex,
-                &spec.greedy_config(threads),
+                &spec.greedy_config(threads, self.lane_words),
                 &mut collector,
             ),
         };
@@ -470,7 +491,7 @@ impl<'g> Session<'g> {
         // algorithm's own output order (ascending edge ids for the F-tree
         // algorithms, commit order for the baselines) — so session flows
         // are bit-identical to the shim's.
-        let flow = evaluate_selection_with_threads(
+        let flow = evaluate_selection_with_parallelism(
             self.graph,
             spec.vertex,
             &outcome.selected,
@@ -478,6 +499,7 @@ impl<'g> Session<'g> {
             spec.include_query,
             eval_seed,
             threads,
+            self.lane_words,
         );
         // The public selection is the *commit order* (one edge per step);
         // it is the same edge set as `outcome.selected`.
@@ -489,6 +511,7 @@ impl<'g> Session<'g> {
             include_query: spec.include_query,
             eval_seed,
             threads,
+            lane_words: self.lane_words,
             evaluated_order: outcome.selected,
             query: spec.vertex,
             algorithm: spec.algorithm,
@@ -572,7 +595,7 @@ impl QuerySpec {
     /// selection's configuration: both structs are handled exhaustively
     /// (no `..` on either side), so adding a knob to one of them is a
     /// compile error here instead of a silently missing field.
-    pub(crate) fn greedy_config(&self, threads: usize) -> GreedyConfig {
+    pub(crate) fn greedy_config(&self, threads: usize, lane_words: usize) -> GreedyConfig {
         let QuerySpec {
             vertex: _,
             algorithm,
@@ -608,6 +631,7 @@ impl QuerySpec {
             include_query,
             seed,
             threads,
+            lane_words,
             scalar_estimation,
             cloning_probes,
             incremental,
@@ -766,6 +790,7 @@ pub struct SolveRun<'g> {
     include_query: bool,
     eval_seed: u64,
     threads: usize,
+    lane_words: usize,
     /// The selection in the order the legacy `solve` evaluated (and
     /// returned) it: ascending edge ids for the F-tree algorithms, commit
     /// order for the baselines. Kept so the deprecated shim stays
@@ -815,7 +840,7 @@ impl SolveRun<'_> {
         if !matches!(self.algorithm, Algorithm::Naive | Algorithm::Dijkstra) {
             prefix.sort_unstable();
         }
-        evaluate_selection_with_threads(
+        evaluate_selection_with_parallelism(
             self.graph,
             self.query,
             &prefix,
@@ -823,6 +848,7 @@ impl SolveRun<'_> {
             self.include_query,
             self.eval_seed,
             self.threads,
+            self.lane_words,
         )
     }
 }

@@ -1,4 +1,5 @@
-//! Bit-parallel possible-world sampling: 64 worlds per traversal.
+//! Bit-parallel possible-world sampling: 64 worlds per lane word, with
+//! optional `[u64; W]` lane *blocks* resolving 256/512 worlds per traversal.
 //!
 //! The scalar pipeline ([`crate::sampler::sample_world`] + a BFS per world)
 //! pays one full traversal per sampled world. This module packs the
@@ -8,6 +9,19 @@
 //! the dominant cost of every Monte-Carlo estimator in `flowmax` — is paid
 //! once per 64 worlds instead of once per world.
 //!
+//! # Lane widths
+//!
+//! Both [`WorldBatch`] and [`LaneBfs`] are generic over the number of lane
+//! words `W` (default 1). A width-`W` block packs `64·W` worlds into
+//! `[u64; W]` arrays the autovectorizer can chew on, so one BFS frontier
+//! pass touches 4–8× more worlds per cache line at `W = 4` / `W = 8`. The
+//! supported widths are `W ∈ {1, 4, 8}` (64/256/512 worlds per pass),
+//! selected at the estimator layer via `FLOWMAX_LANES` or
+//! [`crate::parallel::ParallelEstimator::with_lane_words`]. The width-1
+//! instantiation *is* the original u64 kernel — byte-for-byte the same coin
+//! path — and stays the pinned reference the wide widths are tested
+//! against, world for world.
+//!
 //! # Lane/seed contract
 //!
 //! Lane `w` of a batch sampled with `(seq, first_label)` draws its coins
@@ -16,35 +30,47 @@
 //! integer-threshold comparison that is **bit-identical** to the scalar
 //! `rng.gen::<f64>() < p` test (see [`EdgeCoin`]), so lane `w` of a
 //! [`WorldBatch`] *is* the scalar world of child stream `first_label + w`,
-//! not merely statistically equivalent to it. Estimators batch samples in
-//! groups of [`LANES`] with `first_label = batch_index * LANES`, which makes
-//! every batch a pure function of `(master seed, batch index)` — the property
-//! the multi-threaded [`crate::parallel::ParallelEstimator`] relies on to be
-//! thread-count invariant.
+//! not merely statistically equivalent to it. Because each world is a pure
+//! function of its own label, *grouping* worlds — 64 per narrow batch or
+//! `64·W` per wide block — never changes any world's coins: lane `w` of a
+//! wide block draws the same stream as lane `w` of the narrow batches it
+//! replaces. Estimators batch samples in groups of [`LANES`] with
+//! `first_label = batch_index * LANES` (wide blocks cover `W` consecutive
+//! such batches), which makes every batch a pure function of
+//! `(master seed, batch index)` — the property the multi-threaded
+//! [`crate::parallel::ParallelEstimator`] relies on to be invariant under
+//! both thread count *and* lane width.
 
 use flowmax_graph::{EdgeId, EdgeSubset, ProbabilisticGraph, VertexId};
 
 use crate::rng::{FlowRng, SeedSequence};
 use rand::RngCore;
 
-/// Number of possible worlds packed into one [`WorldBatch`] lane word.
+/// Number of possible worlds packed into one lane word — the batching and
+/// seed-labelling quantum of every estimator, independent of the lane
+/// width (a width-`W` block covers `W` such batches).
 pub const LANES: u32 = 64;
+
+/// The widest supported lane block, in words (512 worlds per traversal).
+pub const MAX_LANE_WORDS: usize = 8;
 
 /// `2^53`, the resolution of the scalar sampler's `f64` coin.
 const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
 
+/// Worlds per `[u64; W]` lane block: `64·W`.
+#[inline]
+pub const fn block_worlds<const W: usize>() -> u32 {
+    LANES * W as u32
+}
+
 /// Number of active lanes in batch `batch` of a `samples`-world run: full
-/// batches hold [`LANES`] worlds, the final batch holds the remainder.
-///
-/// # Panics
-///
-/// Panics if `batch` lies beyond the sample budget (i.e. the run has fewer
-/// than `batch · 64` worlds), since any lane count for such a batch would
-/// be wrong.
+/// batches hold [`LANES`] worlds, the final batch holds the remainder, and
+/// a batch at or beyond the budget boundary holds 0 — callers that chunk
+/// the budget into fixed-size groups (e.g. `W` batches per wide block) can
+/// probe past the end without special-casing the boundary.
 pub fn lanes_in_batch(samples: u32, batch: usize) -> u32 {
     let drawn = (batch as u64) * LANES as u64;
-    assert!(drawn < samples as u64, "batch beyond the sample budget");
-    (samples as u64 - drawn).min(LANES as u64) as u32
+    (samples as u64).saturating_sub(drawn).min(LANES as u64) as u32
 }
 
 /// The lane mask with the low `lanes` bits set (`0` gives the empty mask,
@@ -57,6 +83,29 @@ pub fn lane_mask(lanes: u32) -> u64 {
     } else {
         (1u64 << lanes) - 1
     }
+}
+
+/// The `[u64; W]` block mask with the low `lanes` bits set across words
+/// (word `k` covers lanes `64k..64(k+1)`).
+#[inline]
+pub fn block_mask<const W: usize>(lanes: u32) -> [u64; W] {
+    debug_assert!(lanes <= block_worlds::<W>(), "lanes out of range");
+    let mut mask = [0u64; W];
+    for (k, word) in mask.iter_mut().enumerate() {
+        let base = (k as u32) * LANES;
+        *word = lane_mask(lanes.saturating_sub(base).min(LANES));
+    }
+    mask
+}
+
+/// Population count of a lane block.
+#[inline]
+pub fn block_ones<const W: usize>(block: &[u64; W]) -> u32 {
+    let mut ones = 0;
+    for word in block {
+        ones += word.count_ones();
+    }
+    ones
 }
 
 /// A per-edge coin, pre-classified so deterministic edges consume no
@@ -99,9 +148,10 @@ impl EdgeCoin {
     /// coins consume no draw.
     ///
     /// This is **the** coin of the whole crate: the scalar sampler
-    /// ([`crate::sampler::sample_world`] and friends) and the 64-lane
-    /// [`EdgeCoin::flip`] both call it, so the two engines cannot drift
-    /// apart coin-wise.
+    /// ([`crate::sampler::sample_world`] and friends), the 64-lane
+    /// [`EdgeCoin::flip`], and the wide structure-of-arrays flip all make
+    /// the same `next_u64() >> 11 < t` comparison, so the engines cannot
+    /// drift apart coin-wise.
     #[inline]
     pub fn flip_one(&self, rng: &mut FlowRng) -> bool {
         match *self {
@@ -141,34 +191,176 @@ pub fn scalar_coin(p: f64, rng: &mut FlowRng) -> bool {
     EdgeCoin::classify(p).flip_one(rng)
 }
 
-/// Up to 64 possible worlds sampled together: bit `w` of `masks[e]` says
-/// whether edge `e` exists in world (lane) `w`.
+/// The per-lane RNG states of a wide block, laid out structure-of-arrays:
+/// four contiguous state vectors instead of `lanes` interleaved `[u64; 4]`
+/// structs, so the branch-free xoshiro256++ step below autovectorizes
+/// across lanes.
 ///
-/// Edges outside the sampled domain have an all-zero mask, so a lane-BFS
+/// Lane `i` holds exactly the state of `seq.rng(first_label + i)` and is
+/// stepped with the same recurrence as [`FlowRng::next_u64`], so its draw
+/// stream is bit-identical to the per-lane `Vec<FlowRng>` path of the
+/// width-1 reference kernel (pinned by the `soa_steps_match_flowrng`
+/// test).
+#[derive(Debug, Clone, Default)]
+struct SoaLaneRngs {
+    s0: Vec<u64>,
+    s1: Vec<u64>,
+    s2: Vec<u64>,
+    s3: Vec<u64>,
+    /// Seeded (active) lanes; the vectors are padded with all-zero states
+    /// to a whole number of 64-lane words so the hot loop always runs at
+    /// a fixed trip count over `[u64; 64]` arrays.
+    lanes: usize,
+}
+
+/// Edges per tile of the wide coin loop. Within a tile the word loop is
+/// outer and the edge loop inner, so each 64-lane state word round-trips
+/// through memory once per tile (not once per edge) while the tile's mask
+/// slice stays L1-resident.
+const TILE: usize = 128;
+
+/// One xoshiro256++ step and threshold compare for all 64 lanes of one
+/// word, over fixed-size state arrays. The fixed trip count, the absence
+/// of loop-carried dependencies in the hot pass, and the array (not
+/// slice) operands are what let LLVM lower this to packed integer SIMD;
+/// the serial bit-pack fold runs over the tiny hits array after.
+#[inline]
+fn step_word(
+    s0: &mut [u64; LANES as usize],
+    s1: &mut [u64; LANES as usize],
+    s2: &mut [u64; LANES as usize],
+    s3: &mut [u64; LANES as usize],
+    threshold: u64,
+) -> u64 {
+    let mut hits = [0u64; LANES as usize];
+    for j in 0..LANES as usize {
+        // The xoshiro256++ step of the vendored `FlowRng`, inlined
+        // branch-free. All-zero padding states step to all-zero.
+        let (a, b, c, d) = (s0[j], s1[j], s2[j], s3[j]);
+        let x = a.wrapping_add(d).rotate_left(23).wrapping_add(a);
+        let t = b << 17;
+        let c = c ^ a;
+        let d = d ^ b;
+        let b = b ^ c;
+        let a = a ^ d;
+        let c = c ^ t;
+        let d = d.rotate_left(45);
+        s0[j] = a;
+        s1[j] = b;
+        s2[j] = c;
+        s3[j] = d;
+        hits[j] = u64::from(x >> 11 < threshold);
+    }
+    let mut mask = 0u64;
+    for (j, hit) in hits.iter().enumerate() {
+        mask |= hit << j;
+    }
+    mask
+}
+
+impl SoaLaneRngs {
+    /// Re-seeds lane `i` from `seq.rng(first_label + i)` for `lanes` lanes,
+    /// reusing the four state buffers. The tail is padded with all-zero
+    /// states to a whole number of 64-lane words (xoshiro maps zero to
+    /// zero, so padding lanes cost one vector op and their hits are
+    /// masked off).
+    fn reseed(&mut self, seq: &SeedSequence, first_label: u64, lanes: u32) {
+        self.s0.clear();
+        self.s1.clear();
+        self.s2.clear();
+        self.s3.clear();
+        self.lanes = lanes as usize;
+        for w in 0..lanes as u64 {
+            let s = seq.rng(first_label + w).state();
+            self.s0.push(s[0]);
+            self.s1.push(s[1]);
+            self.s2.push(s[2]);
+            self.s3.push(s[3]);
+        }
+        let padded = (lanes as usize).div_ceil(LANES as usize) * LANES as usize;
+        self.s0.resize(padded, 0);
+        self.s1.resize(padded, 0);
+        self.s2.resize(padded, 0);
+        self.s3.resize(padded, 0);
+    }
+
+    /// Flips every threshold edge's coin for every lane, tiled: edges are
+    /// walked in [`TILE`]-sized chunks, and within a tile the word loop is
+    /// outer and the edge loop inner. Each 64-lane state word therefore
+    /// round-trips through memory once per tile instead of once per edge,
+    /// and the tile's mask slice stays cache-hot across all words. Lanes
+    /// are independent child streams, so the interchange draws
+    /// bit-identical coins: lane `i` still consumes exactly one draw per
+    /// threshold edge, in edge order.
+    ///
+    /// `masks` must be zeroed for the edges in `edges`; hits are OR-ed in
+    /// at lane `i` = bit `i % 64` of word `i / 64`.
+    fn flip_all<const W: usize>(&mut self, edges: &[(u32, u64)], masks: &mut [[u64; W]]) {
+        let lanes_per_word = LANES as usize;
+        for tile in edges.chunks(TILE) {
+            for base in (0..self.s0.len()).step_by(lanes_per_word) {
+                if base >= self.lanes {
+                    break;
+                }
+                let word = base / lanes_per_word;
+                // A zero padding state draws x = 0, which any positive
+                // threshold "hits" — mask the tail word down to its
+                // seeded lanes.
+                let live = lane_mask((self.lanes - base).min(lanes_per_word) as u32);
+                let end = base + lanes_per_word;
+                let s0: &mut [u64; LANES as usize] =
+                    (&mut self.s0[base..end]).try_into().expect("padded word");
+                let s1: &mut [u64; LANES as usize] =
+                    (&mut self.s1[base..end]).try_into().expect("padded word");
+                let s2: &mut [u64; LANES as usize] =
+                    (&mut self.s2[base..end]).try_into().expect("padded word");
+                let s3: &mut [u64; LANES as usize] =
+                    (&mut self.s3[base..end]).try_into().expect("padded word");
+                for &(idx, threshold) in tile {
+                    let mask = step_word(&mut *s0, &mut *s1, &mut *s2, &mut *s3, threshold);
+                    masks[idx as usize][word] |= mask & live;
+                }
+            }
+        }
+    }
+}
+
+/// Up to `64·W` possible worlds sampled together: bit `w % 64` of word
+/// `w / 64` of `masks[e]` says whether edge `e` exists in world (lane) `w`.
+///
+/// Edges outside the sampled domain have an all-zero block, so a lane-BFS
 /// over the batch automatically respects the domain restriction.
 ///
 /// A batch is a reusable scratch arena: re-sampling via
-/// [`WorldBatch::sample_into`] reuses both the mask buffer and the per-lane
-/// RNG buffer, so steady-state sampling performs no heap allocation per
-/// batch (the edge capacity may even change between calls — buffers only
-/// grow).
+/// [`WorldBatch::sample_into`] reuses the mask buffer and the per-lane RNG
+/// state, so steady-state sampling performs no heap allocation per batch
+/// (the edge capacity may even change between calls — buffers only grow).
 #[derive(Debug, Clone)]
-pub struct WorldBatch {
-    /// Lane word per edge id (length = edge capacity of the graph/domain).
-    masks: Vec<u64>,
-    /// Number of active lanes (1..=64); bits at or above this are zero.
+pub struct WorldBatch<const W: usize = 1> {
+    /// Lane block per edge id (length = edge capacity of the graph/domain).
+    masks: Vec<[u64; W]>,
+    /// Number of active lanes (1..=64·W); bits at or above this are zero.
     lanes: u32,
-    /// Reusable per-lane RNG buffer (one child stream per active lane).
+    /// Per-lane RNG buffer of the width-1 reference path (one child stream
+    /// per active lane, stepped through [`EdgeCoin::flip`]).
     lane_rngs: Vec<FlowRng>,
+    /// Structure-of-arrays RNG states of the wide (`W > 1`) path.
+    soa_rngs: SoaLaneRngs,
+    /// Scratch `(edge index, threshold)` list of the wide path: the coin
+    /// loop is lane-major, so threshold edges are collected once per batch
+    /// and streamed once per lane group.
+    threshold_edges: Vec<(u32, u64)>,
 }
 
-impl WorldBatch {
+impl<const W: usize> WorldBatch<W> {
     /// An empty batch sized for `edge_capacity` edges (no active lanes).
     pub fn new(edge_capacity: usize) -> Self {
         WorldBatch {
-            masks: vec![0; edge_capacity],
+            masks: vec![[0; W]; edge_capacity],
             lanes: 0,
-            lane_rngs: Vec::with_capacity(LANES as usize),
+            lane_rngs: Vec::new(),
+            soa_rngs: SoaLaneRngs::default(),
+            threshold_edges: Vec::new(),
         }
     }
 
@@ -180,7 +372,7 @@ impl WorldBatch {
         seq: &SeedSequence,
         first_label: u64,
         lanes: u32,
-    ) -> WorldBatch {
+    ) -> Self {
         let mut batch = WorldBatch::new(graph.edge_count());
         batch.sample_into(graph, domain, seq, first_label, lanes);
         batch
@@ -204,6 +396,12 @@ impl WorldBatch {
 
     /// Core sampling loop over `(edge index, probability)` pairs; shared by
     /// the graph-level and component-local samplers.
+    ///
+    /// Width 1 flips coins through the per-lane [`EdgeCoin::flip`] path —
+    /// the pinned reference kernel, byte-for-byte the pre-widening code.
+    /// Wider blocks step the same per-lane streams in
+    /// structure-of-arrays form (see [`SoaLaneRngs`]); both paths draw
+    /// bit-identical coins for every world label.
     pub(crate) fn sample_indexed_into(
         &mut self,
         edge_capacity: usize,
@@ -212,17 +410,41 @@ impl WorldBatch {
         first_label: u64,
         lanes: u32,
     ) {
-        assert!((1..=LANES).contains(&lanes), "need 1..=64 lanes");
+        assert!(
+            (1..=block_worlds::<W>()).contains(&lanes),
+            "need 1..={} lanes at width {W}",
+            block_worlds::<W>()
+        );
         self.masks.clear();
-        self.masks.resize(edge_capacity, 0);
+        self.masks.resize(edge_capacity, [0; W]);
         self.lanes = lanes;
-        // Re-seed the reusable lane-RNG buffer in place: after the first
-        // batch its capacity is pinned at 64, so this draws no allocation.
-        self.lane_rngs.clear();
-        self.lane_rngs
-            .extend((0..lanes as u64).map(|w| seq.rng(first_label + w)));
-        for (idx, p) in probs {
-            self.masks[idx] = EdgeCoin::classify(p).flip(&mut self.lane_rngs);
+        if W == 1 {
+            // Re-seed the reusable lane-RNG buffer in place: after the
+            // first batch its capacity is pinned at 64, so this draws no
+            // allocation.
+            self.lane_rngs.clear();
+            self.lane_rngs
+                .extend((0..lanes as u64).map(|w| seq.rng(first_label + w)));
+            for (idx, p) in probs {
+                self.masks[idx][0] = EdgeCoin::classify(p).flip(&mut self.lane_rngs);
+            }
+        } else {
+            self.soa_rngs.reseed(seq, first_label, lanes);
+            let on = block_mask::<W>(lanes);
+            self.threshold_edges.clear();
+            for (idx, p) in probs {
+                match EdgeCoin::classify(p) {
+                    EdgeCoin::AlwaysOn => self.masks[idx] = on,
+                    // The resize above already zeroed every block.
+                    EdgeCoin::AlwaysOff => {}
+                    EdgeCoin::Threshold(t) => {
+                        let idx = u32::try_from(idx).expect("edge index fits in u32");
+                        self.threshold_edges.push((idx, t));
+                    }
+                }
+            }
+            self.soa_rngs
+                .flip_all(&self.threshold_edges, &mut self.masks);
         }
     }
 
@@ -231,28 +453,29 @@ impl WorldBatch {
         self.lanes
     }
 
-    /// The mask with one bit set per active lane.
-    pub fn active_mask(&self) -> u64 {
-        lane_mask(self.lanes)
+    /// The block with one bit set per active lane.
+    pub fn active_mask(&self) -> [u64; W] {
+        block_mask::<W>(self.lanes)
     }
 
-    /// Lane word of edge `e`.
+    /// Lane block of edge `e`.
     #[inline]
-    pub fn edge_mask(&self, e: EdgeId) -> u64 {
+    pub fn edge_mask(&self, e: EdgeId) -> [u64; W] {
         self.masks[e.index()]
     }
 
-    /// All lane words, indexed by edge id.
-    pub fn masks(&self) -> &[u64] {
+    /// All lane blocks, indexed by edge id.
+    pub fn masks(&self) -> &[[u64; W]] {
         &self.masks
     }
 
     /// Extracts one lane as a scalar world into `out` (cleared first).
     pub fn world(&self, lane: u32, out: &mut EdgeSubset) {
         assert!(lane < self.lanes, "lane {lane} beyond {} lanes", self.lanes);
+        let (word, bit) = ((lane / LANES) as usize, lane % LANES);
         out.clear();
-        for (i, &mask) in self.masks.iter().enumerate() {
-            if mask >> lane & 1 == 1 {
+        for (i, mask) in self.masks.iter().enumerate() {
+            if mask[word] >> bit & 1 == 1 {
                 out.insert(EdgeId(i as u32));
             }
         }
@@ -262,30 +485,33 @@ impl WorldBatch {
 /// Lane-parallel BFS: one traversal resolves reachability in all worlds of
 /// a [`WorldBatch`] at once.
 ///
-/// `reached[v]` is a lane word — bit `w` says whether `v` is reachable from
-/// the source in world `w`. The traversal is a pure frontier worklist: it
-/// propagates *newly arrived* lane bits only, so each vertex is reprocessed
-/// just when some world discovers it (not once per world), neighbours whose
-/// lane word has already converged to the full active mask are skipped
-/// outright in late rounds, and between runs only the vertices the previous
-/// run actually touched are reset — no dense full-vertex sweep anywhere.
+/// `reached[v]` is a lane block — bit `w % 64` of word `w / 64` says
+/// whether `v` is reachable from the source in world `w`. The traversal is
+/// a pure frontier worklist: it propagates *newly arrived* lane bits only,
+/// so each vertex is reprocessed just when some world discovers it (not
+/// once per world), neighbours whose lane block has already converged to
+/// the full active mask are skipped outright in late rounds, and between
+/// runs only the vertices the previous run actually touched are reset — no
+/// dense full-vertex sweep anywhere. At widths above 1 every mask operation
+/// covers `W` words, so the frontier bookkeeping is amortized over `64·W`
+/// worlds per pass.
 #[derive(Debug, Clone)]
-pub struct LaneBfs {
-    reached: Vec<u64>,
-    pending: Vec<u64>,
+pub struct LaneBfs<const W: usize = 1> {
+    reached: Vec<[u64; W]>,
+    pending: Vec<[u64; W]>,
     in_queue: Vec<bool>,
     queue: std::collections::VecDeque<u32>,
-    /// Vertices whose `reached` word the latest run set (the only entries
+    /// Vertices whose `reached` block the latest run set (the only entries
     /// that need zeroing before the next run).
     touched: Vec<u32>,
 }
 
-impl LaneBfs {
+impl<const W: usize> LaneBfs<W> {
     /// Creates scratch space for graphs with `vertex_count` vertices.
     pub fn new(vertex_count: usize) -> Self {
         LaneBfs {
-            reached: vec![0; vertex_count],
-            pending: vec![0; vertex_count],
+            reached: vec![[0; W]; vertex_count],
+            pending: vec![[0; W]; vertex_count],
             in_queue: vec![false; vertex_count],
             queue: std::collections::VecDeque::new(),
             touched: Vec::new(),
@@ -300,43 +526,48 @@ impl LaneBfs {
             return;
         }
         self.reached.clear();
-        self.reached.resize(vertex_count, 0);
+        self.reached.resize(vertex_count, [0; W]);
         self.pending.clear();
-        self.pending.resize(vertex_count, 0);
+        self.pending.resize(vertex_count, [0; W]);
         self.in_queue.clear();
         self.in_queue.resize(vertex_count, false);
         self.queue.clear();
         self.touched.clear();
     }
 
-    /// Lane words of the latest run, indexed by vertex.
-    pub fn reached(&self) -> &[u64] {
+    /// Lane blocks of the latest run, indexed by vertex.
+    pub fn reached(&self) -> &[[u64; W]] {
         &self.reached
     }
 
-    /// Lane word of vertex index `v`.
+    /// Lane block of vertex index `v`.
     #[inline]
-    pub fn reached_mask(&self, v: usize) -> u64 {
+    pub fn reached_mask(&self, v: usize) -> [u64; W] {
         self.reached[v]
     }
 
     /// Runs the lane BFS from `source` with initial lane set `init`
     /// (typically the batch's [`WorldBatch::active_mask`]).
     ///
-    /// `edge_masks[e]` is the lane word of edge `e` and `neighbors(u)` must
-    /// yield `(neighbor vertex index, edge index)` pairs; a world's edge
-    /// passes iff its lane bit is set, so edges absent from the sampled
-    /// domain (all-zero masks) are never crossed.
-    pub fn run<F, I>(&mut self, source: usize, init: u64, edge_masks: &[u64], neighbors: F)
-    where
+    /// `edge_masks[e]` is the lane block of edge `e` and `neighbors(u)`
+    /// must yield `(neighbor vertex index, edge index)` pairs; a world's
+    /// edge passes iff its lane bit is set, so edges absent from the
+    /// sampled domain (all-zero blocks) are never crossed.
+    pub fn run<F, I>(
+        &mut self,
+        source: usize,
+        init: [u64; W],
+        edge_masks: &[[u64; W]],
+        neighbors: F,
+    ) where
         F: Fn(usize) -> I,
         I: Iterator<Item = (usize, usize)>,
     {
         // Frontier-local reset: only the previous run's touched vertices
-        // hold non-zero lane words (`pending`/`in_queue`/`queue` are
+        // hold non-zero lane blocks (`pending`/`in_queue`/`queue` are
         // self-cleaning — the worklist drains them before returning).
         for &v in &self.touched {
-            self.reached[v as usize] = 0;
+            self.reached[v as usize] = [0; W];
         }
         self.touched.clear();
         self.reached[source] = init;
@@ -348,8 +579,8 @@ impl LaneBfs {
             let u = u as usize;
             self.in_queue[u] = false;
             let delta = self.pending[u];
-            self.pending[u] = 0;
-            if delta == 0 {
+            self.pending[u] = [0; W];
+            if delta == [0; W] {
                 continue;
             }
             for (v, e) in neighbors(u) {
@@ -359,13 +590,24 @@ impl LaneBfs {
                 if seen == init {
                     continue;
                 }
-                let new = delta & edge_masks[e] & !seen;
-                if new != 0 {
-                    if seen == 0 {
+                let mask = &edge_masks[e];
+                let mut new = [0u64; W];
+                let mut any = 0u64;
+                let mut old = 0u64;
+                for k in 0..W {
+                    new[k] = delta[k] & mask[k] & !seen[k];
+                    any |= new[k];
+                    old |= seen[k];
+                }
+                if any != 0 {
+                    if old == 0 {
                         self.touched.push(v as u32);
                     }
-                    self.reached[v] = seen | new;
-                    self.pending[v] |= new;
+                    let (reached, pending) = (&mut self.reached[v], &mut self.pending[v]);
+                    for k in 0..W {
+                        reached[k] = seen[k] | new[k];
+                        pending[k] |= new[k];
+                    }
                     if !self.in_queue[v] {
                         self.in_queue[v] = true;
                         self.queue.push_back(v as u32);
@@ -376,7 +618,12 @@ impl LaneBfs {
     }
 
     /// Convenience: lane BFS over a graph-level [`WorldBatch`] from `query`.
-    pub fn run_graph(&mut self, graph: &ProbabilisticGraph, query: VertexId, batch: &WorldBatch) {
+    pub fn run_graph(
+        &mut self,
+        graph: &ProbabilisticGraph,
+        query: VertexId,
+        batch: &WorldBatch<W>,
+    ) {
         self.run(query.index(), batch.active_mask(), batch.masks(), |u| {
             graph
                 .neighbors(VertexId::from_index(u))
@@ -431,6 +678,28 @@ mod tests {
     }
 
     #[test]
+    fn soa_steps_match_flowrng() {
+        // The structure-of-arrays stepper duplicates the vendored
+        // xoshiro256++ recurrence; this pins the two against each other so
+        // they cannot drift. Three lanes (a partial, padded group), 2000
+        // draws streamed through the lane-major loop in one call.
+        let seq = SeedSequence::new(5150);
+        let EdgeCoin::Threshold(t) = EdgeCoin::classify(0.37) else {
+            panic!("fractional probability must classify as Threshold");
+        };
+        let mut soa = SoaLaneRngs::default();
+        soa.reseed(&seq, 7, 3);
+        let edges: Vec<(u32, u64)> = (0..2000).map(|i| (i, t)).collect();
+        let mut wide = vec![[0u64; 1]; edges.len()];
+        soa.flip_all(&edges, &mut wide);
+        let mut rngs: Vec<FlowRng> = (0..3).map(|w| seq.rng(7 + w)).collect();
+        for (round, mask) in wide.iter().enumerate() {
+            let narrow = EdgeCoin::Threshold(t).flip(&mut rngs);
+            assert_eq!(mask[0], narrow, "round {round}");
+        }
+    }
+
+    #[test]
     fn classify_fast_paths() {
         assert_eq!(EdgeCoin::classify(1.0), EdgeCoin::AlwaysOn);
         assert_eq!(EdgeCoin::classify(1.5), EdgeCoin::AlwaysOn);
@@ -445,72 +714,130 @@ mod tests {
         assert!(rngs[0] == before, "fast paths must not consume draws");
     }
 
-    #[test]
-    fn batch_lanes_match_scalar_worlds() {
+    fn batch_lanes_match_scalar_worlds_at<const W: usize>() {
         let g = mixed_graph();
         let domain = EdgeSubset::full(&g);
         let seq = SeedSequence::new(7);
-        let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
+        let worlds = block_worlds::<W>();
+        let batch = WorldBatch::<W>::sample(&g, &domain, &seq, 0, worlds);
         let mut scalar = EdgeSubset::for_graph(&g);
         let mut extracted = EdgeSubset::for_graph(&g);
-        for lane in 0..LANES {
+        for lane in 0..worlds {
             let mut rng = seq.rng(lane as u64);
             sample_world(&g, &domain, &mut rng, &mut scalar);
             batch.world(lane, &mut extracted);
-            assert_eq!(scalar, extracted, "lane {lane}");
+            assert_eq!(scalar, extracted, "width {W}, lane {lane}");
         }
     }
 
     #[test]
-    fn partial_batches_zero_inactive_lanes() {
+    fn batch_lanes_match_scalar_worlds() {
+        batch_lanes_match_scalar_worlds_at::<1>();
+        batch_lanes_match_scalar_worlds_at::<4>();
+        batch_lanes_match_scalar_worlds_at::<8>();
+    }
+
+    fn wide_blocks_match_narrow_batches_at<const W: usize>() {
+        // The cross-width contract itself: lane `w` of a wide block equals
+        // lane `w % 64` of narrow batch `w / 64` at the same labels.
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(314);
+        let first_label = 128;
+        let wide = WorldBatch::<W>::sample(&g, &domain, &seq, first_label, block_worlds::<W>());
+        for k in 0..W {
+            let narrow = WorldBatch::<1>::sample(
+                &g,
+                &domain,
+                &seq,
+                first_label + (k as u64) * LANES as u64,
+                LANES,
+            );
+            for e in g.edge_ids() {
+                assert_eq!(
+                    wide.edge_mask(e)[k],
+                    narrow.edge_mask(e)[0],
+                    "width {W}, word {k}, edge {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_match_narrow_batches_word_for_word() {
+        wide_blocks_match_narrow_batches_at::<4>();
+        wide_blocks_match_narrow_batches_at::<8>();
+    }
+
+    fn partial_batches_zero_inactive_lanes_at<const W: usize>(lanes: u32) {
         let g = mixed_graph();
         let domain = EdgeSubset::full(&g);
         let seq = SeedSequence::new(3);
-        let batch = WorldBatch::sample(&g, &domain, &seq, 128, 5);
-        assert_eq!(batch.lanes(), 5);
-        assert_eq!(batch.active_mask(), 0b11111);
+        let batch = WorldBatch::<W>::sample(&g, &domain, &seq, 128, lanes);
+        assert_eq!(batch.lanes(), lanes);
+        assert_eq!(batch.active_mask(), block_mask::<W>(lanes));
+        let active = batch.active_mask();
         for e in g.edge_ids() {
-            assert_eq!(
-                batch.edge_mask(e) & !batch.active_mask(),
-                0,
-                "bits above the active lanes must stay zero"
-            );
+            let mask = batch.edge_mask(e);
+            for k in 0..W {
+                assert_eq!(
+                    mask[k] & !active[k],
+                    0,
+                    "width {W}: bits above the active lanes must stay zero"
+                );
+            }
         }
         // The certain edge exists in every active lane.
-        assert_eq!(batch.edge_mask(EdgeId(3)), 0b11111);
+        assert_eq!(batch.edge_mask(EdgeId(3)), active);
+    }
+
+    #[test]
+    fn partial_batches_zero_inactive_lanes() {
+        partial_batches_zero_inactive_lanes_at::<1>(5);
+        partial_batches_zero_inactive_lanes_at::<4>(5);
+        partial_batches_zero_inactive_lanes_at::<4>(130);
+        partial_batches_zero_inactive_lanes_at::<8>(300);
     }
 
     #[test]
     fn domain_restriction_zeroes_outside_edges() {
         let g = mixed_graph();
         let domain = EdgeSubset::from_edges(g.edge_count(), [EdgeId(0), EdgeId(3)]);
-        let batch = WorldBatch::sample(&g, &domain, &SeedSequence::new(5), 0, LANES);
-        assert_eq!(batch.edge_mask(EdgeId(1)), 0);
-        assert_eq!(batch.edge_mask(EdgeId(2)), 0);
-        assert_eq!(batch.edge_mask(EdgeId(3)), !0);
+        let batch = WorldBatch::<4>::sample(&g, &domain, &SeedSequence::new(5), 0, 256);
+        assert_eq!(batch.edge_mask(EdgeId(1)), [0; 4]);
+        assert_eq!(batch.edge_mask(EdgeId(2)), [0; 4]);
+        assert_eq!(batch.edge_mask(EdgeId(3)), [!0; 4]);
+    }
+
+    fn lane_bfs_matches_scalar_bfs_at<const W: usize>() {
+        let g = mixed_graph();
+        let domain = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(42);
+        let worlds = block_worlds::<W>();
+        let batch = WorldBatch::<W>::sample(&g, &domain, &seq, 0, worlds);
+        let mut lane_bfs = LaneBfs::<W>::new(g.vertex_count());
+        lane_bfs.run_graph(&g, VertexId(0), &batch);
+        let mut world = EdgeSubset::for_graph(&g);
+        let mut bfs = Bfs::new(g.vertex_count());
+        for lane in 0..worlds {
+            batch.world(lane, &mut world);
+            bfs.reachable(&g, &world, VertexId(0));
+            let (word, bit) = ((lane / LANES) as usize, lane % LANES);
+            for v in g.vertices() {
+                assert_eq!(
+                    bfs.was_visited(v),
+                    lane_bfs.reached_mask(v.index())[word] >> bit & 1 == 1,
+                    "width {W}, lane {lane}, vertex {v}"
+                );
+            }
+        }
     }
 
     #[test]
     fn lane_bfs_matches_scalar_bfs_per_lane() {
-        let g = mixed_graph();
-        let domain = EdgeSubset::full(&g);
-        let seq = SeedSequence::new(42);
-        let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
-        let mut lane_bfs = LaneBfs::new(g.vertex_count());
-        lane_bfs.run_graph(&g, VertexId(0), &batch);
-        let mut world = EdgeSubset::for_graph(&g);
-        let mut bfs = Bfs::new(g.vertex_count());
-        for lane in 0..LANES {
-            batch.world(lane, &mut world);
-            bfs.reachable(&g, &world, VertexId(0));
-            for v in g.vertices() {
-                assert_eq!(
-                    bfs.was_visited(v),
-                    lane_bfs.reached_mask(v.index()) >> lane & 1 == 1,
-                    "lane {lane}, vertex {v}"
-                );
-            }
-        }
+        lane_bfs_matches_scalar_bfs_at::<1>();
+        lane_bfs_matches_scalar_bfs_at::<4>();
+        lane_bfs_matches_scalar_bfs_at::<8>();
     }
 
     #[test]
@@ -519,14 +846,14 @@ mod tests {
         let g = mixed_graph();
         let domain = EdgeSubset::full(&g);
         let seq = SeedSequence::new(11);
-        let mut batch = WorldBatch::new(g.edge_count());
+        let mut batch = WorldBatch::<1>::new(g.edge_count());
         let mut bfs = LaneBfs::new(g.vertex_count());
         let mut hits = 0u32;
         let batches = 300usize;
         for b in 0..batches {
             batch.sample_into(&g, &domain, &seq, b as u64 * LANES as u64, LANES);
             bfs.run_graph(&g, VertexId(0), &batch);
-            hits += bfs.reached_mask(1).count_ones();
+            hits += bfs.reached_mask(1)[0].count_ones();
         }
         let freq = hits as f64 / (batches as f64 * LANES as f64);
         assert!((freq - 0.625).abs() < 0.02, "frequency {freq}");
@@ -540,5 +867,40 @@ mod tests {
         assert_eq!(lanes_in_batch(1, 0), 1);
         assert_eq!(lane_mask(64), !0);
         assert_eq!(lane_mask(1), 1);
+    }
+
+    #[test]
+    fn lanes_in_batch_is_zero_at_and_past_the_boundary() {
+        // A caller landing exactly on the budget boundary — e.g. a wide
+        // block probing `W` consecutive batches of which only some exist —
+        // gets 0 lanes instead of a panic, at every multiple-of-64 budget.
+        assert_eq!(lanes_in_batch(64, 1), 0);
+        assert_eq!(lanes_in_batch(128, 2), 0);
+        assert_eq!(lanes_in_batch(128, 3), 0);
+        assert_eq!(lanes_in_batch(1000, 16), 0);
+        assert_eq!(lanes_in_batch(1000, 1_000_000), 0);
+        // The same boundary at the wide widths: a 256-world (W=4) and a
+        // 512-world (W=8) budget end exactly on their block boundaries.
+        assert_eq!(lanes_in_batch(block_worlds::<4>(), 4), 0);
+        assert_eq!(lanes_in_batch(block_worlds::<8>(), 8), 0);
+        for b in 0..4 {
+            assert_eq!(lanes_in_batch(block_worlds::<4>(), b), 64);
+        }
+        for b in 0..8 {
+            assert_eq!(lanes_in_batch(block_worlds::<8>(), b), 64);
+        }
+    }
+
+    #[test]
+    fn block_masks_cover_partial_words() {
+        assert_eq!(block_mask::<1>(5), [0b11111]);
+        assert_eq!(block_mask::<4>(64), [!0, 0, 0, 0]);
+        assert_eq!(block_mask::<4>(70), [!0, 0b111111, 0, 0]);
+        assert_eq!(block_mask::<4>(256), [!0; 4]);
+        assert_eq!(block_mask::<8>(0), [0; 8]);
+        assert_eq!(block_ones(&block_mask::<8>(300)), 300);
+        assert_eq!(block_worlds::<1>(), 64);
+        assert_eq!(block_worlds::<4>(), 256);
+        assert_eq!(block_worlds::<8>(), 512);
     }
 }

@@ -221,9 +221,9 @@ impl ComponentGraph {
     /// Samples `lanes` worlds of the component's edge domain into `batch`,
     /// lane `w` drawing from `seq.rng(first_label + w)` (the engine-wide
     /// lane/seed contract of [`crate::batch`]).
-    pub(crate) fn fill_batch(
+    pub(crate) fn fill_batch<const W: usize>(
         &self,
-        batch: &mut WorldBatch,
+        batch: &mut WorldBatch<W>,
         seq: &SeedSequence,
         first_label: u64,
         lanes: u32,

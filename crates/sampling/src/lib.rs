@@ -48,7 +48,10 @@ pub mod rng;
 pub mod sampler;
 pub mod scratch;
 
-pub use batch::{lane_mask, lanes_in_batch, EdgeCoin, LaneBfs, WorldBatch, LANES};
+pub use batch::{
+    block_mask, block_ones, block_worlds, lane_mask, lanes_in_batch, EdgeCoin, LaneBfs, WorldBatch,
+    LANES, MAX_LANE_WORDS,
+};
 pub use component::{ComponentEstimate, ComponentGraph, LocalIdScratch};
 pub use confidence::{
     normal_quantile, wald_interval, wilson_interval, z_for_alpha, ConfidenceInterval,
@@ -57,7 +60,8 @@ pub use confidence::{
 pub use convergence::BatchSchedule;
 pub use estimate::FlowEstimate;
 pub use parallel::{
-    clamp_threads, default_threads, invalid_thread_requests, ParallelEstimator, WorldsRequest,
+    clamp_lane_words, clamp_threads, default_lane_words, default_threads, invalid_lane_requests,
+    invalid_thread_requests, ParallelEstimator, WorldsRequest,
 };
 pub use pool::{is_pool_worker, WorkerPool};
 pub use race::{
@@ -66,4 +70,4 @@ pub use race::{
 pub use reachability::{sample_flow, sample_reachability, ReachabilityEstimate};
 pub use rng::{splitmix64, FlowRng, SeedSequence};
 pub use sampler::{sample_world, sample_worlds};
-pub use scratch::{with_thread_scratch, SamplingScratch};
+pub use scratch::{with_thread_scratch, SamplingScratch, ScratchSlot};

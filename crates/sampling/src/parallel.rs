@@ -1,4 +1,5 @@
-//! Multi-threaded, thread-count-invariant Monte-Carlo estimation.
+//! Multi-threaded, thread-count- and lane-width-invariant Monte-Carlo
+//! estimation.
 //!
 //! [`ParallelEstimator`] splits a sample budget into batches of
 //! [`LANES`] worlds, evaluates each batch with the
@@ -6,22 +7,27 @@
 //! persistent [`WorkerPool`]. Batch `b` draws lane
 //! `w`'s coins from the seed-sequence child `b * LANES + w`, so each batch
 //! is a pure function of `(seed sequence, batch index)` — which worker
-//! computes it is irrelevant. Per-vertex success counts merge by integer
-//! addition (order-free) and per-batch flow moments merge in ascending
-//! batch order, so results are **bit-identical for every thread count**, as
-//! locked down by `tests/determinism.rs`.
+//! computes it is irrelevant. At lane widths above 1 (see
+//! [`default_lane_words`] / [`ParallelEstimator::with_lane_words`]) each
+//! BFS pass resolves a `[u64; W]` block of `W` consecutive batches at once;
+//! the per-world streams are unchanged, so the grouping is irrelevant too.
+//! Per-vertex success counts merge by integer addition (order-free) and
+//! per-64-world flow moments merge in ascending batch order — wide blocks
+//! are split back into their per-batch moment groups before merging — so
+//! results are **bit-identical for every thread count and every lane
+//! width**, as locked down by `tests/determinism.rs`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use flowmax_graph::{EdgeSubset, ProbabilisticGraph, VertexId};
 
-use crate::batch::{lanes_in_batch, LaneBfs, LANES};
+use crate::batch::{block_ones, block_worlds, lanes_in_batch, LaneBfs, WorldBatch, LANES};
 use crate::component::{ComponentEstimate, ComponentGraph};
 use crate::estimate::FlowEstimate;
 use crate::pool::WorkerPool;
 use crate::reachability::ReachabilityEstimate;
 use crate::rng::SeedSequence;
-use crate::scratch::with_thread_scratch;
+use crate::scratch::{with_thread_scratch, SamplingScratch, ScratchSlot};
 
 /// Invalid worker-count requests observed so far (zero or unparseable, from
 /// any origin). The first one is echoed to stderr; all are counted, so
@@ -29,10 +35,21 @@ use crate::scratch::with_thread_scratch;
 /// that requests were clamped without scraping stderr.
 static INVALID_THREAD_REQUESTS: AtomicU64 = AtomicU64::new(0);
 
+/// Invalid lane-width requests observed so far (anything outside
+/// `{1, 4, 8}`, from any origin) — same observability story as
+/// [`invalid_thread_requests`].
+static INVALID_LANE_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
 /// How many invalid thread-count requests have been clamped to 1 so far in
 /// this process (see [`clamp_threads`] and `FLOWMAX_THREADS` parsing).
 pub fn invalid_thread_requests() -> u64 {
     INVALID_THREAD_REQUESTS.load(Ordering::Relaxed)
+}
+
+/// How many invalid lane-width requests have been clamped to 1 so far in
+/// this process (see [`clamp_lane_words`] and `FLOWMAX_LANES` parsing).
+pub fn invalid_lane_requests() -> u64 {
+    INVALID_LANE_REQUESTS.load(Ordering::Relaxed)
 }
 
 /// Records one invalid worker-count request: warns on stderr the first
@@ -49,6 +66,19 @@ fn note_invalid_threads(origin: &str, detail: &str) -> usize {
     1
 }
 
+/// Records one invalid lane-width request (same warn-once/count-always
+/// policy as [`note_invalid_threads`]) and returns the clamped width 1.
+fn note_invalid_lanes(origin: &str, detail: &str) -> usize {
+    if INVALID_LANE_REQUESTS.fetch_add(1, Ordering::Relaxed) == 0 {
+        eprintln!(
+            "flowmax: warning: invalid lane width from {origin} ({detail}); \
+             supported widths are 1, 4 and 8 lane words (64/256/512 worlds); \
+             clamping to 1 — results are unaffected, only wall-clock time"
+        );
+    }
+    1
+}
+
 /// The single clamping story for explicit thread-count requests, shared by
 /// [`ParallelEstimator`] call sites, `Session::with_threads`, and the CLI's
 /// `--threads`: a request of `0` is invalid (there is no zero-thread
@@ -59,6 +89,20 @@ pub fn clamp_threads(requested: usize, origin: &str) -> usize {
         note_invalid_threads(origin, "0 worker threads requested")
     } else {
         requested
+    }
+}
+
+/// The single clamping story for explicit lane-width requests, shared by
+/// [`ParallelEstimator::with_lane_words`], `Session::with_lane_words`, and
+/// the CLIs' `--lanes`: the kernel is instantiated only at widths 1, 4 and
+/// 8 (64/256/512 worlds per BFS pass), so anything else is clamped to 1
+/// with a one-time warning (same policy as invalid thread counts). Results never
+/// depend on the width — only wall-clock time does.
+pub fn clamp_lane_words(requested: usize, origin: &str) -> usize {
+    if matches!(requested, 1 | 4 | 8) {
+        requested
+    } else {
+        note_invalid_lanes(origin, &format!("{requested} lane words requested"))
     }
 }
 
@@ -81,6 +125,24 @@ fn parse_threads(var: Option<String>) -> usize {
     }
 }
 
+/// Parses a lane-width override, as read from `FLOWMAX_LANES`.
+///
+/// Unset or blank means 1 (the 64-world reference kernel). Anything else
+/// must be one of the supported widths `1`, `4` or `8`; other values are
+/// clamped to 1 with the one-time warning of [`note_invalid_lanes`].
+fn parse_lane_words(var: Option<String>) -> usize {
+    let Some(raw) = var else { return 1 };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return 1;
+    }
+    match raw.parse::<usize>() {
+        Ok(n) if matches!(n, 1 | 4 | 8) => n,
+        Ok(n) => note_invalid_lanes("FLOWMAX_LANES", &format!("{n} is not one of 1, 4, 8")),
+        Err(_) => note_invalid_lanes("FLOWMAX_LANES", &format!("unparseable value {raw:?}")),
+    }
+}
+
 /// The default worker count: the `FLOWMAX_THREADS` environment variable
 /// when set to a positive integer, otherwise 1 (fully sequential).
 ///
@@ -90,26 +152,60 @@ pub fn default_threads() -> usize {
     parse_threads(std::env::var("FLOWMAX_THREADS").ok())
 }
 
-/// Runs `work` over `0..num_batches` split into at most `threads`
+/// The default lane width, in 64-world lane words per block: the
+/// `FLOWMAX_LANES` environment variable when set to 1, 4 or 8, otherwise 1.
+///
+/// Results never depend on this value — only wall-clock time does — so CI
+/// runs the whole test suite under both `FLOWMAX_LANES=1` and
+/// `FLOWMAX_LANES=8`, mirroring the `FLOWMAX_THREADS` matrix.
+pub fn default_lane_words() -> usize {
+    parse_lane_words(std::env::var("FLOWMAX_LANES").ok())
+}
+
+/// Expands `$body` once per supported lane width, selecting the arm that
+/// matches the runtime width `$w` and binding `$W` as a `const usize`
+/// inside it — the bridge from a runtime `FLOWMAX_LANES` value to the
+/// const-generic kernel instantiations. Unsupported widths (already
+/// clamped by [`clamp_lane_words`]) fall back to the width-1 reference.
+macro_rules! with_lane_words {
+    ($w:expr, $W:ident, $body:expr) => {
+        match $w {
+            4 => {
+                const $W: usize = 4;
+                $body
+            }
+            8 => {
+                const $W: usize = 8;
+                $body
+            }
+            _ => {
+                const $W: usize = 1;
+                $body
+            }
+        }
+    };
+}
+
+/// Runs `work` over `0..num_blocks` split into at most `threads`
 /// contiguous chunks, returning the per-chunk results in chunk order.
 ///
 /// With one chunk the work runs on the calling thread (no spawn overhead);
 /// otherwise chunk 0 runs on the caller and each further chunk on a pinned
 /// worker of the process-global persistent [`WorkerPool`]. `work` receives
-/// its worker index (the chunk's position) and the batch range. Chunk
-/// boundaries affect only *who* computes a batch, never what the batch
+/// its worker index (the chunk's position) and the block range. Chunk
+/// boundaries affect only *who* computes a block, never what the block
 /// contains.
-pub(crate) fn parallel_chunks<T, F>(num_batches: usize, threads: usize, work: F) -> Vec<T>
+pub(crate) fn parallel_chunks<T, F>(num_blocks: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
 {
-    let workers = threads.max(1).min(num_batches.max(1));
+    let workers = threads.max(1).min(num_blocks.max(1));
     if workers <= 1 {
-        return vec![work(0, 0..num_batches)];
+        return vec![work(0, 0..num_blocks)];
     }
-    let base = num_batches / workers;
-    let extra = num_batches % workers;
+    let base = num_blocks / workers;
+    let extra = num_blocks % workers;
     let mut ranges = Vec::with_capacity(workers);
     let mut start = 0;
     for t in 0..workers {
@@ -144,6 +240,16 @@ fn workers_for_coins(threads: usize, coins: u64) -> usize {
     threads.max(1).min(by_work)
 }
 
+/// Active lanes of the width-`W` block whose first batch is `first_batch`,
+/// under a `samples`-world budget: the sum of [`lanes_in_batch`] over the
+/// block's `W` batches (0 at or past the boundary).
+fn block_lanes<const W: usize>(samples: u32, first_batch: usize) -> u32 {
+    let drawn = (first_batch as u64) * LANES as u64;
+    (samples as u64)
+        .saturating_sub(drawn)
+        .min(block_worlds::<W>() as u64) as u32
+}
+
 /// Size and shape of one batched estimation job.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct BatchJob {
@@ -163,49 +269,53 @@ pub(crate) struct BatchJob {
 }
 
 /// The shared batch driver behind every batched estimator: draws
-/// `job.samples` worlds in batches of [`LANES`] (batch `b` fills with first
-/// lane label `b·LANES`, the seed-per-batch contract), resolves each batch
-/// with one lane-BFS from `job.source`, and folds every batch into a
-/// per-chunk accumulator via `per_batch(acc, bfs, lanes)`. Per-chunk
-/// accumulators are returned in ascending batch order.
+/// `job.samples` worlds in width-`W` blocks of `W` consecutive
+/// [`LANES`]-world batches (the block starting at batch `b` fills with
+/// first lane label `b·LANES`, the seed-per-batch contract), resolves each
+/// block with one lane-BFS from `job.source`, and folds every block into a
+/// per-chunk accumulator via `per_batch(acc, bfs, first_batch)`. Per-chunk
+/// accumulators are returned in ascending block order.
 ///
-/// `fill` samples one batch into the thread's warm
-/// [`WorldBatch`](crate::batch::WorldBatch) scratch; `neighbors` yields
+/// `fill` samples one block into the thread's warm
+/// [`WorldBatch`] scratch; `neighbors` yields
 /// `(vertex index, edge index)` adjacency. Each chunk runs against its
 /// thread's persistent [`with_thread_scratch`] arenas, so steady-state
 /// estimation allocates nothing per batch. Reachability counting, flow
 /// aggregation, and the component-local sampler are all thin wrappers, so
 /// the batching/label/merge contract lives in exactly one place.
-pub(crate) fn map_batches<A, F, N, I, P>(
+pub(crate) fn map_batches<const W: usize, A, F, N, I, P>(
     job: BatchJob,
     fill: F,
     neighbors: N,
     per_batch: P,
 ) -> Vec<A>
 where
+    SamplingScratch<W>: ScratchSlot,
     A: Default + Send,
-    F: Fn(&mut crate::batch::WorldBatch, u64, u32) + Sync,
+    F: Fn(&mut WorldBatch<W>, u64, u32) + Sync,
     N: Fn(usize) -> I + Sync,
     I: Iterator<Item = (usize, usize)>,
-    P: Fn(&mut A, &LaneBfs, u32) + Sync,
+    P: Fn(&mut A, &LaneBfs<W>, usize) + Sync,
 {
     assert!(job.samples > 0, "need at least one sample");
     let num_batches = job.samples.div_ceil(LANES) as usize;
+    let num_blocks = num_batches.div_ceil(W);
     let workers = effective_workers(job.threads, job.samples, job.work_edges);
-    parallel_chunks(num_batches, workers, |_worker, range| {
-        with_thread_scratch(|scratch| {
+    parallel_chunks(num_blocks, workers, |_worker, range| {
+        with_thread_scratch::<W, _>(|scratch| {
             let mut acc = A::default();
             scratch.bfs.prepare(job.vertex_count);
-            for b in range {
-                let lanes = lanes_in_batch(job.samples, b);
-                fill(&mut scratch.batch, b as u64 * LANES as u64, lanes);
+            for g in range {
+                let first_batch = g * W;
+                let lanes = block_lanes::<W>(job.samples, first_batch);
+                fill(&mut scratch.batch, first_batch as u64 * LANES as u64, lanes);
                 scratch.bfs.run(
                     job.source,
                     scratch.batch.active_mask(),
                     scratch.batch.masks(),
                     &neighbors,
                 );
-                per_batch(&mut acc, &scratch.bfs, lanes);
+                per_batch(&mut acc, &scratch.bfs, first_batch);
             }
             acc
         })
@@ -216,20 +326,30 @@ where
 /// specialization of [`map_batches`], shared by the graph-level
 /// [`ParallelEstimator`] and the component-local
 /// [`crate::component::ComponentGraph::sample_reachability_batched`].
-pub(crate) fn batched_success_counts<F, N, I>(job: BatchJob, fill: F, neighbors: N) -> Vec<u32>
+pub(crate) fn batched_success_counts<const W: usize, F, N, I>(
+    job: BatchJob,
+    fill: F,
+    neighbors: N,
+) -> Vec<u32>
 where
-    F: Fn(&mut crate::batch::WorldBatch, u64, u32) + Sync,
+    SamplingScratch<W>: ScratchSlot,
+    F: Fn(&mut WorldBatch<W>, u64, u32) + Sync,
     N: Fn(usize) -> I + Sync,
     I: Iterator<Item = (usize, usize)>,
 {
-    let chunks = map_batches(job, fill, neighbors, |acc: &mut Vec<u32>, bfs, _lanes| {
-        if acc.is_empty() {
-            acc.resize(job.vertex_count, 0);
-        }
-        for (s, &mask) in acc.iter_mut().zip(bfs.reached()) {
-            *s += mask.count_ones();
-        }
-    });
+    let chunks = map_batches::<W, _, _, _, _, _>(
+        job,
+        fill,
+        neighbors,
+        |acc: &mut Vec<u32>, bfs, _first_batch| {
+            if acc.is_empty() {
+                acc.resize(job.vertex_count, 0);
+            }
+            for (s, mask) in acc.iter_mut().zip(bfs.reached()) {
+                *s += block_ones(mask);
+            }
+        },
+    );
     // Success counts are integers, so summing chunks is exact and
     // order-free — but we still fold in chunk order for clarity.
     let mut successes = vec![0u32; job.vertex_count];
@@ -244,40 +364,57 @@ where
 /// A batched, multi-threaded drop-in for the scalar estimators of
 /// [`crate::reachability`] and [`crate::component`].
 ///
-/// Construction is free: the estimator is just a worker-count ceiling.
-/// Execution runs on the process-global persistent
+/// Construction is free: the estimator is just a worker-count ceiling plus
+/// a lane width. Execution runs on the process-global persistent
 /// [`WorkerPool`], and every thread — pool worker
 /// or submitter — keeps one warm
-/// [`SamplingScratch`](crate::scratch::SamplingScratch) for life (see
+/// [`SamplingScratch`] per lane width for life (see
 /// [`with_thread_scratch`]), so steady-state estimation performs zero heap
 /// allocation per batch and pays no thread spawn/join per job. The
 /// configured count is an upper bound: jobs too small to amortize even a
 /// pool dispatch — e.g. the F-tree's per-component probes — run on the
 /// calling thread against its own warm scratch, so `threads > 1` never
-/// makes an estimation slower. Results never depend on the scratch or the
-/// worker count — only wall-clock time does.
+/// makes an estimation slower. Results never depend on the scratch, the
+/// worker count, or the lane width — only wall-clock time does.
 #[derive(Debug, Clone)]
 pub struct ParallelEstimator {
     threads: usize,
+    lane_words: usize,
 }
 
 impl ParallelEstimator {
     /// An estimator using `threads` workers (clamped to at least 1, with
-    /// the process-wide one-time warning of [`clamp_threads`] on 0).
+    /// the process-wide one-time warning of [`clamp_threads`] on 0) at the
+    /// ambient [`default_lane_words`] width.
     pub fn new(threads: usize) -> Self {
         ParallelEstimator {
             threads: clamp_threads(threads, "ParallelEstimator::new"),
+            lane_words: default_lane_words(),
         }
     }
 
-    /// An estimator using [`default_threads`].
+    /// An estimator using [`default_threads`] and [`default_lane_words`].
     pub fn from_env() -> Self {
         ParallelEstimator::new(default_threads())
+    }
+
+    /// Overrides the lane width (64-world lane words per BFS block;
+    /// supported widths 1, 4 and 8, others clamped to 1 with the one-time
+    /// warning of [`clamp_lane_words`]). Results never depend on the
+    /// width — only wall-clock time does.
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = clamp_lane_words(lane_words, "ParallelEstimator::with_lane_words");
+        self
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured lane width, in 64-world lane words per block.
+    pub fn lane_words(&self) -> usize {
+        self.lane_words
     }
 
     /// Runs `jobs` independent jobs on the worker pool and returns their
@@ -308,7 +445,8 @@ impl ParallelEstimator {
     /// the `active` subgraph.
     ///
     /// World `i` draws its coins from `seq.rng(i)`; the result is a pure
-    /// function of `(seq, samples)`, independent of the thread count.
+    /// function of `(seq, samples)`, independent of the thread count and
+    /// the lane width.
     pub fn sample_reachability(
         &self,
         graph: &ProbabilisticGraph,
@@ -317,6 +455,22 @@ impl ParallelEstimator {
         samples: u32,
         seq: &SeedSequence,
     ) -> ReachabilityEstimate {
+        with_lane_words!(self.lane_words, W, {
+            self.sample_reachability_at::<W>(graph, active, query, samples, seq)
+        })
+    }
+
+    fn sample_reachability_at<const W: usize>(
+        &self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        query: VertexId,
+        samples: u32,
+        seq: &SeedSequence,
+    ) -> ReachabilityEstimate
+    where
+        SamplingScratch<W>: ScratchSlot,
+    {
         let job = BatchJob {
             vertex_count: graph.vertex_count(),
             work_edges: active.len(),
@@ -324,7 +478,7 @@ impl ParallelEstimator {
             samples,
             threads: self.threads,
         };
-        let successes = batched_success_counts(
+        let successes = batched_success_counts::<W, _, _, _>(
             job,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
@@ -339,8 +493,10 @@ impl ParallelEstimator {
     /// Batched equivalent of [`crate::reachability::sample_flow`]: the
     /// per-world flow aggregate over `samples` worlds.
     ///
-    /// Per-batch moments are merged in ascending batch order (Chan et al.),
-    /// so the floating-point result is bit-identical for every thread count.
+    /// Per-64-world moments are merged in ascending batch order (Chan et
+    /// al.) — wide blocks are split back into their per-batch moment groups
+    /// first — so the floating-point result is bit-identical for every
+    /// thread count and every lane width.
     pub fn sample_flow(
         &self,
         graph: &ProbabilisticGraph,
@@ -350,6 +506,23 @@ impl ParallelEstimator {
         samples: u32,
         seq: &SeedSequence,
     ) -> FlowEstimate {
+        with_lane_words!(self.lane_words, W, {
+            self.sample_flow_at::<W>(graph, active, query, include_query, samples, seq)
+        })
+    }
+
+    fn sample_flow_at<const W: usize>(
+        &self,
+        graph: &ProbabilisticGraph,
+        active: &EdgeSubset,
+        query: VertexId,
+        include_query: bool,
+        samples: u32,
+        seq: &SeedSequence,
+    ) -> FlowEstimate
+    where
+        SamplingScratch<W>: ScratchSlot,
+    {
         let job = BatchJob {
             vertex_count: graph.vertex_count(),
             work_edges: active.len(),
@@ -357,7 +530,7 @@ impl ParallelEstimator {
             samples,
             threads: self.threads,
         };
-        let chunks = map_batches(
+        let chunks = map_batches::<W, _, _, _, _, _>(
             job,
             |batch, first_label, lanes| batch.sample_into(graph, active, seq, first_label, lanes),
             |u| {
@@ -365,8 +538,11 @@ impl ParallelEstimator {
                     .neighbors(VertexId::from_index(u))
                     .map(|(v, e)| (v.index(), e.index()))
             },
-            |estimates: &mut Vec<FlowEstimate>, bfs, lanes| {
-                let mut flows = [0.0f64; LANES as usize];
+            |estimates: &mut Vec<FlowEstimate>, bfs, first_batch| {
+                // Accumulate per-lane flows word by word, then emit one
+                // moment group per 64-world batch of the block — the same
+                // groups, in the same order, as a width-1 run would emit.
+                let mut flows = [[0.0f64; LANES as usize]; W];
                 for v in graph.vertices() {
                     if v == query && !include_query {
                         continue;
@@ -375,17 +551,26 @@ impl ParallelEstimator {
                     if w == 0.0 {
                         continue;
                     }
-                    let mut mask = bfs.reached_mask(v.index());
-                    while mask != 0 {
-                        flows[mask.trailing_zeros() as usize] += w;
-                        mask &= mask - 1;
+                    let block = bfs.reached_mask(v.index());
+                    for (k, flows_k) in flows.iter_mut().enumerate() {
+                        let mut mask = block[k];
+                        while mask != 0 {
+                            flows_k[mask.trailing_zeros() as usize] += w;
+                            mask &= mask - 1;
+                        }
                     }
                 }
-                let mut est = FlowEstimate::new();
-                for &flow in flows.iter().take(lanes as usize) {
-                    est.push(flow);
+                for (k, flows_k) in flows.iter().enumerate() {
+                    let lanes = lanes_in_batch(samples, first_batch + k);
+                    if lanes == 0 {
+                        break;
+                    }
+                    let mut est = FlowEstimate::new();
+                    for &flow in flows_k.iter().take(lanes as usize) {
+                        est.push(flow);
+                    }
+                    estimates.push(est);
                 }
-                estimates.push(est);
             },
         );
         let mut total = FlowEstimate::new();
@@ -398,7 +583,7 @@ impl ParallelEstimator {
     /// Batched equivalent of [`ComponentGraph::sample_reachability`]:
     /// `Pr[v ↔ AV]` counts for every local vertex of a component, computed
     /// against the estimator's pooled scratch (world `i` draws from
-    /// `seq.rng(i)`; bit-identical at every thread count).
+    /// `seq.rng(i)`; bit-identical at every thread count and lane width).
     ///
     /// This is the selection loop's hottest entry point — one call per
     /// probed component — so it reuses the warm scratch of whichever
@@ -409,30 +594,33 @@ impl ParallelEstimator {
         samples: u32,
         seq: &SeedSequence,
     ) -> ComponentEstimate {
-        let job = BatchJob {
-            vertex_count: component.vertex_count(),
-            work_edges: component.edge_count(),
-            source: 0,
-            samples,
-            threads: self.threads,
-        };
-        let successes = batched_success_counts(
-            job,
-            |batch, first_label, lanes| component.fill_batch(batch, seq, first_label, lanes),
-            |u| component.local_neighbors(u),
-        );
-        ComponentEstimate::from_success_counts(successes, samples)
+        with_lane_words!(self.lane_words, W, {
+            let job = BatchJob {
+                vertex_count: component.vertex_count(),
+                work_edges: component.edge_count(),
+                source: 0,
+                samples,
+                threads: self.threads,
+            };
+            let successes = batched_success_counts::<W, _, _, _>(
+                job,
+                |batch, first_label, lanes| component.fill_batch(batch, seq, first_label, lanes),
+                |u| component.local_neighbors(u),
+            );
+            ComponentEstimate::from_success_counts(successes, samples)
+        })
     }
 
     /// Draws worlds `[first_world, total_worlds)` for **many components as
-    /// one job**: every `(component, 64-world batch)` pair becomes one work
+    /// one job**: every `(component, lane block)` pair becomes one work
     /// unit, and all units are sharded across the worker pool together.
     ///
     /// Returns one per-vertex success-count delta per request, covering
     /// exactly the requested world range. Because world `i` of request `r`
     /// always draws from `r.seq.rng(i)` and counts merge by integer
     /// addition, the result is a pure function of each request alone —
-    /// bit-identical for every thread count and to per-component calls.
+    /// bit-identical for every thread count and lane width, and to
+    /// per-component calls.
     ///
     /// This is where the racing engine's speedup over per-candidate
     /// estimation comes from: individual component probes are far too small
@@ -440,10 +628,26 @@ impl ParallelEstimator {
     /// sequentially, but the union of all surviving candidates' batches in
     /// a round is large enough to keep every worker busy.
     pub fn sample_component_worlds(&self, requests: &[WorldsRequest<'_>]) -> Vec<Vec<u32>> {
-        // Flatten: global unit index → (request, batch). Requests are laid
-        // out contiguously so each chunk touches few distinct components.
+        with_lane_words!(self.lane_words, W, {
+            self.sample_component_worlds_at::<W>(requests)
+        })
+    }
+
+    fn sample_component_worlds_at<const W: usize>(
+        &self,
+        requests: &[WorldsRequest<'_>],
+    ) -> Vec<Vec<u32>>
+    where
+        SamplingScratch<W>: ScratchSlot,
+    {
+        // Flatten: global unit index → (request, lane block). A request's
+        // blocks group `W` consecutive batches starting at its own
+        // `first_world` boundary — world labels are unaffected by the
+        // grouping, so the counts match the width-1 reference exactly.
+        // Requests are laid out contiguously so each chunk touches few
+        // distinct components.
         let mut unit_request: Vec<u32> = Vec::new();
-        let mut unit_batch: Vec<u32> = Vec::new();
+        let mut unit_first_batch: Vec<u32> = Vec::new();
         let mut coins = 0u64;
         for (r, req) in requests.iter().enumerate() {
             assert!(
@@ -458,20 +662,22 @@ impl ParallelEstimator {
                 * req.component.edge_count().max(1) as u64;
             let first_batch = req.first_world / LANES;
             let last_batch = (req.total_worlds - 1) / LANES;
-            for b in first_batch..=last_batch {
+            let mut b = first_batch;
+            while b <= last_batch {
                 unit_request.push(r as u32);
-                unit_batch.push(b);
+                unit_first_batch.push(b);
+                b += W as u32;
             }
         }
         let workers = workers_for_coins(self.threads, coins);
         let chunks = parallel_chunks(unit_request.len(), workers, |_worker, range| {
-            with_thread_scratch(|scratch| {
+            with_thread_scratch::<W, _>(|scratch| {
                 let mut acc: Vec<Option<Vec<u32>>> = vec![None; requests.len()];
                 let mut owner: Option<u32> = None;
                 for u in range {
                     let r = unit_request[u];
                     let req = &requests[r as usize];
-                    let b = unit_batch[u] as usize;
+                    let first_batch = unit_first_batch[u] as usize;
                     // Units of one request are contiguous, so the warm
                     // scratch is re-targeted only at request boundaries (and
                     // even then the buffers are reused, not reallocated).
@@ -479,11 +685,11 @@ impl ParallelEstimator {
                         owner = Some(r);
                         scratch.bfs.prepare(req.component.vertex_count());
                     }
-                    let lanes = lanes_in_batch(req.total_worlds, b);
+                    let lanes = block_lanes::<W>(req.total_worlds, first_batch);
                     req.component.fill_batch(
                         &mut scratch.batch,
                         &req.seq,
-                        b as u64 * LANES as u64,
+                        first_batch as u64 * LANES as u64,
                         lanes,
                     );
                     scratch
@@ -493,8 +699,8 @@ impl ParallelEstimator {
                         });
                     let counts = acc[r as usize]
                         .get_or_insert_with(|| vec![0u32; req.component.vertex_count()]);
-                    for (s, &mask) in counts.iter_mut().zip(scratch.bfs.reached()) {
-                        *s += mask.count_ones();
+                    for (s, mask) in counts.iter_mut().zip(scratch.bfs.reached()) {
+                        *s += block_ones(mask);
                     }
                 }
                 acc
@@ -591,6 +797,36 @@ mod tests {
     }
 
     #[test]
+    fn lane_widths_are_bit_identical() {
+        // The tentpole contract: every lane width, at every thread count,
+        // reproduces the width-1 reference bit for bit — success counts by
+        // world identity, flow moments by per-batch merge grouping.
+        let g = cyclic();
+        let active = EdgeSubset::full(&g);
+        let seq = SeedSequence::new(808);
+        for samples in [1, 63, 64, 65, 256, 257, 300, 512, 1000] {
+            let narrow = ParallelEstimator::new(1).with_lane_words(1);
+            let reach1 = narrow.sample_reachability(&g, &active, VertexId(0), samples, &seq);
+            let flow1 = narrow.sample_flow(&g, &active, VertexId(0), true, samples, &seq);
+            for lane_words in [4, 8] {
+                for threads in [1, 3, 8] {
+                    let est = ParallelEstimator::new(threads).with_lane_words(lane_words);
+                    assert_eq!(
+                        reach1,
+                        est.sample_reachability(&g, &active, VertexId(0), samples, &seq),
+                        "samples={samples} lanes={lane_words} threads={threads}"
+                    );
+                    assert_eq!(
+                        flow1,
+                        est.sample_flow(&g, &active, VertexId(0), true, samples, &seq),
+                        "samples={samples} lanes={lane_words} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn batched_estimates_agree_with_scalar_statistics() {
         let g = cyclic();
         let active = EdgeSubset::full(&g);
@@ -675,6 +911,30 @@ mod tests {
         assert_eq!(invalid_thread_requests(), before + 6);
     }
 
+    /// Same single-function policy for the lane-width counter (it is
+    /// process-global too, and separate from the thread counter).
+    #[test]
+    fn parse_lane_words_accepts_supported_widths_only() {
+        let before = invalid_lane_requests();
+        assert_eq!(parse_lane_words(None), 1);
+        assert_eq!(parse_lane_words(Some("1".into())), 1);
+        assert_eq!(parse_lane_words(Some("4".into())), 4);
+        assert_eq!(parse_lane_words(Some(" 8 ".into())), 8);
+        assert_eq!(parse_lane_words(Some(String::new())), 1);
+        assert_eq!(clamp_lane_words(4, "test"), 4);
+        assert_eq!(clamp_lane_words(8, "test"), 8);
+        assert_eq!(invalid_lane_requests(), before);
+
+        assert_eq!(parse_lane_words(Some("0".into())), 1);
+        assert_eq!(parse_lane_words(Some("2".into())), 1);
+        assert_eq!(parse_lane_words(Some("512".into())), 1);
+        assert_eq!(parse_lane_words(Some("wide".into())), 1);
+        assert_eq!(clamp_lane_words(0, "test"), 1);
+        assert_eq!(clamp_lane_words(16, "test"), 1);
+        assert_eq!(ParallelEstimator::new(1).with_lane_words(3).lane_words(), 1);
+        assert_eq!(invalid_lane_requests(), before + 7);
+    }
+
     #[test]
     fn small_jobs_stay_on_the_calling_thread() {
         // 4 edges × 1000 samples is far below the per-worker floor.
@@ -686,6 +946,19 @@ mod tests {
         assert!((1..=8).contains(&mid));
         // Degenerate inputs stay sane.
         assert_eq!(effective_workers(0, 1, 0), 1);
+    }
+
+    #[test]
+    fn block_lanes_cover_the_budget_without_panicking() {
+        // Wide blocks probing past the end of the budget see 0 lanes — the
+        // boundary the old `lanes_in_batch` assert used to panic on.
+        assert_eq!(block_lanes::<4>(256, 0), 256);
+        assert_eq!(block_lanes::<4>(256, 4), 0);
+        assert_eq!(block_lanes::<4>(300, 4), 44);
+        assert_eq!(block_lanes::<8>(512, 0), 512);
+        assert_eq!(block_lanes::<8>(512, 8), 0);
+        assert_eq!(block_lanes::<1>(64, 1), 0);
+        assert_eq!(block_lanes::<1>(65, 1), 1);
     }
 
     #[test]

@@ -2,18 +2,26 @@
 //!
 //! A thin line-protocol TCP front-end over [`flowmax::core::FlowServer`]:
 //! every serving decision (graph residency, admission control, coalescing,
-//! streaming, deterministic replay) lives in the library, so this binary
-//! only parses lines and relays events. See `flowmax-serve --help` and the
-//! README's "Serving" section for the protocol.
+//! streaming, deterministic replay, graceful shutdown) lives in the
+//! library, so this binary only parses lines and relays events. See
+//! `flowmax-serve --help` and the README's "Serving" section for the
+//! protocol.
+//!
+//! Shutdown is orderly, never a silent hang-up: `SHUTDOWN` stops
+//! admission, drains the executing batch, fails every admitted-but-
+//! unstarted query, and hands every other open connection a terminal
+//! `ERR SHUTDOWN server stopping` line before the process exits.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use flowmax::core::{
-    Algorithm, FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult,
+    Algorithm, CoreError, FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult,
 };
 use flowmax::graph::{io as gio, VertexId};
 
@@ -30,6 +38,10 @@ OPTIONS:
     --threads <N>         Sampling worker threads per executing batch
                           (default: FLOWMAX_THREADS or 1; 0 is clamped to 1
                           with a warning).
+    --lanes <N>           Sampling lane width in 64-world lane words per BFS
+                          block: 1, 4, or 8 (64, 256, or 512 worlds; default:
+                          FLOWMAX_LANES or 1; unsupported widths clamp to 1
+                          with a warning). Results never depend on this.
     --max-graphs <N>      Graphs kept resident, LRU beyond that (default 4).
     --queue-capacity <N>  Bounded admission queue; a full queue rejects with
                           `ERR OVERLOADED retry_after_ms=<hint>` (default 64).
@@ -39,11 +51,16 @@ OPTIONS:
                           (default 50).
     --seed <N>            Server-default master seed for queries that don't
                           pin one (default 42).
+    --start-paused        Admit queries without executing them until a
+                          `RESUME` command arrives — for drain tests and
+                          staged rollouts.
     --help                Print this help.
 
 PROTOCOL (one command per line):
     LOAD <path>
-        Parse a `flowmax-graph v1` text file and make it resident.
+        Parse a `flowmax-graph v1` text file and make it resident. The path
+        is everything after the first space up to the end of the line, so
+        paths containing spaces need no quoting.
         -> OK LOADED <fingerprint> vertices=<n> edges=<m>
     SOLVE <fingerprint> query=<v> budget=<k> [algorithm=<name>]
           [samples=<n>] [seed=<n>] [stream]
@@ -53,16 +70,23 @@ PROTOCOL (one command per line):
         -> OK RESULT flow=<f> algorithm_flow=<f> seed=<n> edges=<e1,e2,...>
     STATS
         -> OK STATS resident=<n> queued=<n> completed=<n> rejected=<n> batches=<n>
+    RESUME
+        -> OK RESUMED (starts a `--start-paused` dispatcher; idempotent)
     QUIT
         -> OK BYE (closes this connection; the daemon keeps serving)
     SHUTDOWN
-        -> OK BYE (stops the whole daemon)
+        -> OK BYE, then the daemon stops: no new queries are admitted, the
+        executing batch drains, admitted-but-unstarted queries fail with
+        `ERR SHUTDOWN server stopping`, every other open connection gets
+        that same terminal line, and the process exits.
+    STATS, RESUME, QUIT, and SHUTDOWN take no arguments; trailing tokens
+    are a protocol error (`ERR ...`), not silently ignored.
 
 DETERMINISTIC REPLAY:
     A query's result is a pure function of (graph fingerprint, query
     parameters, seed). Replaying the same SOLVE line — any queue state,
-    any coalescing, any thread count — returns a bit-identical selection
-    and flow.
+    any coalescing, any thread count, any lane width — returns a
+    bit-identical selection and flow.
 ";
 
 struct Options {
@@ -79,6 +103,11 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
         if name == "--help" {
             return Err(String::new()); // caller prints usage
         }
+        if name == "--start-paused" {
+            config.start_paused = true;
+            i += 1;
+            continue;
+        }
         let value = raw
             .get(i + 1)
             .ok_or_else(|| format!("option {name} requires a value"))?;
@@ -86,6 +115,7 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
         match name {
             "--port" => port = value.parse().map_err(|_| bad("--port"))?,
             "--threads" => config.threads = value.parse().map_err(|_| bad("--threads"))?,
+            "--lanes" => config.lane_words = value.parse().map_err(|_| bad("--lanes"))?,
             "--max-graphs" => {
                 config.max_resident_graphs = value.parse().map_err(|_| bad("--max-graphs"))?
             }
@@ -105,6 +135,55 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
         i += 2;
     }
     Ok(Options { port, config })
+}
+
+/// The daemon's shared state: the serving engine plus everything the
+/// graceful shutdown needs to reach every blocked thread — the listening
+/// port (to wake the accept loop) and one cloned handle per open
+/// connection (to unblock its reader).
+struct Daemon {
+    server: FlowServer,
+    port: u16,
+    shutting_down: AtomicBool,
+    next_conn: AtomicU64,
+    connections: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Daemon {
+    fn lock_connections(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tracks a connection for shutdown wake-up; returns its registry key.
+    fn register(&self, stream: &TcpStream) -> std::io::Result<u64> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let handle = stream.try_clone()?;
+        self.lock_connections().insert(id, handle);
+        Ok(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.lock_connections().remove(&id);
+    }
+
+    /// The orderly stop, idempotent. Ordering matters: mark the flag first
+    /// (so readers waking from EOF know why), drain the serving engine
+    /// (in-flight batch completes, queued queries fail with terminal
+    /// events), then unblock every reader and the accept loop.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.server.shutdown();
+        for stream in self.lock_connections().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // Self-connect to wake the blocking accept; the accept loop sees
+        // the flag and breaks.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+    }
 }
 
 fn main() -> ExitCode {
@@ -129,60 +208,116 @@ fn main() -> ExitCode {
         }
     };
     let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
-    let server = Arc::new(FlowServer::new(options.config));
+    let daemon = Arc::new(Daemon {
+        server: FlowServer::new(options.config),
+        port,
+        shutting_down: AtomicBool::new(false),
+        next_conn: AtomicU64::new(0),
+        connections: Mutex::new(HashMap::new()),
+    });
     // The scripted-client handshake: clients (and CI) read this line to
     // learn the ephemeral port.
     println!("LISTENING {port}");
     let _ = std::io::stdout().flush();
+    let mut handlers = Vec::new();
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
-                let server = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    let _ = handle_client(stream, &server);
-                });
+                if daemon.shutting_down.load(Ordering::SeqCst) {
+                    // Late arrival (or the shutdown wake-up connection):
+                    // answer with the terminal line instead of raw EOF.
+                    let mut writer = BufWriter::new(stream);
+                    let _ = writeln!(writer, "ERR SHUTDOWN server stopping");
+                    let _ = writer.flush();
+                    break;
+                }
+                let daemon = Arc::clone(&daemon);
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_client(&daemon, stream);
+                }));
             }
             Err(e) => eprintln!("flowmax-serve: accept failed: {e}"),
         }
     }
+    // Every handler either already saw the shutdown flag or wakes from its
+    // closed read half; join so all terminal lines flush before exit.
+    for handler in handlers {
+        let _ = handler.join();
+    }
     ExitCode::SUCCESS
 }
 
-/// Serves one connection until QUIT/SHUTDOWN/EOF. Protocol errors answer
-/// with an `ERR` line and keep the connection alive.
-fn handle_client(stream: TcpStream, server: &FlowServer) -> std::io::Result<()> {
+/// Serves one connection until QUIT/SHUTDOWN/EOF, keeping it registered
+/// for shutdown wake-up while it lives. Protocol errors answer with an
+/// `ERR` line and keep the connection alive.
+fn handle_client(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
+    let id = daemon.register(&stream)?;
+    let result = serve_connection(daemon, stream);
+    daemon.deregister(id);
+    result
+}
+
+fn serve_connection(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+            // EOF: the client hung up — unless the daemon closed our read
+            // half to shut down, in which case the protocol owes the
+            // client a terminal line, not silence.
+            if daemon.shutting_down.load(Ordering::SeqCst) {
+                let _ = writeln!(writer, "ERR SHUTDOWN server stopping");
+                let _ = writer.flush();
+            }
+            return Ok(());
         }
-        let mut tokens = line.split_whitespace();
-        let reply_end = match tokens.next() {
-            None => continue, // blank line
-            Some("QUIT") => {
-                writeln!(writer, "OK BYE")?;
-                writer.flush()?;
-                return Ok(());
-            }
-            Some("SHUTDOWN") => {
-                writeln!(writer, "OK BYE")?;
-                writer.flush()?;
-                std::process::exit(0);
-            }
-            Some("LOAD") => cmd_load(tokens.next(), server),
-            Some("SOLVE") => cmd_solve(&mut tokens, server, &mut writer)?,
-            Some("STATS") => {
-                let s = server.stats();
-                Ok(format!(
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.trim().is_empty() {
+            continue; // blank line
+        }
+        // Split off the command word only; LOAD needs the raw remainder
+        // because paths may contain spaces.
+        let (command, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((command, rest)) => (command, rest.trim()),
+            None => (trimmed, ""),
+        };
+        let reply_end = match command {
+            "QUIT" => match no_args("QUIT", rest) {
+                Ok(()) => {
+                    writeln!(writer, "OK BYE")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                Err(e) => Err(e),
+            },
+            "SHUTDOWN" => match no_args("SHUTDOWN", rest) {
+                Ok(()) => {
+                    // Acknowledge first: this client's goodbye must not
+                    // wait for the drain it is causing.
+                    writeln!(writer, "OK BYE")?;
+                    writer.flush()?;
+                    daemon.begin_shutdown();
+                    return Ok(());
+                }
+                Err(e) => Err(e),
+            },
+            "LOAD" => cmd_load(rest, &daemon.server),
+            "SOLVE" => cmd_solve(rest, daemon, &mut writer)?,
+            "STATS" => no_args("STATS", rest).map(|()| {
+                let s = daemon.server.stats();
+                format!(
                     "OK STATS resident={} queued={} completed={} rejected={} batches={}",
                     s.resident_graphs, s.queued, s.completed, s.rejected, s.batches
-                ))
-            }
-            Some(other) => Err(format!(
-                "unknown command {other:?} (LOAD, SOLVE, STATS, QUIT, SHUTDOWN)"
+                )
+            }),
+            "RESUME" => no_args("RESUME", rest).map(|()| {
+                daemon.server.resume();
+                "OK RESUMED".to_string()
+            }),
+            other => Err(format!(
+                "unknown command {other:?} (LOAD, SOLVE, STATS, RESUME, QUIT, SHUTDOWN)"
             )),
         };
         match reply_end {
@@ -193,8 +328,20 @@ fn handle_client(stream: TcpStream, server: &FlowServer) -> std::io::Result<()> 
     }
 }
 
-fn cmd_load(path: Option<&str>, server: &FlowServer) -> Result<String, String> {
-    let path = path.ok_or("LOAD requires a path")?;
+/// Rejects trailing tokens on argument-less commands: `STATS now` is a
+/// client bug the server must surface, not silently ignore.
+fn no_args(command: &str, rest: &str) -> Result<(), String> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{command} takes no arguments (got {rest:?})"))
+    }
+}
+
+fn cmd_load(path: &str, server: &FlowServer) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("LOAD requires a path".into());
+    }
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let graph =
         gio::read_text(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -209,11 +356,12 @@ fn cmd_load(path: Option<&str>, server: &FlowServer) -> Result<String, String> {
 /// Parses and runs one SOLVE command, writing STEP lines inline when
 /// streaming was requested. Returns the final reply line.
 fn cmd_solve(
-    tokens: &mut std::str::SplitWhitespace<'_>,
-    server: &FlowServer,
+    rest: &str,
+    daemon: &Daemon,
     writer: &mut impl Write,
 ) -> std::io::Result<Result<String, String>> {
     let parsed = (|| -> Result<(u64, QueryParams, bool), String> {
+        let mut tokens = rest.split_whitespace();
         let fp_text = tokens.next().ok_or("SOLVE requires a graph fingerprint")?;
         let fingerprint = u64::from_str_radix(fp_text, 16)
             .map_err(|_| format!("invalid fingerprint {fp_text:?} (16 hex digits)"))?;
@@ -252,7 +400,7 @@ fn cmd_solve(
         Ok(parsed) => parsed,
         Err(msg) => return Ok(Err(msg)),
     };
-    let ticket = match server.submit(fingerprint, params) {
+    let ticket = match daemon.server.submit(fingerprint, params) {
         Ok(ticket) => ticket,
         Err(ServeError::Overloaded { retry_after }) => {
             return Ok(Err(format!(
@@ -260,6 +408,7 @@ fn cmd_solve(
                 retry_after.as_millis()
             )))
         }
+        Err(ServeError::ShuttingDown) => return Ok(Err("SHUTDOWN server stopping".into())),
         Err(e) => return Ok(Err(e.to_string())),
     };
     loop {
@@ -278,8 +427,13 @@ fn cmd_solve(
                 }
             }
             Some(ServeEvent::Done(result)) => return Ok(Ok(format_result(&result))),
+            Some(ServeEvent::Failed(CoreError::ShuttingDown)) | None => {
+                // The terminal line for queries the shutdown drained (the
+                // stream only ends without a terminal event if the server
+                // vanished, which is the same story for the client).
+                return Ok(Err("SHUTDOWN server stopping".into()));
+            }
             Some(ServeEvent::Failed(e)) => return Ok(Err(e.to_string())),
-            None => return Ok(Err("server shut down mid-query".into())),
         }
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! flowmax solve  --graph g.txt --query 0 --budget 20 [--algorithm FT+M]
-//!                [--samples 1000] [--seed 42] [--threads 8] [--include-query]
-//!                [--trace] [--dot out.dot]
+//!                [--samples 1000] [--seed 42] [--threads 8] [--lanes 8]
+//!                [--include-query] [--trace] [--dot out.dot]
 //! flowmax stats  --graph g.txt
 //! flowmax exact  --graph g.txt --query 0 --budget 5
 //! flowmax generate --dataset erdos --vertices 1000 --degree 6 [--seed 42] > g.txt
@@ -127,6 +127,12 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     // same story as `FLOWMAX_THREADS` and `Session::with_threads`.
     let threads: usize = args.parse_opt("threads", flowmax::sampling::default_threads())?;
     let threads = flowmax::sampling::clamp_threads(threads, "--threads");
+    // Sampling lane width in 64-world words per BFS block (1, 4, or 8 —
+    // 64/256/512 worlds). Results are bit-identical at every width; an
+    // unsupported width clamps to 1 with the shared one-time warning, the
+    // same story as `FLOWMAX_LANES` and `Session::with_lane_words`.
+    let lane_words: usize = args.parse_opt("lanes", flowmax::sampling::default_lane_words())?;
+    let lane_words = flowmax::sampling::clamp_lane_words(lane_words, "--lanes");
     // §6.3 race engine for the CI variants: "batched" (default) drives
     // rounds as multi-candidate jobs on the parallel sampler; "scalar" is
     // the pinned reference race. Case-insensitive.
@@ -145,6 +151,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     // identical at any thread count, only wall-clock time changes.
     let session = Session::new(&graph)
         .with_threads(threads)
+        .with_lane_words(lane_words)
         .with_seed(args.parse_opt("seed", 42u64)?);
     let builder = session
         .query(query)
@@ -250,8 +257,9 @@ flowmax — budgeted information-flow maximization in probabilistic graphs
 
 USAGE:
   flowmax solve    --graph <file> [--query N] [--budget K] [--algorithm NAME]
-                   [--samples N] [--seed N] [--threads N] [--include-query]
-                   [--ci-race batched|scalar] [--trace] [--dot <file>]
+                   [--samples N] [--seed N] [--threads N] [--lanes 1|4|8]
+                   [--include-query] [--ci-race batched|scalar] [--trace]
+                   [--dot <file>]
   flowmax exact    --graph <file> [--query N] [--budget K] [--include-query]
   flowmax stats    --graph <file>
   flowmax generate --dataset <name> [--vertices N] [--degree D] [--seed N]
@@ -272,6 +280,7 @@ fn allowed_options(command: &str) -> Option<(&'static [&'static str], &'static [
                 "samples",
                 "seed",
                 "threads",
+                "lanes",
                 "ci-race",
                 "dot",
             ],

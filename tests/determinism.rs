@@ -150,6 +150,57 @@ fn solver_is_thread_count_invariant_for_naive_and_full_ft_stack() {
     }
 }
 
+/// The wide-lane contract at the solver level: lane width (64, 256, or
+/// 512 worlds per BFS block) is a pure throughput knob. Every algorithm
+/// that samples must select the same edges and report bit-equal flows at
+/// every supported width, at any thread count, because lane `w` of a wide
+/// block draws the same RNG stream as lane `w` of narrow batches.
+#[test]
+fn solver_is_lane_width_invariant_at_any_thread_count() {
+    let g = ErdosConfig::paper(150, 5.0).generate(77);
+    let q = suggest_query(&g);
+    for alg in [Algorithm::Naive, Algorithm::FtMCiDs] {
+        let run = |threads: usize, lane_words: usize| {
+            let session = Session::new(&g)
+                .with_threads(threads)
+                .with_lane_words(lane_words)
+                .with_seed(5);
+            session
+                .query(q)
+                .unwrap()
+                .algorithm(alg)
+                .budget(6)
+                .samples(200)
+                .run()
+                .unwrap()
+        };
+        let base = run(1, 1);
+        for threads in [1usize, 8] {
+            for lane_words in [4usize, 8] {
+                let out = run(threads, lane_words);
+                assert_eq!(
+                    base.selected,
+                    out.selected,
+                    "{} selection differs at width {lane_words}, {threads} threads",
+                    alg.name()
+                );
+                assert_eq!(
+                    base.flow,
+                    out.flow,
+                    "{} evaluated flow differs at width {lane_words}, {threads} threads",
+                    alg.name()
+                );
+                assert_eq!(
+                    base.algorithm_flow,
+                    out.algorithm_flow,
+                    "{} internal flow differs at width {lane_words}, {threads} threads",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
 /// The persistent-pool serving contract (satellite of the worker-pool PR):
 /// the same `QuerySpec` must be bit-identical (a) on a fresh pool, (b)
 /// after 100 unrelated jobs have warmed every worker's scratch arenas with

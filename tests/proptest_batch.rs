@@ -2,11 +2,16 @@
 //! reference: for random graphs, lane `w` of a [`WorldBatch`] must be the
 //! *exact* world a scalar `sample_world` draws from the same seed-sequence
 //! child, and the lane-BFS must agree with a scalar BFS world-for-world.
+//!
+//! Every property runs at all supported lane widths (1, 4, and 8 lane
+//! words — 64, 256, and 512 worlds per block): the lane/seed contract says
+//! lane `w` of a block draws from child stream `first_label + w` no matter
+//! how the worlds are grouped, so the scalar reference pins every width.
 
 use flowmax::graph::{
     Bfs, EdgeId, EdgeSubset, GraphBuilder, ProbabilisticGraph, Probability, VertexId, Weight,
 };
-use flowmax::sampling::{sample_world, LaneBfs, SeedSequence, WorldBatch, LANES};
+use flowmax::sampling::{block_worlds, sample_world, LaneBfs, SeedSequence, WorldBatch, LANES};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -84,81 +89,113 @@ fn domains(g: &ProbabilisticGraph) -> Vec<EdgeSubset> {
     vec![full, half]
 }
 
+/// Lane `w` of a width-`W` batch is bit-identical to the scalar world drawn
+/// from child stream `first_label + w`.
+fn batch_lanes_equal_scalar_worlds_at<const W: usize>(spec: &SmallGraph) {
+    let g = build(spec);
+    let seq = SeedSequence::new(spec.seed);
+    for (d, domain) in domains(&g).into_iter().enumerate() {
+        let first_label = d as u64 * block_worlds::<W>() as u64;
+        let batch = WorldBatch::<W>::sample(&g, &domain, &seq, first_label, block_worlds::<W>());
+        let mut scalar = EdgeSubset::for_graph(&g);
+        let mut extracted = EdgeSubset::for_graph(&g);
+        for lane in 0..block_worlds::<W>() {
+            let mut rng = seq.rng(first_label + lane as u64);
+            sample_world(&g, &domain, &mut rng, &mut scalar);
+            batch.world(lane, &mut extracted);
+            prop_assert_eq!(&scalar, &extracted, "W {} domain {} lane {}", W, d, lane);
+            // Sampled worlds never leave their domain.
+            prop_assert!(extracted.iter().all(|e| domain.contains(e)));
+        }
+    }
+}
+
+/// The lane-parallel reachability kernel agrees world-for-world with
+/// `64 * W` scalar `sample_world` + BFS runs seeded from the same children.
+fn lane_bfs_equals_scalar_bfs_at<const W: usize>(spec: &SmallGraph) {
+    let g = build(spec);
+    let seq = SeedSequence::new(spec.seed ^ 0xBEEF);
+    let query = VertexId(0);
+    for domain in domains(&g) {
+        let batch = WorldBatch::<W>::sample(&g, &domain, &seq, 0, block_worlds::<W>());
+        let mut lane_bfs = LaneBfs::<W>::new(g.vertex_count());
+        lane_bfs.run_graph(&g, query, &batch);
+        let mut world = EdgeSubset::for_graph(&g);
+        let mut bfs = Bfs::new(g.vertex_count());
+        for lane in 0..block_worlds::<W>() {
+            let mut rng = seq.rng(lane as u64);
+            sample_world(&g, &domain, &mut rng, &mut world);
+            bfs.reachable(&g, &world, query);
+            let (word, bit) = (lane as usize / 64, lane % 64);
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    bfs.was_visited(v),
+                    lane_bfs.reached_mask(v.index())[word] >> bit & 1 == 1,
+                    "W {} lane {} vertex {}",
+                    W,
+                    lane,
+                    v.index()
+                );
+            }
+        }
+    }
+}
+
+/// Partial blocks (fewer than `64 * W` lanes) match the scalar reference on
+/// exactly the active lanes and keep inactive bits clear.
+fn partial_batches_match_scalar_prefix_at<const W: usize>(spec: &SmallGraph, lanes: u32) {
+    let g = build(spec);
+    let domain = EdgeSubset::full(&g);
+    let seq = SeedSequence::new(spec.seed ^ 0xA11CE);
+    let batch = WorldBatch::<W>::sample(&g, &domain, &seq, 0, lanes);
+    prop_assert_eq!(batch.lanes(), lanes);
+    let active = batch.active_mask();
+    for e in g.edge_ids() {
+        let mask = batch.edge_mask(e);
+        for k in 0..W {
+            prop_assert_eq!(mask[k] & !active[k], 0, "W {} word {}", W, k);
+        }
+    }
+    let mut scalar = EdgeSubset::for_graph(&g);
+    let mut extracted = EdgeSubset::for_graph(&g);
+    for lane in 0..lanes {
+        let mut rng = seq.rng(lane as u64);
+        sample_world(&g, &domain, &mut rng, &mut scalar);
+        batch.world(lane, &mut extracted);
+        prop_assert_eq!(&scalar, &extracted, "W {} lane {}", W, lane);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Lane `w` of the batch is bit-identical to the scalar world drawn
-    /// from child stream `first_label + w`.
+    /// from child stream `first_label + w`, at every supported width.
     #[test]
     fn batch_lanes_equal_scalar_worlds(spec in small_graph()) {
-        let g = build(&spec);
-        let seq = SeedSequence::new(spec.seed);
-        for (d, domain) in domains(&g).into_iter().enumerate() {
-            let first_label = d as u64 * LANES as u64;
-            let batch = WorldBatch::sample(&g, &domain, &seq, first_label, LANES);
-            let mut scalar = EdgeSubset::for_graph(&g);
-            let mut extracted = EdgeSubset::for_graph(&g);
-            for lane in 0..LANES {
-                let mut rng = seq.rng(first_label + lane as u64);
-                sample_world(&g, &domain, &mut rng, &mut scalar);
-                batch.world(lane, &mut extracted);
-                prop_assert_eq!(&scalar, &extracted, "domain {} lane {}", d, lane);
-                // Sampled worlds never leave their domain.
-                prop_assert!(extracted.iter().all(|e| domain.contains(e)));
-            }
-        }
+        batch_lanes_equal_scalar_worlds_at::<1>(&spec);
+        batch_lanes_equal_scalar_worlds_at::<4>(&spec);
+        batch_lanes_equal_scalar_worlds_at::<8>(&spec);
     }
 
-    /// The 64-lane reachability kernel agrees world-for-world with 64
-    /// scalar `sample_world` + BFS runs seeded from the same children.
+    /// The lane-parallel reachability kernel agrees world-for-world with
+    /// scalar `sample_world` + BFS runs, at every supported width.
     #[test]
     fn lane_bfs_equals_scalar_bfs_per_world(spec in small_graph()) {
-        let g = build(&spec);
-        let seq = SeedSequence::new(spec.seed ^ 0xBEEF);
-        let query = VertexId(0);
-        for domain in domains(&g) {
-            let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
-            let mut lane_bfs = LaneBfs::new(g.vertex_count());
-            lane_bfs.run_graph(&g, query, &batch);
-            let mut world = EdgeSubset::for_graph(&g);
-            let mut bfs = Bfs::new(g.vertex_count());
-            for lane in 0..LANES {
-                let mut rng = seq.rng(lane as u64);
-                sample_world(&g, &domain, &mut rng, &mut world);
-                bfs.reachable(&g, &world, query);
-                for v in g.vertices() {
-                    prop_assert_eq!(
-                        bfs.was_visited(v),
-                        lane_bfs.reached_mask(v.index()) >> lane & 1 == 1,
-                        "lane {} vertex {}",
-                        lane,
-                        v.index()
-                    );
-                }
-            }
-        }
+        lane_bfs_equals_scalar_bfs_at::<1>(&spec);
+        lane_bfs_equals_scalar_bfs_at::<4>(&spec);
+        lane_bfs_equals_scalar_bfs_at::<8>(&spec);
     }
 
-    /// Partial batches (fewer than 64 lanes) match the scalar reference on
-    /// exactly the active lanes and keep inactive bits clear.
+    /// Partial blocks (fewer lanes than the block holds) match the scalar
+    /// reference on exactly the active lanes and keep inactive bits clear.
+    /// `lanes` ranges over the widest block so each narrower width clamps
+    /// into its own valid range, covering mid-word and mid-block cuts.
     #[test]
-    fn partial_batches_match_scalar_prefix((spec, lanes) in (small_graph(), 1u32..64)) {
-        let g = build(&spec);
-        let domain = EdgeSubset::full(&g);
-        let seq = SeedSequence::new(spec.seed ^ 0xA11CE);
-        let batch = WorldBatch::sample(&g, &domain, &seq, 0, lanes);
-        prop_assert_eq!(batch.lanes(), lanes);
-        for e in g.edge_ids() {
-            prop_assert_eq!(batch.edge_mask(e) & !batch.active_mask(), 0);
-        }
-        let mut scalar = EdgeSubset::for_graph(&g);
-        let mut extracted = EdgeSubset::for_graph(&g);
-        for lane in 0..lanes {
-            let mut rng = seq.rng(lane as u64);
-            sample_world(&g, &domain, &mut rng, &mut scalar);
-            batch.world(lane, &mut extracted);
-            prop_assert_eq!(&scalar, &extracted, "lane {}", lane);
-        }
+    fn partial_batches_match_scalar_prefix((spec, lanes) in (small_graph(), 1u32..512)) {
+        partial_batches_match_scalar_prefix_at::<1>(&spec, lanes.clamp(1, 63));
+        partial_batches_match_scalar_prefix_at::<4>(&spec, lanes.clamp(1, 255));
+        partial_batches_match_scalar_prefix_at::<8>(&spec, lanes);
     }
 }
 
@@ -178,8 +215,12 @@ fn certain_edges_keep_engines_aligned() {
     let g = b.build();
     let domain = EdgeSubset::full(&g);
     let seq = SeedSequence::new(2024);
-    let batch = WorldBatch::sample(&g, &domain, &seq, 0, LANES);
-    assert_eq!(batch.edge_mask(EdgeId(0)), !0, "certain edge in every lane");
+    let batch = WorldBatch::<1>::sample(&g, &domain, &seq, 0, LANES);
+    assert_eq!(
+        batch.edge_mask(EdgeId(0)),
+        [!0u64],
+        "certain edge in every lane"
+    );
     let mut scalar = EdgeSubset::for_graph(&g);
     let mut extracted = EdgeSubset::for_graph(&g);
     for lane in 0..LANES {

@@ -1,16 +1,19 @@
-//! End-to-end test of the `flowmax-serve` binary over its TCP line
+//! End-to-end tests of the `flowmax-serve` binary over its TCP line
 //! protocol: ephemeral-port startup handshake, LOAD/SOLVE/STATS, streamed
 //! anytime steps, protocol-error recovery, the deterministic-replay
 //! contract *on the wire* (f64 `Display` is shortest-roundtrip, so equal
-//! RESULT lines mean bit-equal values), and clean SHUTDOWN.
+//! RESULT lines mean bit-equal values), wide-lane replays, backpressure
+//! formatting, and the graceful SHUTDOWN contract: every open connection
+//! gets a terminal line, never a raw EOF.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use flowmax::datasets::{suggest_query, ErdosConfig};
-use flowmax::graph::io as gio;
+use flowmax::graph::{io as gio, ProbabilisticGraph, VertexId};
 
 /// Kills the daemon if the test panics before the SHUTDOWN handshake.
 struct DaemonGuard(Child);
@@ -20,6 +23,68 @@ impl Drop for DaemonGuard {
         let _ = self.0.kill();
         let _ = self.0.wait();
     }
+}
+
+/// Spawns `flowmax-serve --port 0 <extra_args>` with `envs` set and reads
+/// the `LISTENING <port>` banner.
+fn spawn_daemon(extra_args: &[&str], envs: &[(&str, &str)]) -> (DaemonGuard, u16) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_flowmax-serve"));
+    command
+        .args(["--port", "0"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let mut child = command.spawn().expect("spawn flowmax-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let guard = DaemonGuard(child);
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read LISTENING banner");
+    let port: u16 = banner
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("banner carries the port");
+    (guard, port)
+}
+
+/// Waits (bounded) for the daemon process to exit successfully.
+fn wait_for_clean_exit(guard: &mut DaemonGuard) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match guard.0.try_wait().expect("poll daemon") {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => panic!("daemon ignored SHUTDOWN"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Writes a small test graph under `dir` and returns its path and a good
+/// query vertex.
+fn write_graph(graph: &ProbabilisticGraph, dir: &Path, file_name: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create graph dir");
+    let path = dir.join(file_name);
+    let file = std::fs::File::create(&path).expect("create graph file");
+    let mut w = std::io::BufWriter::new(file);
+    gio::write_text(graph, &mut w)
+        .and_then(|_| w.flush())
+        .expect("write graph file");
+    path
+}
+
+fn test_graph() -> (ProbabilisticGraph, VertexId) {
+    let graph = ErdosConfig::paper(80, 5.0).generate(19);
+    let query = suggest_query(&graph);
+    (graph, query)
 }
 
 struct Client {
@@ -62,42 +127,26 @@ impl Client {
             }
         }
     }
+
+    /// LOADs a graph file and returns the announced fingerprint.
+    fn load(&mut self, path: &Path) -> String {
+        let (_, loaded) = self.roundtrip(&format!("LOAD {}", path.display()));
+        assert!(loaded.starts_with("OK LOADED "), "{loaded}");
+        loaded
+            .split_whitespace()
+            .nth(2)
+            .expect("fingerprint field")
+            .to_string()
+    }
 }
 
 #[test]
 fn daemon_serves_the_line_protocol_end_to_end() {
-    // A graph file for the daemon to LOAD.
-    let graph = ErdosConfig::paper(80, 5.0).generate(19);
-    let query = suggest_query(&graph);
-    let path = std::env::temp_dir().join(format!("flowmax-serve-test-{}.txt", std::process::id()));
-    {
-        let file = std::fs::File::create(&path).expect("create graph file");
-        let mut w = std::io::BufWriter::new(file);
-        gio::write_text(&graph, &mut w)
-            .and_then(|_| w.flush())
-            .expect("write graph file");
-    }
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax-serve-test-{}", std::process::id()));
+    let path = write_graph(&graph, &dir, "graph.txt");
 
-    // Start on an ephemeral port; the startup handshake prints it.
-    let mut child = Command::new(env!("CARGO_BIN_EXE_flowmax-serve"))
-        .args(["--port", "0", "--threads", "2", "--seed", "42"])
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn flowmax-serve");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut guard = DaemonGuard(child);
-    let mut banner = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut banner)
-        .expect("read LISTENING banner");
-    let port: u16 = banner
-        .trim()
-        .strip_prefix("LISTENING ")
-        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
-        .parse()
-        .expect("banner carries the port");
-
+    let (mut guard, port) = spawn_daemon(&["--threads", "2", "--seed", "42"], &[]);
     let mut client = Client::connect(port);
 
     // LOAD announces the fingerprint the SOLVE commands key on.
@@ -136,6 +185,16 @@ fn daemon_serves_the_line_protocol_end_to_end() {
     assert!(err.contains("query="), "{err}");
     let (_, err) = client.roundtrip("SOLVE ffffffffffffffff query=0 budget=1");
     assert!(err.starts_with("ERR "), "{err}");
+    // Unknown SOLVE keys are rejected, not silently dropped.
+    let (_, err) = client.roundtrip(&format!("SOLVE {fp} query=0 budget=1 frobnicate=9"));
+    assert!(err.contains("unknown SOLVE key"), "{err}");
+    // Malformed fingerprints (non-hex) are a parse error.
+    let (_, err) = client.roundtrip("SOLVE zz@@ query=0 budget=1");
+    assert!(err.contains("invalid fingerprint"), "{err}");
+
+    // RESUME is idempotent (this daemon never paused).
+    let (_, resumed) = client.roundtrip("RESUME");
+    assert_eq!(resumed, "OK RESUMED");
 
     let (_, stats) = client.roundtrip("STATS");
     assert!(stats.starts_with("OK STATS resident=1 "), "{stats}");
@@ -152,16 +211,145 @@ fn daemon_serves_the_line_protocol_end_to_end() {
     // SHUTDOWN stops the whole daemon.
     let (_, bye) = client.roundtrip("SHUTDOWN");
     assert_eq!(bye, "OK BYE");
+    wait_for_clean_exit(&mut guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// LOAD treats everything after the command word as the path, so graph
+/// files living under directories with spaces load fine — and the
+/// argument-less commands reject trailing garbage instead of silently
+/// ignoring it (a truncated-parse regression in both directions).
+#[test]
+fn load_accepts_spaced_paths_and_bare_commands_reject_garbage() {
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax serve spaced {}", std::process::id()));
+    let path = write_graph(&graph, &dir, "my graph file.txt");
+
+    let (mut guard, port) = spawn_daemon(&["--threads", "1"], &[]);
+    let mut client = Client::connect(port);
+
+    // The spaced path loads; the old first-token parse would have tried
+    // to open ".../flowmax" and failed.
+    let fp = client.load(&path);
+    let (_, result) = client.roundtrip(&format!(
+        "SOLVE {fp} query={} budget=2 samples=100 seed=3",
+        query.0
+    ));
+    assert!(result.starts_with("OK RESULT flow="), "{result}");
+
+    // A missing path is still an error.
+    let (_, err) = client.roundtrip("LOAD");
+    assert!(err.contains("requires a path"), "{err}");
+
+    // Trailing tokens on argument-less commands are protocol errors, and
+    // the connection stays serviceable afterwards.
+    for command in ["STATS", "RESUME", "QUIT", "SHUTDOWN"] {
+        let (_, err) = client.roundtrip(&format!("{command} now please"));
+        assert!(
+            err.starts_with("ERR ") && err.contains("takes no arguments"),
+            "{command}: {err}"
+        );
+    }
+    let (_, stats) = client.roundtrip("STATS");
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+
+    let (_, bye) = client.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    wait_for_clean_exit(&mut guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The replay contract across lane widths, on the wire: a daemon running
+/// 512-world SIMD lane blocks answers the same SOLVE line with RESULT and
+/// STEP lines byte-identical to a narrow (64-world) daemon's.
+#[test]
+fn wide_lane_daemon_replays_narrow_results_byte_identically() {
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax-serve-lanes-{}", std::process::id()));
+    let path = write_graph(&graph, &dir, "graph.txt");
+    let solve = format!(
+        "SOLVE {{fp}} query={} budget=4 samples=300 seed=11 stream",
+        query.0
+    );
+
+    let mut transcripts = Vec::new();
+    for lanes in ["1", "8"] {
+        let (mut guard, port) = spawn_daemon(
+            &["--threads", "2", "--lanes", lanes],
+            &[("FLOWMAX_LANES", lanes)],
+        );
+        let mut client = Client::connect(port);
+        let fp = client.load(&path);
+        let (steps, result) = client.roundtrip(&solve.replace("{fp}", &fp));
+        assert!(
+            result.starts_with("OK RESULT flow="),
+            "lanes {lanes}: {result}"
+        );
+        transcripts.push((steps, result));
+        let (_, bye) = client.roundtrip("SHUTDOWN");
+        assert_eq!(bye, "OK BYE");
+        wait_for_clean_exit(&mut guard);
+    }
+    let (narrow, wide) = (&transcripts[0], &transcripts[1]);
+    assert_eq!(narrow.1, wide.1, "RESULT line diverged across lane widths");
+    assert_eq!(narrow.0, wide.0, "STEP stream diverged across lane widths");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backpressure formatting and the graceful-shutdown contract: a paused
+/// daemon with a one-slot queue rejects the second SOLVE with the exact
+/// `ERR OVERLOADED retry_after_ms=<hint>` line, and SHUTDOWN hands every
+/// open connection a terminal `ERR SHUTDOWN server stopping` line — the
+/// queued query, the idle connection, late arrivals — never a raw EOF.
+#[test]
+fn overload_formatting_and_shutdown_terminal_lines() {
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax-serve-shutdown-{}", std::process::id()));
+    let path = write_graph(&graph, &dir, "graph.txt");
+
+    let (mut guard, port) = spawn_daemon(
+        &[
+            "--threads",
+            "1",
+            "--queue-capacity",
+            "1",
+            "--retry-after-ms",
+            "7",
+            "--start-paused",
+        ],
+        &[],
+    );
+    let mut loader = Client::connect(port);
+    let fp = loader.load(&path);
+
+    // Connection A fills the one-slot queue; paused, so it never runs.
+    let mut queued = Client::connect(port);
+    queued.send(&format!(
+        "SOLVE {fp} query={} budget=2 samples=100",
+        query.0
+    ));
+    // Wait until A's query is admitted before probing the full queue.
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
-        match guard.0.try_wait().expect("poll daemon") {
-            Some(status) => {
-                assert!(status.success(), "daemon exited with {status}");
-                break;
-            }
-            None if Instant::now() > deadline => panic!("daemon ignored SHUTDOWN"),
-            None => std::thread::sleep(Duration::from_millis(20)),
+        let (_, stats) = loader.roundtrip("STATS");
+        if stats.contains("queued=1") {
+            break;
         }
+        assert!(Instant::now() < deadline, "query never queued: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
     }
-    let _ = std::fs::remove_file(&path);
+
+    // Connection B bounces off the full queue with the exact hint format.
+    let mut bounced = Client::connect(port);
+    let (_, err) = bounced.roundtrip(&format!("SOLVE {fp} query={} budget=1", query.0));
+    assert_eq!(err, "ERR OVERLOADED retry_after_ms=7");
+
+    // SHUTDOWN from B: B gets its goodbye, A's queued query drains with
+    // the terminal line, and the idle loader connection is told too.
+    let (_, bye) = bounced.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    assert_eq!(queued.recv(), "ERR SHUTDOWN server stopping");
+    assert_eq!(loader.recv(), "ERR SHUTDOWN server stopping");
+    wait_for_clean_exit(&mut guard);
+    let _ = std::fs::remove_dir_all(&dir);
 }

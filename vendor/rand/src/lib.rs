@@ -115,6 +115,24 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words. Together with
+        /// [`SmallRng::from_state`] this lets callers re-lay many generator
+        /// states in structure-of-arrays form (e.g. for vectorized batch
+        /// stepping) without re-deriving seeds; stepping the exported state
+        /// with the xoshiro256++ recurrence yields exactly the
+        /// [`RngCore::next_u64`] stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from raw state words previously obtained
+        /// via [`SmallRng::state`] (or stepped externally).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut x = state;
