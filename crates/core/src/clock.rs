@@ -1,0 +1,23 @@
+//! The sanctioned wall-clock read of `flowmax-core`.
+//!
+//! Library code must not read the clock (lint rule L3): a timing read in a
+//! decision path is how "same seed, different machine, different answer"
+//! bugs are born. The one legitimate use is *observability* — reporting how
+//! long a solve took — and that single read is funnelled through
+//! [`monotonic_now`] so the suppression below is the only L3 exemption in
+//! the crate. Everything this value feeds ([`SolveRun::elapsed`]
+//! (crate::session::SolveRun::elapsed), serve metrics) is a passenger of
+//! the result, never an input to selection, sampling, or replay.
+
+use std::time::Instant;
+
+/// Reads the monotonic clock for observability timing.
+///
+/// Never branch on this value in library code: results must be a pure
+/// function of `(graph, query spec, seed)`, and the determinism suite
+/// (bit-identity at every thread count × lane width) is the oracle.
+#[inline]
+pub(crate) fn monotonic_now() -> Instant {
+    // flowmax-lint: allow(L3, sanctioned observability clock: feeds SolveRun::elapsed and serving metrics only, never any selection or sampling decision)
+    Instant::now()
+}

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub(crate) mod clock;
 pub mod error;
 pub mod estimator;
 pub mod exact;

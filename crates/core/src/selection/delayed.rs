@@ -14,16 +14,21 @@
 //! `d = log₂ 1000 = 9` — shows `pot` is the gain ratio, not the total-flow
 //! ratio of the printed formula).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowmax_graph::EdgeId;
 
 /// Tracks per-edge suspension counters for delayed sampling.
+///
+/// Keyed by a `BTreeMap`, not a `HashMap`: [`DelayTracker::tick`] and
+/// [`DelayTracker::suspended_count`] iterate the map, and the determinism
+/// contract (lint rule L1) requires every iterated collection in library
+/// code to have a defined order.
 #[derive(Debug, Clone)]
 pub struct DelayTracker {
     /// Penalty parameter `c` (> 1).
     c: f64,
-    delays: HashMap<EdgeId, u32>,
+    delays: BTreeMap<EdgeId, u32>,
 }
 
 /// Suspensions are capped so a pathological ratio cannot freeze an edge out
@@ -37,7 +42,7 @@ impl DelayTracker {
     pub fn new(c: f64) -> Self {
         DelayTracker {
             c: c.max(1.000_001),
-            delays: HashMap::new(),
+            delays: BTreeMap::new(),
         }
     }
 

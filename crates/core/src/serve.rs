@@ -318,6 +318,7 @@ impl FlowServer {
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
+            // flowmax-lint: allow(L2, the dispatcher is the serialization point of the admission queue — one long-lived control thread whose batch order is defined by arrival order, while all sampling parallelism stays on the audited WorkerPool; replies replay deterministically by the serving contract)
             std::thread::Builder::new()
                 .name("flowmax-serve-dispatch".into())
                 .spawn(move || dispatch_loop(&inner))

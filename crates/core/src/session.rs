@@ -42,7 +42,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flowmax_graph::{
     max_probability_spanning_tree_full, EdgeId, ProbabilisticGraph, SpanningTree, VertexId,
@@ -453,7 +453,7 @@ impl<'g> Session<'g> {
             steps: Vec::new(),
             forward: observer,
         };
-        let start = Instant::now();
+        let start = crate::clock::monotonic_now();
         let outcome = match spec.algorithm {
             Algorithm::Naive => naive_select_observed(
                 self.graph,

@@ -54,8 +54,12 @@ pub const LANES: u32 = 64;
 /// The widest supported lane block, in words (512 worlds per traversal).
 pub const MAX_LANE_WORDS: usize = 8;
 
-/// `2^53`, the resolution of the scalar sampler's `f64` coin.
-const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+// The probability → integer-threshold conversion (`EdgeCoin::classify`,
+// `scalar_coin`, and the 2^53 resolution constant) lives in
+// `crate::coin`: this file is the bit-parallel kernel and must stay free
+// of float comparison/arithmetic (lint rule L5). Re-exported here because
+// the coin is part of the batch sampling vocabulary.
+pub use crate::coin::scalar_coin;
 
 /// Worlds per `[u64; W]` lane block: `64·W`.
 #[inline]
@@ -124,26 +128,6 @@ pub enum EdgeCoin {
 }
 
 impl EdgeCoin {
-    /// Classifies a probability into its coin.
-    ///
-    /// The scalar sampler tests `rng.gen::<f64>() < p`, where the vendored
-    /// `rand` computes `gen::<f64>()` as `(next_u64() >> 11) · 2⁻⁵³`. With
-    /// `x = next_u64() >> 11` (an integer below `2⁵³`, hence exact in `f64`)
-    /// that test is the real-number comparison `x < p·2⁵³`, which for
-    /// integer `x` is exactly `x < ceil(p·2⁵³)` — and `p·2⁵³` itself is
-    /// exact because multiplying by a power of two only shifts the exponent.
-    /// [`EdgeCoin::Threshold`] therefore reproduces the scalar coin
-    /// bit-for-bit with a pure integer compare.
-    pub fn classify(p: f64) -> EdgeCoin {
-        if p >= 1.0 {
-            EdgeCoin::AlwaysOn
-        } else if p <= 0.0 {
-            EdgeCoin::AlwaysOff
-        } else {
-            EdgeCoin::Threshold((p * TWO_POW_53).ceil() as u64)
-        }
-    }
-
     /// Flips this coin once against a single RNG stream. Deterministic
     /// coins consume no draw.
     ///
@@ -178,17 +162,6 @@ impl EdgeCoin {
             }
         }
     }
-}
-
-/// Flips the Bernoulli(`p`) coin for one edge against a scalar RNG stream —
-/// the shared helper behind every scalar sampling loop in this crate.
-///
-/// Bit-identical to the historical `rng.gen::<f64>() < p` (see
-/// [`EdgeCoin::classify`]) with the draw-free fast paths for `p >= 1` and
-/// `p <= 0`.
-#[inline]
-pub fn scalar_coin(p: f64, rng: &mut FlowRng) -> bool {
-    EdgeCoin::classify(p).flip_one(rng)
 }
 
 /// The per-lane RNG states of a wide block, laid out structure-of-arrays:
@@ -405,6 +378,7 @@ impl<const W: usize> WorldBatch<W> {
     pub(crate) fn sample_indexed_into(
         &mut self,
         edge_capacity: usize,
+        // flowmax-lint: allow(L5, probability ingestion boundary: the f64 is classified into an integer threshold by EdgeCoin::classify before any per-world loop runs)
         probs: impl Iterator<Item = (usize, f64)>,
         seq: &SeedSequence,
         first_label: u64,

@@ -12,7 +12,8 @@
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 
-use crate::batch::{scalar_coin, WorldBatch};
+use crate::batch::WorldBatch;
+use crate::coin::scalar_coin;
 use crate::confidence::{wald_interval, ConfidenceInterval};
 use crate::parallel::ParallelEstimator;
 use crate::rng::{splitmix64, FlowRng, SeedSequence};

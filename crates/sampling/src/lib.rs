@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod batch;
+pub mod coin;
 pub mod component;
 pub mod confidence;
 pub mod convergence;
@@ -52,6 +53,7 @@ pub use batch::{
     block_mask, block_ones, block_worlds, lane_mask, lanes_in_batch, EdgeCoin, LaneBfs, WorldBatch,
     LANES, MAX_LANE_WORDS,
 };
+pub use coin::scalar_coin;
 pub use component::{ComponentEstimate, ComponentGraph, LocalIdScratch};
 pub use confidence::{
     normal_quantile, wald_interval, wilson_interval, z_for_alpha, ConfidenceInterval,

@@ -58,6 +58,7 @@ pub fn invalid_lane_requests() -> u64 {
 /// time, and returns the clamped value 1.
 fn note_invalid_threads(origin: &str, detail: &str) -> usize {
     if INVALID_THREAD_REQUESTS.fetch_add(1, Ordering::Relaxed) == 0 {
+        // flowmax-lint: allow(L6, sanctioned warn-once clamp helper: one stderr line per process for a misconfigured thread count; results are unaffected)
         eprintln!(
             "flowmax: warning: invalid worker-thread count from {origin} ({detail}); \
              clamping to 1 (sequential) — results are unaffected, only wall-clock time"
@@ -70,6 +71,7 @@ fn note_invalid_threads(origin: &str, detail: &str) -> usize {
 /// policy as [`note_invalid_threads`]) and returns the clamped width 1.
 fn note_invalid_lanes(origin: &str, detail: &str) -> usize {
     if INVALID_LANE_REQUESTS.fetch_add(1, Ordering::Relaxed) == 0 {
+        // flowmax-lint: allow(L6, sanctioned warn-once clamp helper: one stderr line per process for a misconfigured lane width; results are unaffected)
         eprintln!(
             "flowmax: warning: invalid lane width from {origin} ({detail}); \
              supported widths are 1, 4 and 8 lane words (64/256/512 worlds); \
@@ -149,6 +151,7 @@ fn parse_lane_words(var: Option<String>) -> usize {
 /// Results never depend on this value — only wall-clock time does — so CI
 /// runs the whole test suite under several settings.
 pub fn default_threads() -> usize {
+    // flowmax-lint: allow(L3, sanctioned FLOWMAX_THREADS entry point: the value only sets wall-clock parallelism, which the determinism suite proves never changes results)
     parse_threads(std::env::var("FLOWMAX_THREADS").ok())
 }
 
@@ -159,6 +162,7 @@ pub fn default_threads() -> usize {
 /// runs the whole test suite under both `FLOWMAX_LANES=1` and
 /// `FLOWMAX_LANES=8`, mirroring the `FLOWMAX_THREADS` matrix.
 pub fn default_lane_words() -> usize {
+    // flowmax-lint: allow(L3, sanctioned FLOWMAX_LANES entry point: the value only selects the SIMD lane width, which the cross-width bit-identity suite proves never changes results)
     parse_lane_words(std::env::var("FLOWMAX_LANES").ok())
 }
 

@@ -36,6 +36,15 @@
 //! over a completion channel as its final action, and the submitter blocks
 //! until all chunks have answered, keeping every borrow alive for as long
 //! as any worker can touch it.
+//!
+//! This file is the only entry in `crates/lint/allow_unsafe.toml`;
+//! `flowmax-lint` (rule L4) rejects `unsafe` anywhere else in the
+//! workspace and demands the `// SAFETY:` audit trail here.
+
+// Future-proofing for the audited region: if an `unsafe fn` is ever added
+// here, every unsafe operation inside it must still be wrapped in its own
+// explicitly justified `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -172,13 +181,21 @@ impl WorkerPool {
                     let result = catch_unwind(AssertUnwindSafe(|| work_ref(j, range)));
                     let _ = tx.send((j, result));
                 });
-                // SAFETY: the task borrows `work` and sends on a channel
-                // owned by this stack frame. Both outlive the task because
-                // this function blocks until the task has reported on
-                // `done_rx` (the report is the task's final action, after
-                // the borrowed closure call has returned), and it does so
-                // on every path including panics — the payload is caught
-                // above and re-raised only after all chunks reported.
+                // SAFETY: lifetime erasure of a scoped task (allowlisted in
+                // crates/lint/allow_unsafe.toml).
+                //
+                // * Erased borrows: the task captures `work_ref` (borrowing
+                //   the caller's `work`) and `tx` (a clone of `done_tx`,
+                //   owned by this stack frame).
+                // * Why they live long enough: `run` blocks until **all**
+                //   chunks have reported on `done_rx` — the report is each
+                //   task's final action, sent only after the borrowed
+                //   closure call has returned — so no worker can touch the
+                //   erased borrows after `run` resumes.
+                // * Panic path: a panicking task still reports (the payload
+                //   is caught by `catch_unwind` above) and the submitter
+                //   re-raises it only after every chunk has answered, so
+                //   unwinding can never release the borrows early.
                 #[allow(unsafe_code)]
                 let task: Task =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };

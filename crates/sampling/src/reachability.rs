@@ -18,7 +18,7 @@
 
 use flowmax_graph::{Bfs, EdgeSubset, ProbabilisticGraph, VertexId};
 
-use crate::batch::scalar_coin;
+use crate::coin::scalar_coin;
 use crate::confidence::{wald_interval, ConfidenceInterval};
 use crate::estimate::FlowEstimate;
 use crate::rng::FlowRng;

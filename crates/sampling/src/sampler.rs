@@ -7,7 +7,7 @@
 
 use flowmax_graph::{EdgeSubset, ProbabilisticGraph};
 
-use crate::batch::scalar_coin;
+use crate::coin::scalar_coin;
 use crate::rng::FlowRng;
 
 /// Samples one possible world of `domain` into `out` (cleared first).

@@ -232,6 +232,7 @@ fn main() -> ExitCode {
                     break;
                 }
                 let daemon = Arc::clone(&daemon);
+                // flowmax-lint: allow(L2, per-connection protocol handler threads: replies are serialized per connection and every solve runs on the audited WorkerPool, so connection scheduling cannot reorder any computation)
                 handlers.push(std::thread::spawn(move || {
                     let _ = handle_client(&daemon, stream);
                 }));
