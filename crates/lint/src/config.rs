@@ -1,0 +1,137 @@
+//! Parser for `crates/lint/allow_unsafe.toml` — the workspace's `unsafe`
+//! allowlist (rule **L4**).
+//!
+//! The offline environment has no TOML crate, so this reads the one shape
+//! the allowlist uses: a sequence of `[[allow]]` tables with string
+//! `file` / `reason` keys. Anything else is a hard error — a lint
+//! configuration that cannot be parsed must fail the gate, not silently
+//! allow things.
+
+/// One audited file that may contain `unsafe` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/sampling/src/pool.rs`).
+    pub file: String,
+    /// Why the unsafety is accepted — shown in reports, required non-empty.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Audited files, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (used by fixture tests to prove a rule fires).
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// True when `rel` (workspace-relative, `/`-separated) is audited.
+    pub fn contains(&self, rel: &str) -> bool {
+        self.entries.iter().any(|e| e.file == rel)
+    }
+
+    /// Parses the allowlist format described in the module docs.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut open = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(last) = entries.last() {
+                    validate(last)?;
+                }
+                entries.push(AllowEntry {
+                    file: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                open = true;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "allow_unsafe.toml:{lineno}: expected `key = \"value\"`"
+                ));
+            };
+            if !open {
+                return Err(format!(
+                    "allow_unsafe.toml:{lineno}: key outside an [[allow]] table"
+                ));
+            }
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!("allow_unsafe.toml:{lineno}: value must be a double-quoted string")
+                })?;
+            let entry = entries.last_mut().expect("open implies an entry");
+            match key.trim() {
+                "file" => entry.file = value.replace('\\', "/"),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(format!(
+                        "allow_unsafe.toml:{lineno}: unknown key `{other}` (expected file/reason)"
+                    ));
+                }
+            }
+        }
+        if let Some(last) = entries.last() {
+            validate(last)?;
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+fn validate(entry: &AllowEntry) -> Result<(), String> {
+    if entry.file.is_empty() {
+        return Err(format!(
+            "allow_unsafe.toml:{}: [[allow]] entry is missing `file`",
+            entry.line
+        ));
+    }
+    if entry.reason.trim().is_empty() {
+        return Err(format!(
+            "allow_unsafe.toml:{}: [[allow]] entry for {} is missing a `reason`",
+            entry.line, entry.file
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = "# audited unsafety\n\n[[allow]]\nfile = \"crates/sampling/src/pool.rs\"\nreason = \"scoped transmute\"\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 1);
+        assert!(list.contains("crates/sampling/src/pool.rs"));
+        assert!(!list.contains("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let text = "[[allow]]\nfile = \"a.rs\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = "[[allow]]\nfile = \"a.rs\"\nreason = \"r\"\nrule = \"L4\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! A hand-rolled line lexer for Rust sources.
+//!
+//! The offline build environment has no `syn`, and the contract rules
+//! (`crate::rules`) only need token-level facts, so this module does the
+//! one lexical job that regex-free line scanning cannot: separating
+//! **code** from **comments and literals** so that a `thread::spawn`
+//! inside a doc comment or a `"HashMap"` inside a string never trips a
+//! rule, while `// SAFETY:` audits and `// flowmax-lint: allow(..)`
+//! suppressions stay readable on the comment channel.
+//!
+//! It understands line comments, (nested) block comments, string / raw
+//! string / byte-string literals, char literals vs. lifetimes, and keeps
+//! the physical line structure intact so findings carry real line numbers.
+
+/// One physical source line, split into its code and comment channels.
+///
+/// String, raw-string and char literal *contents* are stripped from
+/// `code` (the delimiting quotes remain, marking that a literal was
+/// there); comment text — without losing the `//` / `/*` markers — is
+/// collected in `comment`.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text that appeared on this line (line and block comments).
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries comment text but no code tokens —
+    /// the shape of a standalone suppression or `// SAFETY:` line.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    CharLit,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `source` into [`Line`]s, classifying every character as code,
+/// comment, or literal content.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    line.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    line.code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                    && raw_string_open(&chars, i).is_some()
+                {
+                    let (hashes, after_quote) = raw_string_open(&chars, i).unwrap();
+                    state = State::RawStr(hashes);
+                    line.code.push('"');
+                    i = after_quote;
+                } else if c == '\'' {
+                    // Char literal ('x', '\n', '\u{1F600}') or lifetime ('a).
+                    match next {
+                        Some('\\') => {
+                            state = State::CharLit;
+                            line.code.push('\'');
+                            i += 2;
+                        }
+                        Some(n) if n != '\'' && chars.get(i + 2) == Some(&'\'') => {
+                            line.code.push('\'');
+                            line.code.push('\'');
+                            i += 3;
+                        }
+                        _ => {
+                            // A lifetime: keep the tick, the identifier
+                            // follows as ordinary code.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character — unless it is a newline
+                    // (string continuation), which the top of the loop must
+                    // see to keep line numbers honest.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// If position `i` opens a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
+/// returns `(hash_count, index_after_opening_quote)`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u8, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes: u8 = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes = hashes.saturating_add(1);
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `i` is followed by enough `#`s to close a raw
+/// string opened with `hashes` hashes.
+fn closes_raw(chars: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line that sits inside a `#[cfg(test)]` item — an inline
+/// `mod tests { .. }`, a cfg-gated fn, impl, or struct. The rules exempt
+/// these regions from the runtime-contract checks (test code may spawn
+/// threads, print, and time things) while the `unsafe` audit (L4) still
+/// sees them.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    // For each open brace: whether it opened a `#[cfg(test)]` item.
+    let mut stack: Vec<bool> = Vec::new();
+    // A `#[cfg(test)]` attribute was seen and its item's opening brace (or
+    // terminating semicolon) has not been reached yet.
+    let mut pending_cfg_test = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let mut in_test = stack.contains(&true);
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test") {
+            pending_cfg_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    stack.push(pending_cfg_test);
+                    if pending_cfg_test {
+                        in_test = true;
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    stack.pop();
+                }
+                ';' if pending_cfg_test => {
+                    // `#[cfg(test)] mod tests;` / `#[cfg(test)] use ..;`
+                    // — a braceless item consumed the attribute.
+                    pending_cfg_test = false;
+                }
+                _ => {}
+            }
+        }
+        mask[idx] = in_test || stack.contains(&true);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let src = "let a = \"thread::spawn\"; // thread::spawn here\nlet b = 1;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("thread::spawn"));
+        assert!(lines[0].comment.contains("thread::spawn"));
+        assert!(lines[0].code.contains("let a ="));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a(); /* one /* two */ still */ b();\n/* open\nunsafe { }\n*/ c();\n";
+        let lines = split_lines(src);
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(!lines[2].code.contains("unsafe"));
+        assert!(lines[3].code.contains("c()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"HashMap \"quoted\" inside\"#; let c = 'x'; let lt: &'static str = \"y\";\n";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[0].code.contains("'static"), "lifetime survives");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = "let s = \"a\\\"b; unsafe {\"; done();\n";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("done()"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { spawn(); }\n}\nfn lib2() {}\n";
+        let lines = split_lines(src);
+        let mask = test_mask(&lines);
+        assert!(!mask[0]);
+        assert!(mask[3], "inside the test mod");
+        assert!(!mask[5], "after the test mod");
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_poison_following_braces() {
+        let src = "#[cfg(test)]\nuse std::thread;\nfn lib() { body(); }\n";
+        let lines = split_lines(src);
+        let mask = test_mask(&lines);
+        assert!(!mask[2], "fn after cfg(test) use is not test code");
+    }
+}

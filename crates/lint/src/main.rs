@@ -1,0 +1,120 @@
+//! CLI for `flowmax-lint`: `cargo run -p flowmax-lint [-- --root PATH]`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/IO error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flowmax_lint::{lint_workspace, RuleId};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("flowmax-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "flowmax-lint: determinism & unsafety contract checks (rules L1-L6)\n\
+                     usage: flowmax-lint [--root PATH]\n\
+                     see crates/lint/README.md for the rule catalogue"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("flowmax-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("flowmax-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("flowmax-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!(
+            "{}:{}: [{}] {}",
+            finding.file, finding.line, finding.rule, finding.message
+        );
+    }
+    for (rule, file, line) in &report.unused {
+        println!(
+            "{file}:{line}: warning: unused suppression for {rule} — the violation it excused \
+             is gone, delete the comment"
+        );
+    }
+
+    let mut suppressed_by_rule: BTreeMap<RuleId, usize> = BTreeMap::new();
+    for sup in &report.suppressed {
+        *suppressed_by_rule.entry(sup.rule).or_insert(0) += 1;
+    }
+    let suppression_summary = if report.suppressed.is_empty() {
+        "no suppressions".to_string()
+    } else {
+        let parts: Vec<String> = suppressed_by_rule
+            .iter()
+            .map(|(rule, count)| format!("{rule}\u{00d7}{count}"))
+            .collect();
+        format!(
+            "{} suppression(s) honored: {}",
+            report.suppressed.len(),
+            parts.join(", ")
+        )
+    };
+
+    if report.is_clean() {
+        println!(
+            "flowmax-lint: {} files scanned, clean ({suppression_summary})",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "flowmax-lint: {} files scanned, {} violation(s) ({suppression_summary})",
+            report.files_scanned,
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml found above the current directory; \
+                        pass --root"
+                    .to_string(),
+            );
+        }
+    }
+}

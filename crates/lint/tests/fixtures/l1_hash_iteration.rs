@@ -1,0 +1,32 @@
+//! Fixture: hash-ordered iteration in deterministic library code (L1).
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    delays: HashMap<u32, u32>,
+}
+
+impl Tracker {
+    pub fn tick(&mut self) {
+        // Violation: HashMap::retain visits entries in hash order.
+        self.delays.retain(|_, d| *d > 0);
+    }
+
+    pub fn total(&self) -> u32 {
+        // Violation: .values() iteration.
+        self.delays.values().sum()
+    }
+}
+
+pub fn collect(seen: HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    // Violation: for-loop over a hash set.
+    for v in &seen {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn lookups_are_fine(seen: &HashSet<u32>, delays: &HashMap<u32, u32>) -> bool {
+    // Keyed access has no iteration order: allowed.
+    seen.contains(&3) && delays.get(&7).is_some()
+}

@@ -1,0 +1,16 @@
+//! Fixture: thread creation outside the audited pool (L2).
+
+pub fn fan_out() {
+    // Violation: direct spawn.
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+    // Violation: scoped threads.
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}
+
+pub fn named() {
+    // Violation: Builder-based spawn.
+    let _ = std::thread::Builder::new().name("w".into()).spawn(|| ());
+}

@@ -1,0 +1,18 @@
+//! Fixture: clock and environment reads in library code (L3).
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> u64 {
+    // Violation: monotonic clock read.
+    let t = Instant::now();
+    // Violation: wall clock read.
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn configured() -> usize {
+    // Violation: environment read.
+    std::env::var("FLOWMAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a properly audited `unsafe` block (L4 passes when the file is
+//! allowlisted, because the site carries its SAFETY argument).
+
+pub fn reinterpret(x: u64) -> i64 {
+    // SAFETY: u64 and i64 have identical size and no invalid bit
+    // patterns; this is a value-preserving reinterpretation.
+    unsafe { std::mem::transmute::<u64, i64>(x) }
+}

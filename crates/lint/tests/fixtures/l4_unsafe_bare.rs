@@ -1,0 +1,5 @@
+//! Fixture: an unaudited `unsafe` block (L4) — no SAFETY comment.
+
+pub fn reinterpret(x: u64) -> i64 {
+    unsafe { std::mem::transmute::<u64, i64>(x) }
+}

@@ -1,0 +1,14 @@
+//! Fixture: float math inside the bit-parallel kernel (L5, checked when
+//! this content sits at crates/sampling/src/batch.rs).
+
+pub fn flip(p: f64, draw: u64) -> bool {
+    // Violation (line above): `f64` in the kernel signature.
+    // Violation: float comparison with a float literal.
+    let biased = p * 0.5;
+    (draw >> 11) < biased as u64
+}
+
+pub fn integer_threshold(t: u64, draw: u64) -> bool {
+    // Allowed: the pure integer comparison the kernel is supposed to use.
+    draw >> 11 < t
+}

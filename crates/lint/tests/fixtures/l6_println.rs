@@ -1,0 +1,15 @@
+//! Fixture: stdout/stderr printing in library code (L6).
+
+pub fn report(flow: u64) {
+    // Violation: stdout from a library.
+    println!("flow = {flow}");
+    // Violation: stderr from a library.
+    eprintln!("done");
+    // Violation: debug printing.
+    let _ = dbg!(flow);
+}
+
+pub fn format_is_fine(flow: u64) -> String {
+    // Allowed: formatting without printing.
+    format!("flow = {flow}")
+}

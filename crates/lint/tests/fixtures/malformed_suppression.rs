@@ -1,0 +1,17 @@
+//! Fixture: suppression comments that do not parse are violations
+//! themselves — a silent typo must not silently allow.
+
+pub fn missing_reason() {
+    // flowmax-lint: allow(L6)
+    println!("not actually excused");
+}
+
+pub fn unknown_rule() {
+    // flowmax-lint: allow(L9, there is no rule nine)
+    println!("not excused either");
+}
+
+pub fn not_a_directive() {
+    // flowmax-lint: deny(L6, wrong verb)
+    println!("still a violation");
+}

@@ -1,0 +1,19 @@
+//! Fixture: every violation here carries a reasoned inline suppression,
+//! so the file is clean and the tool reports the suppression counts.
+
+pub fn warn_once() {
+    // flowmax-lint: allow(L6, fixture for the warn-once pattern: one stderr line per process)
+    eprintln!("clamped");
+}
+
+pub fn read_env() -> Option<String> {
+    std::env::var("FLOWMAX_THREADS").ok() // flowmax-lint: allow(L3, fixture for the sanctioned env entry point)
+}
+
+pub fn control_thread() {
+    // The suppression may sit anywhere in the comment run directly above
+    // the violating line.
+    // flowmax-lint: allow(L2, fixture for an audited long-lived control thread)
+    // (still part of the same comment run)
+    let _ = std::thread::spawn(|| ());
+}

@@ -1,0 +1,24 @@
+//! Fixture: runtime-contract rules (L1/L2/L3/L6) are exempt inside
+//! `#[cfg(test)]` regions — tests may thread, time, and print.
+
+pub fn library_code() -> u32 {
+    41 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn concurrency_smoke() {
+        let t = std::time::Instant::now();
+        let handle = std::thread::spawn(|| 2 + 2);
+        assert_eq!(handle.join().unwrap(), 4);
+        println!("took {:?}", t.elapsed());
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        for (k, v) in &m {
+            assert!(k < v);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a suppression whose violation is gone — reported as unused so
+//! stale excuses get deleted instead of rotting.
+
+pub fn fixed_long_ago() -> String {
+    // flowmax-lint: allow(L6, the println this excused was removed)
+    format!("clean now")
+}
