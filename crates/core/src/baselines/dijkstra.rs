@@ -77,6 +77,7 @@ pub fn dijkstra_select_from_tree(
         flow_trace,
         final_flow,
         metrics,
+        stopped: None,
     }
 }
 

@@ -144,6 +144,7 @@ pub fn naive_select_observed(
         flow_trace,
         final_flow,
         metrics,
+        stopped: None,
     }
 }
 

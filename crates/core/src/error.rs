@@ -44,6 +44,14 @@ pub enum CoreError {
     /// silent stream end, so clients can distinguish an orderly shutdown
     /// from a crash.
     ShuttingDown,
+    /// A controlled batch run received a run-control slice whose length
+    /// matches neither zero (all uncontrolled) nor the spec count.
+    ControlMismatch {
+        /// Number of controls passed.
+        controls: usize,
+        /// Number of query specs in the batch.
+        specs: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -87,6 +95,11 @@ impl fmt::Display for CoreError {
             CoreError::ShuttingDown => {
                 write!(f, "the server shut down before the query could run")
             }
+            CoreError::ControlMismatch { controls, specs } => write!(
+                f,
+                "{controls} run controls for {specs} query specs (pass one control per spec, \
+                 or none to leave the batch uncontrolled)"
+            ),
         }
     }
 }

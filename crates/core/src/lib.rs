@@ -60,7 +60,8 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
-pub(crate) mod clock;
+pub mod cancel;
+pub mod clock;
 pub mod error;
 pub mod estimator;
 pub mod exact;
@@ -72,6 +73,8 @@ pub mod session;
 pub mod solver;
 
 pub use baselines::{dijkstra_select, dijkstra_select_from_tree, naive_select, NaiveConfig};
+pub use cancel::{CancelToken, Deadline, RunControl, StopCause};
+pub use clock::SoftDeadline;
 pub use error::CoreError;
 pub use estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 pub use exact::{exact_max_flow, ExactSolution, MAX_BRUTE_FORCE_EDGES};
@@ -81,8 +84,9 @@ pub use ftree::{
 };
 pub use metrics::SelectionMetrics;
 pub use selection::{
-    greedy_select, greedy_select_observed, CandidateSet, CiEngine, DelayTracker, GreedyConfig,
-    MemoProvider, NoObserver, SelectionObserver, SelectionOutcome, SelectionStep,
+    greedy_select, greedy_select_controlled, greedy_select_observed, CandidateSet, CiEngine,
+    DelayTracker, GreedyConfig, MemoProvider, NoObserver, SelectionObserver, SelectionOutcome,
+    SelectionStep,
 };
 pub use serve::{
     FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult, ServeStats, Ticket,

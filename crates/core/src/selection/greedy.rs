@@ -22,6 +22,7 @@
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 use flowmax_sampling::{BatchSchedule, MIN_SAMPLES_FOR_CLT};
 
+use crate::cancel::{RunControl, StopCause};
 use crate::estimator::{EstimateProvider, EstimatorConfig, SamplingProvider};
 use crate::ftree::{CommitReplay, FTree, InsertCase, ProbeOutcome, ProbePlan};
 use crate::metrics::SelectionMetrics;
@@ -194,6 +195,11 @@ pub struct SelectionOutcome {
     pub final_flow: f64,
     /// Work counters.
     pub metrics: SelectionMetrics,
+    /// Why the run stopped early, if it did. `None` means the run used its
+    /// full edge budget (or ran out of candidates). When `Some`, the
+    /// selection is bit-identical to the same-seed uncontrolled run's
+    /// prefix of the same length — the anytime contract.
+    pub stopped: Option<StopCause>,
 }
 
 pub(crate) struct ProbeRecord {
@@ -221,6 +227,20 @@ pub fn greedy_select_observed(
     graph: &ProbabilisticGraph,
     query: VertexId,
     config: &GreedyConfig,
+    observer: &mut dyn SelectionObserver,
+) -> SelectionOutcome {
+    greedy_select_controlled(graph, query, config, &RunControl::unlimited(), observer)
+}
+
+/// [`greedy_select_observed`] under a [`RunControl`]: cancellation and
+/// deadlines are checked strictly *between* iterations, so a stopped run's
+/// selection is the uncontrolled run's prefix, bit for bit —
+/// [`SelectionOutcome::stopped`] records why it stopped.
+pub fn greedy_select_controlled(
+    graph: &ProbabilisticGraph,
+    query: VertexId,
+    config: &GreedyConfig,
+    control: &RunControl,
     observer: &mut dyn SelectionObserver,
 ) -> SelectionOutcome {
     let estimator = EstimatorConfig {
@@ -253,8 +273,18 @@ pub fn greedy_select_observed(
     let mut metrics = SelectionMetrics::default();
     let mut flow_trace = Vec::with_capacity(config.budget);
     let mut base_flow = 0.0;
+    let mut stopped = None;
 
     for iter in 0..config.budget {
+        // The stop check sits strictly between iterations: `iter` edges
+        // are committed at this point, and stopping here yields exactly
+        // that prefix — never a torn iteration.
+        if !control.is_unlimited() {
+            if let Some(cause) = control.should_stop(iter) {
+                stopped = Some(cause);
+                break;
+            }
+        }
         if candidates.is_empty() {
             break;
         }
@@ -448,6 +478,7 @@ pub fn greedy_select_observed(
         flow_trace,
         final_flow: base_flow,
         metrics,
+        stopped,
     }
 }
 

@@ -25,6 +25,14 @@
 //!   [`ServeEvent::Step`] per committed edge while the query runs (the
 //!   greedy selection is anytime, so every prefix is a valid answer), then
 //!   [`ServeEvent::Done`] or [`ServeEvent::Failed`].
+//! * **Deadlines & cancellation.** A query may carry a wall-clock budget
+//!   ([`QueryParams::deadline_ms`], measured from admission) and every
+//!   submission can return a [`CancelToken`]
+//!   ([`FlowServer::submit_cancellable`]). Both stop the greedy run
+//!   *between* iterations; the ticket then ends with
+//!   [`ServeEvent::Degraded`] whose committed prefix is bit-identical to
+//!   the same-seed full run's prefix — graceful degradation, not a
+//!   corrupted answer.
 //! * **Deterministic replay.** The serving contract: a query is a pure
 //!   function of `(graph fingerprint, QueryParams, seed)`. Replaying the
 //!   same submission — any time, any queue state, any coalescing, any
@@ -41,6 +49,8 @@ use std::time::Duration;
 
 use flowmax_graph::{EdgeId, ProbabilisticGraph, VertexId};
 
+use crate::cancel::{CancelToken, Deadline, RunControl};
+use crate::clock::SoftDeadline;
 use crate::error::{panic_message, CoreError};
 use crate::selection::observer::SelectionStep;
 use crate::session::{Session, SessionState};
@@ -63,7 +73,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Maximum queries coalesced into one batch (at least 1).
     pub coalesce_max: usize,
-    /// Retry hint handed back with [`ServeError::Overloaded`].
+    /// Base retry hint handed back with [`ServeError::Overloaded`]. The
+    /// live hint scales with queue depth (see
+    /// [`FlowServer::retry_after_hint`]): at the lightest overload it is
+    /// exactly this value, and it grows with the number of batches the
+    /// backlog needs, capped at 32× the base.
     pub retry_after: Duration,
     /// Server-default master seed for queries that don't pin one.
     pub seed: u64,
@@ -101,6 +115,15 @@ pub struct QueryParams {
     pub samples: u32,
     /// Master seed override; `None` uses the server's configured seed.
     pub seed: Option<u64>,
+    /// Wall-clock budget in milliseconds, measured from admission. An
+    /// expired deadline stops the greedy run between iterations and the
+    /// ticket ends with [`ServeEvent::Degraded`] instead of `Done` — the
+    /// degraded selection is bit-identical to the same-seed full run's
+    /// prefix (the anytime property). `None` means no deadline. The
+    /// deadline never affects *what* any committed step computes, so it is
+    /// outside the replay key: `(fingerprint, params minus deadline,
+    /// seed)` still determines every committed step bit for bit.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryParams {
@@ -112,7 +135,14 @@ impl QueryParams {
             budget,
             samples: 1000,
             seed: None,
+            deadline_ms: None,
         }
+    }
+
+    /// Sets a wall-clock deadline in milliseconds (from admission).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 }
 
@@ -162,6 +192,20 @@ pub enum ServeEvent {
     Step(SelectionStep),
     /// The query finished; the full result.
     Done(ServeResult),
+    /// The query was stopped early — its deadline expired or its
+    /// [`CancelToken`] fired — and this is the graceful degradation: the
+    /// `steps_done` committed edges are **bit-identical to the first
+    /// `steps_done` edges of the same-seed full run** (the greedy
+    /// selection's anytime property), so the partial result is a correct
+    /// budget-`steps_done` answer, not a corrupted budget-`budget` one.
+    Degraded {
+        /// Edges committed before the stop (= `result.selected.len()`).
+        steps_done: usize,
+        /// The edge budget the query asked for.
+        budget: usize,
+        /// The degraded (prefix) result, evaluated like any full result.
+        result: ServeResult,
+    },
     /// The query failed. The server and its worker pool remain up.
     Failed(CoreError),
 }
@@ -199,12 +243,16 @@ impl Ticket {
 
     /// Drains the stream to completion and returns the final result,
     /// discarding intermediate steps (they are also in
-    /// [`ServeResult::steps`]).
+    /// [`ServeResult::steps`]). A [`ServeEvent::Degraded`] stream returns
+    /// its prefix result `Ok` too — a degraded answer is a valid
+    /// smaller-budget answer; consume events one by one with
+    /// [`next_event`](Ticket::next_event) to distinguish the two.
     pub fn wait(self) -> Result<ServeResult, CoreError> {
         loop {
             match self.next_event() {
                 Some(ServeEvent::Step(_)) => continue,
                 Some(ServeEvent::Done(result)) => return Ok(result),
+                Some(ServeEvent::Degraded { result, .. }) => return Ok(result),
                 Some(ServeEvent::Failed(err)) => return Err(err),
                 None => {
                     return Err(CoreError::WorkerPanicked(
@@ -225,10 +273,12 @@ struct ResidentGraph {
     state: Arc<SessionState>,
 }
 
-/// One admitted, not-yet-executed query.
+/// One admitted, not-yet-executed query, with the control (cancellation
+/// token, deadline clock already running since admission) that can stop it.
 struct Pending {
     graph: Arc<ResidentGraph>,
     params: QueryParams,
+    control: RunControl,
     tx: Sender<ServeEvent>,
 }
 
@@ -263,6 +313,9 @@ struct Inner {
     completed: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
+    /// Monotone admission-attempt sequence; keys the `serve/admit` fault
+    /// site so injected admission failures are deterministic per plan.
+    admissions: AtomicU64,
 }
 
 impl Inner {
@@ -315,6 +368,7 @@ impl FlowServer {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -322,6 +376,7 @@ impl FlowServer {
             std::thread::Builder::new()
                 .name("flowmax-serve-dispatch".into())
                 .spawn(move || dispatch_loop(&inner))
+                // flowmax-lint: allow(L7, startup-fatal by design: a server that cannot spawn its dispatcher must not come up half-alive, and no request exists yet to degrade for)
                 .expect("spawning the dispatcher thread")
         };
         FlowServer {
@@ -373,8 +428,9 @@ impl FlowServer {
         let fingerprint = graph.fingerprint();
         let mut graphs = self.inner.lock_graphs();
         if let Some(pos) = graphs.iter().position(|g| g.fingerprint == fingerprint) {
-            let hit = graphs.remove(pos).expect("position came from iter");
-            graphs.push_back(hit);
+            if let Some(hit) = graphs.remove(pos) {
+                graphs.push_back(hit);
+            }
         } else {
             if graphs.len() == self.inner.config.max_resident_graphs {
                 graphs.pop_front();
@@ -392,7 +448,7 @@ impl FlowServer {
     fn resident(&self, fingerprint: u64) -> Option<Arc<ResidentGraph>> {
         let mut graphs = self.inner.lock_graphs();
         let pos = graphs.iter().position(|g| g.fingerprint == fingerprint)?;
-        let hit = graphs.remove(pos).expect("position came from iter");
+        let hit = graphs.remove(pos)?;
         graphs.push_back(Arc::clone(&hit));
         Some(hit)
     }
@@ -408,6 +464,25 @@ impl FlowServer {
     /// queue is full — the backpressure contract: the server never buffers
     /// unboundedly and never blocks the submitting client.
     pub fn submit(&self, fingerprint: u64, params: QueryParams) -> Result<Ticket, ServeError> {
+        self.submit_cancellable(fingerprint, params)
+            .map(|(ticket, _)| ticket)
+    }
+
+    /// [`submit`](FlowServer::submit) returning the query's [`CancelToken`]
+    /// alongside its ticket. Cancelling (from any thread, at any time)
+    /// stops the query at its next iteration boundary; the ticket then
+    /// ends with [`ServeEvent::Degraded`] carrying the committed prefix —
+    /// bit-identical to the same-seed full run's prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](FlowServer::submit).
+    pub fn submit_cancellable(
+        &self,
+        fingerprint: u64,
+        params: QueryParams,
+    ) -> Result<(Ticket, CancelToken), ServeError> {
+        let admission = self.inner.admissions.fetch_add(1, Ordering::Relaxed);
         let graph = self
             .resident(fingerprint)
             .ok_or(ServeError::UnknownGraph(fingerprint))?;
@@ -423,22 +498,53 @@ impl FlowServer {
                 vertex_count: graph.graph.vertex_count(),
             }));
         }
+        let cancel = CancelToken::new();
+        let mut deadline = Deadline::none();
+        if let Some(ms) = params.deadline_ms {
+            // The clock starts at admission: queue wait counts against the
+            // budget, as a serving deadline must.
+            deadline = deadline.with_wall_clock(SoftDeadline::after(Duration::from_millis(ms)));
+        }
+        let control = RunControl::unlimited()
+            .with_cancel(cancel.clone())
+            .with_deadline(deadline);
         let (tx, rx) = channel();
         {
             let mut queue = self.inner.lock_queue();
             if queue.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
-            if queue.pending.len() >= self.inner.config.queue_capacity {
+            let overloaded = queue.pending.len() >= self.inner.config.queue_capacity
+                || flowmax_faults::should_fail_keyed("serve/admit", admission);
+            if overloaded {
+                let queued = queue.pending.len();
+                drop(queue);
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Overloaded {
-                    retry_after: self.inner.config.retry_after,
+                    retry_after: self.retry_after_hint(queued),
                 });
             }
-            queue.pending.push_back(Pending { graph, params, tx });
+            queue.pending.push_back(Pending {
+                graph,
+                params,
+                control,
+                tx,
+            });
         }
         self.inner.work_ready.notify_one();
-        Ok(Ticket { events: rx })
+        Ok((Ticket { events: rx }, cancel))
+    }
+
+    /// The live retry-after hint for a queue currently `queued` deep: the
+    /// configured base scaled by how many coalesced batches the backlog
+    /// needs (`ceil((queued + 1) / coalesce_max)`), capped at 32× the
+    /// base. Deterministic — a pure function of the queue depth and the
+    /// configuration, no clocks or rates involved — so the wire format is
+    /// regression-testable.
+    pub fn retry_after_hint(&self, queued: usize) -> Duration {
+        let coalesce = self.inner.config.coalesce_max;
+        let batches_needed = (queued / coalesce + 1).min(32) as u32;
+        self.inner.config.retry_after * batches_needed
     }
 
     /// Resumes a paused dispatcher (see [`ServeConfig::start_paused`]).
@@ -494,15 +600,19 @@ fn dispatch_loop(inner: &Inner) {
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-            let first = queue.pending.pop_front().expect("checked non-empty");
+            let Some(first) = queue.pending.pop_front() else {
+                continue; // unreachable: the wait loop saw a non-empty queue
+            };
             let mut batch = vec![first];
             // Coalesce: pull every queued query against the same graph (in
             // admission order) into this batch, up to the configured cap.
             let mut i = 0;
             while i < queue.pending.len() && batch.len() < inner.config.coalesce_max {
                 if queue.pending[i].graph.fingerprint == batch[0].graph.fingerprint {
-                    let same = queue.pending.remove(i).expect("index in bounds");
-                    batch.push(same);
+                    match queue.pending.remove(i) {
+                        Some(same) => batch.push(same),
+                        None => i += 1, // unreachable: i < len
+                    }
                 } else {
                     i += 1;
                 }
@@ -524,22 +634,41 @@ fn execute_batch(inner: &Inner, batch: &[Pending]) {
         .with_lane_words(inner.config.lane_words)
         .with_seed(inner.config.seed)
         .with_state(Arc::clone(&resident.state));
-    let specs: Vec<_> = batch
+    // The vertex was validated at submit, but a request path never panics
+    // on a should-be-impossible state: a failure here fails this batch
+    // with terminal events and the dispatcher lives on.
+    let specs: Result<Vec<_>, CoreError> = batch
         .iter()
         .map(|p| {
             let seed = p.params.seed.unwrap_or(inner.config.seed);
-            session
-                .query(p.params.vertex)
-                .expect("vertex validated at submit")
-                .algorithm(p.params.algorithm)
-                .budget(p.params.budget)
-                .samples(p.params.samples)
-                .seed(seed)
-                .spec()
+            session.query(p.params.vertex).map(|builder| {
+                builder
+                    .algorithm(p.params.algorithm)
+                    .budget(p.params.budget)
+                    .samples(p.params.samples)
+                    .seed(seed)
+                    .spec()
+            })
         })
         .collect();
+    let specs = match specs {
+        Ok(specs) => specs,
+        Err(err) => {
+            inner.batches.fetch_add(1, Ordering::Relaxed);
+            inner
+                .completed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for pending in batch {
+                let _ = pending.tx.send(ServeEvent::Failed(err.clone()));
+            }
+            return;
+        }
+    };
+    let controls: Vec<RunControl> = batch.iter().map(|p| p.control.clone()).collect();
+    let batch_seq = inner.batches.load(Ordering::Relaxed);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        session.run_many_with(&specs, &|i, step| {
+        flowmax_faults::failpoint_keyed("serve/batch", batch_seq);
+        session.run_many_controlled(&specs, &controls, &|i, step| {
             // A disconnected client (dropped Ticket) is not an error; the
             // query still runs for the batch's other members.
             let _ = batch[i].tx.send(ServeEvent::Step(*step));
@@ -557,14 +686,24 @@ fn execute_batch(inner: &Inner, batch: &[Pending]) {
             for (pending, run) in batch.iter().zip(runs) {
                 let mut params = pending.params;
                 params.seed = Some(params.seed.unwrap_or(inner.config.seed));
-                let _ = pending.tx.send(ServeEvent::Done(ServeResult {
+                let result = ServeResult {
                     fingerprint: pending.graph.fingerprint,
                     params,
                     selected: run.selected.clone(),
                     steps: run.steps.clone(),
                     flow: run.flow,
                     algorithm_flow: run.algorithm_flow,
-                }));
+                };
+                let event = if run.stopped.is_some() {
+                    ServeEvent::Degraded {
+                        steps_done: result.selected.len(),
+                        budget: pending.params.budget,
+                        result,
+                    }
+                } else {
+                    ServeEvent::Done(result)
+                };
+                let _ = pending.tx.send(event);
             }
         }
         Ok(Err(err)) => {
@@ -669,6 +808,7 @@ mod tests {
             match ticket.next_event().expect("stream ends with Done") {
                 ServeEvent::Step(s) => steps.push(s),
                 ServeEvent::Done(r) => break r,
+                ServeEvent::Degraded { .. } => panic!("no deadline was set"),
                 ServeEvent::Failed(e) => panic!("query failed: {e}"),
             }
         };
@@ -807,6 +947,88 @@ mod tests {
             Err(ServeError::UnknownGraph(0xDEAD_BEEF))
         ));
         assert_eq!(server.stats().queued, 0);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_a_bit_identical_prefix() {
+        let g = graph(1.0);
+        let server = FlowServer::new(ServeConfig::default());
+        let fp = server.load_graph(g.clone());
+        // A zero deadline is already expired at dispatch: the run stops
+        // before any iteration and degrades to the empty prefix.
+        let ticket = server
+            .submit(fp, quick_params(0, 3).with_deadline_ms(0))
+            .unwrap();
+        let event = loop {
+            match ticket.next_event().expect("stream ends with a terminal") {
+                ServeEvent::Step(_) => continue,
+                terminal => break terminal,
+            }
+        };
+        let ServeEvent::Degraded {
+            steps_done,
+            budget,
+            result,
+        } = event
+        else {
+            panic!("expected Degraded, got {event:?}");
+        };
+        assert_eq!(budget, 3);
+        assert_eq!(steps_done, result.selected.len());
+
+        // The degraded selection is the same-seed full run's prefix.
+        let full = server
+            .submit(fp, quick_params(0, 3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(result.selected, full.selected[..steps_done]);
+    }
+
+    #[test]
+    fn cancelled_query_degrades_instead_of_failing() {
+        let server = FlowServer::new(ServeConfig {
+            start_paused: true,
+            ..ServeConfig::default()
+        });
+        let fp = server.load_graph(graph(1.0));
+        let (ticket, cancel) = server.submit_cancellable(fp, quick_params(0, 3)).unwrap();
+        // Cancel while the query is still queued: it stops at iteration 0.
+        cancel.cancel();
+        server.resume();
+        let event = loop {
+            match ticket.next_event().expect("stream ends with a terminal") {
+                ServeEvent::Step(_) => continue,
+                terminal => break terminal,
+            }
+        };
+        match event {
+            ServeEvent::Degraded {
+                steps_done, budget, ..
+            } => {
+                assert_eq!(steps_done, 0);
+                assert_eq!(budget, 3);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(server.stats().completed, 1);
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_and_clamps() {
+        let server = FlowServer::new(ServeConfig {
+            retry_after: Duration::from_millis(10),
+            coalesce_max: 4,
+            ..ServeConfig::default()
+        });
+        // One batch drains up to 4 queries: depths 0..=3 keep the base.
+        assert_eq!(server.retry_after_hint(0), Duration::from_millis(10));
+        assert_eq!(server.retry_after_hint(3), Duration::from_millis(10));
+        // Deeper backlogs need more batches.
+        assert_eq!(server.retry_after_hint(4), Duration::from_millis(20));
+        assert_eq!(server.retry_after_hint(9), Duration::from_millis(30));
+        // Clamped at 32× base no matter the depth.
+        assert_eq!(server.retry_after_hint(100_000), Duration::from_millis(320));
     }
 
     #[test]

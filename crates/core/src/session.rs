@@ -50,10 +50,11 @@ use flowmax_graph::{
 use flowmax_sampling::ParallelEstimator;
 
 use crate::baselines::{dijkstra_select_from_tree, naive_select_observed, NaiveConfig};
+use crate::cancel::{RunControl, StopCause};
 use crate::error::CoreError;
 use crate::estimator::EstimatorConfig;
 use crate::metrics::SelectionMetrics;
-use crate::selection::greedy::{greedy_select_observed, CiEngine, GreedyConfig};
+use crate::selection::greedy::{greedy_select_controlled, CiEngine, GreedyConfig};
 use crate::selection::observer::{NoObserver, SelectionObserver, SelectionStep};
 use crate::solver::{evaluate_selection_with_parallelism, Algorithm};
 
@@ -384,9 +385,47 @@ impl<'g> Session<'g> {
         specs: &[QuerySpec],
         on_step: &(dyn Fn(usize, &SelectionStep) + Sync),
     ) -> Result<Vec<SolveRun<'g>>, CoreError> {
+        self.run_many_controlled(specs, &[], on_step)
+    }
+
+    /// [`run_many_with`](Session::run_many_with) with per-query run
+    /// controls: `controls[i]` (cancellation token and/or deadline) governs
+    /// `specs[i]`. Pass an empty slice to leave every query uncontrolled.
+    ///
+    /// A stopped query reports its cause in [`SolveRun::stopped`] and its
+    /// selection is **bit-identical to the same-seed uncontrolled run's
+    /// prefix** of the same length (the greedy selection's anytime
+    /// property: stop checks sit strictly between iterations and never
+    /// change what an iteration computes).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ControlMismatch`] when `controls` is non-empty but its
+    /// length differs from `specs`; plus everything
+    /// [`run_many`](Session::run_many) validates.
+    pub fn run_many_controlled(
+        &self,
+        specs: &[QuerySpec],
+        controls: &[RunControl],
+        on_step: &(dyn Fn(usize, &SelectionStep) + Sync),
+    ) -> Result<Vec<SolveRun<'g>>, CoreError> {
+        if !controls.is_empty() && controls.len() != specs.len() {
+            return Err(CoreError::ControlMismatch {
+                controls: controls.len(),
+                specs: specs.len(),
+            });
+        }
         for spec in specs {
             self.validate(spec)?;
         }
+        let unlimited = RunControl::unlimited();
+        let control_of = |i: usize| -> &RunControl {
+            if controls.is_empty() {
+                &unlimited
+            } else {
+                &controls[i]
+            }
+        };
         if specs.len() <= 1 || self.threads <= 1 {
             return Ok(specs
                 .iter()
@@ -395,6 +434,7 @@ impl<'g> Session<'g> {
                     self.execute(
                         spec,
                         self.threads,
+                        control_of(i),
                         &mut IndexedForward { index: i, on_step },
                     )
                 })
@@ -405,7 +445,12 @@ impl<'g> Session<'g> {
             // Workers run whole queries, so each query samples on one
             // thread; thread-count invariance makes this bit-identical to
             // a solo multi-threaded run.
-            self.execute(&specs[i], 1, &mut IndexedForward { index: i, on_step })
+            self.execute(
+                &specs[i],
+                1,
+                control_of(i),
+                &mut IndexedForward { index: i, on_step },
+            )
         });
         for run in &mut runs {
             // The batch is done: later prefix evaluations (`flow_at`) run
@@ -443,10 +488,17 @@ impl<'g> Session<'g> {
 
     /// Runs one spec without validation (the legacy `solve` shim reaches
     /// this directly to preserve its permissive behaviour bit for bit).
+    ///
+    /// `control` applies to the greedy algorithms only: the baselines are
+    /// cheap enough (Dijkstra never samples; Naive exists for comparison
+    /// runs, not serving) that threading stop checks through them would
+    /// complicate them for no operational gain — their runs always
+    /// complete with `stopped: None`.
     pub(crate) fn execute(
         &self,
         spec: &QuerySpec,
         threads: usize,
+        control: &RunControl,
         observer: &mut dyn SelectionObserver,
     ) -> SolveRun<'g> {
         let mut collector = StepCollector {
@@ -478,10 +530,11 @@ impl<'g> Session<'g> {
                     &mut collector,
                 )
             }
-            _ => greedy_select_observed(
+            _ => greedy_select_controlled(
                 self.graph,
                 spec.vertex,
                 &spec.greedy_config(threads, self.lane_words),
+                control,
                 &mut collector,
             ),
         };
@@ -521,6 +574,7 @@ impl<'g> Session<'g> {
             algorithm_flow: outcome.final_flow,
             elapsed,
             metrics: outcome.metrics,
+            stopped: outcome.stopped,
         }
     }
 }
@@ -768,10 +822,36 @@ impl<'s, 'g> QueryBuilder<'s, 'g> {
     /// # Ok::<(), CoreError>(())
     /// ```
     pub fn run_with(self, observer: &mut dyn SelectionObserver) -> Result<SolveRun<'g>, CoreError> {
+        self.run_controlled_with(&RunControl::unlimited(), observer)
+    }
+
+    /// Runs the query under a [`RunControl`] (cancellation token and/or
+    /// deadline). A stopped run reports its cause in [`SolveRun::stopped`]
+    /// and its selection is bit-identical to the same-seed uncontrolled
+    /// run's prefix of the same length.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](QueryBuilder::run).
+    pub fn run_controlled(self, control: &RunControl) -> Result<SolveRun<'g>, CoreError> {
+        self.run_controlled_with(control, &mut NoObserver)
+    }
+
+    /// [`run_controlled`](QueryBuilder::run_controlled) with streaming, as
+    /// in [`run_with`](QueryBuilder::run_with).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](QueryBuilder::run).
+    pub fn run_controlled_with(
+        self,
+        control: &RunControl,
+        observer: &mut dyn SelectionObserver,
+    ) -> Result<SolveRun<'g>, CoreError> {
         self.session.validate(&self.spec)?;
         Ok(self
             .session
-            .execute(&self.spec, self.session.threads, observer))
+            .execute(&self.spec, self.session.threads, control, observer))
     }
 }
 
@@ -814,6 +894,12 @@ pub struct SolveRun<'g> {
     pub elapsed: Duration,
     /// Work counters from the selection.
     pub metrics: SelectionMetrics,
+    /// Why the run stopped early, if it did. `None` means the run used
+    /// its full edge budget (or exhausted the candidate pool). `Some`
+    /// means a [`RunControl`] stopped it between iterations — the
+    /// selection is then bit-identical to the same-seed uncontrolled
+    /// run's prefix of the same length.
+    pub stopped: Option<StopCause>,
 }
 
 impl SolveRun<'_> {

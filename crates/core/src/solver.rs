@@ -225,7 +225,12 @@ pub fn solve(graph: &ProbabilisticGraph, query: VertexId, config: &SolverConfig)
     };
     // The legacy API tolerated degenerate configs (zero budget, isolated
     // queries) without erroring, so the shim skips builder validation.
-    let run = session.execute(&spec, session.threads(), &mut NoObserver);
+    let run = session.execute(
+        &spec,
+        session.threads(),
+        &crate::cancel::RunControl::unlimited(),
+        &mut NoObserver,
+    );
     SolveResult {
         algorithm,
         // The legacy output order (ascending ids for F-tree algorithms),

@@ -1,0 +1,526 @@
+//! `flowmax-faults` — a seeded, deterministic failpoint registry.
+//!
+//! The serving stack's failure paths (worker panics, admission overload,
+//! batch-loop crashes, connection drops) are exercised by *injecting*
+//! failures at named sites threaded through the pool, the sampling batch
+//! loop, the server's admission/coalescing path, and the daemon's
+//! connection handler. A [`FailPlan`] decides — as a pure function of the
+//! plan seed, the site name, the caller-supplied key, and the per-site hit
+//! ordinal — whether a given arrival at a site fails. No clocks, no
+//! environment reads, no randomness beyond the seeded hash: the same plan
+//! against the same execution produces the same injected failures.
+//!
+//! Two call forms:
+//!
+//! - [`failpoint`] / [`failpoint_keyed`] panic with a
+//!   [`PANIC_PREFIX`]-tagged message when the plan triggers. Panics surface
+//!   through the stack's existing `catch_unwind` seams (the pool's task
+//!   isolation, the session's batch guard), so an injected panic exercises
+//!   exactly the path a real one would take.
+//! - [`should_fail`] / [`should_fail_keyed`] merely report the decision,
+//!   for sites whose failure mode is an error return (e.g. admission
+//!   rejection) rather than a panic.
+//!
+//! The `key` is the caller's stable identity for the arrival — a chunk
+//! index in the pool, a block index in the sampling loop, an admission
+//! sequence number — so concurrent arrivals keep deterministic decisions
+//! regardless of thread interleaving. Arrivals at the same `(site, key)`
+//! are further numbered by a per-`(site, key)` ordinal, so a schedule can
+//! target "the first task slot 2 receives" precisely.
+//!
+//! Unless the `enabled` cargo feature is on, every function here compiles
+//! to an inline no-op and the registry cannot be armed: production builds
+//! carry zero fault machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prefix of every panic message raised by a triggered failpoint.
+pub const PANIC_PREFIX: &str = "flowmax-fault: ";
+
+/// True when `message` comes from a triggered failpoint, for test
+/// assertions that want to distinguish injected panics from real bugs.
+pub fn is_fault_panic(message: &str) -> bool {
+    message.starts_with(PANIC_PREFIX)
+}
+
+/// How a scheduled site decides whether a given arrival fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fail the arrivals whose per-`(site, key)` ordinal (0-based) is in
+    /// the set.
+    Nth(Vec<u64>),
+    /// Fail roughly one arrival in `rate`, decided by a seeded hash of
+    /// `(seed, site, key, ordinal)` — deterministic, but spread across the
+    /// arrival stream instead of pinned to fixed ordinals.
+    Rate(u64),
+    /// Fail every arrival.
+    Always,
+}
+
+/// One scheduled site: a name, an optional key filter, and a trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Site {
+    name: String,
+    /// `None` matches every key; `Some(k)` only arrivals with key `k`.
+    key: Option<u64>,
+    trigger: Trigger,
+}
+
+/// A seeded schedule of failures, keyed by site name.
+///
+/// Build one with the `fail_*` combinators or parse the daemon's
+/// `--fault-plan` syntax with [`FailPlan::parse`], then arm it with
+/// [`install`]. Decisions are a pure function of
+/// `(seed, site, key, ordinal)`; the plan holds no mutable state itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailPlan {
+    seed: u64,
+    sites: Vec<Site>,
+}
+
+impl FailPlan {
+    /// An empty plan (no site ever fails) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FailPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when no site is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Schedules `site` to fail at the given per-key arrival ordinals
+    /// (0-based), for every key.
+    pub fn fail_nth(mut self, site: &str, ordinals: &[u64]) -> Self {
+        self.sites.push(Site {
+            name: site.to_string(),
+            key: None,
+            trigger: Trigger::Nth(ordinals.to_vec()),
+        });
+        self
+    }
+
+    /// Schedules `site` to fail at the given arrival ordinals, but only
+    /// for arrivals carrying exactly `key`.
+    pub fn fail_key_nth(mut self, site: &str, key: u64, ordinals: &[u64]) -> Self {
+        self.sites.push(Site {
+            name: site.to_string(),
+            key: Some(key),
+            trigger: Trigger::Nth(ordinals.to_vec()),
+        });
+        self
+    }
+
+    /// Schedules `site` to fail roughly one arrival in `rate` (clamped to
+    /// at least 1), decided by the seeded hash.
+    pub fn fail_rate(mut self, site: &str, rate: u64) -> Self {
+        self.sites.push(Site {
+            name: site.to_string(),
+            key: None,
+            trigger: Trigger::Rate(rate.max(1)),
+        });
+        self
+    }
+
+    /// Schedules `site` to fail every arrival.
+    pub fn fail_always(mut self, site: &str) -> Self {
+        self.sites.push(Site {
+            name: site.to_string(),
+            key: None,
+            trigger: Trigger::Always,
+        });
+        self
+    }
+
+    /// Parses the daemon's `--fault-plan` syntax: `;`-separated entries of
+    /// the form `site=always`, `site=nth:0,2,5`, `site=rate:16`, with an
+    /// optional `@key` suffix on the site name (`pool/worker@2=nth:0`).
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FailPlan::new(seed);
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name_part, trigger_part) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry `{entry}` is missing `=`"))?;
+            let (name, key) = match name_part.split_once('@') {
+                Some((name, key)) => {
+                    let key = key
+                        .parse::<u64>()
+                        .map_err(|_| format!("fault key `{key}` is not a u64 in `{entry}`"))?;
+                    (name.trim(), Some(key))
+                }
+                None => (name_part.trim(), None),
+            };
+            if name.is_empty() {
+                return Err(format!("fault entry `{entry}` has an empty site name"));
+            }
+            let trigger = if trigger_part == "always" {
+                Trigger::Always
+            } else if let Some(rate) = trigger_part.strip_prefix("rate:") {
+                let rate = rate
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault rate `{rate}` is not a u64 in `{entry}`"))?;
+                Trigger::Rate(rate.max(1))
+            } else if let Some(list) = trigger_part.strip_prefix("nth:") {
+                let mut ordinals = Vec::new();
+                for part in list.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    ordinals.push(part.parse::<u64>().map_err(|_| {
+                        format!("fault ordinal `{part}` is not a u64 in `{entry}`")
+                    })?);
+                }
+                if ordinals.is_empty() {
+                    return Err(format!("fault entry `{entry}` lists no ordinals"));
+                }
+                Trigger::Nth(ordinals)
+            } else {
+                return Err(format!(
+                    "fault trigger `{trigger_part}` is not `always`, `nth:...`, or `rate:...`"
+                ));
+            };
+            plan.sites.push(Site {
+                name: name.to_string(),
+                key,
+                trigger,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// The pure decision: does arrival number `ordinal` (0-based, counted
+    /// per `(site, key)`) at `site` with `key` fail under this plan?
+    ///
+    /// The first scheduled entry whose name and key filter match wins;
+    /// unscheduled sites never fail.
+    pub fn decides_failure(&self, site: &str, key: u64, ordinal: u64) -> bool {
+        for entry in &self.sites {
+            if entry.name != site {
+                continue;
+            }
+            if let Some(wanted) = entry.key {
+                if wanted != key {
+                    continue;
+                }
+            }
+            return match &entry.trigger {
+                Trigger::Nth(ordinals) => ordinals.contains(&ordinal),
+                Trigger::Rate(rate) => {
+                    let mixed = splitmix64(splitmix64(self.seed ^ fnv1a(site)) ^ key);
+                    splitmix64(mixed ^ ordinal).is_multiple_of(*rate)
+                }
+                Trigger::Always => true,
+            };
+        }
+        false
+    }
+
+    /// True when any scheduled entry names `site`, regardless of key or
+    /// trigger — lets hot paths skip per-arrival bookkeeping for sites the
+    /// plan never mentions.
+    pub fn mentions(&self, site: &str) -> bool {
+        self.sites.iter().any(|entry| entry.name == site)
+    }
+}
+
+/// SplitMix64: the same finalizer the sampling substrate uses for seed
+/// derivation — a bijective avalanche, so distinct inputs cannot collide
+/// into systematically correlated decisions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name, to fold the site identity into the seed.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(feature = "enabled")]
+mod armed {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    use crate::FailPlan;
+
+    /// Fast-path gate: checked with one relaxed load before any locking,
+    /// so unarmed `--features faults` builds stay cheap at every site.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    struct Registry {
+        plan: FailPlan,
+        /// Per-`(site index, key)` arrival counters. A `BTreeMap` (not a
+        /// hash map) so the registry has no iteration-order hazards.
+        counters: BTreeMap<(usize, u64), u64>,
+    }
+
+    static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+    fn lock_registry() -> std::sync::MutexGuard<'static, Option<Registry>> {
+        // A failpoint panics *after* releasing the lock, but a panicking
+        // test elsewhere could still poison it; the registry is always
+        // internally consistent, so recover rather than cascade.
+        REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms `plan`: subsequent failpoint arrivals are decided by it, with
+    /// all arrival counters starting from zero.
+    pub fn install(plan: FailPlan) {
+        let mut guard = lock_registry();
+        *guard = Some(Registry {
+            plan,
+            counters: BTreeMap::new(),
+        });
+        ARMED.store(true, Ordering::Release);
+    }
+
+    /// Disarms the registry; every site stops failing immediately.
+    pub fn clear() {
+        let mut guard = lock_registry();
+        ARMED.store(false, Ordering::Release);
+        *guard = None;
+    }
+
+    /// True when a plan is armed.
+    pub fn is_armed() -> bool {
+        ARMED.load(Ordering::Acquire)
+    }
+
+    /// The armed decision for one arrival at `(site, key)`: consumes the
+    /// next per-`(site, key)` ordinal and evaluates the plan.
+    pub fn should_fail_keyed(site: &str, key: u64) -> bool {
+        if !ARMED.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut guard = lock_registry();
+        let Some(registry) = guard.as_mut() else {
+            return false;
+        };
+        let Some(site_index) = registry
+            .plan
+            .sites
+            .iter()
+            .position(|entry| entry.name == site)
+        else {
+            return false;
+        };
+        let ordinal = registry
+            .counters
+            .entry((site_index, key))
+            .and_modify(|n| *n += 1)
+            .or_insert(0);
+        let ordinal = *ordinal;
+        registry.plan.decides_failure(site, key, ordinal)
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use armed::{clear, install, is_armed, should_fail_keyed};
+
+/// Arms `plan` (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn install(_plan: FailPlan) {}
+
+/// Disarms the registry (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn clear() {}
+
+/// True when a plan is armed (always false without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn is_armed() -> bool {
+    false
+}
+
+/// Decides one keyed arrival at `site` (always false without the
+/// `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn should_fail_keyed(_site: &str, _key: u64) -> bool {
+    false
+}
+
+/// [`should_fail_keyed`] with the default key 0, for sites with a single
+/// arrival stream.
+#[inline]
+pub fn should_fail(site: &str) -> bool {
+    should_fail_keyed(site, 0)
+}
+
+/// Panics with a [`PANIC_PREFIX`]-tagged message when the armed plan
+/// triggers for this keyed arrival; otherwise returns normally. Compiles
+/// to an inline no-op without the `enabled` feature.
+#[inline]
+pub fn failpoint_keyed(site: &str, key: u64) {
+    if should_fail_keyed(site, key) {
+        panic!("{PANIC_PREFIX}{site} (key {key})");
+    }
+}
+
+/// [`failpoint_keyed`] with the default key 0.
+#[inline]
+pub fn failpoint(site: &str) {
+    if should_fail_keyed(site, 0) {
+        panic!("{PANIC_PREFIX}{site}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscheduled_sites_never_fail() {
+        let plan = FailPlan::new(7).fail_always("pool/worker");
+        assert!(!plan.decides_failure("serve/admit", 0, 0));
+        assert!(plan.decides_failure("pool/worker", 3, 9));
+        assert!(plan.mentions("pool/worker"));
+        assert!(!plan.mentions("serve/admit"));
+    }
+
+    #[test]
+    fn nth_targets_exact_ordinals() {
+        let plan = FailPlan::new(1).fail_nth("s", &[0, 2]);
+        assert!(plan.decides_failure("s", 5, 0));
+        assert!(!plan.decides_failure("s", 5, 1));
+        assert!(plan.decides_failure("s", 5, 2));
+        assert!(!plan.decides_failure("s", 5, 3));
+    }
+
+    #[test]
+    fn key_filter_restricts_the_schedule() {
+        let plan = FailPlan::new(1).fail_key_nth("s", 2, &[0]);
+        assert!(plan.decides_failure("s", 2, 0));
+        assert!(!plan.decides_failure("s", 3, 0));
+        assert!(!plan.decides_failure("s", 2, 1));
+    }
+
+    #[test]
+    fn rate_decisions_are_seed_deterministic_and_seed_sensitive() {
+        let a = FailPlan::new(11).fail_rate("s", 4);
+        let b = FailPlan::new(11).fail_rate("s", 4);
+        let c = FailPlan::new(12).fail_rate("s", 4);
+        let decide = |plan: &FailPlan| -> Vec<bool> {
+            (0..64)
+                .map(|i| plan.decides_failure("s", i / 8, i % 8))
+                .collect()
+        };
+        assert_eq!(decide(&a), decide(&b), "same seed, same decisions");
+        assert_ne!(decide(&a), decide(&c), "different seed, different plan");
+        let hits = decide(&a).iter().filter(|&&f| f).count();
+        assert!(
+            hits > 0 && hits < 64,
+            "rate 4 fails some but not all: {hits}"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_the_combinators() {
+        let parsed =
+            FailPlan::parse("pool/worker@2=nth:0; serve/admit=rate:16; conn=always", 9).unwrap();
+        let built = FailPlan::new(9)
+            .fail_key_nth("pool/worker", 2, &[0])
+            .fail_rate("serve/admit", 16)
+            .fail_always("conn");
+        assert_eq!(parsed, built);
+        assert!(FailPlan::parse("", 9).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(FailPlan::parse("noequals", 0).is_err());
+        assert!(FailPlan::parse("s=nope", 0).is_err());
+        assert!(FailPlan::parse("s=nth:", 0).is_err());
+        assert!(FailPlan::parse("s@x=always", 0).is_err());
+        assert!(FailPlan::parse("=always", 0).is_err());
+    }
+
+    #[test]
+    fn fault_panics_are_recognizable() {
+        assert!(is_fault_panic("flowmax-fault: pool/worker (key 2)"));
+        assert!(!is_fault_panic("index out of bounds"));
+    }
+
+    #[cfg(feature = "enabled")]
+    mod armed {
+        use super::*;
+        use std::sync::Mutex;
+
+        /// The registry is process-global; serialize the tests that arm it.
+        static GATE: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn install_arms_and_counts_per_site_and_key() {
+            let _gate = GATE
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            install(FailPlan::new(3).fail_nth("s", &[1]));
+            assert!(is_armed());
+            assert!(!should_fail_keyed("s", 7), "ordinal 0 spared");
+            assert!(should_fail_keyed("s", 7), "ordinal 1 fails");
+            assert!(!should_fail_keyed("s", 7), "ordinal 2 spared");
+            assert!(!should_fail_keyed("s", 8), "other keys count separately");
+            assert!(should_fail_keyed("s", 8));
+            assert!(!should_fail("other"), "unscheduled sites never fail");
+            clear();
+            assert!(!is_armed());
+            assert!(!should_fail_keyed("s", 7), "disarmed registry is inert");
+        }
+
+        #[test]
+        fn reinstall_resets_counters() {
+            let _gate = GATE
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            install(FailPlan::new(3).fail_nth("s", &[0]));
+            assert!(should_fail("s"));
+            assert!(!should_fail("s"));
+            install(FailPlan::new(3).fail_nth("s", &[0]));
+            assert!(should_fail("s"), "fresh install starts ordinals at zero");
+            clear();
+        }
+
+        #[test]
+        #[should_panic(expected = "flowmax-fault: boom")]
+        fn triggered_failpoint_panics_with_the_tagged_message() {
+            let _gate = GATE
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            install(FailPlan::new(0).fail_always("boom"));
+            // Disarm before panicking so sibling tests are unaffected even
+            // though the panic unwinds past the guard.
+            struct Disarm;
+            impl Drop for Disarm {
+                fn drop(&mut self) {
+                    clear();
+                }
+            }
+            let _disarm = Disarm;
+            failpoint("boom");
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! or an unaudited `unsafe` block that silently breaks it. This crate is
 //! the static half of the enforcement: a dependency-free analysis pass
 //! (`cargo run -p flowmax-lint`) that walks every first-party `.rs` file
-//! and checks rules **L1–L6** (see [`rules`] and `crates/lint/README.md`).
+//! and checks rules **L1–L7** (see [`rules`] and `crates/lint/README.md`).
 //!
 //! Design constraints: the offline build has no `syn`/`regex`, so the pass
 //! is a hand-rolled lexer ([`lexer`]) plus token-level rules — fast,

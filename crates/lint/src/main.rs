@@ -22,7 +22,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "flowmax-lint: determinism & unsafety contract checks (rules L1-L6)\n\
+                    "flowmax-lint: determinism & unsafety contract checks (rules L1-L7)\n\
                      usage: flowmax-lint [--root PATH]\n\
                      see crates/lint/README.md for the rule catalogue"
                 );

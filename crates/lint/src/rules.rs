@@ -1,4 +1,4 @@
-//! The six contract rules, plus the inline-suppression machinery.
+//! The seven contract rules, plus the inline-suppression machinery.
 //!
 //! Every rule protects a piece of the project's determinism / unsafety
 //! contract (see `crates/lint/README.md` for the full mapping):
@@ -18,6 +18,10 @@
 //!   sampling kernel (`crates/sampling/src/batch.rs`): coins are integer
 //!   thresholds, classified once at the `crate::coin` boundary.
 //! * **L6** — no `println!`/`eprintln!`/`dbg!` in library code.
+//! * **L7** — no `.unwrap()` / `.expect()` in the serving request paths
+//!   (`crates/core/src/serve.rs` and `src/bin/**`): one bad request must
+//!   degrade to an `ERR` line or a failed ticket, never take a connection
+//!   handler or the dispatcher down with a panic.
 //!
 //! A violating line can be excused with
 //! `// flowmax-lint: allow(LN, reason)` on the same line or on the
@@ -43,6 +47,8 @@ pub enum RuleId {
     L5,
     /// Stdout/stderr printing in library code.
     L6,
+    /// `.unwrap()` / `.expect()` in serving request-path code.
+    L7,
     /// A malformed `flowmax-lint:` suppression comment.
     Suppression,
 }
@@ -57,6 +63,7 @@ impl RuleId {
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
             RuleId::L6 => "L6",
+            RuleId::L7 => "L7",
             RuleId::Suppression => "lint",
         }
     }
@@ -69,6 +76,7 @@ impl RuleId {
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
             "L6" => Some(RuleId::L6),
+            "L7" => Some(RuleId::L7),
             _ => None,
         }
     }
@@ -178,6 +186,11 @@ const L3_PATTERNS: [&str; 5] = [
     "env::vars",
 ];
 const L6_PATTERNS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+/// The serving request path protected by L7 alongside every `src/bin/` file.
+const SERVE_FILE: &str = "crates/core/src/serve.rs";
+/// The trailing `(` keeps `unwrap_or`, `unwrap_or_else`, and `expect_err`
+/// out of scope — those are graceful-handling idioms, not panics.
+const L7_PATTERNS: [&str; 2] = [".unwrap(", ".expect("];
 const ITER_METHODS: [&str; 10] = [
     "iter",
     "iter_mut",
@@ -210,6 +223,7 @@ pub fn lint_source(rel: &str, source: &str, allowlist: &Allowlist) -> FileReport
     let l3_applies = kind == FileKind::Lib;
     let l5_applies = rel == KERNEL_FILE;
     let l6_applies = kind == FileKind::Lib;
+    let l7_applies = rel == SERVE_FILE || kind == FileKind::Bin;
 
     let hash_idents = if l1_applies {
         collect_hash_idents(&lines, &tests)
@@ -326,6 +340,24 @@ pub fn lint_source(rel: &str, source: &str, allowlist: &Allowlist) -> FileReport
                         message: format!(
                             "`{pat}` in library code: report through return values or metrics, \
                              not process-global streams"
+                        ),
+                    });
+                }
+            }
+        }
+        if l7_applies {
+            for pat in L7_PATTERNS {
+                if code.contains(pat) {
+                    let method = &pat[1..pat.len() - 1];
+                    raw.push(Finding {
+                        rule: RuleId::L7,
+                        file: rel.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`.{method}()` in a serving request path: one bad request must \
+                             degrade to an ERR line or a failed ticket, not panic the \
+                             handler (match on the Result, or suppress with a reason if \
+                             the failure is startup-fatal by design)"
                         ),
                     });
                 }

@@ -1,0 +1,28 @@
+//! Fixture: `.unwrap()` / `.expect()` in serving request paths (L7).
+
+pub fn handle(line: Option<&str>) -> usize {
+    // Violation: a malformed request must not panic the handler.
+    let parsed = line.unwrap();
+    // Violation: expect is unwrap with a eulogy.
+    parsed.parse::<usize>().expect("numeric")
+}
+
+pub fn graceful(line: Option<&str>) -> usize {
+    // Allowed: unwrap_or and friends are graceful-handling idioms.
+    let parsed = line.unwrap_or("0");
+    parsed.parse::<usize>().unwrap_or_default()
+}
+
+pub fn audited(line: Option<&str>) -> &str {
+    // flowmax-lint: allow(L7, fixture: startup-fatal by design)
+    line.expect("set before serving starts")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        // Allowed: test code asserts freely.
+        super::handle(Some("3".into())).to_string().parse::<usize>().unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! Fixture-driven self-tests: every rule L1–L6 must fire on a violating
+//! Fixture-driven self-tests: every rule L1–L7 must fire on a violating
 //! snippet, honor the allowlist, honor reasoned inline suppressions, and
 //! report suppression counts — plus a self-run proving the real workspace
 //! is clean (the same check CI gates on).
@@ -130,6 +130,31 @@ fn l6_fires_on_printing_from_library_code() {
     assert!(fired.iter().all(|&r| r == RuleId::L6));
     // Binaries own their stdout.
     assert!(rules_fired("src/bin/fixture.rs", &src, &Allowlist::empty()).is_empty());
+}
+
+#[test]
+fn l7_fires_on_unwrap_in_serving_request_paths_only() {
+    let src = fixture("l7_unwrap.rs");
+    let report = lint_source("src/bin/fixture.rs", &src, &Allowlist::empty());
+    let l7: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::L7)
+        .collect();
+    assert_eq!(l7.len(), 2, "the bare unwrap and the expect: {l7:?}");
+    assert!(l7.iter().any(|f| f.message.contains(".unwrap()")));
+    assert!(l7.iter().any(|f| f.message.contains(".expect()")));
+    // The reasoned suppression on the startup-fatal expect is honored.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleId::L7);
+    // The serving front-end in core is policed the same way.
+    assert!(
+        rules_fired("crates/core/src/serve.rs", &src, &Allowlist::empty()).contains(&RuleId::L7)
+    );
+    // Everything else may unwrap: library code, benches, tests.
+    assert!(rules_fired("crates/core/src/session.rs", &src, &Allowlist::empty()).is_empty());
+    assert!(rules_fired("crates/bench/src/fixture.rs", &src, &Allowlist::empty()).is_empty());
+    assert!(rules_fired("tests/fixture.rs", &src, &Allowlist::empty()).is_empty());
 }
 
 #[test]

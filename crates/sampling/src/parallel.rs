@@ -310,6 +310,11 @@ where
             let mut acc = A::default();
             scratch.bfs.prepare(job.vertex_count);
             for g in range {
+                // Fault site: one keyed arrival per sampled block. An
+                // injected panic here is caught by the pool's task
+                // containment and re-raised on the submitter, exactly like
+                // a real batch-loop crash.
+                flowmax_faults::failpoint_keyed("sampling/batch", g as u64);
                 let first_batch = g * W;
                 let lanes = block_lanes::<W>(job.samples, first_batch);
                 fill(&mut scratch.batch, first_batch as u64 * LANES as u64, lanes);

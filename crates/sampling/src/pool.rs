@@ -9,9 +9,14 @@
 //! * a job's chunk `j` always runs on pool worker `j - 1` (chunk `0` runs
 //!   on the submitting thread, which would otherwise idle-wait), so worker
 //!   assignment is as deterministic as the scoped spawn it replaces;
-//! * worker threads never die: a panicking job is caught on the worker,
-//!   shipped back to the submitter, and re-raised *there* — the pool stays
-//!   serviceable for every later job (see `tests/failure_injection.rs`);
+//! * worker threads survive panicking jobs: a panicking task is caught on
+//!   the worker, shipped back to the submitter, and re-raised *there* — the
+//!   pool stays serviceable for every later job (see
+//!   `tests/failure_injection.rs`). Should a slot thread nevertheless die
+//!   (a panic *outside* the task containment — deliberately injectable via
+//!   the `pool/worker` failpoint), the slot is respawned on its next
+//!   dispatch with a warn-once notice, so one dead thread never bricks the
+//!   pool;
 //! * each worker thread keeps its own warm
 //!   [`SamplingScratch`](crate::scratch::SamplingScratch) (thread-local, see
 //!   [`crate::scratch::with_thread_scratch`]), so arenas stay hot across
@@ -31,11 +36,14 @@
 //! slots), but a channel to a `'static` worker thread can only carry
 //! `'static` payloads, so [`WorkerPool::run`] erases the task's lifetime
 //! with a single `transmute` — the standard scoped-thread-pool idiom. It is
-//! sound because `run` **never returns (or unwinds) before every submitted
-//! task has reported back**: each task sends its result (or caught panic)
+//! sound because `run` **never returns (or unwinds) while any submitted
+//! task can still run**: each task sends its result (or caught panic)
 //! over a completion channel as its final action, and the submitter blocks
-//! until all chunks have answered, keeping every borrow alive for as long
-//! as any worker can touch it.
+//! until every chunk has answered *or* the channel disconnects — and
+//! disconnect itself proves every task closure has been destroyed (a task
+//! drops its channel sender either after reporting or when a dying slot
+//! thread drops it unrun), keeping every borrow alive for as long as any
+//! worker can touch it.
 //!
 //! This file is the only entry in `crates/lint/allow_unsafe.toml`;
 //! `flowmax-lint` (rule L4) rejects `unsafe` anywhere else in the
@@ -48,6 +56,7 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
@@ -79,13 +88,32 @@ struct PoolState {
 /// want [`Drop`]-time shutdown).
 pub struct WorkerPool {
     state: Mutex<PoolState>,
+    /// Worker slots respawned after their thread died (see
+    /// [`WorkerPool::restarts`]).
+    restarts: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.width())
+            .field("restarts", &self.restarts())
             .finish()
+    }
+}
+
+/// Warn-once flag for worker-slot respawns, mirroring the clamp helpers in
+/// [`crate::parallel`]: one stderr line per process, results unaffected.
+static WORKER_RESTART_WARNED: AtomicBool = AtomicBool::new(false);
+
+fn note_worker_restart(index: usize) {
+    if !WORKER_RESTART_WARNED.swap(true, Ordering::Relaxed) {
+        // flowmax-lint: allow(L6, sanctioned warn-once restart notice: one stderr line per process when a dead worker slot is respawned; results are unaffected)
+        eprintln!(
+            "flowmax: warning: pool worker slot {index} died (task panicked outside its \
+             containment); respawning the slot — in-flight jobs on it failed, later jobs are \
+             unaffected"
+        );
     }
 }
 
@@ -98,6 +126,7 @@ impl WorkerPool {
                 senders: Vec::new(),
                 handles: Vec::new(),
             }),
+            restarts: AtomicU64::new(0),
         };
         pool.ensure_width(width);
         pool
@@ -118,6 +147,17 @@ impl WorkerPool {
         self.lock_state().senders.len()
     }
 
+    /// How many worker slots have been respawned after their thread died.
+    ///
+    /// A slot thread only dies when something panics *outside* a task's
+    /// own containment — in practice the `pool/worker` failpoint or a bug
+    /// in the pool itself. The job whose chunk was lost fails with a
+    /// panic, the slot is respawned on its next dispatch, and this counter
+    /// (plus a warn-once stderr notice) records that it happened.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
     fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
         // A poisoned state mutex only means some thread panicked while
         // growing the pool; the sender list itself is always consistent
@@ -129,14 +169,24 @@ impl WorkerPool {
         let mut state = self.lock_state();
         while state.senders.len() < width {
             let index = state.senders.len();
-            let (tx, rx) = channel::<Task>();
-            let handle = std::thread::Builder::new()
-                .name(format!("flowmax-worker-{index}"))
-                .spawn(move || worker_loop(rx))
-                .expect("spawn flowmax pool worker");
+            let (tx, handle) = spawn_worker(index);
             state.senders.push(tx);
             state.handles.push(handle);
         }
+    }
+
+    /// Replaces a dead worker slot with a fresh thread (and reaps the dead
+    /// one). Called with the state lock held, from the dispatch path that
+    /// discovered the slot's channel disconnected.
+    fn respawn_slot(&self, state: &mut PoolState, index: usize) {
+        note_worker_restart(index);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        let (tx, handle) = spawn_worker(index);
+        state.senders[index] = tx;
+        let dead = std::mem::replace(&mut state.handles[index], handle);
+        // The old thread already exited (its receiver is gone); joining
+        // just reaps it and discards the panic payload it died with.
+        let _ = dead.join();
     }
 
     /// Runs one chunk of work per entry of `ranges` and returns the chunk
@@ -167,13 +217,25 @@ impl WorkerPool {
         }
         self.ensure_width(chunks - 1);
 
+        // Fault site: all dispatch decisions are evaluated *before* any
+        // task is handed out, so a triggered dispatch fault aborts the job
+        // while no lifetime-erased borrow is in flight — the transmute
+        // contract below never sees a partial dispatch.
+        for j in 1..chunks {
+            flowmax_faults::failpoint_keyed("pool/dispatch", j as u64);
+        }
+
         // Every task reports on this channel exactly once — its result or
-        // the panic payload it caught — and the loop below collects all
-        // `chunks - 1` reports before the function can return or unwind.
+        // the panic payload it caught — and the loop below collects the
+        // reports before the function can return or unwind. (If a slot
+        // thread dies *between* receiving a task and running it, the task
+        // is dropped unrun and its report never arrives; the channel then
+        // disconnects once every live task has reported, and the missing
+        // chunks fail the job with a synthesized panic below.)
         let (done_tx, done_rx) = channel::<(usize, std::thread::Result<T>)>();
         let work_ref: &(dyn Fn(usize, Range<usize>) -> T + Sync) = &work;
         {
-            let state = self.lock_state();
+            let mut state = self.lock_state();
             for (j, range) in ranges.iter().enumerate().skip(1) {
                 let range = range.clone();
                 let tx = done_tx.clone();
@@ -190,8 +252,12 @@ impl WorkerPool {
                 // * Why they live long enough: `run` blocks until **all**
                 //   chunks have reported on `done_rx` — the report is each
                 //   task's final action, sent only after the borrowed
-                //   closure call has returned — so no worker can touch the
-                //   erased borrows after `run` resumes.
+                //   closure call has returned — or until `done_rx`
+                //   disconnects, which proves every task closure (and its
+                //   borrow) has already been destroyed: a task's sender is
+                //   dropped only after it reports, or when a dying slot
+                //   thread drops the task unrun. Either way no worker can
+                //   touch the erased borrows after `run` resumes.
                 // * Panic path: a panicking task still reports (the payload
                 //   is caught by `catch_unwind` above) and the submitter
                 //   re-raises it only after every chunk has answered, so
@@ -199,9 +265,16 @@ impl WorkerPool {
                 #[allow(unsafe_code)]
                 let task: Task =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
-                state.senders[j - 1]
-                    .send(task)
-                    .expect("flowmax pool worker hung up");
+                // A send only fails when the slot's thread died (its
+                // receiver was dropped during unwinding). Respawn the slot
+                // and hand the returned task to the fresh thread: one dead
+                // worker costs the job that was on it, never this one.
+                if let Err(returned) = state.senders[j - 1].send(task) {
+                    self.respawn_slot(&mut state, j - 1);
+                    state.senders[j - 1]
+                        .send(returned.0)
+                        .expect("a freshly respawned flowmax pool worker accepts tasks");
+                }
             }
         }
         drop(done_tx);
@@ -213,18 +286,46 @@ impl WorkerPool {
         slots.push(Some(first));
         slots.resize_with(chunks, || None);
         for _ in 1..chunks {
-            let (j, result) = done_rx
-                .recv()
-                .expect("flowmax pool worker dropped a task without reporting");
-            slots[j] = Some(result);
+            match done_rx.recv() {
+                Ok((j, result)) => slots[j] = Some(result),
+                // Disconnect before all chunks answered: some slot thread
+                // died with its task unrun. Every *live* task has reported
+                // by now (disconnect requires all senders dropped, and a
+                // running task drops its sender only after reporting), so
+                // no worker can touch the erased borrows any more — the
+                // missing chunks fail the job below.
+                Err(_) => break,
+            }
         }
-        // All chunks have reported: no worker can touch `work` or the
-        // channel any more, so the erased borrows end here.
+        // All chunks have reported (or their slot thread is gone): no
+        // worker can touch `work` or the channel any more, so the erased
+        // borrows end here.
+        //
+        // Respawn the slot behind every lost chunk *now*, not at the next
+        // dispatch: `respawn_slot` joins the dead thread, which closes the
+        // race where a later job's send still reaches the dying thread's
+        // receiver and queues a task that will never run.
+        let lost: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(j, slot)| slot.is_none().then_some(j))
+            .collect();
+        if !lost.is_empty() {
+            let mut state = self.lock_state();
+            for &j in &lost {
+                self.respawn_slot(&mut state, j - 1);
+            }
+        }
+        flowmax_faults::failpoint_keyed("pool/join", chunks as u64);
         let mut out = Vec::with_capacity(chunks);
         for slot in slots {
-            match slot.expect("every chunk reports exactly once") {
-                Ok(value) => out.push(value),
-                Err(payload) => resume_unwind(payload),
+            match slot {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(payload)) => resume_unwind(payload),
+                None => panic!(
+                    "flowmax pool worker died before running its chunk; \
+                     the slot has been respawned"
+                ),
             }
         }
         out
@@ -250,14 +351,28 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Task>) {
+fn spawn_worker(index: usize) -> (Sender<Task>, JoinHandle<()>) {
+    let (tx, rx) = channel::<Task>();
+    let handle = std::thread::Builder::new()
+        .name(format!("flowmax-worker-{index}"))
+        .spawn(move || worker_loop(index, rx))
+        .expect("spawn flowmax pool worker");
+    (tx, handle)
+}
+
+fn worker_loop(index: usize, rx: Receiver<Task>) {
     IS_POOL_WORKER.with(|flag| flag.set(true));
     // Tasks contain their own panic containment (`catch_unwind` around the
     // user closure), so this loop never unwinds: one thread per worker
     // slot, for the life of the pool. When the pool closes the channel,
     // `recv` keeps delivering queued tasks before reporting disconnect, so
     // shutdown never drops submitted work.
+    //
+    // The `pool/worker` failpoint sits *outside* that containment — it is
+    // the one deliberate way to kill a slot thread, so the chaos suite can
+    // exercise the respawn path ([`WorkerPool::respawn_slot`]) end to end.
     while let Ok(task) = rx.recv() {
+        flowmax_faults::failpoint_keyed("pool/worker", index as u64);
         task();
     }
 }

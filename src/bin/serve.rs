@@ -13,7 +13,7 @@
 //! `ERR SHUTDOWN server stopping` line before the process exits.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -21,9 +21,15 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use flowmax::core::{
-    Algorithm, CoreError, FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent, ServeResult,
+    Algorithm, CancelToken, CoreError, FlowServer, QueryParams, ServeConfig, ServeError,
+    ServeEvent, ServeResult,
 };
 use flowmax::graph::{io as gio, VertexId};
+
+/// Longest accepted request line, in bytes. Anything longer is drained to
+/// its newline and answered with `ERR LINE TOO LONG` — the daemon never
+/// buffers an attacker-sized line and never desynchronizes the protocol.
+const MAX_LINE_BYTES: usize = 64 * 1024;
 
 const USAGE: &str = "\
 flowmax-serve — long-lived flow-maximization query daemon
@@ -47,27 +53,51 @@ OPTIONS:
                           `ERR OVERLOADED retry_after_ms=<hint>` (default 64).
     --coalesce-max <N>    Queued queries against the same graph coalesced
                           into one batch (default 16).
-    --retry-after-ms <N>  Backoff hint attached to overload rejections
-                          (default 50).
+    --retry-after-ms <N>  Base backoff hint attached to overload rejections
+                          (default 50). The live hint scales with queue
+                          depth, capped at 32× the base.
     --seed <N>            Server-default master seed for queries that don't
                           pin one (default 42).
+    --idle-timeout-ms <N> Close a connection after this long without a
+                          complete request line, with a terminal
+                          `ERR TIMEOUT ...` (default 300000; 0 disables).
+    --fault-plan <SPEC>   Arm the deterministic fault-injection substrate
+                          with a plan (`site[@key]=always|nth:..|rate:..`,
+                          `;`-separated), seeded by --seed. Requires a
+                          build with `--features faults`; errors otherwise.
     --start-paused        Admit queries without executing them until a
                           `RESUME` command arrives — for drain tests and
                           staged rollouts.
     --help                Print this help.
 
-PROTOCOL (one command per line):
+PROTOCOL (one command per line, at most 65536 bytes per line — longer
+lines are drained and answered with `ERR LINE TOO LONG ...`):
     LOAD <path>
         Parse a `flowmax-graph v1` text file and make it resident. The path
         is everything after the first space up to the end of the line, so
         paths containing spaces need no quoting.
         -> OK LOADED <fingerprint> vertices=<n> edges=<m>
     SOLVE <fingerprint> query=<v> budget=<k> [algorithm=<name>]
-          [samples=<n>] [seed=<n>] [stream]
+          [samples=<n>] [seed=<n>] [deadline_ms=<n>] [ticket=<name>]
+          [stream]
         Run one query. With `stream`, one `STEP <iter> <edge> <gain> <flow>`
         line per committed edge arrives while the query runs (anytime
         partial answers), then the final line either way:
         -> OK RESULT flow=<f> algorithm_flow=<f> seed=<n> edges=<e1,e2,...>
+        With `deadline_ms=`, a query whose wall-clock budget expires stops
+        between iterations and degrades gracefully instead of failing:
+        -> OK DEGRADED steps_done=<j> budget=<k> flow=<f> algorithm_flow=<f>
+           seed=<n> edges=<e1,...,ej>
+        where the j selected edges are bit-identical to the first j edges
+        of the same-seed full run. With `ticket=<name>`, the query is
+        cancellable under that name (unique among in-flight queries) via
+        CANCEL from any connection; a cancelled query also answers
+        `OK DEGRADED ...`.
+    CANCEL <name>
+        Cancel the in-flight SOLVE registered as ticket=<name> (from any
+        connection). The cancelled query stops at its next iteration
+        boundary and its own connection receives `OK DEGRADED ...`.
+        -> OK CANCELLED <name>
     STATS
         -> OK STATS resident=<n> queued=<n> completed=<n> rejected=<n> batches=<n>
     RESUME
@@ -86,17 +116,23 @@ DETERMINISTIC REPLAY:
     A query's result is a pure function of (graph fingerprint, query
     parameters, seed). Replaying the same SOLVE line — any queue state,
     any coalescing, any thread count, any lane width — returns a
-    bit-identical selection and flow.
+    bit-identical selection and flow. Deadlines and cancellation only move
+    the stop point between iterations; they never change what a committed
+    step computes.
 ";
 
 struct Options {
     port: u16,
     config: ServeConfig,
+    idle_timeout: Option<Duration>,
+    fault_plan: Option<String>,
 }
 
 fn parse_options(raw: &[String]) -> Result<Options, String> {
     let mut port = 7878u16;
     let mut config = ServeConfig::default();
+    let mut idle_timeout_ms: u64 = 300_000;
+    let mut fault_plan = None;
     let mut i = 0;
     while i < raw.len() {
         let name = raw[i].as_str();
@@ -130,11 +166,25 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
                 config.retry_after = Duration::from_millis(ms);
             }
             "--seed" => config.seed = value.parse().map_err(|_| bad("--seed"))?,
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = value.parse().map_err(|_| bad("--idle-timeout-ms"))?
+            }
+            "--fault-plan" => fault_plan = Some(value.clone()),
             other => return Err(format!("unknown option {other} (see --help)")),
         }
         i += 2;
     }
-    Ok(Options { port, config })
+    if fault_plan.is_some() && !cfg!(feature = "faults") {
+        return Err(
+            "--fault-plan requires a binary built with --features faults (this one was not)".into(),
+        );
+    }
+    Ok(Options {
+        port,
+        config,
+        idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
+        fault_plan,
+    })
 }
 
 /// The daemon's shared state: the serving engine plus everything the
@@ -144,9 +194,13 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
 struct Daemon {
     server: FlowServer,
     port: u16,
+    idle_timeout: Option<Duration>,
     shutting_down: AtomicBool,
     next_conn: AtomicU64,
     connections: Mutex<HashMap<u64, TcpStream>>,
+    /// In-flight cancellable queries by ticket name (`SOLVE ... ticket=`),
+    /// daemon-wide so CANCEL works from any connection.
+    tickets: Mutex<HashMap<String, CancelToken>>,
 }
 
 impl Daemon {
@@ -154,6 +208,10 @@ impl Daemon {
         self.connections
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<String, CancelToken>> {
+        self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Tracks a connection for shutdown wake-up; returns its registry key.
@@ -208,12 +266,23 @@ fn main() -> ExitCode {
         }
     };
     let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+    if let Some(spec) = &options.fault_plan {
+        match flowmax_faults::FailPlan::parse(spec, options.config.seed) {
+            Ok(plan) => flowmax_faults::install(plan),
+            Err(e) => {
+                eprintln!("flowmax-serve: invalid --fault-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let daemon = Arc::new(Daemon {
         server: FlowServer::new(options.config),
         port,
+        idle_timeout: options.idle_timeout,
         shutting_down: AtomicBool::new(false),
         next_conn: AtomicU64::new(0),
         connections: Mutex::new(HashMap::new()),
+        tickets: Mutex::new(HashMap::new()),
     });
     // The scripted-client handshake: clients (and CI) read this line to
     // learn the ephemeral port.
@@ -253,26 +322,123 @@ fn main() -> ExitCode {
 /// `ERR` line and keep the connection alive.
 fn handle_client(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
     let id = daemon.register(&stream)?;
-    let result = serve_connection(daemon, stream);
+    let result = serve_connection(daemon, id, stream);
     daemon.deregister(id);
     result
 }
 
-fn serve_connection(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
+/// One bounded read of a request line: everything `read_line` does, plus a
+/// length cap and timeout awareness.
+enum LineRead {
+    /// A complete line (newline stripped) within the cap.
+    Line,
+    /// The peer closed (or the daemon shut our read half).
+    Eof,
+    /// The line exceeded the cap. It has been drained through its newline
+    /// (or to EOF), so the connection is still protocol-synchronized.
+    TooLong,
+    /// The read timeout elapsed without a complete line.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes into `line`
+/// (newline stripped, lossy UTF-8). Oversized lines are consumed to their
+/// newline but never buffered beyond one [`BufReader`] block, so a 10 MB
+/// garbage line costs a fixed-size buffer, not 10 MB.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    line.clear();
+    let mut taken: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF. A truncated trailing line still gets processed (like
+            // `read_line`); an oversized one still reports TooLong.
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if taken.is_empty() {
+                LineRead::Eof
+            } else {
+                *line = String::from_utf8_lossy(&taken).into_owned();
+                LineRead::Line
+            });
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let end = newline.map_or(available.len(), |pos| pos + 1);
+        if !overflow && taken.len() + end > max + 1 {
+            // +1: the newline itself does not count against the cap.
+            overflow = true;
+            taken.clear();
+        }
+        if !overflow {
+            taken.extend_from_slice(&available[..end]);
+        }
+        reader.consume(end);
+        if newline.is_some() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else {
+                while taken.last() == Some(&b'\n') || taken.last() == Some(&b'\r') {
+                    taken.pop();
+                }
+                *line = String::from_utf8_lossy(&taken).into_owned();
+                LineRead::Line
+            });
+        }
+    }
+}
+
+fn serve_connection(daemon: &Daemon, conn_id: u64, stream: TcpStream) -> std::io::Result<()> {
+    // The `daemon/conn` failpoint models a connection handler dying right
+    // after accept: the client still gets a terminal line, never raw EOF.
+    if flowmax_faults::should_fail_keyed("daemon/conn", conn_id) {
+        let mut writer = BufWriter::new(stream);
+        let _ = writeln!(writer, "ERR FAULT injected");
+        let _ = writer.flush();
+        return Ok(());
+    }
+    // The timeout only governs waiting for request lines: replies are
+    // written by this same thread, and a SOLVE blocks on its ticket, not
+    // on the socket.
+    stream.set_read_timeout(daemon.idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            // EOF: the client hung up — unless the daemon closed our read
-            // half to shut down, in which case the protocol owes the
-            // client a terminal line, not silence.
-            if daemon.shutting_down.load(Ordering::SeqCst) {
-                let _ = writeln!(writer, "ERR SHUTDOWN server stopping");
-                let _ = writer.flush();
+        match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES)? {
+            LineRead::Line => {}
+            LineRead::Eof => {
+                // EOF: the client hung up — unless the daemon closed our
+                // read half to shut down, in which case the protocol owes
+                // the client a terminal line, not silence.
+                if daemon.shutting_down.load(Ordering::SeqCst) {
+                    let _ = writeln!(writer, "ERR SHUTDOWN server stopping");
+                    let _ = writer.flush();
+                }
+                return Ok(());
             }
-            return Ok(());
+            LineRead::TooLong => {
+                writeln!(writer, "ERR LINE TOO LONG max_bytes={MAX_LINE_BYTES}")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::TimedOut => {
+                let ms = daemon.idle_timeout.map_or(0, |d| d.as_millis());
+                let _ = writeln!(writer, "ERR TIMEOUT idle for {ms} ms; closing");
+                let _ = writer.flush();
+                return Ok(());
+            }
         }
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.trim().is_empty() {
@@ -306,6 +472,7 @@ fn serve_connection(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
             },
             "LOAD" => cmd_load(rest, &daemon.server),
             "SOLVE" => cmd_solve(rest, daemon, &mut writer)?,
+            "CANCEL" => cmd_cancel(rest, daemon),
             "STATS" => no_args("STATS", rest).map(|()| {
                 let s = daemon.server.stats();
                 format!(
@@ -318,7 +485,7 @@ fn serve_connection(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
                 "OK RESUMED".to_string()
             }),
             other => Err(format!(
-                "unknown command {other:?} (LOAD, SOLVE, STATS, RESUME, QUIT, SHUTDOWN)"
+                "unknown command {other:?} (LOAD, SOLVE, CANCEL, STATS, RESUME, QUIT, SHUTDOWN)"
             )),
         };
         match reply_end {
@@ -361,7 +528,7 @@ fn cmd_solve(
     daemon: &Daemon,
     writer: &mut impl Write,
 ) -> std::io::Result<Result<String, String>> {
-    let parsed = (|| -> Result<(u64, QueryParams, bool), String> {
+    let parsed = (|| -> Result<(u64, QueryParams, bool, Option<String>), String> {
         let mut tokens = rest.split_whitespace();
         let fp_text = tokens.next().ok_or("SOLVE requires a graph fingerprint")?;
         let fingerprint = u64::from_str_radix(fp_text, 16)
@@ -369,6 +536,7 @@ fn cmd_solve(
         let mut params = QueryParams::new(VertexId(0), 0);
         let mut stream = false;
         let mut saw_query = false;
+        let mut ticket_name = None;
         for token in tokens {
             if token == "stream" {
                 stream = true;
@@ -386,6 +554,13 @@ fn cmd_solve(
                 "budget" => params.budget = value.parse().map_err(|_| bad())?,
                 "samples" => params.samples = value.parse().map_err(|_| bad())?,
                 "seed" => params.seed = Some(value.parse().map_err(|_| bad())?),
+                "deadline_ms" => params.deadline_ms = Some(value.parse().map_err(|_| bad())?),
+                "ticket" => {
+                    if value.is_empty() {
+                        return Err(bad());
+                    }
+                    ticket_name = Some(value.to_string());
+                }
                 "algorithm" => {
                     params.algorithm = value.parse::<Algorithm>().map_err(|e| e.to_string())?
                 }
@@ -395,14 +570,14 @@ fn cmd_solve(
         if !saw_query {
             return Err("SOLVE requires query=<vertex>".into());
         }
-        Ok((fingerprint, params, stream))
+        Ok((fingerprint, params, stream, ticket_name))
     })();
-    let (fingerprint, params, stream) = match parsed {
+    let (fingerprint, params, stream, ticket_name) = match parsed {
         Ok(parsed) => parsed,
         Err(msg) => return Ok(Err(msg)),
     };
-    let ticket = match daemon.server.submit(fingerprint, params) {
-        Ok(ticket) => ticket,
+    let (ticket, cancel) = match daemon.server.submit_cancellable(fingerprint, params) {
+        Ok(admitted) => admitted,
         Err(ServeError::Overloaded { retry_after }) => {
             return Ok(Err(format!(
                 "OVERLOADED retry_after_ms={}",
@@ -411,6 +586,22 @@ fn cmd_solve(
         }
         Err(ServeError::ShuttingDown) => return Ok(Err("SHUTDOWN server stopping".into())),
         Err(e) => return Ok(Err(e.to_string())),
+    };
+    // Register the cancel handle under its ticket name for the query's
+    // lifetime; the guard deregisters on every exit path.
+    let _registration = match ticket_name {
+        Some(name) => {
+            let mut tickets = daemon.lock_tickets();
+            if tickets.contains_key(&name) {
+                drop(tickets);
+                cancel.cancel(); // don't leave an unreachable query running
+                return Ok(Err(format!("ticket name {name:?} is already in flight")));
+            }
+            tickets.insert(name.clone(), cancel);
+            drop(tickets);
+            Some(TicketRegistration { daemon, name })
+        }
+        None => None,
     };
     loop {
         match ticket.next_event() {
@@ -427,7 +618,15 @@ fn cmd_solve(
                     writer.flush()?;
                 }
             }
-            Some(ServeEvent::Done(result)) => return Ok(Ok(format_result(&result))),
+            Some(ServeEvent::Done(result)) => return Ok(Ok(format_result("OK RESULT", &result))),
+            Some(ServeEvent::Degraded {
+                steps_done,
+                budget,
+                result,
+            }) => {
+                let prefix = format!("OK DEGRADED steps_done={steps_done} budget={budget}");
+                return Ok(Ok(format_result(&prefix, &result)));
+            }
             Some(ServeEvent::Failed(CoreError::ShuttingDown)) | None => {
                 // The terminal line for queries the shutdown drained (the
                 // stream only ends without a terminal event if the server
@@ -439,13 +638,44 @@ fn cmd_solve(
     }
 }
 
-fn format_result(result: &ServeResult) -> String {
+/// Removes a SOLVE's ticket name from the daemon registry when the query
+/// finishes, however it finishes.
+struct TicketRegistration<'a> {
+    daemon: &'a Daemon,
+    name: String,
+}
+
+impl Drop for TicketRegistration<'_> {
+    fn drop(&mut self) {
+        self.daemon.lock_tickets().remove(&self.name);
+    }
+}
+
+fn cmd_cancel(rest: &str, daemon: &Daemon) -> Result<String, String> {
+    if rest.is_empty() || rest.split_whitespace().count() != 1 {
+        return Err("CANCEL takes exactly one ticket name".into());
+    }
+    match daemon.lock_tickets().get(rest) {
+        Some(token) => {
+            token.cancel();
+            Ok(format!("OK CANCELLED {rest}"))
+        }
+        None => Err(format!(
+            "unknown ticket {rest:?} (already finished, or never registered)"
+        )),
+    }
+}
+
+fn format_result(prefix: &str, result: &ServeResult) -> String {
     let edges: Vec<String> = result.selected.iter().map(|e| e.to_string()).collect();
+    // A `None` seed is unreachable — the server resolves the seed before
+    // replying — and defaults to 0 rather than panicking the handler.
+    let seed = result.params.seed.unwrap_or_default();
     format!(
-        "OK RESULT flow={} algorithm_flow={} seed={} edges={}",
+        "{prefix} flow={} algorithm_flow={} seed={} edges={}",
         result.flow,
         result.algorithm_flow,
-        result.params.seed.expect("server resolves the seed"),
+        seed,
         edges.join(",")
     )
 }

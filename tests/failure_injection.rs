@@ -301,6 +301,222 @@ fn worker_panic_fails_the_job_but_the_shared_pool_stays_serviceable() {
     assert_eq!(before.algorithm_flow, after.algorithm_flow);
 }
 
+/// Seeded chaos for the serving layer, compiled only under
+/// `--features faults`: injected admission rejections, batch panics, dead
+/// worker slots, overload storms, and expired deadlines. The invariants
+/// under every fault: the dispatcher never dies, every ticket ends in
+/// exactly one terminal event, and degraded answers are bit-identical to
+/// the same-seed full run's prefix. Tests serialize on a gate because the
+/// failpoint registry is process-global.
+#[cfg(feature = "faults")]
+mod chaos {
+    use super::p;
+    use flowmax::core::{CoreError, FlowServer, QueryParams, ServeConfig, ServeError, ServeEvent};
+    use flowmax::graph::{GraphBuilder, ProbabilisticGraph, VertexId, Weight};
+    use flowmax_faults::{self as faults, FailPlan};
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+    use std::time::Duration;
+
+    static GATE: Mutex<()> = Mutex::new(());
+
+    /// Arms `plan` for the guard's lifetime, then disarms — even when the
+    /// test body panics through it.
+    struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    fn arm(plan: FailPlan) -> Armed {
+        let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        faults::install(plan);
+        Armed(gate)
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            faults::clear();
+        }
+    }
+
+    fn diamond() -> ProbabilisticGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertices(5, Weight::ONE);
+        b.add_edge(VertexId(0), VertexId(1), p(0.9)).unwrap();
+        b.add_edge(VertexId(0), VertexId(2), p(0.8)).unwrap();
+        b.add_edge(VertexId(1), VertexId(3), p(0.7)).unwrap();
+        b.add_edge(VertexId(2), VertexId(3), p(0.6)).unwrap();
+        b.add_edge(VertexId(3), VertexId(4), p(0.5)).unwrap();
+        b.build()
+    }
+
+    fn params(vertex: u32, budget: usize) -> QueryParams {
+        let mut params = QueryParams::new(VertexId(vertex), budget);
+        params.samples = 200;
+        params
+    }
+
+    /// An injected admission fault rejects exactly the scheduled arrival
+    /// with a live retry hint; admissions before and after it sail through
+    /// and complete.
+    #[test]
+    fn injected_admission_fault_rejects_one_arrival_and_recovers() {
+        let _armed = arm(FailPlan::new(3).fail_key_nth("serve/admit", 1, &[0]));
+        let server = FlowServer::new(ServeConfig::default());
+        let fp = server.load_graph(diamond());
+
+        let first = server
+            .submit(fp, params(0, 2))
+            .expect("admission 0 is clean");
+        let rejected = server.submit(fp, params(1, 2));
+        assert!(
+            matches!(rejected, Err(ServeError::Overloaded { .. })),
+            "admission 1 must hit the injected fault: {rejected:?}"
+        );
+        let third = server
+            .submit(fp, params(2, 2))
+            .expect("admission 2 is clean");
+
+        first.wait().expect("unfaulted query completes");
+        third
+            .wait()
+            .expect("the server keeps serving after the fault");
+        assert_eq!(server.stats().rejected, 1);
+        assert_eq!(server.stats().completed, 2);
+    }
+
+    /// A panic injected into the batch executor fails every ticket in that
+    /// batch with a typed `WorkerPanicked` — and the dispatcher survives to
+    /// run the next, bit-identical to an unfaulted run.
+    #[test]
+    fn injected_batch_panic_fails_the_batch_but_not_the_dispatcher() {
+        let g = diamond();
+        let reference = {
+            let server = FlowServer::new(ServeConfig::default());
+            let fp = server.load_graph(g.clone());
+            server.submit(fp, params(0, 3)).unwrap().wait().unwrap()
+        };
+
+        let _armed = arm(FailPlan::new(9).fail_key_nth("serve/batch", 0, &[0]));
+        let server = FlowServer::new(ServeConfig {
+            start_paused: true,
+            ..ServeConfig::default()
+        });
+        let fp = server.load_graph(g);
+        let doomed_a = server.submit(fp, params(0, 3)).unwrap();
+        let doomed_b = server.submit(fp, params(0, 3)).unwrap();
+        server.resume();
+        for doomed in [doomed_a, doomed_b] {
+            match doomed.wait() {
+                Err(CoreError::WorkerPanicked(msg)) => {
+                    assert!(
+                        faults::is_fault_panic(&msg),
+                        "expected the tagged fault panic, got: {msg}"
+                    );
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+
+        // Batch 0 is burnt; batch 1 is unfaulted and must match the
+        // reference bit for bit.
+        let after = server.submit(fp, params(0, 3)).unwrap().wait().unwrap();
+        assert_eq!(after.selected, reference.selected);
+        assert_eq!(after.flow, reference.flow);
+        assert_eq!(server.stats().batches, 2);
+    }
+
+    // The dead-worker-slot-through-the-server chaos test lives in its own
+    // binary (`tests/serve_pool_chaos.rs`): the `pool/worker` site fires
+    // on the process-global WorkerPool, which other tests in *this*
+    // binary use concurrently — arming it here would bleed faults into
+    // their jobs.
+
+    /// An overload storm against a tiny queue: rejections carry retry
+    /// hints that scale with the live queue depth, every accepted ticket
+    /// still reaches a terminal event, and nothing deadlocks.
+    #[test]
+    fn overload_storm_rejects_with_scaled_hints_and_drains_cleanly() {
+        // No faults armed — the storm itself is the chaos — but hold the
+        // gate so a concurrent armed test can't bleed into this server.
+        let _armed = arm(FailPlan::new(0));
+        let server = FlowServer::new(ServeConfig {
+            queue_capacity: 3,
+            coalesce_max: 2,
+            retry_after: Duration::from_millis(5),
+            start_paused: true,
+            ..ServeConfig::default()
+        });
+        let fp = server.load_graph(diamond());
+
+        let mut accepted = Vec::new();
+        let mut hints = Vec::new();
+        for i in 0..50u32 {
+            match server.submit(fp, params(i % 5, 1)) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(ServeError::Overloaded { retry_after }) => hints.push(retry_after),
+                Err(other) => panic!("only Overloaded is expected here: {other:?}"),
+            }
+        }
+        assert_eq!(accepted.len(), 3, "capacity admits exactly three");
+        assert_eq!(hints.len(), 47);
+        // A full queue of 3 with coalesce 2 needs two more batches:
+        // ceil((3 + 1) / 2) = 2 base units.
+        assert!(hints.iter().all(|&h| h == Duration::from_millis(10)));
+
+        server.resume();
+        for ticket in accepted {
+            ticket.wait().expect("every accepted ticket must terminate");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 47);
+        assert_eq!(stats.queued, 0, "the storm drains completely");
+    }
+
+    /// Deadlines that expire while queued degrade instead of failing: the
+    /// event stream ends in `Degraded`, and the committed prefix is
+    /// bit-identical to the same-seed full run.
+    #[test]
+    fn expired_deadlines_degrade_to_exact_prefixes_under_load() {
+        let _armed = arm(FailPlan::new(0));
+        let server = FlowServer::new(ServeConfig {
+            start_paused: true,
+            ..ServeConfig::default()
+        });
+        let fp = server.load_graph(diamond());
+
+        let full = server.submit(fp, params(0, 3)).unwrap();
+        let doomed = server.submit(fp, params(0, 3).with_deadline_ms(0)).unwrap();
+        server.resume();
+
+        let full = full.wait().expect("the undeadlined twin completes");
+        let terminal;
+        loop {
+            match doomed.next_event().expect("stream must terminate") {
+                ServeEvent::Step(_) => continue,
+                other => {
+                    terminal = Some(other);
+                    break;
+                }
+            }
+        }
+        match terminal {
+            Some(ServeEvent::Degraded {
+                steps_done,
+                budget,
+                result,
+            }) => {
+                assert_eq!(budget, 3);
+                assert_eq!(steps_done, result.selected.len());
+                assert!(steps_done < budget, "a 0ms deadline cannot finish");
+                assert_eq!(
+                    result.selected,
+                    full.selected[..steps_done],
+                    "degraded answers are the full run's prefix, bit for bit"
+                );
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn extreme_probabilities_are_handled() {
     // Mix of near-zero and certain probabilities must not under/overflow.

@@ -296,6 +296,231 @@ fn wide_lane_daemon_replays_narrow_results_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// An oversized request line — 10 MB of garbage without a newline — is
+/// drained and answered with the exact `ERR LINE TOO LONG` line, and the
+/// same connection keeps serving afterwards: the bounded reader resyncs on
+/// the newline instead of buffering the flood or hanging up.
+#[test]
+fn oversized_request_line_is_rejected_and_the_connection_survives() {
+    let (mut guard, port) = spawn_daemon(&["--threads", "1"], &[]);
+    let mut client = Client::connect(port);
+
+    let garbage = vec![b'x'; 10 * 1024 * 1024];
+    client.writer.write_all(&garbage).expect("write flood");
+    client.writer.write_all(b"\n").expect("terminate flood");
+    client.writer.flush().expect("flush flood");
+    assert_eq!(client.recv(), "ERR LINE TOO LONG max_bytes=65536");
+
+    // The protocol is resynchronized: normal commands still work.
+    let (_, stats) = client.roundtrip("STATS");
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+
+    // A line exactly at a sane size still parses (it's an unknown command,
+    // not a length rejection).
+    let (_, err) = client.roundtrip(&"y".repeat(1000));
+    assert!(err.starts_with("ERR unknown command"), "{err}");
+
+    let (_, bye) = client.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    wait_for_clean_exit(&mut guard);
+}
+
+/// Deadlines and cancellation on the wire: an expired `deadline_ms=`
+/// answers `OK DEGRADED` with the step count it kept, `CANCEL <ticket>`
+/// degrades the in-flight SOLVE from another connection, unknown tickets
+/// are typed errors, and a generous deadline leaves the RESULT line
+/// byte-identical to the undeadlined replay (deadlines sit outside the
+/// replay key).
+#[test]
+fn deadline_and_cancel_verbs_degrade_queries_on_the_wire() {
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax-serve-deadline-{}", std::process::id()));
+    let path = write_graph(&graph, &dir, "graph.txt");
+
+    let (mut guard, port) = spawn_daemon(&["--threads", "1", "--start-paused"], &[]);
+    let mut control = Client::connect(port);
+    let fp = control.load(&path);
+
+    // Connection A queues a query whose deadline is already dead on
+    // arrival; connection B queues one registered under a ticket name.
+    let mut doomed = Client::connect(port);
+    doomed.send(&format!(
+        "SOLVE {fp} query={} budget=3 samples=100 deadline_ms=0",
+        query.0
+    ));
+    let mut ticketed = Client::connect(port);
+    ticketed.send(&format!(
+        "SOLVE {fp} query={} budget=3 samples=100 ticket=job1",
+        query.0
+    ));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, stats) = control.roundtrip("STATS");
+        if stats.contains("queued=2") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "queries never queued: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Cancel the ticketed query from a *different* connection; a name
+    // that was never registered is a typed error.
+    let (_, cancelled) = control.roundtrip("CANCEL job1");
+    assert_eq!(cancelled, "OK CANCELLED job1");
+    let (_, err) = control.roundtrip("CANCEL nope");
+    assert!(err.starts_with("ERR unknown ticket"), "{err}");
+
+    // Both degrade at step zero: the deadline was dead on admission, the
+    // cancel landed before the dispatcher ran the batch.
+    let (_, resumed) = control.roundtrip("RESUME");
+    assert_eq!(resumed, "OK RESUMED");
+    let degraded = doomed.recv();
+    assert!(
+        degraded.starts_with("OK DEGRADED steps_done=0 budget=3 "),
+        "{degraded}"
+    );
+    let degraded = ticketed.recv();
+    assert!(
+        degraded.starts_with("OK DEGRADED steps_done=0 budget=3 "),
+        "{degraded}"
+    );
+
+    // The completed query's registration is gone: its name is free again
+    // for CANCEL to reject.
+    let (_, err) = control.roundtrip("CANCEL job1");
+    assert!(err.starts_with("ERR unknown ticket"), "{err}");
+
+    // A deadline generous enough to never fire answers byte-identically
+    // to the undeadlined solve: the deadline moved nothing.
+    let solve = format!("SOLVE {fp} query={} budget=3 samples=100 seed=5", query.0);
+    let (_, plain) = control.roundtrip(&solve);
+    assert!(plain.starts_with("OK RESULT flow="), "{plain}");
+    let (_, relaxed) = control.roundtrip(&format!("{solve} deadline_ms=60000"));
+    assert_eq!(relaxed, plain, "an unfired deadline changed the wire bytes");
+
+    let (_, bye) = control.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    wait_for_clean_exit(&mut guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The dynamic backoff hint on the wire: with the queue four deep and
+/// coalescing two per batch, a rejected SOLVE carries `ceil((4 + 1) / 2)`
+/// base units — `retry_after_ms=15` — not the flat base hint.
+#[test]
+fn overload_hints_scale_with_queue_depth_on_the_wire() {
+    let (graph, query) = test_graph();
+    let dir = std::env::temp_dir().join(format!("flowmax-serve-backoff-{}", std::process::id()));
+    let path = write_graph(&graph, &dir, "graph.txt");
+
+    let (mut guard, port) = spawn_daemon(
+        &[
+            "--threads",
+            "1",
+            "--queue-capacity",
+            "4",
+            "--coalesce-max",
+            "2",
+            "--retry-after-ms",
+            "5",
+            "--start-paused",
+        ],
+        &[],
+    );
+    let mut control = Client::connect(port);
+    let fp = control.load(&path);
+
+    // Four connections fill the paused queue.
+    let mut queued = Vec::new();
+    for i in 0..4 {
+        let mut client = Client::connect(port);
+        client.send(&format!(
+            "SOLVE {fp} query={} budget=1 samples=100 seed={i}",
+            query.0
+        ));
+        queued.push(client);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, stats) = control.roundtrip("STATS");
+        if stats.contains("queued=4") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "queue never filled: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut bounced = Client::connect(port);
+    let (_, err) = bounced.roundtrip(&format!("SOLVE {fp} query={} budget=1", query.0));
+    assert_eq!(err, "ERR OVERLOADED retry_after_ms=15");
+
+    // Shutdown drains the queue: every queued connection gets a terminal
+    // line, never a raw EOF.
+    let (_, bye) = bounced.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    for client in &mut queued {
+        assert_eq!(client.recv(), "ERR SHUTDOWN server stopping");
+    }
+    wait_for_clean_exit(&mut guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--fault-plan` on a binary built with `--features faults`: the armed
+/// `daemon/conn` site answers the scheduled connection with a terminal
+/// `ERR FAULT injected` line (never a raw EOF) and leaves every other
+/// connection untouched.
+#[cfg(feature = "faults")]
+#[test]
+fn fault_plan_injects_connection_faults_with_terminal_lines() {
+    let (mut guard, port) = spawn_daemon(
+        &["--threads", "1", "--fault-plan", "daemon/conn@1=always"],
+        &[],
+    );
+
+    // Connection 0 is clean.
+    let mut first = Client::connect(port);
+    let (_, stats) = first.roundtrip("STATS");
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+
+    // Connection 1 is the scheduled casualty: one terminal line, then EOF.
+    let mut faulted = Client::connect(port);
+    assert_eq!(faulted.recv(), "ERR FAULT injected");
+    let mut line = String::new();
+    let n = faulted
+        .reader
+        .read_line(&mut line)
+        .expect("read after fault");
+    assert_eq!(
+        n, 0,
+        "the faulted connection closes after its terminal line"
+    );
+
+    // Connection 2 is clean again; the daemon took no damage.
+    let mut second = Client::connect(port);
+    let (_, stats) = second.roundtrip("STATS");
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+    let (_, bye) = second.roundtrip("SHUTDOWN");
+    assert_eq!(bye, "OK BYE");
+    wait_for_clean_exit(&mut guard);
+}
+
+/// `--fault-plan` on a binary built *without* the faults feature must
+/// refuse to start: a plan that silently no-ops would be a lie.
+#[cfg(not(feature = "faults"))]
+#[test]
+fn fault_plan_without_the_feature_refuses_to_start() {
+    let output = Command::new(env!("CARGO_BIN_EXE_flowmax-serve"))
+        .args(["--port", "0", "--fault-plan", "daemon/conn@0=always"])
+        .output()
+        .expect("run flowmax-serve");
+    assert!(!output.status.success(), "the daemon must refuse the plan");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--features faults"),
+        "stderr must say why: {stderr}"
+    );
+}
+
 /// Backpressure formatting and the graceful-shutdown contract: a paused
 /// daemon with a one-slot queue rejects the second SOLVE with the exact
 /// `ERR OVERLOADED retry_after_ms=<hint>` line, and SHUTDOWN hands every
